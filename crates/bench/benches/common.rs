@@ -1,0 +1,14 @@
+//! Shared criterion configuration for the experiment benches.
+//! (Not a bench target itself; included via `mod` from each bench.)
+
+use criterion::Criterion;
+use std::time::Duration;
+
+/// Short, uniform measurement settings: the wall-clock channel is a
+/// sanity check, not the reproduction channel (see phi-bench docs).
+pub fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}

@@ -1,0 +1,32 @@
+//! E10 wall-clock: squaring-strategy ablation.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phi_bench::workload;
+use phiopenssl::vsqr::mont_sqr_sos;
+use phiopenssl::VMontCtx;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_sqr");
+    for bits in [1024u32, 2048] {
+        let n = workload::modulus(bits);
+        let ctx = VMontCtx::new(&n).unwrap();
+        let a = ctx.to_mont_vec(&workload::operand(bits, 9));
+        g.bench_with_input(
+            BenchmarkId::new("cios_mul_kernel", bits),
+            &bits,
+            |bench, _| bench.iter(|| ctx.mont_sqr_vec(black_box(&a))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("sos_half_product", bits),
+            &bits,
+            |bench, _| bench.iter(|| mont_sqr_sos(&ctx, black_box(&a))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! { name = benches; config = common::config(); targets = bench }
+criterion_main!(benches);

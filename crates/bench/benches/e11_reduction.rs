@@ -1,0 +1,40 @@
+//! E11 wall-clock: the reduction-strategy lineage on one mod-mul.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phi_bench::workload;
+use phi_mont::{barrett, BarrettCtx, MontCtx64, MontEngine};
+use phiopenssl::VMontCtx;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_reduction");
+    for bits in [1024u32, 2048] {
+        let n = workload::modulus(bits);
+        let a = &workload::operand(bits, 11) % &n;
+        let b = &workload::operand(bits, 12) % &n;
+
+        g.bench_with_input(BenchmarkId::new("division", bits), &bits, |bench, _| {
+            bench.iter(|| barrett::mod_mul_division(black_box(&a), black_box(&b), &n))
+        });
+        let bctx = BarrettCtx::new(&n).unwrap();
+        g.bench_with_input(BenchmarkId::new("barrett", bits), &bits, |bench, _| {
+            bench.iter(|| bctx.mod_mul(black_box(&a), black_box(&b)))
+        });
+        let mctx = MontCtx64::new(&n).unwrap();
+        let (am, bm) = (mctx.to_mont(&a), mctx.to_mont(&b));
+        g.bench_with_input(BenchmarkId::new("montgomery64", bits), &bits, |bench, _| {
+            bench.iter(|| mctx.mont_mul(black_box(&am), black_box(&bm)))
+        });
+        let vctx = VMontCtx::new(&n).unwrap();
+        let (av, bv) = (vctx.to_mont_vec(&a), vctx.to_mont_vec(&b));
+        g.bench_with_input(BenchmarkId::new("vectorized", bits), &bits, |bench, _| {
+            bench.iter(|| vctx.mont_mul_vec(black_box(&av), black_box(&bv)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! { name = benches; config = common::config(); targets = bench }
+criterion_main!(benches);

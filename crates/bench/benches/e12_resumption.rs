@@ -1,0 +1,46 @@
+//! E12 wall-clock: full vs resumed TLS handshake.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use phi_bench::workload;
+use phi_mont::MpssBaseline;
+use phi_rsa::RsaOps;
+use phi_ssl::{drive_handshake, Client, Server, SessionCache};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e12_resumption");
+    let key = workload::rsa_key(1024);
+    let ops = || RsaOps::new(Box::new(MpssBaseline));
+    let cache = SessionCache::new(8);
+
+    // Establish one session to resume.
+    let mut rng = StdRng::seed_from_u64(0xE12);
+    let mut server = Server::with_cache(&mut rng, key.clone(), ops(), cache.clone());
+    let mut client = Client::new(&mut rng, ops());
+    drive_handshake(&mut rng, &mut server, &mut client).unwrap();
+    let session = client.session().unwrap();
+
+    g.bench_function("full_handshake", |bench| {
+        bench.iter(|| {
+            let mut rng = StdRng::seed_from_u64(0xF11);
+            let mut server = Server::new(&mut rng, key.clone(), ops());
+            let mut client = Client::new(&mut rng, ops());
+            drive_handshake(&mut rng, &mut server, &mut client).unwrap()
+        })
+    });
+    g.bench_function("resumed_handshake", |bench| {
+        bench.iter(|| {
+            let mut rng = StdRng::seed_from_u64(0xF12);
+            let mut server = Server::with_cache(&mut rng, key.clone(), ops(), cache.clone());
+            let mut client = Client::with_resumption(&mut rng, ops(), session.clone());
+            drive_handshake(&mut rng, &mut server, &mut client).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! { name = benches; config = common::config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E13 wall-clock: sixteen verifications, sixteen distinct keys.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use phi_bench::workload;
+use phi_bigint::BigUint;
+use phiopenssl::vexp::{mod_exp_vec, TableLookup};
+use phiopenssl::{MultiBatchMont, VMontCtx};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e13_multikey");
+    g.throughput(Throughput::Elements(16));
+    let e = BigUint::from(65537u64);
+    {
+        let bits = 1024u32;
+        let moduli: Vec<BigUint> = (0..16u64)
+            .map(|j| {
+                let mut n = workload::operand(bits, 100 + j);
+                n.set_bit(0, true);
+                n
+            })
+            .collect();
+        let sigs: Vec<BigUint> = (0..16u64)
+            .map(|j| &workload::operand(bits, 200 + j) % &moduli[j as usize])
+            .collect();
+        let ctxs: Vec<VMontCtx> = moduli.iter().map(|n| VMontCtx::new(n).unwrap()).collect();
+        let mb = MultiBatchMont::new(&moduli).unwrap();
+
+        g.bench_with_input(
+            BenchmarkId::new("sequential_x16", bits),
+            &bits,
+            |bench, _| {
+                bench.iter(|| {
+                    sigs.iter()
+                        .zip(&ctxs)
+                        .map(|(s, ctx)| mod_exp_vec(ctx, black_box(s), &e, 5, TableLookup::Direct))
+                        .collect::<Vec<_>>()
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("multikey_batch", bits),
+            &bits,
+            |bench, _| bench.iter(|| mb.mod_exp_16(black_box(&sigs), &e, 5)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! { name = benches; config = common::config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E1 wall-clock: big-integer multiplication across the three libraries.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phi_bench::workload;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_bigmul");
+    for bits in workload::SIZES {
+        let a = workload::operand(bits, 1);
+        let b = workload::operand(bits, 2);
+        for (name, lib) in workload::libraries() {
+            g.bench_with_input(BenchmarkId::new(name, bits), &bits, |bench, _| {
+                bench.iter(|| lib.big_mul(black_box(&a), black_box(&b)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! { name = benches; config = common::config(); targets = bench }
+criterion_main!(benches);

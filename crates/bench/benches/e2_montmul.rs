@@ -1,0 +1,40 @@
+//! E2 wall-clock: one Montgomery multiplication per library.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phi_bench::workload;
+use phi_mont::{MontCtx32, MontCtx64, MontEngine};
+use phiopenssl::VMontCtx;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_montmul");
+    for bits in workload::SIZES {
+        let n = workload::modulus(bits);
+        let a = &workload::operand(bits, 3) % &n;
+        let b = &workload::operand(bits, 4) % &n;
+
+        let v = VMontCtx::new(&n).unwrap();
+        let (av, bv) = (v.to_mont_vec(&a), v.to_mont_vec(&b));
+        g.bench_with_input(BenchmarkId::new("PhiOpenSSL", bits), &bits, |bench, _| {
+            bench.iter(|| v.mont_mul_vec(black_box(&av), black_box(&bv)))
+        });
+
+        let m64 = MontCtx64::new(&n).unwrap();
+        let (am, bm) = (m64.to_mont(&a), m64.to_mont(&b));
+        g.bench_with_input(BenchmarkId::new("MPSS", bits), &bits, |bench, _| {
+            bench.iter(|| m64.mont_mul(black_box(&am), black_box(&bm)))
+        });
+
+        let m32 = MontCtx32::new(&n).unwrap();
+        let (am, bm) = (m32.to_mont(&a), m32.to_mont(&b));
+        g.bench_with_input(BenchmarkId::new("OpenSSL", bits), &bits, |bench, _| {
+            bench.iter(|| m32.mont_mul(black_box(&am), black_box(&bm)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! { name = benches; config = common::config(); targets = bench }
+criterion_main!(benches);

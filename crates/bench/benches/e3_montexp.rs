@@ -1,0 +1,46 @@
+//! E3 wall-clock: full Montgomery exponentiation per library.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phi_bench::workload;
+use phi_mont::exp::mont_exp;
+use phi_mont::{Libcrypto, MontCtx32, MontCtx64, MpssBaseline, OpensslBaseline};
+use phiopenssl::vexp::{mod_exp_vec, TableLookup};
+use phiopenssl::VMontCtx;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_montexp");
+    for bits in workload::SIZES {
+        let n = workload::modulus(bits);
+        let base = &workload::operand(bits, 5) % &n;
+        let e = workload::exponent(bits);
+
+        let v = VMontCtx::new(&n).unwrap();
+        g.bench_with_input(BenchmarkId::new("PhiOpenSSL", bits), &bits, |bench, _| {
+            bench.iter(|| mod_exp_vec(&v, black_box(&base), &e, 5, TableLookup::Direct))
+        });
+
+        let m64 = MontCtx64::new(&n).unwrap();
+        g.bench_with_input(BenchmarkId::new("MPSS", bits), &bits, |bench, _| {
+            bench.iter(|| mont_exp(&m64, black_box(&base), &e, MpssBaseline.strategy_for(bits)))
+        });
+
+        let m32 = MontCtx32::new(&n).unwrap();
+        g.bench_with_input(BenchmarkId::new("OpenSSL", bits), &bits, |bench, _| {
+            bench.iter(|| {
+                mont_exp(
+                    &m32,
+                    black_box(&base),
+                    &e,
+                    OpensslBaseline.strategy_for(bits),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! { name = benches; config = common::config(); targets = bench }
+criterion_main!(benches);

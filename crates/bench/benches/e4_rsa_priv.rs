@@ -1,0 +1,26 @@
+//! E4 wall-clock: RSA private-key operation per library.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phi_bench::workload;
+use phi_rsa::RsaOps;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_rsa_priv");
+    for bits in workload::RSA_SIZES {
+        let key = workload::rsa_key(bits);
+        let ct = &workload::operand(bits, 6) % key.public().n();
+        for (name, lib) in workload::libraries() {
+            let ops = RsaOps::new(lib);
+            g.bench_with_input(BenchmarkId::new(name, bits), &bits, |bench, _| {
+                bench.iter(|| ops.private_op(black_box(&key), black_box(&ct)).unwrap())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! { name = benches; config = common::config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E5 wall-clock: host thread scaling of batched RSA signing.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use phi_bench::workload;
+use phi_rsa::RsaOps;
+use phi_rt::{AffinityPolicy, PhiPool};
+use phiopenssl::PhiLibrary;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_scaling");
+    let key = workload::rsa_key(1024);
+    let ct = &workload::operand(1024, 6) % key.public().n();
+    const BATCH: usize = 16;
+    g.throughput(Throughput::Elements(BATCH as u64));
+    for threads in [1u32, 2, 4, 8] {
+        let pool = PhiPool::new(threads, AffinityPolicy::Compact);
+        g.bench_with_input(
+            BenchmarkId::new("phi_batch16", threads),
+            &threads,
+            |bench, _| {
+                bench.iter(|| {
+                    pool.run_batch(BATCH, |_| {
+                        let ops = RsaOps::new(Box::new(PhiLibrary::default()));
+                        ops.private_op(black_box(&key), black_box(&ct)).unwrap()
+                    })
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! { name = benches; config = common::config(); targets = bench }
+criterion_main!(benches);

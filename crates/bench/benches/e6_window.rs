@@ -1,0 +1,30 @@
+//! E6 wall-clock: fixed-window width sweep.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phi_bench::workload;
+use phiopenssl::vexp::{mod_exp_vec, TableLookup};
+use phiopenssl::VMontCtx;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_window");
+    let bits = 1024;
+    let n = workload::modulus(bits);
+    let base = &workload::operand(bits, 7) % &n;
+    let e = workload::exponent(bits);
+    let ctx = VMontCtx::new(&n).unwrap();
+    for w in [1u32, 2, 3, 4, 5, 6, 7] {
+        g.bench_with_input(BenchmarkId::new("direct", w), &w, |bench, &w| {
+            bench.iter(|| mod_exp_vec(&ctx, black_box(&base), &e, w, TableLookup::Direct))
+        });
+        g.bench_with_input(BenchmarkId::new("constant_time", w), &w, |bench, &w| {
+            bench.iter(|| mod_exp_vec(&ctx, black_box(&base), &e, w, TableLookup::ConstantTime))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! { name = benches; config = common::config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E7 wall-clock: CRT on/off ablation.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phi_bench::workload;
+use phi_rsa::RsaOps;
+use phiopenssl::PhiLibrary;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_crt");
+    for bits in [1024u32, 2048] {
+        let key = workload::rsa_key(bits);
+        let ct = &workload::operand(bits, 8) % key.public().n();
+        let with = RsaOps::new(Box::new(PhiLibrary::default()));
+        let without = RsaOps::without_crt(Box::new(PhiLibrary::default()));
+        g.bench_with_input(BenchmarkId::new("crt", bits), &bits, |bench, _| {
+            bench.iter(|| with.private_op(black_box(&key), black_box(&ct)).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("no_crt", bits), &bits, |bench, _| {
+            bench.iter(|| without.private_op(black_box(&key), black_box(&ct)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! { name = benches; config = common::config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E9 wall-clock: full TLS-1.2-style handshakes per server library.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use phi_bench::workload;
+use phi_rsa::RsaOps;
+use phi_ssl::{drive_handshake, Client, Server};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_ssl");
+    let key = workload::rsa_key(1024);
+    for (name, _) in workload::libraries() {
+        g.bench_with_input(BenchmarkId::new(name, 1024), &name, |bench, _| {
+            bench.iter(|| {
+                let make = || {
+                    let lib = workload::libraries()
+                        .into_iter()
+                        .find(|(n, _)| *n == name)
+                        .unwrap()
+                        .1;
+                    RsaOps::new(lib)
+                };
+                let mut rng = StdRng::seed_from_u64(0x9E55);
+                let mut server = Server::new(&mut rng, key.clone(), make());
+                let mut client = Client::new(&mut rng, make());
+                drive_handshake(&mut rng, &mut server, &mut client).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! { name = benches; config = common::config(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! The table harness: regenerates every table and figure of the paper's
+//! evaluation from the modeled KNC channel.
+//!
+//! ```text
+//! cargo run --release -p phi-bench --bin harness -- all
+//! cargo run --release -p phi-bench --bin harness -- e3 e4
+//! ```
+
+use phi_bench::experiments as ex;
+use phi_bench::workload::{RSA_SIZES, SIZES};
+
+const THREAD_SWEEP: [u32; 10] = [1, 2, 4, 8, 16, 30, 60, 120, 180, 240];
+
+fn run(id: &str) -> bool {
+    match id {
+        "e1" => println!("{}", ex::e1_bigmul(&SIZES)),
+        "e2" => println!("{}", ex::e2_montmul(&SIZES)),
+        "e3" => println!("{}", ex::e3_montexp(&SIZES)),
+        "e4" => println!("{}", ex::e4_rsa_private(&RSA_SIZES)),
+        "e5" => println!("{}", ex::e5_thread_scaling(2048, &THREAD_SWEEP)),
+        "e6" => println!("{}", ex::e6_window_sweep(2048, &[1, 2, 3, 4, 5, 6, 7])),
+        "e7" => println!("{}", ex::e7_crt(&RSA_SIZES)),
+        "e8" => println!("{}", ex::e8_batch(&[1024, 2048])),
+        "e9" => println!("{}", ex::e9_ssl(2048, &[1, 60, 240])),
+        "e10" => println!("{}", ex::e10_sqr(&SIZES)),
+        "e11" => println!("{}", ex::e11_reduction(&SIZES)),
+        "e12" => println!("{}", ex::e12_resumption(2048)),
+        "e13" => println!("{}", ex::e13_multikey_verify(&[1024, 2048])),
+        _ => return false,
+    }
+    true
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        (1..=13).map(|i| format!("e{i}")).collect()
+    } else {
+        args
+    };
+    println!("# PhiOpenSSL evaluation harness (modeled KNC channel)\n");
+    for id in &ids {
+        if !run(id) {
+            eprintln!("unknown experiment id: {id} (expected e1..e13 or all)");
+            std::process::exit(2);
+        }
+    }
+}

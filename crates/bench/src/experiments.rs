@@ -1,0 +1,656 @@
+//! The paper's experiments, E1–E9 (index in DESIGN.md §4).
+//!
+//! Every function takes its sweep parameters explicitly so tests can run
+//! reduced sweeps; the harness binary passes the full paper-scale lists.
+//! All numbers in the returned tables come from the **modeled KNC
+//! channel** (single-thread latency unless stated otherwise); host
+//! wall-clock for the same kernels is produced by the criterion benches.
+
+use crate::measure::{modeled, Modeled};
+use crate::table::{fmt_rate, fmt_us, fmt_x, Table};
+use crate::workload;
+use phi_mont::exp::mont_exp;
+use phi_mont::{Libcrypto, MontEngine, MpssBaseline, OpensslBaseline};
+use phi_rsa::RsaOps;
+use phi_simd::CostModel;
+use phiopenssl::batch::{Batch16, BatchMont, BATCH_WIDTH};
+use phiopenssl::vexp::{mod_exp_vec, TableLookup};
+use phiopenssl::{PhiLibrary, VMontCtx};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// E1 — Table 1: big-integer multiplication latency.
+pub fn e1_bigmul(sizes: &[u32]) -> Table {
+    let mut t = Table::new(
+        "E1 (Table 1): big-integer multiplication, modeled KNC latency",
+        &[
+            "bits",
+            "PhiOpenSSL µs",
+            "MPSS µs",
+            "OpenSSL µs",
+            "vs MPSS",
+            "vs OpenSSL",
+        ],
+    );
+    t.note("single thread; operands of the stated width; modeled channel");
+    for &bits in sizes {
+        let a = workload::operand(bits, 1);
+        let b = workload::operand(bits, 2);
+        let (_, phi) = modeled(|| PhiLibrary::default().big_mul(&a, &b));
+        let (_, mpss) = modeled(|| MpssBaseline.big_mul(&a, &b));
+        let (_, ossl) = modeled(|| OpensslBaseline.big_mul(&a, &b));
+        t.row(vec![
+            bits.to_string(),
+            fmt_us(phi.us()),
+            fmt_us(mpss.us()),
+            fmt_us(ossl.us()),
+            fmt_x(phi.speedup_over(&mpss)),
+            fmt_x(phi.speedup_over(&ossl)),
+        ]);
+    }
+    t
+}
+
+/// E2 — Table 2: single Montgomery multiplication latency.
+pub fn e2_montmul(sizes: &[u32]) -> Table {
+    let mut t = Table::new(
+        "E2 (Table 2): Montgomery multiplication, modeled KNC latency",
+        &[
+            "bits",
+            "PhiOpenSSL µs",
+            "MPSS µs",
+            "OpenSSL µs",
+            "vs MPSS",
+            "vs OpenSSL",
+        ],
+    );
+    t.note("context setup excluded; operands already in the Montgomery domain");
+    for &bits in sizes {
+        let n = workload::modulus(bits);
+        let a = &workload::operand(bits, 3) % &n;
+        let b = &workload::operand(bits, 4) % &n;
+
+        let vctx = VMontCtx::new(&n).expect("odd modulus");
+        let av = vctx.to_mont_vec(&a);
+        let bv = vctx.to_mont_vec(&b);
+        let (_, phi) = modeled(|| vctx.mont_mul_vec(&av, &bv));
+
+        let m64 = phi_mont::MontCtx64::new(&n).unwrap();
+        let (am, bm) = (m64.to_mont(&a), m64.to_mont(&b));
+        let (_, mpss) = modeled(|| m64.mont_mul(&am, &bm));
+
+        let m32 = phi_mont::MontCtx32::new(&n).unwrap();
+        let (am, bm) = (m32.to_mont(&a), m32.to_mont(&b));
+        let (_, ossl) = modeled(|| m32.mont_mul(&am, &bm));
+
+        t.row(vec![
+            bits.to_string(),
+            fmt_us(phi.us()),
+            fmt_us(mpss.us()),
+            fmt_us(ossl.us()),
+            fmt_x(phi.speedup_over(&mpss)),
+            fmt_x(phi.speedup_over(&ossl)),
+        ]);
+    }
+    t
+}
+
+/// Measure one full modular exponentiation per library.
+fn exp_trio(bits: u32) -> (Modeled, Modeled, Modeled) {
+    let n = workload::modulus(bits);
+    let base = &workload::operand(bits, 5) % &n;
+    let e = workload::exponent(bits);
+
+    let vctx = VMontCtx::new(&n).unwrap();
+    let (r_phi, phi) = modeled(|| mod_exp_vec(&vctx, &base, &e, 5, TableLookup::Direct));
+
+    let m64 = phi_mont::MontCtx64::new(&n).unwrap();
+    let (r_mpss, mpss) = modeled(|| mont_exp(&m64, &base, &e, MpssBaseline.strategy_for(bits)));
+
+    let m32 = phi_mont::MontCtx32::new(&n).unwrap();
+    let (r_ossl, ossl) = modeled(|| mont_exp(&m32, &base, &e, OpensslBaseline.strategy_for(bits)));
+
+    // The three libraries must agree before their timings are comparable.
+    assert_eq!(r_phi, r_mpss, "vector vs 64-bit kernel disagree at {bits} bits");
+    assert_eq!(r_phi, r_ossl, "vector vs half-word kernel disagree at {bits} bits");
+
+    (phi, mpss, ossl)
+}
+
+/// E3 — Figure: Montgomery exponentiation latency (the 15.3× headline).
+pub fn e3_montexp(sizes: &[u32]) -> Table {
+    let mut t = Table::new(
+        "E3 (Figure): Montgomery exponentiation, modeled KNC latency",
+        &[
+            "bits",
+            "PhiOpenSSL µs",
+            "MPSS µs",
+            "OpenSSL µs",
+            "vs MPSS",
+            "vs OpenSSL",
+        ],
+    );
+    t.note("full-width exponent; PhiOpenSSL fixed window w=5, baselines sliding window");
+    t.note("paper: PhiOpenSSL up to 15.3x over the reference libraries");
+    for &bits in sizes {
+        let (phi, mpss, ossl) = exp_trio(bits);
+        t.row(vec![
+            bits.to_string(),
+            fmt_us(phi.us()),
+            fmt_us(mpss.us()),
+            fmt_us(ossl.us()),
+            fmt_x(phi.speedup_over(&mpss)),
+            fmt_x(phi.speedup_over(&ossl)),
+        ]);
+    }
+    t
+}
+
+/// Measure the RSA private operation per library for one key size.
+fn rsa_trio(bits: u32) -> (Modeled, Modeled, Modeled) {
+    let key = workload::rsa_key(bits);
+    let c = &workload::operand(bits, 6) % key.public().n();
+    let run = |lib: Box<dyn Libcrypto>| {
+        let ops = RsaOps::new(lib);
+        let (r, m) = modeled(|| ops.private_op(&key, &c).expect("private op"));
+        assert_eq!(r, c.mod_exp(key.d(), key.public().n()), "wrong private op");
+        m
+    };
+    (
+        run(Box::<PhiLibrary>::default()),
+        run(Box::new(MpssBaseline)),
+        run(Box::new(OpensslBaseline)),
+    )
+}
+
+/// E4 — Table: RSA private-key operation latency (the 1.6–5.7× claim).
+pub fn e4_rsa_private(key_sizes: &[u32]) -> Table {
+    let mut t = Table::new(
+        "E4 (Table): RSA private-key operation, modeled KNC latency",
+        &[
+            "key bits",
+            "PhiOpenSSL µs",
+            "MPSS µs",
+            "OpenSSL µs",
+            "vs MPSS",
+            "vs OpenSSL",
+        ],
+    );
+    t.note("CRT in every library; each library's own exponentiation policy");
+    t.note("paper: PhiOpenSSL 1.6-5.7x over the reference libraries");
+    for &bits in key_sizes {
+        let (phi, mpss, ossl) = rsa_trio(bits);
+        t.row(vec![
+            bits.to_string(),
+            fmt_us(phi.us()),
+            fmt_us(mpss.us()),
+            fmt_us(ossl.us()),
+            fmt_x(phi.speedup_over(&mpss)),
+            fmt_x(phi.speedup_over(&ossl)),
+        ]);
+    }
+    t
+}
+
+/// E5 — Figure: thread scaling of RSA throughput on the modeled card.
+pub fn e5_thread_scaling(key_bits: u32, threads: &[u32]) -> Table {
+    let mut t = Table::new(
+        format!("E5 (Figure): RSA-{key_bits} sign throughput vs threads, modeled card (ops/s)"),
+        &[
+            "threads",
+            "Phi compact",
+            "Phi scatter",
+            "MPSS compact",
+            "OpenSSL compact",
+        ],
+    );
+    t.note("60-core KNC; 1 thread/core reaches half issue rate (in-order front end)");
+    let (phi, mpss, ossl) = rsa_trio(key_bits);
+    let model = CostModel::knc();
+    for &n in threads {
+        let tp =
+            |m: &Modeled, scatter: bool| model.machine().throughput(m.knc.issue_cycles, n, scatter);
+        t.row(vec![
+            n.to_string(),
+            fmt_rate(tp(&phi, false)),
+            fmt_rate(tp(&phi, true)),
+            fmt_rate(tp(&mpss, false)),
+            fmt_rate(tp(&ossl, false)),
+        ]);
+    }
+    t
+}
+
+/// E6 — Figure: fixed-window width sweep, with the constant-time gather.
+pub fn e6_window_sweep(bits: u32, windows: &[u32]) -> Table {
+    let mut t = Table::new(
+        format!("E6 (Figure): fixed-window width sweep, {bits}-bit mod-exp, modeled µs"),
+        &[
+            "window",
+            "direct lookup µs",
+            "constant-time µs",
+            "ct overhead",
+        ],
+    );
+    t.note("PhiOpenSSL vector ladder; the paper uses w=5");
+    let n = workload::modulus(bits);
+    let base = &workload::operand(bits, 7) % &n;
+    let e = workload::exponent(bits);
+    let ctx = VMontCtx::new(&n).unwrap();
+    for &w in windows {
+        let (_, direct) = modeled(|| mod_exp_vec(&ctx, &base, &e, w, TableLookup::Direct));
+        let (_, ct) = modeled(|| mod_exp_vec(&ctx, &base, &e, w, TableLookup::ConstantTime));
+        t.row(vec![
+            w.to_string(),
+            fmt_us(direct.us()),
+            fmt_us(ct.us()),
+            fmt_x(ct.us() / direct.us()),
+        ]);
+    }
+    // The strongest hardening for reference: the Montgomery powering
+    // ladder (2 multiplications per bit, data-independent dependencies).
+    let (_, ladder) =
+        modeled(|| mont_exp(&ctx, &base, &e, phi_mont::ExpStrategy::MontgomeryLadder));
+    t.row(vec![
+        "ladder".to_string(),
+        "-".to_string(),
+        fmt_us(ladder.us()),
+        fmt_x(
+            ladder.us() / {
+                let (_, w5) = modeled(|| mod_exp_vec(&ctx, &base, &e, 5, TableLookup::Direct));
+                w5.us()
+            },
+        ),
+    ]);
+    t
+}
+
+/// E7 — Table: CRT on/off ablation for the private operation.
+pub fn e7_crt(key_sizes: &[u32]) -> Table {
+    let mut t = Table::new(
+        "E7 (Table): CRT ablation, PhiOpenSSL private operation, modeled µs",
+        &["key bits", "with CRT µs", "without CRT µs", "CRT speedup"],
+    );
+    t.note("two half-size ladders + Garner recombination vs one full-size ladder");
+    for &bits in key_sizes {
+        let key = workload::rsa_key(bits);
+        let c = &workload::operand(bits, 8) % key.public().n();
+        let with_ops = RsaOps::new(Box::new(PhiLibrary::default()));
+        let without_ops = RsaOps::without_crt(Box::new(PhiLibrary::default()));
+        let (r1, with) = modeled(|| with_ops.private_op(&key, &c).unwrap());
+        let (r2, without) = modeled(|| without_ops.private_op(&key, &c).unwrap());
+        assert_eq!(r1, r2, "CRT and full ladder disagree");
+        t.row(vec![
+            bits.to_string(),
+            fmt_us(with.us()),
+            fmt_us(without.us()),
+            fmt_x(with.speedup_over(&without)),
+        ]);
+    }
+    t
+}
+
+/// E8 — Table: vectorization-strategy ablation (intra-operand vs 16-way
+/// batch), Montgomery-multiplication throughput.
+pub fn e8_batch(sizes: &[u32]) -> Table {
+    let mut t = Table::new(
+        "E8 (Table): intra-operand vs 16-way batched Montgomery multiplication",
+        &["bits", "16 singles µs", "one batch16 µs", "batch speedup"],
+    );
+    t.note("same 16 products either as 16 intra-operand calls or one lane-per-op batch");
+    for &bits in sizes {
+        let n = workload::modulus(bits);
+        let ctx = VMontCtx::new(&n).unwrap();
+        let bm = BatchMont::new(&ctx);
+        let avs: Vec<_> = (0..BATCH_WIDTH as u64)
+            .map(|i| ctx.to_vec_form(&(&workload::operand(bits, 10 + i) % &n)))
+            .collect();
+        let bvs: Vec<_> = (0..BATCH_WIDTH as u64)
+            .map(|i| ctx.to_vec_form(&(&workload::operand(bits, 30 + i) % &n)))
+            .collect();
+        let ab = Batch16::transpose_from(&avs);
+        let bb = Batch16::transpose_from(&bvs);
+
+        let (singles_out, singles) = modeled(|| {
+            (0..BATCH_WIDTH)
+                .map(|j| ctx.mont_mul_vec(&avs[j], &bvs[j]))
+                .collect::<Vec<_>>()
+        });
+        let (batch_out, batch) = modeled(|| bm.mont_mul_16(&ab, &bb));
+        assert_eq!(batch_out.transpose_out(), singles_out, "batch mismatch");
+
+        t.row(vec![
+            bits.to_string(),
+            fmt_us(singles.us()),
+            fmt_us(batch.us()),
+            fmt_x(batch.speedup_over(&singles)),
+        ]);
+    }
+    t
+}
+
+/// E10 — Table: squaring-strategy ablation (CIOS reuse vs dedicated SOS
+/// half-product squaring). A negative result the cost model explains:
+/// SOS saves multiplies but pays double-width memory traffic.
+pub fn e10_sqr(sizes: &[u32]) -> Table {
+    let mut t = Table::new(
+        "E10 (Table): Montgomery squaring strategy, modeled µs per squaring",
+        &[
+            "bits",
+            "CIOS (mul kernel) µs",
+            "SOS half-product µs",
+            "SOS vs CIOS",
+        ],
+    );
+    t.note("why PhiOpenSSL squares with the multiplication kernel");
+    for &bits in sizes {
+        let n = workload::modulus(bits);
+        let ctx = VMontCtx::new(&n).unwrap();
+        let a = ctx.to_mont_vec(&workload::operand(bits, 9));
+        let (r1, cios) = modeled(|| ctx.mont_sqr_vec(&a));
+        let (r2, sos) = modeled(|| phiopenssl::vsqr::mont_sqr_sos(&ctx, &a));
+        assert_eq!(r1, r2, "squaring strategies disagree");
+        t.row(vec![
+            bits.to_string(),
+            fmt_us(cios.us()),
+            fmt_us(sos.us()),
+            fmt_x(sos.us() / cios.us()),
+        ]);
+    }
+    t
+}
+
+/// E11 — Table: reduction-strategy ablation ("why Montgomery"):
+/// division vs Barrett vs scalar Montgomery vs vectorized Montgomery,
+/// one modular multiplication each.
+pub fn e11_reduction(sizes: &[u32]) -> Table {
+    let mut t = Table::new(
+        "E11 (Table): modular-multiplication strategy, modeled µs per mod-mul",
+        &[
+            "bits",
+            "division µs",
+            "Barrett µs",
+            "Montgomery-64 µs",
+            "vectorized µs",
+        ],
+    );
+    t.note("the reduction lineage: BN_mod -> Barrett -> Montgomery -> vectorized Montgomery");
+    for &bits in sizes {
+        let n = workload::modulus(bits);
+        let a = &workload::operand(bits, 11) % &n;
+        let b = &workload::operand(bits, 12) % &n;
+        let want = a.mod_mul(&b, &n);
+
+        let (r, div) = modeled(|| phi_mont::barrett::mod_mul_division(&a, &b, &n));
+        assert_eq!(r, want);
+        let bctx = phi_mont::BarrettCtx::new(&n).unwrap();
+        let (r, bar) = modeled(|| bctx.mod_mul(&a, &b));
+        assert_eq!(r, want);
+        let mctx = phi_mont::MontCtx64::new(&n).unwrap();
+        let (am, bm) = (mctx.to_mont(&a), mctx.to_mont(&b));
+        let (_, mont) = modeled(|| mctx.mont_mul(&am, &bm));
+        let vctx = VMontCtx::new(&n).unwrap();
+        let (av, bv) = (vctx.to_mont_vec(&a), vctx.to_mont_vec(&b));
+        let (_, vec) = modeled(|| vctx.mont_mul_vec(&av, &bv));
+
+        t.row(vec![
+            bits.to_string(),
+            fmt_us(div.us()),
+            fmt_us(bar.us()),
+            fmt_us(mont.us()),
+            fmt_us(vec.us()),
+        ]);
+    }
+    t
+}
+
+/// E12 — Table: full vs resumed handshake (why the private key operation
+/// is the target): session resumption skips RSA entirely, so the gap
+/// between the two rows *is* the paper's optimization surface.
+pub fn e12_resumption(key_bits: u32) -> Table {
+    use phi_ssl::{Client, Server, SessionCache};
+    let mut t = Table::new(
+        format!("E12 (Table): full vs resumed TLS handshake, {key_bits}-bit key, modeled µs"),
+        &[
+            "server library",
+            "full handshake µs",
+            "resumed µs",
+            "full/resumed",
+        ],
+    );
+    t.note("resumption skips the RSA key exchange: the gap is the optimization surface");
+    let key = workload::rsa_key(key_bits);
+    let libs: Vec<(&str, fn() -> Box<dyn Libcrypto>)> = vec![
+        ("PhiOpenSSL", || Box::new(PhiLibrary::default())),
+        ("MPSS", || Box::new(MpssBaseline)),
+        ("OpenSSL", || Box::new(OpensslBaseline)),
+    ];
+    for (name, make) in libs {
+        let cache = SessionCache::new(8);
+        let mut rng = StdRng::seed_from_u64(0xE12);
+        // Full handshake (also populates the cache).
+        let mut session = None;
+        let (_, full) = modeled(|| {
+            let mut server =
+                Server::with_cache(&mut rng, key.clone(), RsaOps::new(make()), cache.clone());
+            let mut client = Client::new(&mut rng, RsaOps::new(make()));
+            phi_ssl::drive_handshake(&mut rng, &mut server, &mut client).expect("full");
+            session = client.session();
+        });
+        let session = session.expect("session issued");
+        // Resumed handshake.
+        let (_, resumed) = modeled(|| {
+            let mut server =
+                Server::with_cache(&mut rng, key.clone(), RsaOps::new(make()), cache.clone());
+            let mut client =
+                Client::with_resumption(&mut rng, RsaOps::new(make()), session.clone());
+            phi_ssl::drive_handshake(&mut rng, &mut server, &mut client).expect("resumed");
+            assert!(server.is_resumed(), "resumption must engage");
+        });
+        t.row(vec![
+            name.to_string(),
+            fmt_us(full.us()),
+            fmt_us(resumed.us()),
+            fmt_x(resumed.speedup_over(&full)),
+        ]);
+    }
+    t
+}
+
+/// E13 — Table: batched signature verification across sixteen *different*
+/// keys (shared public exponent 65537) via the multi-modulus batch kernel.
+pub fn e13_multikey_verify(sizes: &[u32]) -> Table {
+    use phiopenssl::MultiBatchMont;
+    let mut t = Table::new(
+        "E13 (Table): 16 signature verifications, 16 distinct keys, modeled µs",
+        &[
+            "bits",
+            "16 sequential µs",
+            "one multi-key batch µs",
+            "batch speedup",
+        ],
+    );
+    t.note("shared e = 65537 keeps the ladder schedule shared across lanes");
+    let e = phi_bigint::BigUint::from(65537u64);
+    for &bits in sizes {
+        // Sixteen distinct deterministic odd moduli of this size.
+        let moduli: Vec<phi_bigint::BigUint> = (0..16u64)
+            .map(|j| {
+                let mut n = workload::operand(bits, 100 + j);
+                n.set_bit(0, true);
+                n
+            })
+            .collect();
+        let sigs: Vec<phi_bigint::BigUint> = (0..16u64)
+            .map(|j| &workload::operand(bits, 200 + j) % &moduli[j as usize])
+            .collect();
+        let expected: Vec<phi_bigint::BigUint> = sigs
+            .iter()
+            .zip(&moduli)
+            .map(|(s, n)| s.mod_exp(&e, n))
+            .collect();
+
+        let (seq_out, seq) = modeled(|| {
+            sigs.iter()
+                .zip(&moduli)
+                .map(|(s, n)| {
+                    let ctx = VMontCtx::new(n).unwrap();
+                    mod_exp_vec(&ctx, s, &e, 5, TableLookup::Direct)
+                })
+                .collect::<Vec<_>>()
+        });
+        let (batch_out, batch) = modeled(|| {
+            let mb = MultiBatchMont::new(&moduli).unwrap();
+            mb.mod_exp_16(&sigs, &e, 5)
+        });
+        assert_eq!(seq_out, expected, "sequential path wrong");
+        assert_eq!(batch_out, expected, "batched path wrong");
+        t.row(vec![
+            bits.to_string(),
+            fmt_us(seq.us()),
+            fmt_us(batch.us()),
+            fmt_x(batch.speedup_over(&seq)),
+        ]);
+    }
+    t
+}
+
+/// E9 — Table: SSL handshake throughput on the modeled card.
+pub fn e9_ssl(key_bits: u32, thread_points: &[u32]) -> Table {
+    let mut t = Table::new(
+        format!("E9 (Table): TLS-1.2 RSA handshakes/s, {key_bits}-bit server key, modeled card"),
+        &["library", "1 thread", "mid", "full card"],
+    );
+    t.note("full handshake counted (server private op dominates); compact affinity");
+    let key = workload::rsa_key(key_bits);
+    let model = CostModel::knc();
+    let libs: Vec<(&str, fn() -> Box<dyn Libcrypto>)> = vec![
+        ("PhiOpenSSL", || Box::new(PhiLibrary::default())),
+        ("MPSS", || Box::new(MpssBaseline)),
+        ("OpenSSL", || Box::new(OpensslBaseline)),
+    ];
+    assert!(thread_points.len() >= 3, "need low/mid/high thread points");
+    for (name, make) in libs {
+        let (ok, m) = modeled(|| {
+            let mut rng = StdRng::seed_from_u64(0x551);
+            let mut server = phi_ssl::Server::new(&mut rng, key.clone(), RsaOps::new(make()));
+            let mut client = phi_ssl::Client::new(&mut rng, RsaOps::new(make()));
+            phi_ssl::drive_handshake(&mut rng, &mut server, &mut client).is_ok()
+        });
+        assert!(ok, "handshake failed for {name}");
+        let cells: Vec<String> = thread_points
+            .iter()
+            .map(|&n| fmt_rate(model.machine().throughput(m.knc.issue_cycles, n, false)))
+            .collect();
+        t.row(vec![
+            name.to_string(),
+            cells[0].clone(),
+            cells[1].clone(),
+            cells[2].clone(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Smoke tests run the reduced sweeps (small sizes) so the full suite
+    // stays fast in debug mode; the harness binary runs paper scale.
+
+    #[test]
+    fn e1_smoke() {
+        let t = e1_bigmul(&[512]);
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.rows[0][0], "512");
+    }
+
+    #[test]
+    fn e2_smoke_phi_wins() {
+        let t = e2_montmul(&[512, 1024]);
+        assert_eq!(t.rows.len(), 2);
+        // The vs-MPSS speedup column must be > 1 (Phi wins in the model).
+        for row in &t.rows {
+            let x: f64 = row[4].trim_end_matches('x').parse().unwrap();
+            assert!(x > 1.0, "Phi should win: {row:?}");
+        }
+    }
+
+    #[test]
+    fn e6_smoke_window_five_beats_one() {
+        let t = e6_window_sweep(512, &[1, 5]);
+        let us1: f64 = t.rows[0][1].parse().unwrap();
+        let us5: f64 = t.rows[1][1].parse().unwrap();
+        assert!(us5 < us1, "w=5 {us5} should beat w=1 {us1}");
+    }
+
+    #[test]
+    fn e4_smoke_phi_wins() {
+        let t = e4_rsa_private(&[512]);
+        let x: f64 = t.rows[0][4].trim_end_matches('x').parse().unwrap();
+        assert!(x > 1.0, "Phi should win RSA: {x}");
+    }
+
+    #[test]
+    fn e5_smoke_monotonic_scaling() {
+        let t = e5_thread_scaling(512, &[1, 8, 240]);
+        assert_eq!(t.rows.len(), 3);
+    }
+
+    #[test]
+    fn e7_smoke_crt_wins() {
+        let t = e7_crt(&[512]);
+        let x: f64 = t.rows[0][3].trim_end_matches('x').parse().unwrap();
+        assert!(x > 1.5, "CRT should win clearly: {x}");
+    }
+
+    #[test]
+    fn e9_smoke_three_libraries() {
+        let t = e9_ssl(512, &[1, 2, 240]);
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.rows[0][0], "PhiOpenSSL");
+    }
+
+    #[test]
+    fn e10_smoke_sos_loses() {
+        let t = e10_sqr(&[512]);
+        let x: f64 = t.rows[0][3].trim_end_matches('x').parse().unwrap();
+        assert!(x > 1.0, "SOS should lose under the KNC model: {x}");
+    }
+
+    #[test]
+    fn e11_smoke_ordering() {
+        let t = e11_reduction(&[512]);
+        let row = &t.rows[0];
+        let v: Vec<f64> = row[1..].iter().map(|c| c.parse().unwrap()).collect();
+        assert!(
+            v[0] > v[1] && v[1] > v[2] && v[2] > v[3],
+            "lineage must improve: {v:?}"
+        );
+    }
+
+    #[test]
+    fn e12_smoke_resumption_cheaper() {
+        let t = e12_resumption(512);
+        for row in &t.rows {
+            let full: f64 = row[1].parse().unwrap();
+            let resumed: f64 = row[2].parse().unwrap();
+            assert!(resumed < full, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn e13_smoke_batch_wins() {
+        let t = e13_multikey_verify(&[512]);
+        let x: f64 = t.rows[0][3].trim_end_matches('x').parse().unwrap();
+        assert!(x > 1.0, "multi-key batch should win, got {x}");
+    }
+
+    #[test]
+    fn e8_smoke_batch_wins() {
+        let t = e8_batch(&[512]);
+        let x: f64 = t.rows[0][3].trim_end_matches('x').parse().unwrap();
+        assert!(x > 1.0, "batch should win, got {x}");
+    }
+}

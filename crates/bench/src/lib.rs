@@ -1,0 +1,29 @@
+//! # phi-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! PhiOpenSSL evaluation (experiment index in `DESIGN.md §4`).
+//!
+//! Two measurement channels:
+//!
+//! * **Modeled KNC cycles** — deterministic instruction counts through
+//!   `phi-simd`'s counters, weighted by the frozen KNC cost model. This is
+//!   the channel expected to reproduce the paper's *ratios* (the hardware
+//!   is gone; see DESIGN.md §1).
+//! * **Host wall-clock** — the criterion benches under `benches/` time the
+//!   same code on the host for honesty; a lane-at-a-time software SIMD
+//!   cannot beat native 64-bit scalar code on an out-of-order host, so
+//!   wall-clock ratios are *not* expected to match the paper.
+//!
+//! Run `cargo run --release -p phi-bench --bin harness -- all` to print
+//! every table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod measure;
+pub mod table;
+pub mod workload;
+
+pub use measure::{modeled, Modeled};
+pub use table::Table;

@@ -1,0 +1,146 @@
+//! Plain-text result tables (aligned columns, markdown-compatible).
+
+use std::fmt;
+
+/// One result table of an experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Experiment id and title, e.g. `"E3: Montgomery exponentiation"`.
+    pub title: String,
+    /// Free-form notes printed under the title.
+    pub notes: Vec<String>,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (each row the same length as `headers`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            notes: Vec::new(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Attach a note line.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Append a row; must match the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.chars().count());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {}", self.title)?;
+        for n in &self.notes {
+            writeln!(f, "   {n}")?;
+        }
+        let w = self.widths();
+        let fmt_row = |cells: &[String]| -> String {
+            let mut s = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                s.push(' ');
+                s.push_str(c);
+                s.push_str(&" ".repeat(w[i] - c.chars().count() + 1));
+                s.push('|');
+            }
+            s
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        let mut sep = String::from("|");
+        for wi in &w {
+            sep.push_str(&"-".repeat(wi + 2));
+            sep.push('|');
+        }
+        writeln!(f, "{sep}")?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+/// Format microseconds with sensible precision.
+pub fn fmt_us(us: f64) -> String {
+    if us >= 1000.0 {
+        format!("{:.1}", us)
+    } else if us >= 10.0 {
+        format!("{:.2}", us)
+    } else {
+        format!("{:.3}", us)
+    }
+}
+
+/// Format a speedup factor.
+pub fn fmt_x(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Format a rate (ops/sec) with thousands grouping.
+pub fn fmt_rate(r: f64) -> String {
+    if r >= 1e6 {
+        format!("{:.2}M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.1}k", r / 1e3)
+    } else {
+        format!("{r:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("E0: demo", &["size", "value"]);
+        t.note("a note");
+        t.row(vec!["512".into(), "1.5".into()]);
+        t.row(vec!["40960".into(), "2".into()]);
+        let s = t.to_string();
+        assert!(s.contains("## E0: demo"));
+        assert!(s.contains("a note"));
+        // All body lines are the same width.
+        let lines: Vec<&str> = s.lines().filter(|l| l.starts_with('|')).collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        Table::new("t", &["a", "b"]).row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn number_formats() {
+        assert_eq!(fmt_us(12345.6), "12345.6");
+        assert_eq!(fmt_us(45.678), "45.68");
+        assert_eq!(fmt_us(1.2345), "1.234");
+        assert_eq!(fmt_x(2.5), "2.50x");
+        assert_eq!(fmt_rate(2_500_000.0), "2.50M");
+        assert_eq!(fmt_rate(12_345.0), "12.3k");
+        assert_eq!(fmt_rate(99.0), "99.0");
+    }
+}

@@ -1,0 +1,101 @@
+//! Deterministic workload generation shared by the harness and the
+//! criterion benches: moduli, operands, exponents and cached RSA keys.
+
+use phi_bigint::BigUint;
+use phi_mont::Libcrypto;
+use phi_rsa::key::RsaPrivateKey;
+use phiopenssl::PhiLibrary;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// The modulus sizes the paper sweeps.
+pub const SIZES: [u32; 4] = [512, 1024, 2048, 4096];
+
+/// The RSA key sizes of the private-key experiments.
+pub const RSA_SIZES: [u32; 3] = [1024, 2048, 4096];
+
+/// A deterministic odd modulus with exactly `bits` bits.
+pub fn modulus(bits: u32) -> BigUint {
+    let mut rng = StdRng::seed_from_u64(0x0D0D_0000 + bits as u64);
+    let mut n = BigUint::random_bits(&mut rng, bits);
+    n.set_bit(0, true);
+    n
+}
+
+/// A deterministic operand `< 2^bits` (top bit set), varied by `which`.
+pub fn operand(bits: u32, which: u64) -> BigUint {
+    let mut rng = StdRng::seed_from_u64(0x0A0A_0000 + bits as u64 * 31 + which);
+    BigUint::random_bits(&mut rng, bits)
+}
+
+/// A deterministic full-length exponent (`bits` bits, top bit set).
+pub fn exponent(bits: u32) -> BigUint {
+    let mut rng = StdRng::seed_from_u64(0x0E0E_0000 + bits as u64);
+    BigUint::random_bits(&mut rng, bits)
+}
+
+/// The deterministic RSA key for a given modulus size (cached — 4096-bit
+/// generation costs a few seconds once).
+pub fn rsa_key(bits: u32) -> RsaPrivateKey {
+    static KEYS: OnceLock<Mutex<HashMap<u32, RsaPrivateKey>>> = OnceLock::new();
+    let cache = KEYS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut guard = cache.lock().expect("key cache poisoned");
+    guard
+        .entry(bits)
+        .or_insert_with(|| {
+            let mut rng = StdRng::seed_from_u64(0x05E5_0000 + bits as u64);
+            RsaPrivateKey::generate(&mut rng, bits).expect("key generation")
+        })
+        .clone()
+}
+
+/// The three compared libraries: short label + implementation.
+pub fn libraries() -> Vec<(&'static str, Box<dyn Libcrypto>)> {
+    vec![
+        (
+            "PhiOpenSSL",
+            Box::new(PhiLibrary::default()) as Box<dyn Libcrypto>,
+        ),
+        ("MPSS", Box::new(phi_mont::MpssBaseline)),
+        ("OpenSSL", Box::new(phi_mont::OpensslBaseline)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modulus_shape() {
+        for bits in SIZES {
+            let n = modulus(bits);
+            assert_eq!(n.bit_length(), bits);
+            assert!(n.is_odd());
+        }
+    }
+
+    #[test]
+    fn deterministic_workloads() {
+        assert_eq!(modulus(512), modulus(512));
+        assert_eq!(operand(512, 1), operand(512, 1));
+        assert_ne!(operand(512, 1), operand(512, 2));
+        assert_eq!(exponent(512).bit_length(), 512);
+    }
+
+    #[test]
+    fn rsa_key_cached_and_deterministic() {
+        let a = rsa_key(128);
+        let b = rsa_key(128);
+        assert_eq!(a, b);
+        assert_eq!(a.public().bits(), 128);
+    }
+
+    #[test]
+    fn three_libraries() {
+        let libs = libraries();
+        assert_eq!(libs.len(), 3);
+        assert_eq!(libs[0].0, "PhiOpenSSL");
+    }
+}

@@ -1,0 +1,269 @@
+//! Signed arbitrary-precision integers.
+//!
+//! A thin sign-magnitude wrapper over [`BigUint`], provided for the extended
+//! Euclidean algorithm and CRT recombination, where intermediate values go
+//! negative.
+
+use crate::biguint::BigUint;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// Sign of a [`BigInt`]. Zero always carries [`Sign::Plus`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sign {
+    /// Non-negative.
+    Plus,
+    /// Strictly negative.
+    Minus,
+}
+
+/// A signed arbitrary-precision integer in sign-magnitude form.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BigInt {
+    sign: Sign,
+    mag: BigUint,
+}
+
+impl BigInt {
+    /// Zero.
+    pub fn zero() -> Self {
+        BigInt {
+            sign: Sign::Plus,
+            mag: BigUint::zero(),
+        }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        BigInt {
+            sign: Sign::Plus,
+            mag: BigUint::one(),
+        }
+    }
+
+    /// Construct from a sign and magnitude (zero is normalized to plus).
+    pub fn from_sign_mag(sign: Sign, mag: BigUint) -> Self {
+        if mag.is_zero() {
+            BigInt::zero()
+        } else {
+            BigInt { sign, mag }
+        }
+    }
+
+    /// The sign.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude.
+    pub fn magnitude(&self) -> &BigUint {
+        &self.mag
+    }
+
+    /// Consume into the magnitude, discarding the sign.
+    pub fn into_magnitude(self) -> BigUint {
+        self.mag
+    }
+
+    /// True if zero.
+    pub fn is_zero(&self) -> bool {
+        self.mag.is_zero()
+    }
+
+    /// True if strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+
+    /// Canonical representative of `self mod m` in `[0, m)`.
+    /// Panics if `m` is zero.
+    pub fn rem_euclid(&self, m: &BigUint) -> BigUint {
+        let r = self.mag.rem_ref(m).expect("zero modulus");
+        match self.sign {
+            Sign::Plus => r,
+            Sign::Minus => {
+                if r.is_zero() {
+                    r
+                } else {
+                    m - &r
+                }
+            }
+        }
+    }
+}
+
+impl From<BigUint> for BigInt {
+    fn from(mag: BigUint) -> Self {
+        BigInt::from_sign_mag(Sign::Plus, mag)
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        if v < 0 {
+            BigInt::from_sign_mag(Sign::Minus, BigUint::from(v.unsigned_abs()))
+        } else {
+            BigInt::from_sign_mag(Sign::Plus, BigUint::from(v as u64))
+        }
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.sign, other.sign) {
+            (Sign::Plus, Sign::Minus) => Ordering::Greater,
+            (Sign::Minus, Sign::Plus) => Ordering::Less,
+            (Sign::Plus, Sign::Plus) => self.mag.cmp(&other.mag),
+            (Sign::Minus, Sign::Minus) => other.mag.cmp(&self.mag),
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        let sign = match self.sign {
+            _ if self.mag.is_zero() => Sign::Plus,
+            Sign::Plus => Sign::Minus,
+            Sign::Minus => Sign::Plus,
+        };
+        BigInt {
+            sign,
+            mag: self.mag,
+        }
+    }
+}
+
+impl<'b> Add<&'b BigInt> for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &'b BigInt) -> BigInt {
+        if self.sign == rhs.sign {
+            BigInt::from_sign_mag(self.sign, &self.mag + &rhs.mag)
+        } else {
+            // Different signs: the result takes the sign of the larger magnitude.
+            match self.mag.cmp(&rhs.mag) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => BigInt::from_sign_mag(self.sign, &self.mag - &rhs.mag),
+                Ordering::Less => BigInt::from_sign_mag(rhs.sign, &rhs.mag - &self.mag),
+            }
+        }
+    }
+}
+
+impl<'b> Sub<&'b BigInt> for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &'b BigInt) -> BigInt {
+        self + &(-rhs.clone())
+    }
+}
+
+impl<'b> Mul<&'b BigInt> for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &'b BigInt) -> BigInt {
+        let sign = if self.sign == rhs.sign {
+            Sign::Plus
+        } else {
+            Sign::Minus
+        };
+        BigInt::from_sign_mag(sign, &self.mag * &rhs.mag)
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "BigInt(-0x{})", self.mag.to_hex())
+        } else {
+            write!(f, "BigInt(0x{})", self.mag.to_hex())
+        }
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "-{}", self.mag)
+        } else {
+            write!(f, "{}", self.mag)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bi(v: i64) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn zero_normalization() {
+        let z = BigInt::from_sign_mag(Sign::Minus, BigUint::zero());
+        assert_eq!(z.sign(), Sign::Plus);
+        assert!(z.is_zero());
+        assert_eq!(-BigInt::zero(), BigInt::zero());
+    }
+
+    #[test]
+    fn signed_addition_table() {
+        assert_eq!(&bi(3) + &bi(4), bi(7));
+        assert_eq!(&bi(-3) + &bi(-4), bi(-7));
+        assert_eq!(&bi(5) + &bi(-3), bi(2));
+        assert_eq!(&bi(3) + &bi(-5), bi(-2));
+        assert_eq!(&bi(5) + &bi(-5), BigInt::zero());
+    }
+
+    #[test]
+    fn signed_subtraction_table() {
+        assert_eq!(&bi(3) - &bi(4), bi(-1));
+        assert_eq!(&bi(-3) - &bi(-4), bi(1));
+        assert_eq!(&bi(-3) - &bi(4), bi(-7));
+        assert_eq!(&bi(3) - &bi(-4), bi(7));
+    }
+
+    #[test]
+    fn signed_multiplication_table() {
+        assert_eq!(&bi(3) * &bi(4), bi(12));
+        assert_eq!(&bi(-3) * &bi(4), bi(-12));
+        assert_eq!(&bi(3) * &bi(-4), bi(-12));
+        assert_eq!(&bi(-3) * &bi(-4), bi(12));
+        assert_eq!(&bi(0) * &bi(-4), BigInt::zero());
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(bi(-5) < bi(-4));
+        assert!(bi(-4) < bi(0));
+        assert!(bi(0) < bi(4));
+        assert!(bi(4) < bi(5));
+    }
+
+    #[test]
+    fn rem_euclid_positive() {
+        let m = BigUint::from(7u64);
+        assert_eq!(bi(10).rem_euclid(&m).to_u64(), Some(3));
+        assert_eq!(bi(7).rem_euclid(&m).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn rem_euclid_negative() {
+        let m = BigUint::from(7u64);
+        assert_eq!(bi(-10).rem_euclid(&m).to_u64(), Some(4));
+        assert_eq!(bi(-7).rem_euclid(&m).to_u64(), Some(0));
+        assert_eq!(bi(-1).rem_euclid(&m).to_u64(), Some(6));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(bi(-42).to_string(), "-42");
+        assert_eq!(bi(42).to_string(), "42");
+    }
+}

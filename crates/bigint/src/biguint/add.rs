@@ -1,0 +1,179 @@
+//! Addition.
+
+use super::BigUint;
+use crate::limb::{adc, Limb};
+use std::ops::{Add, AddAssign};
+
+/// `a += b` over limb slices; `a` must be at least as long as `b`.
+/// Returns the final carry.
+pub(crate) fn add_assign_limbs(a: &mut [Limb], b: &[Limb]) -> bool {
+    debug_assert!(a.len() >= b.len());
+    let mut carry = false;
+    for (ai, bi) in a.iter_mut().zip(b.iter()) {
+        let (s, c) = adc(*ai, *bi, carry);
+        *ai = s;
+        carry = c;
+    }
+    if carry {
+        for ai in a.iter_mut().skip(b.len()) {
+            let (s, c) = adc(*ai, 0, true);
+            *ai = s;
+            carry = c;
+            if !carry {
+                break;
+            }
+        }
+    }
+    carry
+}
+
+impl BigUint {
+    /// In-place addition.
+    pub fn add_assign_ref(&mut self, rhs: &BigUint) {
+        if self.limbs.len() < rhs.limbs.len() {
+            self.limbs.resize(rhs.limbs.len(), 0);
+        }
+        if add_assign_limbs(&mut self.limbs, &rhs.limbs) {
+            self.limbs.push(1);
+        }
+    }
+
+    /// Add a single limb.
+    pub fn add_limb(&mut self, l: Limb) {
+        if l == 0 {
+            return;
+        }
+        if self.limbs.is_empty() {
+            self.limbs.push(l);
+            return;
+        }
+        let mut carry;
+        let (s, c) = adc(self.limbs[0], l, false);
+        self.limbs[0] = s;
+        carry = c;
+        let mut i = 1;
+        while carry {
+            if i == self.limbs.len() {
+                self.limbs.push(1);
+                carry = false;
+            } else {
+                let (s, c) = adc(self.limbs[i], 0, true);
+                self.limbs[i] = s;
+                carry = c;
+                i += 1;
+            }
+        }
+    }
+}
+
+impl<'b> Add<&'b BigUint> for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &'b BigUint) -> BigUint {
+        let mut out = self.clone();
+        out.add_assign_ref(rhs);
+        out
+    }
+}
+
+impl Add<BigUint> for BigUint {
+    type Output = BigUint;
+    fn add(mut self, rhs: BigUint) -> BigUint {
+        self.add_assign_ref(&rhs);
+        self
+    }
+}
+
+impl Add<&BigUint> for BigUint {
+    type Output = BigUint;
+    fn add(mut self, rhs: &BigUint) -> BigUint {
+        self.add_assign_ref(rhs);
+        self
+    }
+}
+
+impl Add<u64> for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: u64) -> BigUint {
+        let mut out = self.clone();
+        out.add_limb(rhs);
+        out
+    }
+}
+
+impl AddAssign<&BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: &BigUint) {
+        self.add_assign_ref(rhs);
+    }
+}
+
+impl AddAssign<u64> for BigUint {
+    fn add_assign(&mut self, rhs: u64) {
+        self.add_limb(rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_add() {
+        let a = BigUint::from(3u64);
+        let b = BigUint::from(4u64);
+        assert_eq!((&a + &b).to_u64(), Some(7));
+    }
+
+    #[test]
+    fn carry_across_limbs() {
+        let a = BigUint::from(u64::MAX);
+        let b = BigUint::one();
+        assert_eq!(&a + &b, BigUint::power_of_two(64));
+    }
+
+    #[test]
+    fn carry_ripples_through_many_limbs() {
+        // 2^192 - 1, plus one => 2^192
+        let a = BigUint::from_limbs(vec![u64::MAX; 3]);
+        let sum = &a + &BigUint::one();
+        assert_eq!(sum, BigUint::power_of_two(192));
+    }
+
+    #[test]
+    fn add_zero_is_identity() {
+        let a = BigUint::from(123456u64);
+        assert_eq!(&a + &BigUint::zero(), a);
+        assert_eq!(&BigUint::zero() + &a, a);
+    }
+
+    #[test]
+    fn add_shorter_to_longer_and_vice_versa() {
+        let long = BigUint::from_limbs(vec![1, 2, 3]);
+        let short = BigUint::from(10u64);
+        assert_eq!(&long + &short, &short + &long);
+    }
+
+    #[test]
+    fn add_limb_pushes_new_limb() {
+        let mut a = BigUint::from(u64::MAX);
+        a += 1u64;
+        assert_eq!(a, BigUint::power_of_two(64));
+    }
+
+    #[test]
+    fn add_limb_zero_noop() {
+        let mut a = BigUint::from(5u64);
+        a += 0u64;
+        assert_eq!(a.to_u64(), Some(5));
+        let mut z = BigUint::zero();
+        z += 0u64;
+        assert!(z.is_zero());
+    }
+
+    #[test]
+    fn owned_and_borrowed_agree() {
+        let a = BigUint::from(77u64);
+        let b = BigUint::from(23u64);
+        assert_eq!(a.clone() + b.clone(), &a + &b);
+        assert_eq!(a.clone() + &b, &a + &b);
+    }
+}

@@ -1,0 +1,208 @@
+//! Bit-level queries and bitwise operators.
+
+use super::BigUint;
+use crate::limb::{Limb, LIMB_BITS};
+use std::ops::{BitAnd, BitOr, BitXor};
+
+impl BigUint {
+    /// Number of significant bits (0 for the value zero).
+    pub fn bit_length(&self) -> u32 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => {
+                (self.limbs.len() as u32 - 1) * LIMB_BITS + (LIMB_BITS - top.leading_zeros())
+            }
+        }
+    }
+
+    /// Value of bit `i` (bit 0 is the least significant).
+    pub fn bit(&self, i: u32) -> bool {
+        let limb = (i / LIMB_BITS) as usize;
+        let off = i % LIMB_BITS;
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
+    }
+
+    /// Set bit `i` to `value`, growing the representation if needed.
+    pub fn set_bit(&mut self, i: u32, value: bool) {
+        let limb = (i / LIMB_BITS) as usize;
+        let off = i % LIMB_BITS;
+        if value {
+            if self.limbs.len() <= limb {
+                self.limbs.resize(limb + 1, 0);
+            }
+            self.limbs[limb] |= 1 << off;
+        } else if limb < self.limbs.len() {
+            self.limbs[limb] &= !(1 << off);
+            self.normalize();
+        }
+    }
+
+    /// Number of trailing zero bits; `None` for the value zero.
+    pub fn trailing_zeros(&self) -> Option<u32> {
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return Some(i as u32 * LIMB_BITS + l.trailing_zeros());
+            }
+        }
+        None
+    }
+
+    /// Population count across all limbs.
+    pub fn count_ones(&self) -> u32 {
+        self.limbs.iter().map(|l| l.count_ones()).sum()
+    }
+
+    /// Extract bits `[lo, lo+len)` as a `u64`. `len` must be ≤ 64.
+    /// Bits beyond the most significant bit read as zero.
+    pub fn extract_bits(&self, lo: u32, len: u32) -> u64 {
+        assert!(len <= 64, "extract_bits window too wide");
+        if len == 0 {
+            return 0;
+        }
+        let limb = (lo / LIMB_BITS) as usize;
+        let off = lo % LIMB_BITS;
+        let lo_part = self.limbs.get(limb).copied().unwrap_or(0) >> off;
+        let word = if off != 0 {
+            let hi_part = self.limbs.get(limb + 1).copied().unwrap_or(0);
+            lo_part | (hi_part << (LIMB_BITS - off))
+        } else {
+            lo_part
+        };
+        if len == 64 {
+            word
+        } else {
+            word & ((1u64 << len) - 1)
+        }
+    }
+}
+
+fn zip_limbs<F: Fn(Limb, Limb) -> Limb>(a: &BigUint, b: &BigUint, longest: bool, f: F) -> BigUint {
+    let len = if longest {
+        a.limbs.len().max(b.limbs.len())
+    } else {
+        a.limbs.len().min(b.limbs.len())
+    };
+    let out = (0..len)
+        .map(|i| {
+            f(
+                a.limbs.get(i).copied().unwrap_or(0),
+                b.limbs.get(i).copied().unwrap_or(0),
+            )
+        })
+        .collect();
+    BigUint::from_limbs(out)
+}
+
+impl BitAnd<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn bitand(self, rhs: &BigUint) -> BigUint {
+        zip_limbs(self, rhs, false, |x, y| x & y)
+    }
+}
+
+impl BitOr<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn bitor(self, rhs: &BigUint) -> BigUint {
+        zip_limbs(self, rhs, true, |x, y| x | y)
+    }
+}
+
+impl BitXor<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn bitxor(self, rhs: &BigUint) -> BigUint {
+        zip_limbs(self, rhs, true, |x, y| x ^ y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_length_basics() {
+        assert_eq!(BigUint::zero().bit_length(), 0);
+        assert_eq!(BigUint::one().bit_length(), 1);
+        assert_eq!(BigUint::from(255u64).bit_length(), 8);
+        assert_eq!(BigUint::from(256u64).bit_length(), 9);
+        assert_eq!(BigUint::power_of_two(64).bit_length(), 65);
+        assert_eq!(BigUint::power_of_two(4095).bit_length(), 4096);
+    }
+
+    #[test]
+    fn bit_get_set_roundtrip() {
+        let mut n = BigUint::zero();
+        n.set_bit(100, true);
+        assert!(n.bit(100));
+        assert!(!n.bit(99));
+        assert_eq!(n, BigUint::power_of_two(100));
+        n.set_bit(100, false);
+        assert!(n.is_zero());
+    }
+
+    #[test]
+    fn set_bit_false_out_of_range_is_noop() {
+        let mut n = BigUint::from(5u64);
+        n.set_bit(500, false);
+        assert_eq!(n.to_u64(), Some(5));
+    }
+
+    #[test]
+    fn trailing_zeros_cases() {
+        assert_eq!(BigUint::zero().trailing_zeros(), None);
+        assert_eq!(BigUint::one().trailing_zeros(), Some(0));
+        assert_eq!(BigUint::from(8u64).trailing_zeros(), Some(3));
+        assert_eq!(BigUint::power_of_two(130).trailing_zeros(), Some(130));
+    }
+
+    #[test]
+    fn count_ones_cases() {
+        assert_eq!(BigUint::zero().count_ones(), 0);
+        assert_eq!(BigUint::from(0b1011u64).count_ones(), 3);
+        assert_eq!(
+            BigUint::from_limbs(vec![u64::MAX, u64::MAX]).count_ones(),
+            128
+        );
+    }
+
+    #[test]
+    fn extract_bits_within_limb() {
+        let n = BigUint::from(0b1101_0110u64);
+        assert_eq!(n.extract_bits(1, 3), 0b011);
+        assert_eq!(n.extract_bits(4, 4), 0b1101);
+        assert_eq!(n.extract_bits(0, 8), 0b1101_0110);
+    }
+
+    #[test]
+    fn extract_bits_across_limb_boundary() {
+        let n = BigUint::from_limbs(vec![0x8000_0000_0000_0000, 0b101]);
+        // bits 63..68 are 1,1,0,1 reading upward => value 0b1011
+        assert_eq!(n.extract_bits(63, 4), 0b1011);
+        assert_eq!(n.extract_bits(64, 3), 0b101);
+    }
+
+    #[test]
+    fn extract_bits_beyond_msb_reads_zero() {
+        let n = BigUint::from(0b1u64);
+        assert_eq!(n.extract_bits(100, 10), 0);
+        assert_eq!(n.extract_bits(0, 64), 1);
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let a = BigUint::from(0b1100u64);
+        let b = BigUint::from(0b1010u64);
+        assert_eq!((&a & &b).to_u64(), Some(0b1000));
+        assert_eq!((&a | &b).to_u64(), Some(0b1110));
+        assert_eq!((&a ^ &b).to_u64(), Some(0b0110));
+    }
+
+    #[test]
+    fn bitwise_with_different_lengths() {
+        let a = BigUint::from_limbs(vec![u64::MAX, 0xF]);
+        let b = BigUint::from(0x0Fu64);
+        assert_eq!(&a & &b, BigUint::from(0x0Fu64));
+        assert_eq!(&a | &b, a);
+        let x = &a ^ &a;
+        assert!(x.is_zero());
+    }
+}

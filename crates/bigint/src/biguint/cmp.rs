@@ -1,0 +1,86 @@
+//! Ordering between big unsigned integers.
+
+use super::BigUint;
+use crate::limb::Limb;
+use std::cmp::Ordering;
+
+/// Compare two normalized little-endian limb slices.
+pub(crate) fn cmp_limbs(a: &[Limb], b: &[Limb]) -> Ordering {
+    if a.len() != b.len() {
+        return a.len().cmp(&b.len());
+    }
+    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+        match x.cmp(y) {
+            Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        cmp_limbs(&self.limbs, &other.limbs)
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq<u64> for BigUint {
+    fn eq(&self, other: &u64) -> bool {
+        self.to_u64() == Some(*other)
+    }
+}
+
+impl PartialOrd<u64> for BigUint {
+    fn partial_cmp(&self, other: &u64) -> Option<Ordering> {
+        Some(match self.to_u64() {
+            Some(v) => v.cmp(other),
+            None => Ordering::Greater,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shorter_is_smaller() {
+        let small = BigUint::from(u64::MAX);
+        let big = BigUint::power_of_two(64);
+        assert!(small < big);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn same_length_compares_msb_first() {
+        let a = BigUint::from_limbs(vec![0, 2]);
+        let b = BigUint::from_limbs(vec![u64::MAX, 1]);
+        assert!(a > b);
+    }
+
+    #[test]
+    fn equal_values() {
+        let a = BigUint::from(42u64);
+        let b = BigUint::from(42u64);
+        assert_eq!(a.cmp(&b), Ordering::Equal);
+    }
+
+    #[test]
+    fn compare_with_u64() {
+        assert!(BigUint::from(5u64) == 5u64);
+        assert!(BigUint::from(5u64) < 6u64);
+        assert!(BigUint::power_of_two(100) > u64::MAX);
+    }
+
+    #[test]
+    fn zero_is_least() {
+        assert!(BigUint::zero() < BigUint::one());
+        assert_eq!(BigUint::zero(), BigUint::from(0u64));
+    }
+}

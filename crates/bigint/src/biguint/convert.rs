@@ -1,0 +1,313 @@
+//! Conversions: hex and decimal strings, big-endian and little-endian bytes.
+
+use super::BigUint;
+use crate::error::BigIntError;
+use crate::limb::LIMB_BYTES;
+
+impl BigUint {
+    /// Parse a (lowercase or uppercase) hexadecimal string, with an optional
+    /// `0x` prefix.
+    pub fn from_hex(s: &str) -> Result<BigUint, BigIntError> {
+        let body = s
+            .strip_prefix("0x")
+            .or_else(|| s.strip_prefix("0X"))
+            .unwrap_or(s);
+        if body.is_empty() {
+            return Err(BigIntError::ParseError {
+                base: 16,
+                position: 0,
+            });
+        }
+        let mut out = BigUint::zero();
+        for (i, c) in body.bytes().enumerate() {
+            let digit = match c {
+                b'0'..=b'9' => c - b'0',
+                b'a'..=b'f' => c - b'a' + 10,
+                b'A'..=b'F' => c - b'A' + 10,
+                b'_' => continue,
+                _ => {
+                    return Err(BigIntError::ParseError {
+                        base: 16,
+                        position: i + (s.len() - body.len()),
+                    })
+                }
+            };
+            out.shl_assign_bits(4);
+            out.add_limb(digit as u64);
+        }
+        Ok(out)
+    }
+
+    /// Lowercase hexadecimal, no prefix, no leading zeros (`"0"` for zero).
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut s = String::with_capacity(self.limbs.len() * 16);
+        let mut iter = self.limbs.iter().rev();
+        if let Some(top) = iter.next() {
+            s.push_str(&format!("{top:x}"));
+        }
+        for limb in iter {
+            s.push_str(&format!("{limb:016x}"));
+        }
+        s
+    }
+
+    /// Parse a decimal string.
+    pub fn from_dec(s: &str) -> Result<BigUint, BigIntError> {
+        if s.is_empty() {
+            return Err(BigIntError::ParseError {
+                base: 10,
+                position: 0,
+            });
+        }
+        let mut out = BigUint::zero();
+        for (i, c) in s.bytes().enumerate() {
+            if c == b'_' {
+                continue;
+            }
+            if !c.is_ascii_digit() {
+                return Err(BigIntError::ParseError {
+                    base: 10,
+                    position: i,
+                });
+            }
+            out.mul_limb(10);
+            out.add_limb((c - b'0') as u64);
+        }
+        Ok(out)
+    }
+
+    /// Decimal string.
+    pub fn to_dec(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        // Peel 19 decimal digits (one u64 chunk) at a time.
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut chunks = Vec::new();
+        let mut n = self.clone();
+        while !n.is_zero() {
+            let (q, r) = n.div_rem_limb(CHUNK);
+            chunks.push(r);
+            n = q;
+        }
+        let mut s = String::new();
+        let mut iter = chunks.iter().rev();
+        if let Some(top) = iter.next() {
+            s.push_str(&top.to_string());
+        }
+        for c in iter {
+            s.push_str(&format!("{c:019}"));
+        }
+        s
+    }
+
+    /// Big-endian bytes, minimal length (empty for zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * LIMB_BYTES);
+        let mut iter = self.limbs.iter().rev();
+        if let Some(top) = iter.next() {
+            let be = top.to_be_bytes();
+            let skip = be.iter().take_while(|&&b| b == 0).count();
+            out.extend_from_slice(&be[skip..]);
+        }
+        for limb in iter {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        out
+    }
+
+    /// Big-endian bytes left-padded with zeros to exactly `len` bytes.
+    /// Panics if the value does not fit.
+    pub fn to_bytes_be_padded(&self, len: usize) -> Vec<u8> {
+        let raw = self.to_bytes_be();
+        assert!(raw.len() <= len, "value does not fit in {len} bytes");
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    /// Construct from big-endian bytes (leading zeros allowed).
+    pub fn from_bytes_be(bytes: &[u8]) -> BigUint {
+        let mut limbs = Vec::with_capacity(bytes.len() / LIMB_BYTES + 1);
+        for chunk in bytes.rchunks(LIMB_BYTES) {
+            let mut buf = [0u8; LIMB_BYTES];
+            buf[LIMB_BYTES - chunk.len()..].copy_from_slice(chunk);
+            limbs.push(u64::from_be_bytes(buf));
+        }
+        BigUint::from_limbs(limbs)
+    }
+
+    /// Little-endian bytes, minimal length (empty for zero).
+    pub fn to_bytes_le(&self) -> Vec<u8> {
+        let mut v = self.to_bytes_be();
+        v.reverse();
+        v
+    }
+
+    /// Construct from little-endian bytes.
+    pub fn from_bytes_le(bytes: &[u8]) -> BigUint {
+        let mut v = bytes.to_vec();
+        v.reverse();
+        BigUint::from_bytes_be(&v)
+    }
+}
+
+impl std::str::FromStr for BigUint {
+    type Err = BigIntError;
+
+    /// Parses `0x`-prefixed strings as hex, everything else as decimal.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.starts_with("0x") || s.starts_with("0X") {
+            BigUint::from_hex(s)
+        } else {
+            BigUint::from_dec(s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        for s in [
+            "0",
+            "1",
+            "ff",
+            "deadbeef",
+            "123456789abcdef0123456789abcdef",
+        ] {
+            let n = BigUint::from_hex(s).unwrap();
+            assert_eq!(n.to_hex(), s);
+        }
+    }
+
+    #[test]
+    fn hex_prefix_and_case() {
+        assert_eq!(
+            BigUint::from_hex("0xDEADBEEF").unwrap(),
+            BigUint::from(0xdeadbeefu64)
+        );
+        assert_eq!(
+            BigUint::from_hex("dead_beef").unwrap(),
+            BigUint::from(0xdeadbeefu64)
+        );
+    }
+
+    #[test]
+    fn hex_invalid() {
+        assert!(matches!(
+            BigUint::from_hex("12g4"),
+            Err(BigIntError::ParseError {
+                base: 16,
+                position: 2
+            })
+        ));
+        assert!(BigUint::from_hex("").is_err());
+        assert!(BigUint::from_hex("0x").is_err());
+    }
+
+    #[test]
+    fn dec_roundtrip() {
+        for s in [
+            "0",
+            "7",
+            "18446744073709551615",
+            "18446744073709551616",
+            "340282366920938463463374607431768211456",
+        ] {
+            let n = BigUint::from_dec(s).unwrap();
+            assert_eq!(n.to_dec(), s, "roundtrip {s}");
+            assert_eq!(format!("{n}"), s);
+        }
+    }
+
+    #[test]
+    fn dec_chunk_padding() {
+        // A value whose second chunk needs zero padding.
+        let n = BigUint::from_dec("10000000000000000000000000001").unwrap();
+        assert_eq!(n.to_dec(), "10000000000000000000000000001");
+    }
+
+    #[test]
+    fn dec_invalid() {
+        assert!(matches!(
+            BigUint::from_dec("12a"),
+            Err(BigIntError::ParseError {
+                base: 10,
+                position: 2
+            })
+        ));
+        assert!(BigUint::from_dec("").is_err());
+    }
+
+    #[test]
+    fn dec_matches_hex() {
+        let n = BigUint::from_hex("ffffffffffffffffffffffffffffffff").unwrap();
+        assert_eq!(n.to_dec(), "340282366920938463463374607431768211455");
+    }
+
+    #[test]
+    fn bytes_be_roundtrip() {
+        let cases: &[&[u8]] = &[
+            &[],
+            &[1],
+            &[0xde, 0xad, 0xbe, 0xef],
+            &[1, 0, 0, 0, 0, 0, 0, 0, 0], // 2^64
+        ];
+        for &bytes in cases {
+            let n = BigUint::from_bytes_be(bytes);
+            assert_eq!(n.to_bytes_be(), bytes);
+        }
+    }
+
+    #[test]
+    fn bytes_be_leading_zeros_ignored() {
+        assert_eq!(BigUint::from_bytes_be(&[0, 0, 0, 5]), BigUint::from(5u64));
+        assert_eq!(BigUint::from_bytes_be(&[0, 0]), BigUint::zero());
+    }
+
+    #[test]
+    fn bytes_be_padded() {
+        let n = BigUint::from(0x1234u64);
+        assert_eq!(n.to_bytes_be_padded(4), vec![0, 0, 0x12, 0x34]);
+        assert_eq!(BigUint::zero().to_bytes_be_padded(3), vec![0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn bytes_be_padded_too_small_panics() {
+        BigUint::from(0x123456u64).to_bytes_be_padded(2);
+    }
+
+    #[test]
+    fn bytes_le_roundtrip() {
+        let n = BigUint::from_hex("0102030405060708090a").unwrap();
+        let le = n.to_bytes_le();
+        assert_eq!(le[0], 0x0a);
+        assert_eq!(BigUint::from_bytes_le(&le), n);
+    }
+
+    #[test]
+    fn from_str_dispatches_on_prefix() {
+        let hex: BigUint = "0xff".parse().unwrap();
+        assert_eq!(hex.to_u64(), Some(255));
+        let dec: BigUint = "255".parse().unwrap();
+        assert_eq!(dec, hex);
+        assert!("0xzz".parse::<BigUint>().is_err());
+        assert!("12a".parse::<BigUint>().is_err());
+    }
+
+    #[test]
+    fn byte_hex_consistency() {
+        let n = BigUint::from_bytes_be(&[0xab, 0xcd, 0xef]);
+        assert_eq!(n.to_hex(), "abcdef");
+    }
+}

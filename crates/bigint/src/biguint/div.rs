@@ -1,0 +1,291 @@
+//! Division and remainder: single-limb short division and Knuth's
+//! Algorithm D for the general case.
+
+use super::BigUint;
+use crate::error::BigIntError;
+use crate::limb::{div2by1, full_mul, sbb, Limb};
+use std::ops::{Div, Rem};
+
+impl BigUint {
+    /// Quotient and remainder by a single limb. Panics if `d == 0`.
+    pub fn div_rem_limb(&self, d: Limb) -> (BigUint, Limb) {
+        assert!(d != 0, "division by zero");
+        if self.is_zero() {
+            return (BigUint::zero(), 0);
+        }
+        let mut q = vec![0; self.limbs.len()];
+        let mut rem: Limb = 0;
+        for i in (0..self.limbs.len()).rev() {
+            let (qi, r) = div2by1(rem, self.limbs[i], d);
+            q[i] = qi;
+            rem = r;
+        }
+        (BigUint::from_limbs(q), rem)
+    }
+
+    /// Quotient and remainder; returns an error on division by zero.
+    pub fn div_rem(&self, d: &BigUint) -> Result<(BigUint, BigUint), BigIntError> {
+        if d.is_zero() {
+            return Err(BigIntError::DivisionByZero);
+        }
+        if self < d {
+            return Ok((BigUint::zero(), self.clone()));
+        }
+        if d.limbs.len() == 1 {
+            let (q, r) = self.div_rem_limb(d.limbs[0]);
+            return Ok((q, BigUint::from(r)));
+        }
+        Ok(div_rem_knuth(self, d))
+    }
+
+    /// Remainder only. Errors on a zero modulus.
+    pub fn rem_ref(&self, d: &BigUint) -> Result<BigUint, BigIntError> {
+        Ok(self.div_rem(d)?.1)
+    }
+}
+
+/// Knuth TAOCP vol. 2, Algorithm 4.3.1 D. Requires `v.limbs.len() >= 2` and
+/// `u >= v`.
+fn div_rem_knuth(u: &BigUint, v: &BigUint) -> (BigUint, BigUint) {
+    // D1: normalize so the divisor's top bit is set.
+    let shift = v.limbs.last().unwrap().leading_zeros();
+    let mut un = u << shift; // may gain a limb
+    let vn = v << shift;
+    let n = vn.limbs.len();
+    let m = un.limbs.len().saturating_sub(n);
+    // Ensure un has m + n + 1 limbs so u[j+n] is always addressable.
+    un.limbs.resize(m + n + 1, 0);
+
+    let v_hi = vn.limbs[n - 1];
+    let v_next = vn.limbs[n - 2];
+    let mut q = vec![0 as Limb; m + 1];
+
+    // D2..D7: main loop over quotient digits, most significant first.
+    for j in (0..=m).rev() {
+        // D3: estimate q̂ from the top two limbs of the current remainder
+        // against the top limb of the divisor.
+        let u_hi2 = un.limbs[j + n];
+        let u_hi1 = un.limbs[j + n - 1];
+        let u_hi0 = un.limbs[j + n - 2];
+
+        let (mut q_hat, mut r_hat) = if u_hi2 >= v_hi {
+            // q̂ would overflow one limb; clamp to the maximum digit.
+            (
+                Limb::MAX,
+                u_hi2.wrapping_add(u_hi1), /* placeholder, fixed below */
+            )
+        } else {
+            div2by1(u_hi2, u_hi1, v_hi)
+        };
+        if u_hi2 >= v_hi {
+            // Recompute r̂ = u_hi2:u_hi1 - q̂ * v_hi exactly (mod 2^128 math).
+            let prod = (Limb::MAX as u128) * (v_hi as u128);
+            let top = ((u_hi2 as u128) << 64) | (u_hi1 as u128);
+            let diff = top.wrapping_sub(prod);
+            if diff >> 64 != 0 {
+                // r̂ ≥ 2^64: the refinement loop below would be skipped anyway.
+                r_hat = Limb::MAX;
+            } else {
+                r_hat = diff as Limb;
+            }
+        }
+
+        // Refine: while q̂·v_next exceeds r̂·2^64 + u_hi0, decrement q̂.
+        loop {
+            let (p_lo, p_hi) = full_mul(q_hat, v_next);
+            let lhs = ((p_hi as u128) << 64) | (p_lo as u128);
+            let rhs = ((r_hat as u128) << 64) | (u_hi0 as u128);
+            if lhs > rhs {
+                q_hat -= 1;
+                let (nr, overflow) = r_hat.overflowing_add(v_hi);
+                if overflow {
+                    break; // r̂ ≥ 2^64, the test can no longer fail
+                }
+                r_hat = nr;
+            } else {
+                break;
+            }
+        }
+
+        // D4: multiply and subtract q̂ * v from u[j .. j+n].
+        let mut borrow: Limb = 0;
+        let mut carry: Limb = 0;
+        for i in 0..n {
+            let (p_lo, p_hi) = full_mul(q_hat, vn.limbs[i]);
+            let (p_lo, c0) = p_lo.overflowing_add(carry);
+            let p_hi = p_hi + c0 as Limb;
+            let (d, b0) = sbb(un.limbs[j + i], p_lo, false);
+            let (d, b1) = sbb(d, borrow, false);
+            un.limbs[j + i] = d;
+            borrow = (b0 as Limb) + (b1 as Limb);
+            carry = p_hi;
+        }
+        let (d, b0) = sbb(un.limbs[j + n], carry, false);
+        let (d, b1) = sbb(d, borrow, false);
+        un.limbs[j + n] = d;
+
+        // D5/D6: the estimate was one too large (probability ~2/2^64);
+        // add the divisor back and decrement the quotient digit.
+        if b0 || b1 {
+            q_hat -= 1;
+            let mut c = false;
+            for i in 0..n {
+                let (s, nc) = crate::limb::adc(un.limbs[j + i], vn.limbs[i], c);
+                un.limbs[j + i] = s;
+                c = nc;
+            }
+            un.limbs[j + n] = un.limbs[j + n].wrapping_add(c as Limb);
+        }
+
+        q[j] = q_hat;
+    }
+
+    // D8: denormalize the remainder.
+    un.limbs.truncate(n);
+    let mut rem = BigUint::from_limbs(un.limbs);
+    rem >>= shift;
+    (BigUint::from_limbs(q), rem)
+}
+
+impl<'b> Div<&'b BigUint> for &BigUint {
+    type Output = BigUint;
+    fn div(self, rhs: &'b BigUint) -> BigUint {
+        self.div_rem(rhs).expect("division by zero").0
+    }
+}
+
+impl<'b> Rem<&'b BigUint> for &BigUint {
+    type Output = BigUint;
+    fn rem(self, rhs: &'b BigUint) -> BigUint {
+        self.div_rem(rhs).expect("division by zero").1
+    }
+}
+
+impl Rem<&BigUint> for BigUint {
+    type Output = BigUint;
+    fn rem(self, rhs: &BigUint) -> BigUint {
+        (&self).rem(rhs)
+    }
+}
+
+impl Div<u64> for &BigUint {
+    type Output = BigUint;
+    fn div(self, rhs: u64) -> BigUint {
+        self.div_rem_limb(rhs).0
+    }
+}
+
+impl Rem<u64> for &BigUint {
+    type Output = u64;
+    fn rem(self, rhs: u64) -> u64 {
+        self.div_rem_limb(rhs).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(u: &BigUint, v: &BigUint) {
+        let (q, r) = u.div_rem(v).unwrap();
+        assert!(r < *v, "remainder not reduced: {r:?} vs {v:?}");
+        assert_eq!(&(&q * v) + &r, *u, "q*v + r != u");
+    }
+
+    #[test]
+    fn divide_by_larger_gives_zero_quotient() {
+        let (q, r) = BigUint::from(5u64).div_rem(&BigUint::from(7u64)).unwrap();
+        assert!(q.is_zero());
+        assert_eq!(r.to_u64(), Some(5));
+    }
+
+    #[test]
+    fn single_limb_division() {
+        let n = BigUint::from_limbs(vec![u64::MAX, u64::MAX, 1]);
+        let (q, r) = n.div_rem_limb(10);
+        assert_eq!(&(&q * 10u64) + &BigUint::from(r), n);
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        assert_eq!(
+            BigUint::from(5u64).div_rem(&BigUint::zero()),
+            Err(BigIntError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn knuth_exact_division() {
+        let v = BigUint::from_limbs(vec![0x123456789ABCDEF0, 0xFEDCBA9876543210]);
+        let q_expect = BigUint::from_limbs(vec![42, 1, 99]);
+        let u = &v * &q_expect;
+        let (q, r) = u.div_rem(&v).unwrap();
+        assert_eq!(q, q_expect);
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn knuth_with_remainder() {
+        let v = BigUint::from_limbs(vec![7, u64::MAX / 3]);
+        let q_expect = BigUint::from_limbs(vec![u64::MAX, u64::MAX, 5]);
+        let r_expect = BigUint::from_limbs(vec![3, 1]);
+        assert!(r_expect < v);
+        let u = &(&v * &q_expect) + &r_expect;
+        let (q, r) = u.div_rem(&v).unwrap();
+        assert_eq!(q, q_expect);
+        assert_eq!(r, r_expect);
+    }
+
+    #[test]
+    fn knuth_stress_pseudorandom() {
+        let mut state = 0xA4093822299F31D0u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        for _ in 0..50 {
+            let ul = 2 + (next() % 8) as usize;
+            let vl = 2 + (next() % 4) as usize;
+            let u = BigUint::from_limbs((0..ul).map(|_| next()).collect());
+            let mut v = BigUint::from_limbs((0..vl).map(|_| next()).collect());
+            if v.is_zero() {
+                v = BigUint::from(3u64);
+            }
+            check(&u, &v);
+        }
+    }
+
+    #[test]
+    fn knuth_triggers_add_back_case() {
+        // Classic add-back trigger: u = 2^128 - 1, v = 2^96 - 1 style shapes.
+        let u = BigUint::from_limbs(vec![0, 0, 0x8000_0000_0000_0000]);
+        let v = BigUint::from_limbs(vec![1, 0x8000_0000_0000_0000]);
+        check(&u, &v);
+        // The textbook worst case for the q̂ overestimate:
+        let u2 = BigUint::from_limbs(vec![3, 0, 0x8000_0000_0000_0000]);
+        let v2 = BigUint::from_limbs(vec![1, 0, 0x8000_0000_0000_0000]);
+        check(&u2, &v2);
+    }
+
+    #[test]
+    fn qhat_overflow_clamp_path() {
+        // Make the top remainder limb equal to the divisor's top limb so the
+        // q̂ = MAX clamp executes.
+        let v = BigUint::from_limbs(vec![5, 0xFFFF_FFFF_0000_0000]);
+        let u = BigUint::from_limbs(vec![9, 0xFFFF_FFFF_0000_0000, 0xFFFF_FFFF_0000_0000]);
+        check(&u, &v);
+    }
+
+    #[test]
+    fn operators_match_div_rem() {
+        let u = BigUint::from_limbs(vec![123, 456, 789]);
+        let v = BigUint::from_limbs(vec![99, 11]);
+        let (q, r) = u.div_rem(&v).unwrap();
+        assert_eq!(&u / &v, q);
+        assert_eq!(&u % &v, r);
+        assert_eq!(&u % 97u64, u.div_rem_limb(97).1);
+        assert_eq!(&u / 97u64, u.div_rem_limb(97).0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! [`BigUint`] stores magnitudes as little-endian `u64` limbs with the
+//! invariant that the most significant limb is nonzero (the canonical
+//! representation of zero is an empty limb vector). All arithmetic
+//! maintains that invariant.
+
+mod add;
+mod bits;
+mod cmp;
+mod convert;
+mod div;
+mod gcd;
+mod modular;
+mod mul;
+mod radix;
+mod shift;
+mod sub;
+
+use crate::limb::{Limb, LIMB_BITS};
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Cloning is O(n); all binary operators are implemented for both owned and
+/// borrowed operands, with the borrowed forms avoiding needless copies.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct BigUint {
+    /// Little-endian limbs; no trailing (most-significant) zero limbs.
+    pub(crate) limbs: Vec<Limb>,
+}
+
+impl BigUint {
+    /// The value 0.
+    #[inline]
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    #[inline]
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// `2^exp`.
+    pub fn power_of_two(exp: u32) -> Self {
+        let limb_idx = (exp / LIMB_BITS) as usize;
+        let bit_idx = exp % LIMB_BITS;
+        let mut limbs = vec![0; limb_idx + 1];
+        limbs[limb_idx] = 1 << bit_idx;
+        BigUint { limbs }
+    }
+
+    /// Construct from little-endian limbs, normalizing trailing zeros.
+    pub fn from_limbs(limbs: Vec<Limb>) -> Self {
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Borrow the little-endian limbs (no trailing zeros).
+    #[inline]
+    pub fn limbs(&self) -> &[Limb] {
+        &self.limbs
+    }
+
+    /// Number of limbs in the canonical representation.
+    #[inline]
+    pub fn limb_len(&self) -> usize {
+        self.limbs.len()
+    }
+
+    /// True if the value is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True if the value is one.
+    #[inline]
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// True if the value is even (zero counts as even).
+    #[inline]
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+
+    /// True if the value is odd.
+    #[inline]
+    pub fn is_odd(&self) -> bool {
+        !self.is_even()
+    }
+
+    /// Remove most-significant zero limbs to restore the invariant.
+    #[inline]
+    pub(crate) fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Interpret as `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Interpret as `u128` if it fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some((self.limbs[0] as u128) | ((self.limbs[1] as u128) << 64)),
+            _ => None,
+        }
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            BigUint::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u32> for BigUint {
+    fn from(v: u32) -> Self {
+        BigUint::from(v as u64)
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        BigUint::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint(0x{})", self.to_hex())
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_dec())
+    }
+}
+
+impl fmt::LowerHex for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_empty() {
+        assert!(BigUint::zero().is_zero());
+        assert_eq!(BigUint::zero().limb_len(), 0);
+        assert_eq!(BigUint::from(0u64), BigUint::zero());
+    }
+
+    #[test]
+    fn one_properties() {
+        let one = BigUint::one();
+        assert!(one.is_one());
+        assert!(one.is_odd());
+        assert!(!one.is_zero());
+    }
+
+    #[test]
+    fn from_limbs_normalizes() {
+        let n = BigUint::from_limbs(vec![5, 0, 0]);
+        assert_eq!(n.limb_len(), 1);
+        assert_eq!(n.to_u64(), Some(5));
+    }
+
+    #[test]
+    fn power_of_two_values() {
+        assert_eq!(BigUint::power_of_two(0), BigUint::one());
+        assert_eq!(BigUint::power_of_two(10).to_u64(), Some(1024));
+        assert_eq!(BigUint::power_of_two(64).limb_len(), 2);
+        assert_eq!(BigUint::power_of_two(64).to_u128(), Some(1u128 << 64));
+    }
+
+    #[test]
+    fn parity() {
+        assert!(BigUint::zero().is_even());
+        assert!(BigUint::from(7u64).is_odd());
+        assert!(BigUint::from(8u64).is_even());
+    }
+
+    #[test]
+    fn to_u64_bounds() {
+        assert_eq!(BigUint::from(u64::MAX).to_u64(), Some(u64::MAX));
+        assert_eq!(BigUint::power_of_two(64).to_u64(), None);
+    }
+
+    #[test]
+    fn to_u128_bounds() {
+        assert_eq!(BigUint::from(u128::MAX).to_u128(), Some(u128::MAX));
+        assert_eq!(BigUint::power_of_two(128).to_u128(), None);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let n = BigUint::from(255u64);
+        assert_eq!(format!("{n}"), "255");
+        assert_eq!(format!("{n:x}"), "ff");
+        assert!(format!("{n:?}").contains("0xff"));
+    }
+}

@@ -1,0 +1,164 @@
+//! Plain modular arithmetic used as the reference oracle for the Montgomery
+//! and vectorized kernels (reduction by division, no special form).
+
+use super::BigUint;
+
+impl BigUint {
+    /// `(self + rhs) mod m`. Operands need not be reduced.
+    pub fn mod_add(&self, rhs: &BigUint, m: &BigUint) -> BigUint {
+        &(self + rhs) % m
+    }
+
+    /// `(self - rhs) mod m`, canonical representative in `[0, m)`.
+    pub fn mod_sub(&self, rhs: &BigUint, m: &BigUint) -> BigUint {
+        let a = self % m;
+        let b = rhs % m;
+        if a >= b {
+            a - b
+        } else {
+            &(&a + m) - &b
+        }
+    }
+
+    /// `(self * rhs) mod m`.
+    pub fn mod_mul(&self, rhs: &BigUint, m: &BigUint) -> BigUint {
+        &(self * rhs) % m
+    }
+
+    /// `(self * self) mod m`.
+    pub fn mod_square(&self, m: &BigUint) -> BigUint {
+        &self.square() % m
+    }
+
+    /// `self^exp mod m` by left-to-right square-and-multiply with reduction
+    /// by division. Slow but obviously correct; the oracle against which all
+    /// Montgomery paths are validated. Panics if `m` is zero.
+    pub fn mod_exp(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "zero modulus");
+        if m.is_one() {
+            return BigUint::zero();
+        }
+        if exp.is_zero() {
+            return BigUint::one();
+        }
+        let base = self % m;
+        let mut acc = BigUint::one();
+        let bits = exp.bit_length();
+        for i in (0..bits).rev() {
+            acc = acc.mod_square(m);
+            if exp.bit(i) {
+                acc = acc.mod_mul(&base, m);
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mod_add_wraps() {
+        let m = BigUint::from(10u64);
+        assert_eq!(
+            BigUint::from(7u64)
+                .mod_add(&BigUint::from(5u64), &m)
+                .to_u64(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn mod_add_unreduced_operands() {
+        let m = BigUint::from(10u64);
+        assert_eq!(
+            BigUint::from(27u64)
+                .mod_add(&BigUint::from(35u64), &m)
+                .to_u64(),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn mod_sub_underflow_wraps() {
+        let m = BigUint::from(10u64);
+        assert_eq!(
+            BigUint::from(3u64)
+                .mod_sub(&BigUint::from(7u64), &m)
+                .to_u64(),
+            Some(6)
+        );
+        assert_eq!(
+            BigUint::from(7u64)
+                .mod_sub(&BigUint::from(3u64), &m)
+                .to_u64(),
+            Some(4)
+        );
+        assert!(BigUint::from(5u64)
+            .mod_sub(&BigUint::from(5u64), &m)
+            .is_zero());
+    }
+
+    #[test]
+    fn mod_mul_and_square_agree() {
+        let m = BigUint::from_hex("ffffffffffffffc5").unwrap();
+        let a = BigUint::from_hex("123456789abcdef").unwrap();
+        assert_eq!(a.mod_mul(&a, &m), a.mod_square(&m));
+    }
+
+    #[test]
+    fn mod_exp_edge_cases() {
+        let m = BigUint::from(13u64);
+        // x^0 = 1
+        assert!(BigUint::from(5u64).mod_exp(&BigUint::zero(), &m).is_one());
+        // 0^x = 0 for x > 0
+        assert!(BigUint::zero().mod_exp(&BigUint::from(3u64), &m).is_zero());
+        // modulus 1 => everything is 0
+        assert!(BigUint::from(5u64)
+            .mod_exp(&BigUint::from(3u64), &BigUint::one())
+            .is_zero());
+        // x^1 = x mod m
+        assert_eq!(
+            BigUint::from(20u64).mod_exp(&BigUint::one(), &m).to_u64(),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn mod_exp_known_values() {
+        let m = BigUint::from(1000000007u64);
+        // 2^100 mod 1e9+7 = 976371285
+        assert_eq!(
+            BigUint::from(2u64)
+                .mod_exp(&BigUint::from(100u64), &m)
+                .to_u64(),
+            Some(976371285)
+        );
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        // p prime => a^(p-1) ≡ 1 (mod p) for a not divisible by p.
+        let p = BigUint::from_hex("ffffffffffffffc5").unwrap(); // largest 64-bit prime
+        let a = BigUint::from(123456789u64);
+        let e = &p - &BigUint::one();
+        assert!(a.mod_exp(&e, &p).is_one());
+    }
+
+    #[test]
+    fn exponent_laws() {
+        let m = BigUint::from_hex("fffffffffffffffffffffffffffffff1").unwrap();
+        let a = BigUint::from(987654321u64);
+        let e1 = BigUint::from(37u64);
+        let e2 = BigUint::from(59u64);
+        // a^(e1+e2) = a^e1 * a^e2 (mod m)
+        let lhs = a.mod_exp(&(&e1 + &e2), &m);
+        let rhs = a.mod_exp(&e1, &m).mod_mul(&a.mod_exp(&e2, &m), &m);
+        assert_eq!(lhs, rhs);
+        // (a^e1)^e2 = a^(e1*e2)
+        let lhs = a.mod_exp(&e1, &m).mod_exp(&e2, &m);
+        let rhs = a.mod_exp(&(&e1 * &e2), &m);
+        assert_eq!(lhs, rhs);
+    }
+}

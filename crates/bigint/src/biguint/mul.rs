@@ -1,0 +1,321 @@
+//! Multiplication: schoolbook, Karatsuba, and dedicated squaring.
+//!
+//! Mirrors OpenSSL BN's split between `bn_mul_normal` (schoolbook),
+//! `bn_mul_recursive` (Karatsuba above a threshold) and `bn_sqr` (squaring
+//! with the halved cross-product trick).
+
+use super::BigUint;
+use crate::limb::{adc, mac, Limb};
+use std::ops::{Mul, MulAssign};
+
+/// Operand size (in limbs) above which Karatsuba is used.
+/// 16 limbs = 1024 bits, roughly where the recursion starts paying off.
+pub(crate) const KARATSUBA_THRESHOLD: usize = 16;
+
+/// Schoolbook multiplication: `out = a * b`. `out` must be zeroed and have
+/// length `a.len() + b.len()`.
+pub(crate) fn mul_schoolbook(out: &mut [Limb], a: &[Limb], b: &[Limb]) {
+    debug_assert_eq!(out.len(), a.len() + b.len());
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0;
+        for (j, &bj) in b.iter().enumerate() {
+            let (lo, hi) = mac(out[i + j], ai, bj, carry);
+            out[i + j] = lo;
+            carry = hi;
+        }
+        out[i + b.len()] = carry;
+    }
+}
+
+/// Add `b` into `a` starting at limb offset `off`, propagating the carry.
+fn add_at(a: &mut [Limb], b: &[Limb], off: usize) {
+    let mut carry = false;
+    let mut i = off;
+    for &bi in b {
+        let (s, c) = adc(a[i], bi, carry);
+        a[i] = s;
+        carry = c;
+        i += 1;
+    }
+    while carry && i < a.len() {
+        let (s, c) = adc(a[i], 0, true);
+        a[i] = s;
+        carry = c;
+        i += 1;
+    }
+    debug_assert!(!carry, "add_at overflowed the destination");
+}
+
+/// Karatsuba multiplication on slices. `out` must be zeroed with length
+/// `a.len() + b.len()`. Falls back to schoolbook below the threshold or for
+/// badly unbalanced operands.
+pub(crate) fn mul_karatsuba(out: &mut [Limb], a: &[Limb], b: &[Limb]) {
+    let n = a.len().min(b.len());
+    if n < KARATSUBA_THRESHOLD {
+        mul_schoolbook(out, a, b);
+        return;
+    }
+    let half = n / 2;
+    let (a0, a1) = a.split_at(half);
+    let (b0, b1) = b.split_at(half);
+
+    // z0 = a0*b0 into the low part, z2 = a1*b1 into the high part.
+    let mut z0 = vec![0; a0.len() + b0.len()];
+    mul_karatsuba(&mut z0, a0, b0);
+    let mut z2 = vec![0; a1.len() + b1.len()];
+    mul_karatsuba(&mut z2, a1, b1);
+
+    // z1 = (a0+a1)*(b0+b1) - z0 - z2
+    let sa = add_slices(a0, a1);
+    let sb = add_slices(b0, b1);
+    let mut z1 = vec![0; sa.len() + sb.len()];
+    mul_karatsuba(&mut z1, &sa, &sb);
+    sub_in_place(&mut z1, &z0);
+    sub_in_place(&mut z1, &z2);
+    trim(&mut z1);
+
+    out[..z0.len()].copy_from_slice(&z0);
+    add_at(out, &z2, 2 * half);
+    add_at(out, &z1, half);
+}
+
+/// Sum of two limb slices as a fresh vector (may grow by one limb).
+fn add_slices(a: &[Limb], b: &[Limb]) -> Vec<Limb> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = long.to_vec();
+    let mut carry = false;
+    for (i, &s) in short.iter().enumerate() {
+        let (v, c) = adc(out[i], s, carry);
+        out[i] = v;
+        carry = c;
+    }
+    let mut i = short.len();
+    while carry && i < out.len() {
+        let (v, c) = adc(out[i], 0, true);
+        out[i] = v;
+        carry = c;
+        i += 1;
+    }
+    if carry {
+        out.push(1);
+    }
+    out
+}
+
+/// `a -= b`; requires `a >= b`.
+fn sub_in_place(a: &mut [Limb], b: &[Limb]) {
+    let borrow = super::sub::sub_assign_limbs(a, b);
+    debug_assert!(!borrow);
+}
+
+fn trim(v: &mut Vec<Limb>) {
+    while v.last() == Some(&0) {
+        v.pop();
+    }
+}
+
+/// Dedicated squaring: computes the off-diagonal cross products once and
+/// doubles them, then adds the diagonal — about half the multiplies of a
+/// general product.
+pub(crate) fn square_limbs(a: &[Limb]) -> Vec<Limb> {
+    if a.is_empty() {
+        return Vec::new();
+    }
+    let n = a.len();
+    let mut out = vec![0; 2 * n];
+    // Off-diagonal: sum_{i<j} a_i a_j at position i+j.
+    for i in 0..n {
+        let mut carry = 0;
+        for j in (i + 1)..n {
+            let (lo, hi) = mac(out[i + j], a[i], a[j], carry);
+            out[i + j] = lo;
+            carry = hi;
+        }
+        out[i + n] = carry;
+    }
+    // Double.
+    let mut carry = false;
+    for limb in out.iter_mut() {
+        let top = *limb >> 63;
+        *limb = (*limb << 1) | (carry as Limb);
+        carry = top != 0;
+    }
+    // Diagonal terms a_i^2 at position 2i.
+    let mut c = 0;
+    for i in 0..n {
+        let (lo, hi) = mac(out[2 * i], a[i], a[i], c);
+        out[2 * i] = lo;
+        let (s, ch) = adc(out[2 * i + 1], hi, false);
+        out[2 * i + 1] = s;
+        c = ch as Limb;
+    }
+    debug_assert_eq!(c, 0);
+    out
+}
+
+impl BigUint {
+    /// `self * rhs` using Karatsuba above the threshold.
+    pub fn mul_ref(&self, rhs: &BigUint) -> BigUint {
+        if self.is_zero() || rhs.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0; self.limbs.len() + rhs.limbs.len()];
+        mul_karatsuba(&mut out, &self.limbs, &rhs.limbs);
+        BigUint::from_limbs(out)
+    }
+
+    /// `self * rhs` restricted to schoolbook multiplication (used by the
+    /// MPSS baseline profile and by tests as an independent oracle).
+    pub fn mul_schoolbook(&self, rhs: &BigUint) -> BigUint {
+        if self.is_zero() || rhs.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0; self.limbs.len() + rhs.limbs.len()];
+        mul_schoolbook(&mut out, &self.limbs, &rhs.limbs);
+        BigUint::from_limbs(out)
+    }
+
+    /// `self^2` via dedicated squaring.
+    pub fn square(&self) -> BigUint {
+        BigUint::from_limbs(square_limbs(&self.limbs))
+    }
+
+    /// Multiply by a single limb in place.
+    pub fn mul_limb(&mut self, l: Limb) {
+        if l == 0 {
+            *self = BigUint::zero();
+            return;
+        }
+        let mut carry = 0;
+        for limb in self.limbs.iter_mut() {
+            let (lo, hi) = mac(0, *limb, l, carry);
+            *limb = lo;
+            carry = hi;
+        }
+        if carry != 0 {
+            self.limbs.push(carry);
+        }
+    }
+}
+
+impl<'b> Mul<&'b BigUint> for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &'b BigUint) -> BigUint {
+        self.mul_ref(rhs)
+    }
+}
+
+impl Mul<BigUint> for BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: BigUint) -> BigUint {
+        self.mul_ref(&rhs)
+    }
+}
+
+impl Mul<&BigUint> for BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        self.mul_ref(rhs)
+    }
+}
+
+impl Mul<u64> for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: u64) -> BigUint {
+        let mut out = self.clone();
+        out.mul_limb(rhs);
+        out
+    }
+}
+
+impl MulAssign<&BigUint> for BigUint {
+    fn mul_assign(&mut self, rhs: &BigUint) {
+        *self = self.mul_ref(rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_products() {
+        assert_eq!(
+            (&BigUint::from(6u64) * &BigUint::from(7u64)).to_u64(),
+            Some(42)
+        );
+        assert_eq!(&BigUint::from(6u64) * &BigUint::zero(), BigUint::zero());
+        assert_eq!(&BigUint::zero() * &BigUint::from(6u64), BigUint::zero());
+    }
+
+    #[test]
+    fn cross_limb_product() {
+        let a = BigUint::from(u64::MAX);
+        let sq = &a * &a;
+        // (2^64-1)^2 = 2^128 - 2^65 + 1
+        let expect = BigUint::from_limbs(vec![1, u64::MAX - 1]);
+        assert_eq!(sq, expect);
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook_large() {
+        // Deterministic pseudo-random operands big enough to trigger Karatsuba.
+        let mut state = 0x243F6A8885A308D3u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        for len in [16usize, 17, 31, 40, 64] {
+            let a = BigUint::from_limbs((0..len).map(|_| next()).collect());
+            let b = BigUint::from_limbs((0..len + 3).map(|_| next()).collect());
+            assert_eq!(a.mul_ref(&b), a.mul_schoolbook(&b), "len {len}");
+        }
+    }
+
+    #[test]
+    fn square_matches_general_mul() {
+        let mut state = 0x13198A2E03707344u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        for len in [1usize, 2, 5, 16, 33] {
+            let a = BigUint::from_limbs((0..len).map(|_| next()).collect());
+            assert_eq!(a.square(), a.mul_schoolbook(&a), "len {len}");
+        }
+        assert_eq!(BigUint::zero().square(), BigUint::zero());
+    }
+
+    #[test]
+    fn mul_limb_matches_full_mul() {
+        let a = BigUint::from_limbs(vec![u64::MAX, 12345, u64::MAX / 2]);
+        let mut b = a.clone();
+        b.mul_limb(u64::MAX);
+        assert_eq!(b, &a * &BigUint::from(u64::MAX));
+        let mut z = a.clone();
+        z.mul_limb(0);
+        assert!(z.is_zero());
+    }
+
+    #[test]
+    fn commutativity_mixed_sizes() {
+        let a = BigUint::from_limbs(vec![1, 2, 3, 4, 5]);
+        let b = BigUint::from_limbs(vec![9, 8]);
+        assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn distributes_over_addition() {
+        let a = BigUint::from_limbs(vec![7, 7, 7]);
+        let b = BigUint::from_limbs(vec![u64::MAX, 3]);
+        let c = BigUint::from_limbs(vec![11, u64::MAX, u64::MAX]);
+        assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+}

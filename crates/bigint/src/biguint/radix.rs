@@ -1,0 +1,179 @@
+//! Arbitrary-radix string conversion (bases 2–36), the generalization of
+//! the hex/decimal paths in `convert`.
+
+use super::BigUint;
+use crate::error::BigIntError;
+
+const DIGITS: &[u8; 36] = b"0123456789abcdefghijklmnopqrstuvwxyz";
+
+fn digit_value(c: u8, radix: u32) -> Option<u64> {
+    let v = match c {
+        b'0'..=b'9' => (c - b'0') as u32,
+        b'a'..=b'z' => (c - b'a' + 10) as u32,
+        b'A'..=b'Z' => (c - b'A' + 10) as u32,
+        _ => return None,
+    };
+    (v < radix).then_some(v as u64)
+}
+
+/// The largest power of `radix` fitting in a limb, with its exponent —
+/// lets conversion work one limb-sized chunk at a time instead of one
+/// digit at a time.
+fn limb_chunk(radix: u32) -> (u64, u32) {
+    let r = radix as u64;
+    let mut power = r;
+    let mut digits = 1;
+    while let Some(next) = power.checked_mul(r) {
+        power = next;
+        digits += 1;
+    }
+    (power, digits)
+}
+
+impl BigUint {
+    /// Parse a string in the given radix (2–36, case-insensitive digits,
+    /// `_` separators allowed).
+    pub fn from_str_radix(s: &str, radix: u32) -> Result<BigUint, BigIntError> {
+        assert!((2..=36).contains(&radix), "radix out of range");
+        let mut out = BigUint::zero();
+        let mut any = false;
+        for (i, c) in s.bytes().enumerate() {
+            if c == b'_' {
+                continue;
+            }
+            let d = digit_value(c, radix).ok_or(BigIntError::ParseError {
+                base: radix,
+                position: i,
+            })?;
+            out.mul_limb(radix as u64);
+            out.add_limb(d);
+            any = true;
+        }
+        if !any {
+            return Err(BigIntError::ParseError {
+                base: radix,
+                position: 0,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Render in the given radix (2–36, lowercase digits, `"0"` for zero).
+    pub fn to_str_radix(&self, radix: u32) -> String {
+        assert!((2..=36).contains(&radix), "radix out of range");
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let (chunk, chunk_digits) = limb_chunk(radix);
+        let mut chunks = Vec::new();
+        let mut n = self.clone();
+        while !n.is_zero() {
+            let (q, r) = n.div_rem_limb(chunk);
+            chunks.push(r);
+            n = q;
+        }
+        let mut s = String::new();
+        let render = |v: u64, width: u32, s: &mut String| {
+            let mut buf = [0u8; 64];
+            let mut at = 64;
+            let mut v = v;
+            loop {
+                at -= 1;
+                buf[at] = DIGITS[(v % radix as u64) as usize];
+                v /= radix as u64;
+                if v == 0 {
+                    break;
+                }
+            }
+            // Left-pad interior chunks with zeros.
+            for _ in (64 - at)..width as usize {
+                s.push('0');
+            }
+            s.push_str(std::str::from_utf8(&buf[at..]).expect("ascii"));
+        };
+        let mut iter = chunks.iter().rev();
+        if let Some(&top) = iter.next() {
+            render(top, 0, &mut s);
+        }
+        for &c in iter {
+            render(c, chunk_digits, &mut s);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_dedicated_paths() {
+        let n = BigUint::from_hex("deadbeefcafebabe0123456789abcdef").unwrap();
+        assert_eq!(n.to_str_radix(16), n.to_hex());
+        assert_eq!(n.to_str_radix(10), n.to_dec());
+        assert_eq!(BigUint::from_str_radix(&n.to_hex(), 16).unwrap(), n);
+        assert_eq!(BigUint::from_str_radix(&n.to_dec(), 10).unwrap(), n);
+    }
+
+    #[test]
+    fn binary_and_octal() {
+        let n = BigUint::from(0b1011_0101u64);
+        assert_eq!(n.to_str_radix(2), "10110101");
+        assert_eq!(n.to_str_radix(8), "265");
+        assert_eq!(BigUint::from_str_radix("10110101", 2).unwrap(), n);
+        assert_eq!(BigUint::from_str_radix("265", 8).unwrap(), n);
+    }
+
+    #[test]
+    fn base36_roundtrip() {
+        let n = BigUint::from_hex("123456789abcdef0fedcba9876543210").unwrap();
+        let s = n.to_str_radix(36);
+        assert_eq!(BigUint::from_str_radix(&s, 36).unwrap(), n);
+        // Uppercase parses too.
+        assert_eq!(BigUint::from_str_radix(&s.to_uppercase(), 36).unwrap(), n);
+    }
+
+    #[test]
+    fn every_radix_roundtrips() {
+        let n = BigUint::from_hex("ffffffffffffffffffffffffffffffffffffffff").unwrap();
+        for radix in 2..=36 {
+            let s = n.to_str_radix(radix);
+            assert_eq!(
+                BigUint::from_str_radix(&s, radix).unwrap(),
+                n,
+                "radix {radix}"
+            );
+        }
+        assert_eq!(BigUint::zero().to_str_radix(7), "0");
+    }
+
+    #[test]
+    fn interior_chunk_zero_padding() {
+        // A value whose low chunk is small forces zero padding in base 10
+        // (chunk = 10^19) and others.
+        let n = &BigUint::power_of_two(80) + &BigUint::one();
+        for radix in [10u32, 16, 3, 36] {
+            let s = n.to_str_radix(radix);
+            assert_eq!(
+                BigUint::from_str_radix(&s, radix).unwrap(),
+                n,
+                "radix {radix}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_digits() {
+        assert!(BigUint::from_str_radix("102", 2).is_err());
+        assert!(BigUint::from_str_radix("8", 8).is_err());
+        assert!(BigUint::from_str_radix("g", 16).is_err());
+        assert!(BigUint::from_str_radix("", 10).is_err());
+        assert!(BigUint::from_str_radix("_", 10).is_err(), "separators only");
+    }
+
+    #[test]
+    #[should_panic(expected = "radix out of range")]
+    fn radix_one_panics() {
+        let _ = BigUint::one().to_str_radix(1);
+    }
+}

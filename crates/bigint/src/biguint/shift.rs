@@ -1,0 +1,204 @@
+//! Bit shifts.
+
+use super::BigUint;
+use crate::limb::{Limb, LIMB_BITS};
+use std::ops::{Shl, ShlAssign, Shr, ShrAssign};
+
+impl BigUint {
+    /// Shift left by `n` bits in place.
+    pub fn shl_assign_bits(&mut self, n: u32) {
+        if self.is_zero() || n == 0 {
+            return;
+        }
+        let limb_shift = (n / LIMB_BITS) as usize;
+        let bit_shift = n % LIMB_BITS;
+        let old_len = self.limbs.len();
+        self.limbs.resize(old_len + limb_shift + 1, 0);
+        if bit_shift == 0 {
+            for i in (0..old_len).rev() {
+                self.limbs[i + limb_shift] = self.limbs[i];
+            }
+        } else {
+            for i in (0..old_len).rev() {
+                let lo = self.limbs[i] << bit_shift;
+                let hi = self.limbs[i] >> (LIMB_BITS - bit_shift);
+                self.limbs[i + limb_shift + 1] |= hi;
+                self.limbs[i + limb_shift] = lo;
+            }
+        }
+        for limb in self.limbs.iter_mut().take(limb_shift) {
+            *limb = 0;
+        }
+        self.normalize();
+    }
+
+    /// Shift right by `n` bits in place (toward zero).
+    pub fn shr_assign_bits(&mut self, n: u32) {
+        if self.is_zero() || n == 0 {
+            return;
+        }
+        let limb_shift = (n / LIMB_BITS) as usize;
+        let bit_shift = n % LIMB_BITS;
+        if limb_shift >= self.limbs.len() {
+            *self = BigUint::zero();
+            return;
+        }
+        self.limbs.drain(..limb_shift);
+        if bit_shift != 0 {
+            let len = self.limbs.len();
+            for i in 0..len {
+                let lo = self.limbs[i] >> bit_shift;
+                let hi = if i + 1 < len {
+                    self.limbs[i + 1] << (LIMB_BITS - bit_shift)
+                } else {
+                    0
+                };
+                self.limbs[i] = lo | hi;
+            }
+        }
+        self.normalize();
+    }
+
+    /// Keep only the low `n` bits (i.e. reduce modulo `2^n`) in place.
+    pub fn mask_low_bits(&mut self, n: u32) {
+        let limb_count = (n / LIMB_BITS) as usize;
+        let bit_rem = n % LIMB_BITS;
+        if self.limbs.len() > limb_count {
+            if bit_rem == 0 {
+                self.limbs.truncate(limb_count);
+            } else {
+                self.limbs.truncate(limb_count + 1);
+                let mask: Limb = (1 << bit_rem) - 1;
+                if let Some(last) = self.limbs.last_mut() {
+                    *last &= mask;
+                }
+            }
+        }
+        self.normalize();
+    }
+}
+
+impl Shl<u32> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, n: u32) -> BigUint {
+        let mut out = self.clone();
+        out.shl_assign_bits(n);
+        out
+    }
+}
+
+impl Shl<u32> for BigUint {
+    type Output = BigUint;
+    fn shl(mut self, n: u32) -> BigUint {
+        self.shl_assign_bits(n);
+        self
+    }
+}
+
+impl Shr<u32> for &BigUint {
+    type Output = BigUint;
+    fn shr(self, n: u32) -> BigUint {
+        let mut out = self.clone();
+        out.shr_assign_bits(n);
+        out
+    }
+}
+
+impl Shr<u32> for BigUint {
+    type Output = BigUint;
+    fn shr(mut self, n: u32) -> BigUint {
+        self.shr_assign_bits(n);
+        self
+    }
+}
+
+impl ShlAssign<u32> for BigUint {
+    fn shl_assign(&mut self, n: u32) {
+        self.shl_assign_bits(n);
+    }
+}
+
+impl ShrAssign<u32> for BigUint {
+    fn shr_assign(&mut self, n: u32) {
+        self.shr_assign_bits(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shl_small() {
+        assert_eq!((&BigUint::one() << 4).to_u64(), Some(16));
+        assert_eq!((&BigUint::from(5u64) << 1).to_u64(), Some(10));
+    }
+
+    #[test]
+    fn shl_across_limb_boundary() {
+        let x = &BigUint::one() << 64;
+        assert_eq!(x, BigUint::power_of_two(64));
+        let y = &BigUint::from(3u64) << 63;
+        assert_eq!(y, BigUint::from_limbs(vec![1 << 63, 1]));
+    }
+
+    #[test]
+    fn shl_whole_limbs_only() {
+        let x = &BigUint::from(7u64) << 128;
+        assert_eq!(x, BigUint::from_limbs(vec![0, 0, 7]));
+    }
+
+    #[test]
+    fn shr_small() {
+        assert_eq!((&BigUint::from(16u64) >> 4).to_u64(), Some(1));
+        assert_eq!((&BigUint::from(5u64) >> 1).to_u64(), Some(2));
+    }
+
+    #[test]
+    fn shr_across_limb_boundary() {
+        let x = BigUint::from_limbs(vec![0, 1]); // 2^64
+        assert_eq!((&x >> 1), BigUint::power_of_two(63));
+        assert_eq!((&x >> 64), BigUint::one());
+        assert_eq!((&x >> 65), BigUint::zero());
+    }
+
+    #[test]
+    fn shr_to_zero() {
+        assert_eq!(&BigUint::from(u64::MAX) >> 64, BigUint::zero());
+        assert_eq!(&BigUint::zero() >> 10, BigUint::zero());
+    }
+
+    #[test]
+    fn shift_roundtrip() {
+        let a = BigUint::from_limbs(vec![0xdeadbeef, 0xcafebabe, 0x1234]);
+        for n in [1u32, 13, 64, 65, 127, 200] {
+            assert_eq!(&(&a << n) >> n, a, "shift by {n}");
+        }
+    }
+
+    #[test]
+    fn mask_low_bits_is_mod_power_of_two() {
+        let mut a = BigUint::from(0xFFu64);
+        a.mask_low_bits(4);
+        assert_eq!(a.to_u64(), Some(0xF));
+
+        let mut b = BigUint::from_limbs(vec![u64::MAX, u64::MAX]);
+        b.mask_low_bits(64);
+        assert_eq!(b, BigUint::from(u64::MAX));
+
+        let mut c = BigUint::from_limbs(vec![u64::MAX, u64::MAX]);
+        c.mask_low_bits(70);
+        assert_eq!(c, BigUint::from_limbs(vec![u64::MAX, 0x3F]));
+
+        let mut d = BigUint::from(5u64);
+        d.mask_low_bits(200);
+        assert_eq!(d.to_u64(), Some(5));
+    }
+
+    #[test]
+    fn shift_zero_noop() {
+        let a = BigUint::from(42u64);
+        assert_eq!(&a << 0, a);
+        assert_eq!(&a >> 0, a);
+    }
+}

@@ -1,0 +1,159 @@
+//! Subtraction (panics on underflow, mirroring unsigned semantics; a
+//! checked variant is provided).
+
+use super::BigUint;
+use crate::limb::{sbb, Limb};
+use std::ops::{Sub, SubAssign};
+
+/// `a -= b` over limb slices; requires `a >= b` numerically.
+/// Returns the final borrow (true means underflow happened).
+#[allow(clippy::needless_range_loop)] // `b` is read conditionally beyond its length
+pub(crate) fn sub_assign_limbs(a: &mut [Limb], b: &[Limb]) -> bool {
+    let mut borrow = false;
+    for i in 0..a.len() {
+        let bi = b.get(i).copied().unwrap_or(0);
+        if i >= b.len() && !borrow {
+            break;
+        }
+        let (d, br) = sbb(a[i], bi, borrow);
+        a[i] = d;
+        borrow = br;
+    }
+    borrow || b.len() > a.len() && b.iter().skip(a.len()).any(|&l| l != 0)
+}
+
+impl BigUint {
+    /// `self - rhs`, or `None` if the result would be negative.
+    pub fn checked_sub(&self, rhs: &BigUint) -> Option<BigUint> {
+        if self < rhs {
+            return None;
+        }
+        let mut out = self.clone();
+        let borrow = sub_assign_limbs(&mut out.limbs, &rhs.limbs);
+        debug_assert!(!borrow);
+        out.normalize();
+        Some(out)
+    }
+
+    /// In-place subtraction; panics if `rhs > self`.
+    pub fn sub_assign_ref(&mut self, rhs: &BigUint) {
+        assert!(&*self >= rhs, "BigUint subtraction underflow: lhs < rhs");
+        let borrow = sub_assign_limbs(&mut self.limbs, &rhs.limbs);
+        debug_assert!(!borrow);
+        self.normalize();
+    }
+
+    /// `|self - rhs|` — the absolute difference.
+    pub fn abs_diff(&self, rhs: &BigUint) -> BigUint {
+        if self >= rhs {
+            self.checked_sub(rhs).expect("self >= rhs")
+        } else {
+            rhs.checked_sub(self).expect("rhs > self")
+        }
+    }
+}
+
+impl<'b> Sub<&'b BigUint> for &BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: &'b BigUint) -> BigUint {
+        let mut out = self.clone();
+        out.sub_assign_ref(rhs);
+        out
+    }
+}
+
+impl Sub<BigUint> for BigUint {
+    type Output = BigUint;
+    fn sub(mut self, rhs: BigUint) -> BigUint {
+        self.sub_assign_ref(&rhs);
+        self
+    }
+}
+
+impl Sub<&BigUint> for BigUint {
+    type Output = BigUint;
+    fn sub(mut self, rhs: &BigUint) -> BigUint {
+        self.sub_assign_ref(rhs);
+        self
+    }
+}
+
+impl Sub<u64> for &BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: u64) -> BigUint {
+        self - &BigUint::from(rhs)
+    }
+}
+
+impl SubAssign<&BigUint> for BigUint {
+    fn sub_assign(&mut self, rhs: &BigUint) {
+        self.sub_assign_ref(rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_sub() {
+        let a = BigUint::from(10u64);
+        let b = BigUint::from(3u64);
+        assert_eq!((&a - &b).to_u64(), Some(7));
+    }
+
+    #[test]
+    fn borrow_across_limbs() {
+        let a = BigUint::power_of_two(64);
+        let one = BigUint::one();
+        assert_eq!((&a - &one).to_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn borrow_ripples_through_many_limbs() {
+        let a = BigUint::power_of_two(192);
+        let diff = &a - &BigUint::one();
+        assert_eq!(diff, BigUint::from_limbs(vec![u64::MAX; 3]));
+    }
+
+    #[test]
+    fn sub_to_zero_normalizes() {
+        let a = BigUint::from_limbs(vec![5, 9]);
+        let d = &a - &a;
+        assert!(d.is_zero());
+        assert_eq!(d.limb_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let _ = &BigUint::from(1u64) - &BigUint::from(2u64);
+    }
+
+    #[test]
+    fn checked_sub_none_on_underflow() {
+        assert_eq!(BigUint::from(1u64).checked_sub(&BigUint::from(2u64)), None);
+        assert_eq!(
+            BigUint::from(2u64).checked_sub(&BigUint::from(1u64)),
+            Some(BigUint::one())
+        );
+    }
+
+    #[test]
+    fn abs_diff_is_symmetric() {
+        let a = BigUint::from(100u64);
+        let b = BigUint::from(58u64);
+        assert_eq!(a.abs_diff(&b), b.abs_diff(&a));
+        assert_eq!(a.abs_diff(&b).to_u64(), Some(42));
+        assert!(a.abs_diff(&a).is_zero());
+    }
+
+    #[test]
+    fn add_then_sub_roundtrip() {
+        let a = BigUint::from_limbs(vec![u64::MAX, u64::MAX, 17]);
+        let b = BigUint::from_limbs(vec![123, u64::MAX]);
+        let sum = &a + &b;
+        assert_eq!(&sum - &b, a);
+        assert_eq!(&sum - &a, b);
+    }
+}

@@ -1,0 +1,138 @@
+//! Single-limb (machine word) arithmetic primitives.
+//!
+//! All multi-precision routines in this crate are built from the carry /
+//! borrow / multiply-accumulate helpers defined here, mirroring the
+//! `bn_mul_add_words`-style primitives at the bottom of OpenSSL's BN.
+
+/// The limb type: one machine word of a big integer (little-endian order).
+pub type Limb = u64;
+
+/// Number of bits in a [`Limb`].
+pub const LIMB_BITS: u32 = 64;
+
+/// Number of bytes in a [`Limb`].
+pub const LIMB_BYTES: usize = 8;
+
+/// Add with carry: returns `(a + b + carry) mod 2^64` and the carry out.
+#[inline(always)]
+pub const fn adc(a: Limb, b: Limb, carry: bool) -> (Limb, bool) {
+    let (s1, c1) = a.overflowing_add(b);
+    let (s2, c2) = s1.overflowing_add(carry as Limb);
+    (s2, c1 | c2)
+}
+
+/// Subtract with borrow: returns `(a - b - borrow) mod 2^64` and the borrow out.
+#[inline(always)]
+pub const fn sbb(a: Limb, b: Limb, borrow: bool) -> (Limb, bool) {
+    let (d1, b1) = a.overflowing_sub(b);
+    let (d2, b2) = d1.overflowing_sub(borrow as Limb);
+    (d2, b1 | b2)
+}
+
+/// Full 64×64→128 multiplication, returned as `(low, high)`.
+#[inline(always)]
+pub const fn full_mul(a: Limb, b: Limb) -> (Limb, Limb) {
+    let wide = (a as u128) * (b as u128);
+    (wide as Limb, (wide >> 64) as Limb)
+}
+
+/// Multiply-accumulate: computes `acc + a * b + carry`, returning the low
+/// limb and the new carry. The result cannot overflow 128 bits because
+/// `(2^64-1)^2 + 2*(2^64-1) < 2^128`.
+#[inline(always)]
+pub const fn mac(acc: Limb, a: Limb, b: Limb, carry: Limb) -> (Limb, Limb) {
+    let wide = (acc as u128) + (a as u128) * (b as u128) + (carry as u128);
+    (wide as Limb, (wide >> 64) as Limb)
+}
+
+/// Divide the double limb `(hi, lo)` by `d`, returning `(quotient, remainder)`.
+///
+/// Requires `hi < d` so the quotient fits in one limb (the precondition of
+/// the hardware `divq` instruction this models).
+#[inline(always)]
+pub fn div2by1(hi: Limb, lo: Limb, d: Limb) -> (Limb, Limb) {
+    debug_assert!(hi < d, "div2by1 quotient would overflow");
+    let num = ((hi as u128) << 64) | (lo as u128);
+    ((num / d as u128) as Limb, (num % d as u128) as Limb)
+}
+
+/// `a * b + c + d` over one limb, full double-width result `(low, high)`.
+/// Used by schoolbook multiplication inner loops.
+#[inline(always)]
+pub const fn muladd2(a: Limb, b: Limb, c: Limb, d: Limb) -> (Limb, Limb) {
+    let wide = (a as u128) * (b as u128) + (c as u128) + (d as u128);
+    (wide as Limb, (wide >> 64) as Limb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adc_no_carry() {
+        assert_eq!(adc(1, 2, false), (3, false));
+    }
+
+    #[test]
+    fn adc_carry_in() {
+        assert_eq!(adc(1, 2, true), (4, false));
+    }
+
+    #[test]
+    fn adc_carry_out() {
+        assert_eq!(adc(Limb::MAX, 1, false), (0, true));
+    }
+
+    #[test]
+    fn adc_carry_in_and_out() {
+        assert_eq!(adc(Limb::MAX, Limb::MAX, true), (Limb::MAX, true));
+    }
+
+    #[test]
+    fn sbb_no_borrow() {
+        assert_eq!(sbb(5, 3, false), (2, false));
+    }
+
+    #[test]
+    fn sbb_borrow_out() {
+        assert_eq!(sbb(0, 1, false), (Limb::MAX, true));
+    }
+
+    #[test]
+    fn sbb_borrow_in_chain() {
+        assert_eq!(sbb(0, 0, true), (Limb::MAX, true));
+        assert_eq!(sbb(1, 0, true), (0, false));
+    }
+
+    #[test]
+    fn full_mul_max() {
+        let (lo, hi) = full_mul(Limb::MAX, Limb::MAX);
+        // (2^64-1)^2 = 2^128 - 2^65 + 1
+        assert_eq!(lo, 1);
+        assert_eq!(hi, Limb::MAX - 1);
+    }
+
+    #[test]
+    fn mac_saturating_inputs() {
+        // max acc + max*max + max carry still fits in 128 bits
+        let (lo, hi) = mac(Limb::MAX, Limb::MAX, Limb::MAX, Limb::MAX);
+        let expect =
+            (Limb::MAX as u128) + (Limb::MAX as u128) * (Limb::MAX as u128) + (Limb::MAX as u128);
+        assert_eq!(lo, expect as Limb);
+        assert_eq!(hi, (expect >> 64) as Limb);
+    }
+
+    #[test]
+    fn div2by1_simple() {
+        assert_eq!(div2by1(0, 100, 7), (14, 2));
+    }
+
+    #[test]
+    fn div2by1_wide() {
+        // (1 << 64) + 5 divided by 3
+        let (q, r) = div2by1(1, 5, 3);
+        let num = (1u128 << 64) + 5;
+        assert_eq!(q as u128, num / 3);
+        assert_eq!(r as u128, num % 3);
+    }
+}

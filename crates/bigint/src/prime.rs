@@ -1,0 +1,300 @@
+//! Primality testing and prime generation.
+//!
+//! Trial division by a sieve of small primes followed by Miller–Rabin,
+//! matching the structure of OpenSSL's `BN_is_prime_fasttest_ex` /
+//! `BN_generate_prime_ex` used by RSA key generation.
+
+use crate::biguint::BigUint;
+use crate::error::BigIntError;
+use rand::Rng;
+
+/// Small primes used for trial division before Miller–Rabin.
+/// The first 128 odd primes suffice to reject ~80% of random candidates.
+pub const SMALL_PRIMES: [u64; 128] = [
+    3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283, 293, 307,
+    311, 313, 317, 331, 337, 347, 349, 353, 359, 367, 373, 379, 383, 389, 397, 401, 409, 419, 421,
+    431, 433, 439, 443, 449, 457, 461, 463, 467, 479, 487, 491, 499, 503, 509, 521, 523, 541, 547,
+    557, 563, 569, 571, 577, 587, 593, 599, 601, 607, 613, 617, 619, 631, 641, 643, 647, 653, 659,
+    661, 673, 677, 683, 691, 701, 709, 719, 727,
+];
+
+/// Number of Miller–Rabin rounds for a given bit length, following the
+/// error-probability table used by OpenSSL (≥ 2^-80 security for the sizes
+/// RSA uses).
+pub fn mr_rounds_for_bits(bits: u32) -> u32 {
+    match bits {
+        0..=512 => 40,
+        513..=1024 => 32,
+        1025..=2048 => 24,
+        _ => 16,
+    }
+}
+
+/// Outcome of a primality test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Primality {
+    /// Certainly composite.
+    Composite,
+    /// Probably prime (error ≤ 4^-rounds).
+    ProbablyPrime,
+}
+
+/// Trial-divide by the small-prime sieve. Returns `Some(Composite)` when a
+/// factor is found, `Some(ProbablyPrime)` when the candidate *is* one of the
+/// small primes, and `None` when the sieve is inconclusive.
+pub fn trial_division(n: &BigUint) -> Option<Primality> {
+    if let Some(v) = n.to_u64() {
+        if v < 2 {
+            return Some(Primality::Composite);
+        }
+        if v == 2 {
+            return Some(Primality::ProbablyPrime);
+        }
+    }
+    if n.is_even() {
+        return Some(Primality::Composite);
+    }
+    for &p in SMALL_PRIMES.iter() {
+        if let Some(v) = n.to_u64() {
+            if v == p {
+                return Some(Primality::ProbablyPrime);
+            }
+        }
+        if (n % p).is_multiple_of(p) {
+            return Some(Primality::Composite);
+        }
+    }
+    None
+}
+
+/// One Miller–Rabin round with witness `a` (must satisfy `2 <= a <= n-2`).
+fn miller_rabin_round(n: &BigUint, a: &BigUint, d: &BigUint, r: u32) -> Primality {
+    let n_minus_1 = n - &BigUint::one();
+    let mut x = a.mod_exp(d, n);
+    if x.is_one() || x == n_minus_1 {
+        return Primality::ProbablyPrime;
+    }
+    for _ in 0..r.saturating_sub(1) {
+        x = x.mod_square(n);
+        if x == n_minus_1 {
+            return Primality::ProbablyPrime;
+        }
+    }
+    Primality::Composite
+}
+
+/// Miller–Rabin probabilistic primality test with `rounds` random witnesses.
+pub fn is_probably_prime<R: Rng + ?Sized>(n: &BigUint, rounds: u32, rng: &mut R) -> Primality {
+    if let Some(res) = trial_division(n) {
+        return res;
+    }
+    // Write n-1 = d * 2^r with d odd.
+    let n_minus_1 = n - &BigUint::one();
+    let r = n_minus_1
+        .trailing_zeros()
+        .expect("n-1 of odd n > 2 is nonzero");
+    let d = &n_minus_1 >> r;
+
+    let two = BigUint::from(2u64);
+    let hi = n - &two; // witnesses in [2, n-2]
+    for _ in 0..rounds {
+        let a = BigUint::random_range(rng, &two, &hi);
+        if miller_rabin_round(n, &a, &d, r) == Primality::Composite {
+            return Primality::Composite;
+        }
+    }
+    Primality::ProbablyPrime
+}
+
+/// Deterministic Miller–Rabin for `n < 3.3 * 10^24` using the known minimal
+/// witness set — handy for exact tests on small values.
+pub fn is_prime_u64(v: u64) -> bool {
+    if v < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if v == p {
+            return true;
+        }
+        if v % p == 0 {
+            return false;
+        }
+    }
+    let n = BigUint::from(v);
+    let n_minus_1 = &n - &BigUint::one();
+    let r = n_minus_1.trailing_zeros().unwrap();
+    let d = &n_minus_1 >> r;
+    for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if miller_rabin_round(&n, &BigUint::from(a), &d, r) == Primality::Composite {
+            return false;
+        }
+    }
+    true
+}
+
+/// Generate a random probable prime with exactly `bits` bits.
+///
+/// Candidates have the top two bits and the low bit set (RSA convention);
+/// each candidate is sieved then Miller–Rabin tested with
+/// [`mr_rounds_for_bits`] rounds.
+pub fn generate_prime<R: Rng + ?Sized>(rng: &mut R, bits: u32) -> Result<BigUint, BigIntError> {
+    if bits < 16 {
+        return Err(BigIntError::BitLengthTooSmall { bits, min: 16 });
+    }
+    let rounds = mr_rounds_for_bits(bits);
+    // Expected number of candidates is O(bits); give ample headroom.
+    let budget = 40 * bits as usize;
+    for _ in 0..budget {
+        let candidate = BigUint::random_prime_candidate(rng, bits);
+        if trial_division(&candidate) == Some(Primality::Composite) {
+            continue;
+        }
+        if is_probably_prime(&candidate, rounds, rng) == Primality::ProbablyPrime {
+            return Ok(candidate);
+        }
+    }
+    Err(BigIntError::PrimeGenerationFailed { bits })
+}
+
+/// Generate a probable prime `p` with `gcd(p-1, e) == 1` — the extra
+/// condition RSA key generation imposes so that `e` is invertible.
+pub fn generate_rsa_prime<R: Rng + ?Sized>(
+    rng: &mut R,
+    bits: u32,
+    e: &BigUint,
+) -> Result<BigUint, BigIntError> {
+    for _ in 0..64 {
+        let p = generate_prime(rng, bits)?;
+        let p_minus_1 = &p - &BigUint::one();
+        if p_minus_1.gcd(e).is_one() {
+            return Ok(p);
+        }
+    }
+    Err(BigIntError::PrimeGenerationFailed { bits })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn small_prime_table_is_prime_and_sorted() {
+        for w in SMALL_PRIMES.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for &p in SMALL_PRIMES.iter() {
+            assert!(is_prime_u64(p), "{p} in table but not prime");
+        }
+    }
+
+    #[test]
+    fn is_prime_u64_known_values() {
+        let primes = [2u64, 3, 5, 7, 97, 7919, 1000000007, 0xffffffffffffffc5];
+        let composites = [
+            0u64, 1, 4, 9, 91,  /* 7*13 */
+            561, /* Carmichael */
+            1000000008,
+        ];
+        for p in primes {
+            assert!(is_prime_u64(p), "{p} should be prime");
+        }
+        for c in composites {
+            assert!(!is_prime_u64(c), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn trial_division_catches_small_factors() {
+        assert_eq!(
+            trial_division(&BigUint::from(15u64)),
+            Some(Primality::Composite)
+        );
+        assert_eq!(
+            trial_division(&BigUint::from(2u64)),
+            Some(Primality::ProbablyPrime)
+        );
+        assert_eq!(
+            trial_division(&BigUint::from(101u64)),
+            Some(Primality::ProbablyPrime)
+        );
+        // 1009 is prime and beyond the sieve — inconclusive.
+        assert_eq!(trial_division(&BigUint::from(1009u64)), None);
+    }
+
+    #[test]
+    fn miller_rabin_agrees_with_deterministic() {
+        let mut r = rng();
+        for v in [1009u64, 1013, 1000003, 1000033, 1000000007] {
+            assert_eq!(
+                is_probably_prime(&BigUint::from(v), 20, &mut r),
+                Primality::ProbablyPrime,
+                "{v}"
+            );
+        }
+        for v in [
+            1001u64,  /* 7*11*13 */
+            1000001,  /* 101*9901 */
+            25326001, /* strong pseudoprime to 2,3,5 */
+        ] {
+            assert_eq!(
+                is_probably_prime(&BigUint::from(v), 20, &mut r),
+                Primality::Composite,
+                "{v}"
+            );
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        let mut r = rng();
+        for v in [561u64, 1105, 1729, 2465, 2821, 6601, 8911] {
+            assert_eq!(
+                is_probably_prime(&BigUint::from(v), 20, &mut r),
+                Primality::Composite,
+                "Carmichael {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn generate_prime_has_requested_shape() {
+        let mut r = rng();
+        let p = generate_prime(&mut r, 128).unwrap();
+        assert_eq!(p.bit_length(), 128);
+        assert!(p.is_odd());
+        assert_eq!(is_probably_prime(&p, 20, &mut r), Primality::ProbablyPrime);
+    }
+
+    #[test]
+    fn generate_prime_rejects_tiny_requests() {
+        let mut r = rng();
+        assert!(matches!(
+            generate_prime(&mut r, 8),
+            Err(BigIntError::BitLengthTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn generate_rsa_prime_coprime_to_e() {
+        let mut r = rng();
+        let e = BigUint::from(65537u64);
+        let p = generate_rsa_prime(&mut r, 128, &e).unwrap();
+        assert!((&p - &BigUint::one()).gcd(&e).is_one());
+    }
+
+    #[test]
+    fn mr_round_table() {
+        assert_eq!(mr_rounds_for_bits(256), 40);
+        assert_eq!(mr_rounds_for_bits(1024), 32);
+        assert_eq!(mr_rounds_for_bits(2048), 24);
+        assert_eq!(mr_rounds_for_bits(4096), 16);
+    }
+}

@@ -1,0 +1,132 @@
+//! Random generation of big integers.
+
+use crate::biguint::BigUint;
+use crate::limb::LIMB_BITS;
+use rand::Rng;
+
+impl BigUint {
+    /// Uniformly random value with exactly `bits` significant bits
+    /// (the top bit is forced to 1). `bits` must be ≥ 1.
+    pub fn random_bits<R: Rng + ?Sized>(rng: &mut R, bits: u32) -> BigUint {
+        assert!(bits >= 1, "need at least one bit");
+        let limbs = bits.div_ceil(LIMB_BITS) as usize;
+        let mut v: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
+        let top_bits = bits - (limbs as u32 - 1) * LIMB_BITS;
+        let top = &mut v[limbs - 1];
+        if top_bits < LIMB_BITS {
+            *top &= (1u64 << top_bits) - 1;
+        }
+        *top |= 1u64 << (top_bits - 1);
+        BigUint::from_limbs(v)
+    }
+
+    /// Uniformly random value in `[0, bound)`. Panics if `bound` is zero.
+    pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
+        assert!(!bound.is_zero(), "empty range");
+        let bits = bound.bit_length();
+        // Rejection sampling over the bit-width of the bound.
+        loop {
+            let limbs = bits.div_ceil(LIMB_BITS) as usize;
+            let mut v: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
+            let top_bits = bits - (limbs as u32 - 1) * LIMB_BITS;
+            if top_bits < LIMB_BITS {
+                v[limbs - 1] &= (1u64 << top_bits) - 1;
+            }
+            let candidate = BigUint::from_limbs(v);
+            if &candidate < bound {
+                return candidate;
+            }
+        }
+    }
+
+    /// Uniformly random value in `[lo, hi)`. Panics if the range is empty.
+    pub fn random_range<R: Rng + ?Sized>(rng: &mut R, lo: &BigUint, hi: &BigUint) -> BigUint {
+        assert!(lo < hi, "empty range");
+        let width = hi - lo;
+        lo + &BigUint::random_below(rng, &width)
+    }
+
+    /// Random *odd* value with exactly `bits` significant bits — the shape
+    /// of a prime candidate. Requires `bits >= 2`; the top two bits are set
+    /// so that products of two such values have the full `2*bits` length
+    /// (the RSA convention).
+    pub fn random_prime_candidate<R: Rng + ?Sized>(rng: &mut R, bits: u32) -> BigUint {
+        assert!(bits >= 2, "prime candidates need at least 2 bits");
+        let mut n = BigUint::random_bits(rng, bits);
+        n.set_bit(0, true);
+        n.set_bit(bits - 2, true);
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5EED)
+    }
+
+    #[test]
+    fn random_bits_exact_length() {
+        let mut r = rng();
+        for bits in [1u32, 2, 63, 64, 65, 512, 1000] {
+            let n = BigUint::random_bits(&mut r, bits);
+            assert_eq!(n.bit_length(), bits, "requested {bits}");
+        }
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut r = rng();
+        let bound = BigUint::from(1000u64);
+        for _ in 0..200 {
+            let n = BigUint::random_below(&mut r, &bound);
+            assert!(n < bound);
+        }
+    }
+
+    #[test]
+    fn random_below_covers_small_range() {
+        // With bound 2 we must see both 0 and 1 quickly.
+        let mut r = rng();
+        let bound = BigUint::from(2u64);
+        let mut seen = [false; 2];
+        for _ in 0..100 {
+            let v = BigUint::random_below(&mut r, &bound).to_u64().unwrap();
+            seen[v as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn random_range_respects_bounds() {
+        let mut r = rng();
+        let lo = BigUint::from(50u64);
+        let hi = BigUint::from(60u64);
+        for _ in 0..100 {
+            let n = BigUint::random_range(&mut r, &lo, &hi);
+            assert!(n >= lo && n < hi);
+        }
+    }
+
+    #[test]
+    fn prime_candidate_shape() {
+        let mut r = rng();
+        for bits in [8u32, 64, 128, 512] {
+            let n = BigUint::random_prime_candidate(&mut r, bits);
+            assert_eq!(n.bit_length(), bits);
+            assert!(n.is_odd());
+            assert!(n.bit(bits - 2), "second-highest bit set");
+        }
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let a = BigUint::random_bits(&mut StdRng::seed_from_u64(7), 256);
+        let b = BigUint::random_bits(&mut StdRng::seed_from_u64(7), 256);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,217 @@
+//! Property-based tests of the big-integer ring axioms and division /
+//! inverse identities.
+
+use phi_bigint::{BigInt, BigUint};
+use proptest::prelude::*;
+
+/// Strategy: a BigUint from 0 to ~512 bits.
+fn biguint() -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u64>(), 0..8).prop_map(BigUint::from_limbs)
+}
+
+/// Strategy: a nonzero BigUint.
+fn biguint_nonzero() -> impl Strategy<Value = BigUint> {
+    biguint().prop_map(|n| if n.is_zero() { BigUint::one() } else { n })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn add_commutative(a in biguint(), b in biguint()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associative(a in biguint(), b in biguint(), c in biguint()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn add_sub_roundtrip(a in biguint(), b in biguint()) {
+        let sum = &a + &b;
+        prop_assert_eq!(&sum - &b, a);
+    }
+
+    #[test]
+    fn mul_commutative(a in biguint(), b in biguint()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn mul_associative(a in biguint(), b in biguint(), c in biguint()) {
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+    }
+
+    #[test]
+    fn mul_distributes(a in biguint(), b in biguint(), c in biguint()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn karatsuba_equals_schoolbook(a in biguint(), b in biguint()) {
+        prop_assert_eq!(a.mul_ref(&b), a.mul_schoolbook(&b));
+    }
+
+    #[test]
+    fn square_equals_self_mul(a in biguint()) {
+        prop_assert_eq!(a.square(), &a * &a);
+    }
+
+    #[test]
+    fn div_rem_identity(u in biguint(), v in biguint_nonzero()) {
+        let (q, r) = u.div_rem(&v).unwrap();
+        prop_assert!(r < v);
+        prop_assert_eq!(&(&q * &v) + &r, u);
+    }
+
+    #[test]
+    fn shift_left_is_mul_by_power_of_two(a in biguint(), s in 0u32..200) {
+        prop_assert_eq!(&a << s, &a * &BigUint::power_of_two(s));
+    }
+
+    #[test]
+    fn shift_right_is_div_by_power_of_two(a in biguint(), s in 0u32..200) {
+        prop_assert_eq!(&a >> s, &a / &BigUint::power_of_two(s));
+    }
+
+    #[test]
+    fn hex_roundtrip(a in biguint()) {
+        prop_assert_eq!(BigUint::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn dec_roundtrip(a in biguint()) {
+        prop_assert_eq!(BigUint::from_dec(&a.to_dec()).unwrap(), a);
+    }
+
+    #[test]
+    fn bytes_be_roundtrip(a in biguint()) {
+        prop_assert_eq!(BigUint::from_bytes_be(&a.to_bytes_be()), a);
+    }
+
+    #[test]
+    fn bit_length_bounds(a in biguint_nonzero()) {
+        let bl = a.bit_length();
+        prop_assert!(a >= BigUint::power_of_two(bl - 1));
+        prop_assert!(a < BigUint::power_of_two(bl));
+    }
+
+    #[test]
+    fn gcd_divides_both(a in biguint_nonzero(), b in biguint_nonzero()) {
+        let g = a.gcd(&b);
+        prop_assert!((&a % &g).is_zero());
+        prop_assert!((&b % &g).is_zero());
+    }
+
+    #[test]
+    fn bezout_identity(a in biguint_nonzero(), b in biguint_nonzero()) {
+        let (g, x, y) = a.extended_gcd(&b);
+        let lhs = &(&BigInt::from(a) * &x) + &(&BigInt::from(b) * &y);
+        prop_assert_eq!(lhs, BigInt::from(g));
+    }
+
+    #[test]
+    fn mod_inverse_is_inverse(a in biguint_nonzero(), m in biguint_nonzero()) {
+        // Only meaningful when coprime and m > 1.
+        prop_assume!(!m.is_one());
+        prop_assume!(a.gcd(&m).is_one());
+        let inv = a.mod_inverse(&m).unwrap();
+        prop_assert!(a.mod_mul(&inv, &m).is_one());
+    }
+
+    #[test]
+    fn mod_exp_matches_naive_small(a in 0u64..1000, e in 0u64..64, m in 2u64..1000) {
+        let big = BigUint::from(a).mod_exp(&BigUint::from(e), &BigUint::from(m));
+        // Naive u128 computation.
+        let mut acc: u128 = 1;
+        for _ in 0..e {
+            acc = acc * (a as u128) % (m as u128);
+        }
+        prop_assert_eq!(big.to_u64(), Some(acc as u64));
+    }
+
+    #[test]
+    fn mod_arith_consistency(a in biguint(), b in biguint(), m in biguint_nonzero()) {
+        // (a+b) - b ≡ a  and  mod_sub inverts mod_add.
+        let s = a.mod_add(&b, &m);
+        prop_assert_eq!(s.mod_sub(&b, &m), &a % &m);
+    }
+
+    #[test]
+    fn extract_bits_matches_shift_mask(a in biguint(), lo in 0u32..300, len in 1u32..=64) {
+        let direct = a.extract_bits(lo, len);
+        let mut shifted = &a >> lo;
+        shifted.mask_low_bits(len);
+        prop_assert_eq!(BigUint::from(direct), shifted);
+    }
+}
+
+// ---------------------------------------------------------------- signed
+
+mod signed {
+    use phi_bigint::{BigInt, BigUint, Sign};
+    use proptest::prelude::*;
+
+    fn model(v: i64) -> BigInt {
+        BigInt::from(v)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn add_matches_i128(a in -1_000_000_000i64..1_000_000_000, b in -1_000_000_000i64..1_000_000_000) {
+            let got = &model(a) + &model(b);
+            prop_assert_eq!(got, BigInt::from(a + b));
+        }
+
+        #[test]
+        fn sub_matches_i128(a in -1_000_000_000i64..1_000_000_000, b in -1_000_000_000i64..1_000_000_000) {
+            let got = &model(a) - &model(b);
+            prop_assert_eq!(got, BigInt::from(a - b));
+        }
+
+        #[test]
+        fn mul_matches_i128(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+            let got = &model(a) * &model(b);
+            prop_assert_eq!(got, BigInt::from(a * b));
+        }
+
+        #[test]
+        fn neg_is_involution(a in any::<i64>()) {
+            let x = model(a);
+            prop_assert_eq!(-(-x.clone()), x);
+        }
+
+        #[test]
+        fn ordering_matches_i64(a in any::<i64>(), b in any::<i64>()) {
+            prop_assert_eq!(model(a).cmp(&model(b)), a.cmp(&b));
+        }
+
+        #[test]
+        fn rem_euclid_in_range(a in any::<i64>(), m in 1u64..1_000_000) {
+            let modulus = BigUint::from(m);
+            let r = model(a).rem_euclid(&modulus);
+            prop_assert!(r < modulus);
+            // Matches i128 rem_euclid.
+            let want = (a as i128).rem_euclid(m as i128) as u64;
+            prop_assert_eq!(r.to_u64(), Some(want));
+        }
+
+        #[test]
+        fn sign_magnitude_consistent(a in any::<i64>()) {
+            let x = model(a);
+            match a.cmp(&0) {
+                std::cmp::Ordering::Less => {
+                    prop_assert_eq!(x.sign(), Sign::Minus);
+                    prop_assert_eq!(x.magnitude().to_u64(), Some(a.unsigned_abs()));
+                }
+                _ => {
+                    prop_assert_eq!(x.sign(), Sign::Plus);
+                    prop_assert_eq!(x.magnitude().to_u64(), Some(a as u64));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! Sixteen-way batched Montgomery multiplication — the second
+//! vectorization axis.
+//!
+//! Instead of spreading one multiplication's columns across lanes
+//! (the [`vmont`](crate::vmont) kernel), this kernel runs **sixteen
+//! independent multiplications**, one per 32-bit lane, against a shared
+//! modulus (the natural shape of a busy RSA server: many handshakes, one
+//! private key). Digit `d` of operation `j` lives in lane `j` of the
+//! digit-`d` vector (a transposed, digit-major layout).
+//!
+//! The payoff over the intra-operand kernel is that the per-row scalar
+//! glue — quotient computation, carry handling — also vectorizes: there is
+//! no broadcast and no scalar multiply on the critical path. The cost is a
+//! transpose at the batch boundary and a memory-resident accumulator.
+//! Experiment E8 quantifies the trade.
+
+#![allow(clippy::needless_range_loop)] // explicit lane/column indices read as kernel semantics
+
+use crate::radix::{VecNum, DIGIT_BITS, DIGIT_MASK, LANES};
+use crate::vmont::VMontCtx;
+use phi_bigint::BigUint;
+use phi_mont::MontEngine;
+use phi_simd::count::{record, OpClass};
+use phi_simd::{U32x16, U64x8};
+
+/// Operations per batch (one per 32-bit lane of a 512-bit register).
+pub const BATCH_WIDTH: usize = 16;
+
+/// Sixteen same-shaped values in transposed (digit-major) layout:
+/// `cols[d]` holds digit `d` of every operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Batch16 {
+    cols: Vec<U32x16>,
+}
+
+impl Batch16 {
+    /// Transpose sixteen context-shaped values into batch layout.
+    ///
+    /// Charged as the in-register 16×16 transpose networks the real kernel
+    /// runs at batch boundaries (~4 swizzles per produced vector).
+    pub fn transpose_from(values: &[VecNum]) -> Self {
+        assert_eq!(values.len(), BATCH_WIDTH, "need exactly 16 values");
+        let len = values[0].len();
+        assert!(
+            values.iter().all(|v| v.len() == len),
+            "batch values must share one shape"
+        );
+        let mut cols = Vec::with_capacity(len);
+        for d in 0..len {
+            let mut lanes = [0u32; 16];
+            for (j, v) in values.iter().enumerate() {
+                debug_assert!(v.digit(d) <= DIGIT_MASK);
+                lanes[j] = v.digit(d) as u32;
+            }
+            cols.push(U32x16::from_lanes(lanes));
+            record(OpClass::VPerm, 4);
+        }
+        Batch16 { cols }
+    }
+
+    /// Transpose back to sixteen individual values.
+    pub fn transpose_out(&self) -> Vec<VecNum> {
+        let len = self.cols.len();
+        let mut out = vec![VecNum::zero(len); BATCH_WIDTH];
+        for (d, col) in self.cols.iter().enumerate() {
+            record(OpClass::VPerm, 4);
+            for (j, v) in out.iter_mut().enumerate() {
+                v.digits_mut()[d] = col.lane(j) as u64;
+            }
+        }
+        out
+    }
+
+    /// Digit slots per operation.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The transposed digit columns (kernel internal).
+    pub(crate) fn cols(&self) -> &[U32x16] {
+        &self.cols
+    }
+
+    /// True if the batch has no digit slots.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+}
+
+/// The batched Montgomery engine for one shared modulus.
+#[derive(Debug, Clone)]
+pub struct BatchMont<'c> {
+    ctx: &'c VMontCtx,
+    /// Modulus digits, broadcast per column (shared by all lanes).
+    n_cols: Vec<u64>,
+}
+
+impl<'c> BatchMont<'c> {
+    /// Wrap a vector context for batched use.
+    pub fn new(ctx: &'c VMontCtx) -> Self {
+        BatchMont {
+            ctx,
+            n_cols: ctx.n_digits().to_vec(),
+        }
+    }
+
+    /// The underlying context.
+    pub fn ctx(&self) -> &VMontCtx {
+        self.ctx
+    }
+
+    /// Sixteen Montgomery products at once: `out[j] = a[j]·b[j]·R⁻¹ mod n`.
+    ///
+    /// All operands must be context-shaped and `< n`.
+    pub fn mont_mul_16(&self, a: &Batch16, b: &Batch16) -> Batch16 {
+        let kk = self.ctx.padded_digits();
+        let k = self.ctx.digits();
+        debug_assert_eq!(a.len(), kk);
+        debug_assert_eq!(b.len(), kk);
+
+        // Memory-resident accumulator: per column, two u64x8 halves.
+        let mut acc: Vec<(U64x8, U64x8)> = vec![(U64x8::zero(), U64x8::zero()); kk];
+        let n0_inv = self.ctx.n0_inv();
+
+        let b_halves: Vec<(U64x8, U64x8)> = b
+            .cols
+            .iter()
+            .map(|c| (c.widen_lo(), c.widen_hi()))
+            .collect();
+        let n_splats: Vec<U64x8> = self.n_cols.iter().map(|&d| U64x8::splat(d)).collect();
+
+        let n0v = U64x8::splat(n0_inv);
+        let maskv = U64x8::splat(DIGIT_MASK);
+
+        for i in 0..k {
+            // Per-lane digit i of a (two widened halves; loads folded).
+            let av0 = a.cols[i].widen_lo();
+            let av1 = a.cols[i].widen_hi();
+
+            // Phase 1 on column 0 only, so q can be computed before
+            // streaming the rest of the row.
+            let (c00, c01) = acc[0];
+            let t00 = c00.fma32(av0, b_halves[0].0);
+            let t01 = c01.fma32(av1, b_halves[0].1);
+
+            // q = (t0 mod 2^27)·n0' mod 2^27, lane-wise and fully vectorized
+            // (no scalar glue — the batched kernel's advantage).
+            let q0 = U64x8::zero().fma32(t00.and(maskv), n0v).and(maskv);
+            let q1 = U64x8::zero().fma32(t01.and(maskv), n0v).and(maskv);
+
+            // Column 0 phase 2.
+            let t00 = t00.fma32(q0, n_splats[0]);
+            let t01 = t01.fma32(q1, n_splats[0]);
+            debug_assert!(t00.to_lanes().iter().all(|&l| l & DIGIT_MASK == 0));
+            let carry0 = t00.shr(DIGIT_BITS);
+            let carry1 = t01.shr(DIGIT_BITS);
+
+            // Stream remaining columns: one store per column; loads fold.
+            for d in 1..kk {
+                let (cd0, cd1) = acc[d];
+                let mut nd0 = cd0.fma32(av0, b_halves[d].0).fma32(q0, n_splats[d]);
+                let mut nd1 = cd1.fma32(av1, b_halves[d].1).fma32(q1, n_splats[d]);
+                if d == 1 {
+                    nd0 = nd0.add(carry0);
+                    nd1 = nd1.add(carry1);
+                }
+                // Shift integrated into the store address: column d lands
+                // in accumulator slot d-1.
+                acc[d - 1] = (nd0, nd1);
+                record(OpClass::VMem, 2);
+            }
+            acc[kk - 1] = (U64x8::zero(), U64x8::zero());
+        }
+
+        // Normalize and conditionally subtract per lane (scalar epilogue,
+        // one pass per operation — same footprint as 16 single epilogues).
+        let n_vecnum = self.n_vecnum();
+        let mut outs = Vec::with_capacity(BATCH_WIDTH);
+        for lane in 0..BATCH_WIDTH {
+            let (half, idx) = (lane / 8, lane % 8);
+            let mut v = VecNum::zero(kk);
+            let mut carry = 0u64;
+            for d in 0..kk {
+                let cell = if half == 0 {
+                    acc[d].0.lane(idx)
+                } else {
+                    acc[d].1.lane(idx)
+                };
+                let s = cell + carry;
+                v.digits_mut()[d] = s & DIGIT_MASK;
+                carry = s >> DIGIT_BITS;
+            }
+            debug_assert_eq!(carry, 0);
+            record(OpClass::SAlu, 3 * kk as u64);
+            record(OpClass::SMem, kk as u64);
+            if v.cmp_digits(&n_vecnum) != std::cmp::Ordering::Less {
+                v.sub_assign_digits(&n_vecnum);
+            }
+            outs.push(v);
+        }
+        Batch16::transpose_from(&outs)
+    }
+
+    /// Sixteen exponentiations `base[j]^exp mod n` with one shared exponent
+    /// (the RSA-server shape: one private key, many ciphertexts), using the
+    /// fixed-window ladder.
+    pub fn mod_exp_16(&self, bases: &[BigUint], exp: &BigUint, window: u32) -> Vec<BigUint> {
+        assert_eq!(bases.len(), BATCH_WIDTH);
+        assert!((1..=7).contains(&window));
+        if self.ctx.modulus().is_one() {
+            return vec![BigUint::zero(); BATCH_WIDTH];
+        }
+        if exp.is_zero() {
+            return vec![BigUint::one(); BATCH_WIDTH];
+        }
+
+        let base_m: Vec<VecNum> = bases.iter().map(|b| self.ctx.to_mont_vec(b)).collect();
+        let base_b = Batch16::transpose_from(&base_m);
+
+        // table[v] = batch of base^v.
+        let one_b = Batch16::transpose_from(&vec![self.ctx.one_mont_vec(); BATCH_WIDTH]);
+        let table_len = 1usize << window;
+        let mut table = Vec::with_capacity(table_len);
+        table.push(one_b);
+        for v in 1..table_len {
+            let prev: &Batch16 = &table[v - 1];
+            table.push(self.mont_mul_16(prev, &base_b));
+        }
+
+        let bits = exp.bit_length();
+        let windows = bits.div_ceil(window);
+        let mut acc = table[0].clone();
+        for win in (0..windows).rev() {
+            for _ in 0..window {
+                acc = self.mont_mul_16(&acc, &acc);
+            }
+            let lo = win * window;
+            let width = window.min(bits - lo);
+            let val = exp.extract_bits(lo, width) as usize;
+            record(OpClass::SAlu, 4);
+            record(OpClass::VMem, 2 * (self.ctx.padded_digits() / LANES) as u64);
+            acc = self.mont_mul_16(&acc, &table[val]);
+        }
+
+        acc.transpose_out()
+            .iter()
+            .map(|v| {
+                let one = {
+                    let mut o = self.ctx.zero_vec();
+                    o.digits_mut()[0] = 1;
+                    o
+                };
+                self.ctx.mont_mul_vec(v, &one).to_biguint()
+            })
+            .collect()
+    }
+
+    fn n_vecnum(&self) -> VecNum {
+        let mut v = VecNum::zero(self.ctx.padded_digits());
+        v.digits_mut().copy_from_slice(&self.n_cols);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phi_simd::count;
+
+    fn ctx256() -> VMontCtx {
+        VMontCtx::new(
+            &BigUint::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff61")
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn sixteen_values(ctx: &VMontCtx, seed: u64) -> (Vec<BigUint>, Vec<VecNum>) {
+        let n = ctx.modulus().clone();
+        let mut plain = Vec::new();
+        let mut vecs = Vec::new();
+        let mut state = seed;
+        for _ in 0..BATCH_WIDTH {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = &BigUint::from(state) * &BigUint::from(state ^ 0xABCD) % &n;
+            vecs.push(ctx.to_vec_form(&v));
+            plain.push(v);
+        }
+        (plain, vecs)
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let ctx = ctx256();
+        let (_, vecs) = sixteen_values(&ctx, 42);
+        let b = Batch16::transpose_from(&vecs);
+        assert_eq!(b.transpose_out(), vecs);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly 16")]
+    fn transpose_requires_sixteen() {
+        let ctx = ctx256();
+        let v = vec![ctx.zero_vec(); 3];
+        Batch16::transpose_from(&v);
+    }
+
+    #[test]
+    fn batched_mul_matches_single_kernel() {
+        let ctx = ctx256();
+        let bm = BatchMont::new(&ctx);
+        let (_, av) = sixteen_values(&ctx, 1);
+        let (_, bv) = sixteen_values(&ctx, 2);
+        let got = bm
+            .mont_mul_16(&Batch16::transpose_from(&av), &Batch16::transpose_from(&bv))
+            .transpose_out();
+        for j in 0..BATCH_WIDTH {
+            let want = ctx.mont_mul_vec(&av[j], &bv[j]);
+            assert_eq!(got[j], want, "lane {j}");
+        }
+    }
+
+    #[test]
+    fn batched_mul_with_extreme_lanes() {
+        let ctx = ctx256();
+        let n = ctx.modulus().clone();
+        let bm = BatchMont::new(&ctx);
+        // Mix zeros, ones and n-1 across lanes.
+        let mut vals = Vec::new();
+        for j in 0..BATCH_WIDTH {
+            let v = match j % 4 {
+                0 => BigUint::zero(),
+                1 => BigUint::one(),
+                2 => &n - &BigUint::one(),
+                _ => BigUint::from(j as u64 * 12345),
+            };
+            vals.push(ctx.to_vec_form(&v));
+        }
+        let b = Batch16::transpose_from(&vals);
+        let got = bm.mont_mul_16(&b, &b).transpose_out();
+        for j in 0..BATCH_WIDTH {
+            assert_eq!(got[j], ctx.mont_mul_vec(&vals[j], &vals[j]), "lane {j}");
+        }
+    }
+
+    #[test]
+    fn batched_exp_matches_oracle() {
+        let ctx = ctx256();
+        let n = ctx.modulus().clone();
+        let bm = BatchMont::new(&ctx);
+        let (plain, _) = sixteen_values(&ctx, 7);
+        let exp = BigUint::from_hex("deadbeefcafebabe").unwrap();
+        let got = bm.mod_exp_16(&plain, &exp, 5);
+        for j in 0..BATCH_WIDTH {
+            assert_eq!(got[j], plain[j].mod_exp(&exp, &n), "lane {j}");
+        }
+    }
+
+    #[test]
+    fn batched_exp_edge_exponents() {
+        let ctx = ctx256();
+        let bm = BatchMont::new(&ctx);
+        let (plain, _) = sixteen_values(&ctx, 9);
+        let zeros = bm.mod_exp_16(&plain, &BigUint::zero(), 5);
+        assert!(zeros.iter().all(|v| v.is_one()));
+        let ones = bm.mod_exp_16(&plain, &BigUint::one(), 5);
+        assert_eq!(ones, plain);
+    }
+
+    #[test]
+    fn batch_beats_sixteen_singles_in_vector_ops() {
+        let ctx = ctx256();
+        let bm = BatchMont::new(&ctx);
+        let (_, av) = sixteen_values(&ctx, 11);
+        let (_, bv) = sixteen_values(&ctx, 12);
+        let ab = Batch16::transpose_from(&av);
+        let bb = Batch16::transpose_from(&bv);
+        count::reset();
+        let (_, d_batch) = count::measure(|| bm.mont_mul_16(&ab, &bb));
+        let (_, d_single) = count::measure(|| {
+            for j in 0..BATCH_WIDTH {
+                let _ = ctx.mont_mul_vec(&av[j], &bv[j]);
+            }
+        });
+        // No scalar multiplies on the batched critical path…
+        assert_eq!(d_batch.get(OpClass::SMul32), 0);
+        assert!(d_single.get(OpClass::SMul32) > 0);
+        // …and fewer broadcast/permute slots.
+        assert!(d_batch.get(OpClass::VPerm) < d_single.get(OpClass::VPerm));
+    }
+}

@@ -1,0 +1,225 @@
+//! The batched CRT engine: the card-side service loop of the paper's
+//! deployment — sixteen RSA private operations per pass, each half of the
+//! CRT running through the 16-way lane-batched Montgomery ladder.
+//!
+//! For a server with one private key, every request shares `(p, q, dp,
+//! dq, qInv)`, so a batch of ciphertexts is exactly the shape
+//! [`BatchMont`] wants: the two half-size exponentiations run with one
+//! shared exponent each, and only the Garner recombination is per-lane.
+
+use crate::batch::{BatchMont, BATCH_WIDTH};
+use crate::crt::CrtKey;
+use crate::vexp::DEFAULT_WINDOW;
+use crate::vmont::VMontCtx;
+use crate::vmul::big_mul_vectorized;
+use phi_bigint::{BigIntError, BigUint};
+
+/// A reusable engine executing RSA private operations sixteen at a time.
+pub struct BatchCrtEngine {
+    ctx_p: VMontCtx,
+    ctx_q: VMontCtx,
+    p: BigUint,
+    q: BigUint,
+    dp: BigUint,
+    dq: BigUint,
+    qinv: BigUint,
+    n: BigUint,
+    window: u32,
+}
+
+impl BatchCrtEngine {
+    /// Build from CRT key material.
+    pub fn new(key: &CrtKey) -> Result<Self, BigIntError> {
+        Self::from_parts(
+            key.modulus().clone(),
+            key.dp().clone(),
+            key.dq().clone(),
+            key.qinv().clone(),
+            key.p_modulus().clone(),
+            key.q_modulus().clone(),
+        )
+    }
+
+    /// Build from raw components (`n = p·q` is trusted, not recomputed).
+    pub fn from_parts(
+        n: BigUint,
+        dp: BigUint,
+        dq: BigUint,
+        qinv: BigUint,
+        p: BigUint,
+        q: BigUint,
+    ) -> Result<Self, BigIntError> {
+        Ok(BatchCrtEngine {
+            ctx_p: VMontCtx::new(&p)?,
+            ctx_q: VMontCtx::new(&q)?,
+            p,
+            q,
+            dp,
+            dq,
+            qinv,
+            n,
+            window: DEFAULT_WINDOW,
+        })
+    }
+
+    /// Override the fixed-window width.
+    pub fn with_window(mut self, window: u32) -> Self {
+        assert!((1..=7).contains(&window));
+        self.window = window;
+        self
+    }
+
+    /// The public modulus.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// Execute `c^d mod n` for exactly [`BATCH_WIDTH`] ciphertexts.
+    pub fn private_op_16(&self, cts: &[BigUint]) -> Vec<BigUint> {
+        assert_eq!(cts.len(), BATCH_WIDTH, "need exactly {BATCH_WIDTH} inputs");
+        let bp = BatchMont::new(&self.ctx_p);
+        let bq = BatchMont::new(&self.ctx_q);
+        // Two shared-exponent batched ladders…
+        let m1 = bp.mod_exp_16(cts, &self.dp, self.window);
+        let m2 = bq.mod_exp_16(cts, &self.dq, self.window);
+        // …then per-lane Garner recombination.
+        let qinv_mont = self.ctx_p.to_mont_vec(&self.qinv);
+        m1.iter()
+            .zip(m2.iter())
+            .map(|(m1, m2)| {
+                let diff = m1.mod_sub(m2, &self.p);
+                let h = self
+                    .ctx_p
+                    .mont_mul_vec(&qinv_mont, &self.ctx_p.to_vec_form(&diff))
+                    .to_biguint();
+                m2 + &big_mul_vectorized(&h, &self.q)
+            })
+            .collect()
+    }
+
+    /// Execute an arbitrary number of operations, running full batches
+    /// through the lane engine and the remainder through single-lane CRT.
+    pub fn private_op_many(&self, cts: &[BigUint]) -> Vec<BigUint> {
+        let mut out = Vec::with_capacity(cts.len());
+        let mut chunks = cts.chunks_exact(BATCH_WIDTH);
+        for chunk in &mut chunks {
+            out.extend(self.private_op_16(chunk));
+        }
+        for c in chunks.remainder() {
+            out.push(self.private_op_single(c));
+        }
+        out
+    }
+
+    /// One operation through the intra-operand (non-batched) path.
+    pub fn private_op_single(&self, c: &BigUint) -> BigUint {
+        use crate::vexp::{exp_fixed_window_vec, TableLookup};
+        let m1 = {
+            let cm = self.ctx_p.to_mont_vec(c);
+            let r =
+                exp_fixed_window_vec(&self.ctx_p, &cm, &self.dp, self.window, TableLookup::Direct);
+            self.ctx_p.from_mont_vec(&r)
+        };
+        let m2 = {
+            let cm = self.ctx_q.to_mont_vec(c);
+            let r =
+                exp_fixed_window_vec(&self.ctx_q, &cm, &self.dq, self.window, TableLookup::Direct);
+            self.ctx_q.from_mont_vec(&r)
+        };
+        let diff = m1.mod_sub(&m2, &self.p);
+        let qinv_mont = self.ctx_p.to_mont_vec(&self.qinv);
+        let h = self
+            .ctx_p
+            .mont_mul_vec(&qinv_mont, &self.ctx_p.to_vec_form(&diff))
+            .to_biguint();
+        &m2 + &big_mul_vectorized(&h, &self.q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vexp::TableLookup;
+    use phi_simd::count::{self, OpClass};
+
+    fn demo() -> (BatchCrtEngine, CrtKey, BigUint, BigUint) {
+        let p = BigUint::from_hex("ffffffffffffffc5").unwrap(); // 2^64-59
+        let q = BigUint::from_hex("7fffffffffffffe7").unwrap(); // 2^63-25
+        let e = BigUint::from(65537u64);
+        let phi = &(&p - &BigUint::one()) * &(&q - &BigUint::one());
+        let d = e.mod_inverse(&phi).unwrap();
+        let key = CrtKey::new(&p, &q, &d).unwrap();
+        let engine = BatchCrtEngine::new(&key).unwrap();
+        (engine, key, e, d)
+    }
+
+    fn ciphertexts(n: &BigUint, e: &BigUint, count: usize) -> (Vec<BigUint>, Vec<BigUint>) {
+        let msgs: Vec<BigUint> = (0..count as u64)
+            .map(|i| &BigUint::from(0x1234_5678u64 + i * 7919) % n)
+            .collect();
+        let cts = msgs.iter().map(|m| m.mod_exp(e, n)).collect();
+        (msgs, cts)
+    }
+
+    #[test]
+    fn batch_of_16_decrypts_correctly() {
+        let (engine, _, e, _) = demo();
+        let (msgs, cts) = ciphertexts(engine.modulus(), &e, BATCH_WIDTH);
+        assert_eq!(engine.private_op_16(&cts), msgs);
+    }
+
+    #[test]
+    fn batch_matches_single_lane_path() {
+        let (engine, key, e, _) = demo();
+        let (_, cts) = ciphertexts(engine.modulus(), &e, BATCH_WIDTH);
+        let batch = engine.private_op_16(&cts);
+        for (i, c) in cts.iter().enumerate() {
+            assert_eq!(batch[i], engine.private_op_single(c), "lane {i}");
+            assert_eq!(
+                batch[i],
+                key.private_op(c, 5, TableLookup::Direct),
+                "vs CrtKey {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn many_handles_partial_batches() {
+        let (engine, _, e, _) = demo();
+        for count in [1usize, 15, 16, 17, 40] {
+            let (msgs, cts) = ciphertexts(engine.modulus(), &e, count);
+            assert_eq!(engine.private_op_many(&cts), msgs, "count {count}");
+        }
+        assert!(engine.private_op_many(&[]).is_empty());
+    }
+
+    #[test]
+    fn batch_is_cheaper_per_op_than_singles() {
+        let (engine, _, e, _) = demo();
+        let (_, cts) = ciphertexts(engine.modulus(), &e, BATCH_WIDTH);
+        count::reset();
+        let (_, batched) = count::measure(|| engine.private_op_16(&cts));
+        let (_, singles) = count::measure(|| {
+            cts.iter()
+                .map(|c| engine.private_op_single(c))
+                .collect::<Vec<_>>()
+        });
+        let model = phi_simd::CostModel::knc();
+        assert!(
+            model.issue_cycles(&batched) < model.issue_cycles(&singles),
+            "batched {} !< singles {}",
+            model.issue_cycles(&batched),
+            model.issue_cycles(&singles)
+        );
+        // And it never touches the scalar multiplier in the ladders.
+        let _ = batched.get(OpClass::SMul64);
+    }
+
+    #[test]
+    fn window_override_still_correct() {
+        let (engine, _, e, _) = demo();
+        let engine = engine.with_window(3);
+        let (msgs, cts) = ciphertexts(engine.modulus(), &e, BATCH_WIDTH);
+        assert_eq!(engine.private_op_16(&cts), msgs);
+    }
+}

@@ -1,0 +1,71 @@
+//! # phiopenssl
+//!
+//! The paper's contribution: SIMD-vectorized big-integer and Montgomery
+//! arithmetic for RSA, targeting the (modeled) Xeon Phi KNC 512-bit vector
+//! unit, with Chinese-Remainder-Theorem private-key operations and
+//! fixed-window exponentiation.
+//!
+//! ## Architecture
+//!
+//! * [`radix`] — the reduced-radix representation: integers as radix-2^27
+//!   digits so that lane products accumulate in 64-bit lanes without the
+//!   carry chains SIMD cannot express (KNC's IMCI has no vector
+//!   add-with-carry).
+//! * [`vmul`] — vectorized schoolbook multiplication: each row broadcasts
+//!   one digit of `a` and retires sixteen digit-products of `b` per
+//!   512-bit multiply-accumulate.
+//! * [`vmont`] — [`VMontCtx`]: vectorized Montgomery multiplication (CIOS
+//!   with per-row reduction; rows scalar, columns vectorized).
+//! * [`vexp`] — fixed-window Montgomery exponentiation over the vector
+//!   kernel, with an optional constant-time table gather.
+//! * [`batch`] — the second vectorization axis: sixteen *independent*
+//!   Montgomery multiplications, one per 32-bit lane (for batch-shaped
+//!   server loads).
+//! * [`crt`] — CRT decomposition/recombination for private-key operations.
+//! * [`library`] — [`PhiLibrary`], packaging everything behind the same
+//!   [`Libcrypto`](phi_mont::Libcrypto) facade as the two baselines.
+//!
+//! ## Example
+//!
+//! ```
+//! use phi_bigint::BigUint;
+//! use phiopenssl::{PhiLibrary, VMontCtx};
+//! use phi_mont::Libcrypto;
+//!
+//! // A 256-bit odd modulus.
+//! let n = BigUint::from_hex(
+//!     "ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff61",
+//! ).unwrap();
+//! let lib = PhiLibrary::default();
+//! let r = lib.mod_exp(&BigUint::from(2u64), &BigUint::from(100u64), &n).unwrap();
+//! assert_eq!(r, BigUint::from(2u64).mod_exp(&BigUint::from(100u64), &n));
+//!
+//! // Or drive the vector context directly.
+//! let ctx = VMontCtx::new(&n).unwrap();
+//! let am = ctx.to_mont_vec(&BigUint::from(7u64));
+//! let sq = ctx.from_mont_vec(&ctx.mont_mul_vec(&am, &am));
+//! assert_eq!(sq.to_u64(), Some(49));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod batch_multi;
+pub mod crt;
+pub mod engine;
+pub mod library;
+pub mod radix;
+pub mod vexp;
+pub mod vmont;
+pub mod vmul;
+pub mod vsqr;
+
+pub use batch::BatchMont;
+pub use batch_multi::MultiBatchMont;
+pub use crt::CrtKey;
+pub use engine::BatchCrtEngine;
+pub use library::{PhiConfig, PhiLibrary};
+pub use radix::{VecNum, DIGIT_BITS, DIGIT_MASK};
+pub use vexp::TableLookup;
+pub use vmont::VMontCtx;

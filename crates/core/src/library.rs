@@ -1,0 +1,177 @@
+//! [`PhiLibrary`]: the vectorized library behind the same facade as the
+//! two scalar baselines, so benchmarks and RSA code treat all three
+//! uniformly.
+
+use crate::vexp::{mod_exp_vec, TableLookup, DEFAULT_WINDOW};
+use crate::vmont::VMontCtx;
+use crate::vmul::big_mul_vectorized;
+use phi_bigint::{BigIntError, BigUint};
+use phi_mont::{ExpStrategy, Libcrypto, MontEngine};
+
+/// Tunables of the vectorized library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhiConfig {
+    /// Fixed-window width for exponentiation (the paper uses 5).
+    pub window: u32,
+    /// Window-table lookup policy.
+    pub lookup: TableLookup,
+}
+
+impl Default for PhiConfig {
+    fn default() -> Self {
+        PhiConfig {
+            window: DEFAULT_WINDOW,
+            lookup: TableLookup::Direct,
+        }
+    }
+}
+
+/// The PhiOpenSSL library profile: vectorized multiplication, vectorized
+/// Montgomery kernel, fixed-window exponentiation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhiLibrary {
+    /// Configuration applied to every operation.
+    pub config: PhiConfig,
+}
+
+impl PhiLibrary {
+    /// A library with an explicit configuration.
+    pub fn with_config(config: PhiConfig) -> Self {
+        PhiLibrary { config }
+    }
+
+    /// A library hardened with the constant-time table gather.
+    pub fn constant_time() -> Self {
+        PhiLibrary {
+            config: PhiConfig {
+                lookup: TableLookup::ConstantTime,
+                ..PhiConfig::default()
+            },
+        }
+    }
+}
+
+impl Libcrypto for PhiLibrary {
+    fn name(&self) -> &'static str {
+        "PhiOpenSSL (512-bit vectorized)"
+    }
+
+    fn big_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        big_mul_vectorized(a, b)
+    }
+
+    fn mont_mul(&self, a: &BigUint, b: &BigUint, n: &BigUint) -> Result<BigUint, BigIntError> {
+        let ctx = VMontCtx::new(n)?;
+        Ok(ctx.mont_mul(a, b))
+    }
+
+    fn mod_exp(&self, base: &BigUint, exp: &BigUint, n: &BigUint) -> Result<BigUint, BigIntError> {
+        let ctx = VMontCtx::new(n)?;
+        Ok(mod_exp_vec(
+            &ctx,
+            base,
+            exp,
+            self.config.window,
+            self.config.lookup,
+        ))
+    }
+
+    fn make_engine(&self, n: &BigUint) -> Result<Box<dyn MontEngine>, BigIntError> {
+        Ok(Box::new(VMontCtx::new(n)?))
+    }
+
+    fn strategy_for(&self, _bits: u32) -> ExpStrategy {
+        ExpStrategy::FixedWindow(self.config.window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phi_mont::{MpssBaseline, OpensslBaseline};
+    use phi_simd::count::{self, OpClass};
+
+    fn n256() -> BigUint {
+        BigUint::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff61")
+            .unwrap()
+    }
+
+    #[test]
+    fn default_config() {
+        let lib = PhiLibrary::default();
+        assert_eq!(lib.config.window, 5);
+        assert_eq!(lib.config.lookup, TableLookup::Direct);
+        assert_eq!(
+            PhiLibrary::constant_time().config.lookup,
+            TableLookup::ConstantTime
+        );
+    }
+
+    #[test]
+    fn all_three_libraries_agree() {
+        let libs: Vec<Box<dyn Libcrypto>> = vec![
+            Box::new(PhiLibrary::default()),
+            Box::new(MpssBaseline),
+            Box::new(OpensslBaseline),
+        ];
+        let n = n256();
+        let base = BigUint::from_hex("123456789abcdef0").unwrap();
+        let exp = BigUint::from_hex("fedcba98765432101234").unwrap();
+        let want = base.mod_exp(&exp, &n);
+        for lib in &libs {
+            assert_eq!(
+                lib.mod_exp(&base, &exp, &n).unwrap(),
+                want,
+                "{}",
+                lib.name()
+            );
+        }
+        let a = BigUint::from_hex("ffffffffffffffffffffffff").unwrap();
+        let b = BigUint::from_hex("eeeeeeeeeeeeeeeeeeeeeeee").unwrap();
+        for lib in &libs {
+            assert_eq!(lib.big_mul(&a, &b), &a * &b, "{}", lib.name());
+        }
+    }
+
+    #[test]
+    fn phi_library_uses_the_vector_pipe() {
+        let lib = PhiLibrary::default();
+        let n = n256();
+        count::reset();
+        let (_, d) = count::measure(|| {
+            lib.mod_exp(&BigUint::from(3u64), &BigUint::from(1000001u64), &n)
+                .unwrap()
+        });
+        assert!(d.get(OpClass::VMul) > 0, "vector multiplies expected");
+        assert_eq!(d.get(OpClass::SMul64), 0, "no scalar full multiplies");
+    }
+
+    #[test]
+    fn baselines_use_the_scalar_pipe() {
+        let n = n256();
+        count::reset();
+        let (_, d) = count::measure(|| {
+            MpssBaseline
+                .mod_exp(&BigUint::from(3u64), &BigUint::from(1000001u64), &n)
+                .unwrap()
+        });
+        assert_eq!(d.get(OpClass::VMul), 0);
+        assert!(d.get(OpClass::SMul64) > 0);
+    }
+
+    #[test]
+    fn strategy_is_fixed_window() {
+        assert_eq!(
+            PhiLibrary::default().strategy_for(2048),
+            ExpStrategy::FixedWindow(5)
+        );
+    }
+
+    #[test]
+    fn engine_through_facade_roundtrips() {
+        let lib = PhiLibrary::default();
+        let e = lib.make_engine(&n256()).unwrap();
+        let a = BigUint::from(999u64);
+        assert_eq!(e.from_mont(&e.to_mont(&a)), a);
+    }
+}

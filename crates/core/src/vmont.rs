@@ -1,0 +1,379 @@
+//! Vectorized Montgomery multiplication — the heart of PhiOpenSSL.
+//!
+//! The kernel is CIOS with the reduction interleaved per row: rows walk the
+//! digits of `a` in scalar code while each row's two multiply-accumulate
+//! passes (`+ aᵢ·B` and `+ q·N`) run across all columns in 512-bit vector
+//! FMAs, sixteen digit-products per issued instruction (two 8-lane
+//! [`fma32`](phi_simd::U64x8::fma32) halves per 16-digit chunk pair — here
+//! one `U64x8` covers 8 pre-widened digits, so a `⌈K/8⌉`-chunk loop covers
+//! the row).
+//!
+//! Where the scalar baselines issue `2k` dependent 64×64 multiplies per
+//! row, this kernel issues `2·⌈K/8⌉` vector FMAs plus two broadcasts — the
+//! structural advantage the paper's speedups come from.
+
+use crate::radix::{pad_to_lanes, VecNum, DIGIT_BITS, DIGIT_MASK, LANES};
+use phi_bigint::{BigIntError, BigUint};
+use phi_mont::MontEngine;
+use phi_simd::count::{record, OpClass};
+use phi_simd::U64x8;
+
+/// Scalar glue charged per CIOS row: extracting the low accumulator lane,
+/// forming `q`, the carry shift and carry add, and loop bookkeeping. These
+/// are dependent scalar ops on KNC's in-order pipe and are the main
+/// non-vector cost of the kernel (a calibration constant, see
+/// EXPERIMENTS.md §Calibration).
+pub const ROW_GLUE_SALU: u64 = 13;
+
+/// Inverse of odd `x` modulo 2^27 (Newton; 3 → 6 → 12 → 24 → 48 bits).
+fn inv_mod_digit(x: u64) -> u64 {
+    debug_assert!(x & 1 == 1);
+    let mut inv = x;
+    for _ in 0..4 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(x.wrapping_mul(inv))) & DIGIT_MASK;
+    }
+    debug_assert_eq!(x.wrapping_mul(inv) & DIGIT_MASK, 1);
+    inv
+}
+
+/// A vectorized Montgomery context for one odd modulus.
+///
+/// The Montgomery radix is `R = 2^(27·k)` where `k` is the digit count of
+/// the modulus — one reduction row per digit, exactly like word-level CIOS
+/// but with 27-bit rows.
+#[derive(Debug, Clone)]
+pub struct VMontCtx {
+    n: BigUint,
+    /// Significant digit count (rows per multiplication).
+    k: usize,
+    /// Padded digit count (columns; multiple of 8, ≥ k+1).
+    kk: usize,
+    /// `kk / 8` — vector chunks per column pass.
+    chunks: usize,
+    n_digits: Vec<u64>,
+    n_vec: VecNum,
+    /// `-n⁻¹ mod 2^27`.
+    n0_inv: u64,
+    /// `R² mod n` in vector form, for entering the domain.
+    rr_vec: VecNum,
+    r_bits: u32,
+}
+
+impl VMontCtx {
+    /// Build a context for the odd modulus `n`.
+    pub fn new(n: &BigUint) -> Result<Self, BigIntError> {
+        if n.is_zero() || n.is_even() {
+            return Err(BigIntError::EvenModulus);
+        }
+        let k = n.bit_length().div_ceil(DIGIT_BITS) as usize;
+        // One extra digit so the pre-subtraction value (< 2n) always fits.
+        let kk = pad_to_lanes(k + 1);
+        let r_bits = k as u32 * DIGIT_BITS;
+        let n_vec = VecNum::from_biguint(n, kk);
+        let n0_inv = (1u64 << DIGIT_BITS) - inv_mod_digit(n.limbs()[0] & DIGIT_MASK);
+        let rr = &BigUint::power_of_two(2 * r_bits) % n;
+        let rr_vec = VecNum::from_biguint(&rr, kk);
+        Ok(VMontCtx {
+            n: n.clone(),
+            k,
+            kk,
+            chunks: kk / LANES,
+            n_digits: n_vec.digits().to_vec(),
+            n_vec,
+            n0_inv,
+            rr_vec,
+            r_bits,
+        })
+    }
+
+    /// Significant digits of the modulus (reduction rows per multiply).
+    pub fn digits(&self) -> usize {
+        self.k
+    }
+
+    /// Padded digit slots (columns).
+    pub fn padded_digits(&self) -> usize {
+        self.kk
+    }
+
+    /// `-n⁻¹ mod 2^27`.
+    pub fn n0_inv(&self) -> u64 {
+        self.n0_inv
+    }
+
+    /// The modulus in padded digit form (shared with the batched kernel).
+    pub fn n_digits(&self) -> &[u64] {
+        &self.n_digits
+    }
+
+    /// The zero value shaped for this context.
+    pub fn zero_vec(&self) -> VecNum {
+        VecNum::zero(self.kk)
+    }
+
+    /// Convert a residue into this context's digit form (no domain change).
+    pub fn to_vec_form(&self, a: &BigUint) -> VecNum {
+        let reduced = if a < &self.n { a.clone() } else { a % &self.n };
+        VecNum::from_biguint(&reduced, self.kk)
+    }
+
+    /// Enter the Montgomery domain: `a·R mod n` in vector form.
+    pub fn to_mont_vec(&self, a: &BigUint) -> VecNum {
+        let av = self.to_vec_form(a);
+        self.mont_mul_vec(&av, &self.rr_vec)
+    }
+
+    /// Leave the Montgomery domain and digit form.
+    pub fn from_mont_vec(&self, a: &VecNum) -> BigUint {
+        let mut one = self.zero_vec();
+        one.digits[0] = 1;
+        self.mont_mul_vec(a, &one).to_biguint()
+    }
+
+    /// The Montgomery representation of 1.
+    pub fn one_mont_vec(&self) -> VecNum {
+        let r = &BigUint::power_of_two(self.r_bits) % &self.n;
+        VecNum::from_biguint(&r, self.kk)
+    }
+
+    /// Vectorized Montgomery product `a·b·R⁻¹ mod n`.
+    ///
+    /// Inputs must be context-shaped and numerically `< n`; the output is
+    /// reduced to `[0, n)`.
+    pub fn mont_mul_vec(&self, a: &VecNum, b: &VecNum) -> VecNum {
+        debug_assert_eq!(a.len(), self.kk);
+        debug_assert_eq!(b.len(), self.kk);
+        let chunks = self.chunks;
+
+        // Column accumulators, held in vector registers for the whole pass.
+        let mut acc = vec![U64x8::zero(); chunks];
+
+        for i in 0..self.k {
+            let ai = a.digit(i);
+
+            // acc += a_i * B : one broadcast + `chunks` FMAs (the B operand
+            // folds into the FMA as a memory source, KNC-style).
+            let av = U64x8::splat(ai);
+            for (c, slot) in acc.iter_mut().enumerate() {
+                let b_chunk = U64x8::from_slice_folded(&b.digits[c * LANES..]);
+                *slot = slot.fma32(av, b_chunk);
+            }
+
+            // q = (t₀ · n₀') mod 2^27 — scalar, on the critical path.
+            let t0 = acc[0].lane(0);
+            let q = ((t0 & DIGIT_MASK).wrapping_mul(self.n0_inv)) & DIGIT_MASK;
+            record(OpClass::SMul32, 1);
+
+            // acc += q * N : clears the low digit.
+            let qv = U64x8::splat(q);
+            for (c, slot) in acc.iter_mut().enumerate() {
+                let n_chunk = U64x8::from_slice_folded(&self.n_digits[c * LANES..]);
+                *slot = slot.fma32(qv, n_chunk);
+            }
+            debug_assert_eq!(acc[0].lane(0) & DIGIT_MASK, 0, "row {i} not reduced");
+
+            // Divide by the radix: shift columns down one digit, feeding the
+            // cleared digit's carry into the new column 0.
+            let carry = acc[0].lane(0) >> DIGIT_BITS;
+            for c in 0..chunks {
+                let fill = if c + 1 < chunks {
+                    acc[c + 1].lane(0)
+                } else {
+                    0
+                };
+                acc[c] = acc[c].shift_lanes_down(fill);
+            }
+            let l0 = acc[0].lane(0);
+            acc[0] = acc[0].with_lane(0, l0 + carry);
+
+            record(OpClass::SAlu, ROW_GLUE_SALU);
+        }
+
+        // Normalize the redundant columns into proper 27-bit digits.
+        let mut out = VecNum::zero(self.kk);
+        let mut carry = 0u64;
+        for j in 0..self.kk {
+            let v = acc[j / LANES].lane(j % LANES) + carry;
+            out.digits[j] = v & DIGIT_MASK;
+            carry = v >> DIGIT_BITS;
+        }
+        debug_assert_eq!(carry, 0, "result exceeded the padded width");
+        record(OpClass::SAlu, 3 * self.kk as u64);
+        record(OpClass::SMem, self.kk as u64);
+
+        // t < 2n: one conditional subtraction reaches [0, n).
+        if out.cmp_digits(&self.n_vec) != std::cmp::Ordering::Less {
+            out.sub_assign_digits(&self.n_vec);
+        }
+        out
+    }
+
+    /// Montgomery squaring (same kernel; a dedicated half-product squaring
+    /// is listed as future work in DESIGN.md).
+    pub fn mont_sqr_vec(&self, a: &VecNum) -> VecNum {
+        self.mont_mul_vec(a, a)
+    }
+}
+
+impl MontEngine for VMontCtx {
+    fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    fn r_bits(&self) -> u32 {
+        self.r_bits
+    }
+
+    fn to_mont(&self, a: &BigUint) -> BigUint {
+        self.to_mont_vec(a).to_biguint()
+    }
+
+    fn from_mont(&self, a: &BigUint) -> BigUint {
+        let av = VecNum::from_biguint(a, self.kk);
+        self.from_mont_vec(&av)
+    }
+
+    fn one_mont(&self) -> BigUint {
+        &BigUint::power_of_two(self.r_bits) % &self.n
+    }
+
+    fn mont_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let av = VecNum::from_biguint(a, self.kk);
+        let bv = VecNum::from_biguint(b, self.kk);
+        self.mont_mul_vec(&av, &bv).to_biguint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phi_simd::count;
+
+    fn n256() -> BigUint {
+        BigUint::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff61")
+            .unwrap()
+    }
+
+    #[test]
+    fn inv_mod_digit_identity() {
+        for x in [1u64, 3, 0x7ffffff, 0x1234567 | 1] {
+            assert_eq!(x.wrapping_mul(inv_mod_digit(x)) & DIGIT_MASK, 1);
+        }
+    }
+
+    #[test]
+    fn rejects_even_modulus() {
+        assert!(VMontCtx::new(&BigUint::from(8u64)).is_err());
+        assert!(VMontCtx::new(&BigUint::zero()).is_err());
+    }
+
+    #[test]
+    fn shape_for_common_sizes() {
+        for (bits, hexdigits) in [(512u32, 128usize), (1024, 256), (2048, 512), (4096, 1024)] {
+            let n = &BigUint::power_of_two(bits) - &BigUint::from(0x61u64);
+            assert_eq!(n.to_hex().len(), hexdigits);
+            let ctx = VMontCtx::new(&n).unwrap();
+            assert_eq!(ctx.digits(), bits.div_ceil(DIGIT_BITS) as usize);
+            assert!(ctx.padded_digits() > ctx.digits());
+            assert_eq!(ctx.padded_digits() % LANES, 0);
+        }
+    }
+
+    #[test]
+    fn roundtrip_small_modulus() {
+        let n = BigUint::from(97u64);
+        let ctx = VMontCtx::new(&n).unwrap();
+        for v in 0u64..97 {
+            let a = BigUint::from(v);
+            let m = ctx.to_mont_vec(&a);
+            assert_eq!(ctx.from_mont_vec(&m).to_u64(), Some(v), "v = {v}");
+        }
+    }
+
+    #[test]
+    fn mont_mul_matches_oracle_256() {
+        let n = n256();
+        let ctx = VMontCtx::new(&n).unwrap();
+        let a = BigUint::from_hex("123456789abcdef0123456789abcdef0123456789abcdef").unwrap();
+        let b = BigUint::from_hex("fedcba9876543210fedcba9876543210fedcba98").unwrap();
+        let got = ctx.from_mont_vec(&ctx.mont_mul_vec(&ctx.to_mont_vec(&a), &ctx.to_mont_vec(&b)));
+        assert_eq!(got, a.mod_mul(&b, &n));
+    }
+
+    #[test]
+    fn mont_mul_matches_scalar_kernels() {
+        let n = n256();
+        let vctx = VMontCtx::new(&n).unwrap();
+        let sctx = phi_mont::MontCtx64::new(&n).unwrap();
+        let a = BigUint::from_hex("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa").unwrap();
+        let b = BigUint::from_hex("bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb").unwrap();
+        // Different Montgomery radices — compare plain-domain results.
+        let pv =
+            vctx.from_mont_vec(&vctx.mont_mul_vec(&vctx.to_mont_vec(&a), &vctx.to_mont_vec(&b)));
+        let ps = sctx.from_mont(&sctx.mont_mul(&sctx.to_mont(&a), &sctx.to_mont(&b)));
+        assert_eq!(pv, ps);
+    }
+
+    #[test]
+    fn near_modulus_operands_trigger_subtraction() {
+        let n = n256();
+        let ctx = VMontCtx::new(&n).unwrap();
+        let max = &n - &BigUint::one();
+        let mm = ctx.to_mont_vec(&max);
+        let sq = ctx.from_mont_vec(&ctx.mont_mul_vec(&mm, &mm));
+        assert!(sq.is_one(), "(n-1)^2 ≡ 1 (mod n)");
+    }
+
+    #[test]
+    fn large_4096_bit_modulus_no_overflow() {
+        // The digit-width analysis in `radix` must hold at the largest
+        // paper size; debug assertions in fma32 catch any overflow.
+        let n = &BigUint::power_of_two(4096) - &BigUint::from(0x11Du64); // odd
+        assert!(n.is_odd());
+        let ctx = VMontCtx::new(&n).unwrap();
+        let a = &BigUint::power_of_two(4095) - &BigUint::from(12345u64);
+        let b = &BigUint::power_of_two(4095) - &BigUint::from(67890u64);
+        let got = ctx.from_mont_vec(&ctx.mont_mul_vec(&ctx.to_mont_vec(&a), &ctx.to_mont_vec(&b)));
+        assert_eq!(got, a.mod_mul(&b, &n));
+    }
+
+    #[test]
+    fn mont_engine_impl_roundtrips() {
+        let n = n256();
+        let ctx = VMontCtx::new(&n).unwrap();
+        let a = BigUint::from(123456789u64);
+        assert_eq!(ctx.from_mont(&ctx.to_mont(&a)), a);
+        let one = ctx.one_mont();
+        let am = ctx.to_mont(&a);
+        assert_eq!(ctx.mont_mul(&am, &one), am);
+    }
+
+    #[test]
+    fn vector_ops_dominate_the_count() {
+        let n = n256();
+        let ctx = VMontCtx::new(&n).unwrap();
+        let a = ctx.to_mont_vec(&BigUint::from(3u64));
+        let b = ctx.to_mont_vec(&BigUint::from(5u64));
+        count::reset();
+        let (_, d) = count::measure(|| ctx.mont_mul_vec(&a, &b));
+        // k rows × 2·chunks FMAs.
+        let k = ctx.digits() as u64;
+        let chunks = (ctx.padded_digits() / LANES) as u64;
+        assert_eq!(d.get(OpClass::VMul), 2 * k * chunks);
+        // Broadcasts (2/row) + column shifts (chunks/row).
+        assert_eq!(d.get(OpClass::VPerm), k * (2 + chunks));
+        assert_eq!(d.get(OpClass::SMul64), 0);
+        assert_eq!(d.get(OpClass::SMul32), k);
+    }
+
+    #[test]
+    fn counts_are_deterministic() {
+        let n = n256();
+        let ctx = VMontCtx::new(&n).unwrap();
+        let a = ctx.to_mont_vec(&BigUint::from(7u64));
+        count::reset();
+        let (_, d1) = count::measure(|| ctx.mont_mul_vec(&a, &a));
+        let (_, d2) = count::measure(|| ctx.mont_mul_vec(&a, &a));
+        assert_eq!(d1, d2);
+    }
+}

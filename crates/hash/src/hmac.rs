@@ -1,0 +1,150 @@
+//! HMAC (RFC 2104), generic over any [`Digest`].
+
+use crate::Digest;
+
+/// Streaming HMAC.
+#[derive(Debug, Clone)]
+pub struct Hmac<D: Digest> {
+    inner: D,
+    opad_key: Vec<u8>,
+}
+
+impl<D: Digest> Hmac<D> {
+    /// Start an HMAC with the given key (any length).
+    pub fn new(key: &[u8]) -> Self {
+        let mut k = if key.len() > D::BLOCK_SIZE {
+            D::digest(key)
+        } else {
+            key.to_vec()
+        };
+        k.resize(D::BLOCK_SIZE, 0);
+
+        let ipad: Vec<u8> = k.iter().map(|b| b ^ 0x36).collect();
+        let opad_key: Vec<u8> = k.iter().map(|b| b ^ 0x5c).collect();
+
+        let mut inner = D::default();
+        inner.update(&ipad);
+        Hmac { inner, opad_key }
+    }
+
+    /// Absorb message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Produce the tag.
+    pub fn finalize(self) -> Vec<u8> {
+        let inner_digest = self.inner.finalize();
+        let mut outer = D::default();
+        outer.update(&self.opad_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// One-shot HMAC.
+    pub fn mac(key: &[u8], data: &[u8]) -> Vec<u8> {
+        let mut h = Self::new(key);
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Constant-time tag comparison.
+    pub fn verify(key: &[u8], data: &[u8], tag: &[u8]) -> bool {
+        let computed = Self::mac(key, data);
+        if computed.len() != tag.len() {
+            return false;
+        }
+        let mut diff = 0u8;
+        for (a, b) in computed.iter().zip(tag.iter()) {
+            diff |= a ^ b;
+        }
+        diff == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha1::Sha1;
+    use crate::sha2::{Sha256, Sha512};
+    use crate::to_hex;
+
+    // RFC 4231 test cases.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0b; 20];
+        let data = b"Hi There";
+        assert_eq!(
+            to_hex(&Hmac::<Sha256>::mac(&key, data)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        assert_eq!(
+            to_hex(&Hmac::<Sha512>::mac(&key, data)),
+            "87aa7cdea5ef619d4ff0b4241a1d6cb02379f4e2ce4ec2787ad0b30545e17cde\
+             daa833b7d6b8a702038b274eaea3f4e4be9d914eeb61f1702e696c203a126854"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2_jefe() {
+        let key = b"Jefe";
+        let data = b"what do ya want for nothing?";
+        assert_eq!(
+            to_hex(&Hmac::<Sha256>::mac(key, data)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case6_long_key() {
+        // Key longer than the block size must be hashed first.
+        let key = [0xaa; 131];
+        let data = b"Test Using Larger Than Block-Size Key - Hash Key First";
+        assert_eq!(
+            to_hex(&Hmac::<Sha256>::mac(&key, data)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn rfc2202_sha1_case() {
+        let key = [0x0b; 20];
+        assert_eq!(
+            to_hex(&Hmac::<Sha1>::mac(&key, b"Hi There")),
+            "b617318655057264e28bc0b6fb378c8ef146be00"
+        );
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let key = b"secret key";
+        let data = b"a somewhat longer message, split into pieces";
+        let mut h = Hmac::<Sha256>::new(key);
+        for c in data.chunks(5) {
+            h.update(c);
+        }
+        assert_eq!(h.finalize(), Hmac::<Sha256>::mac(key, data));
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let key = b"k";
+        let data = b"payload";
+        let tag = Hmac::<Sha256>::mac(key, data);
+        assert!(Hmac::<Sha256>::verify(key, data, &tag));
+        let mut bad = tag.clone();
+        bad[0] ^= 1;
+        assert!(!Hmac::<Sha256>::verify(key, data, &bad));
+        assert!(!Hmac::<Sha256>::verify(key, data, &tag[..31]));
+        assert!(!Hmac::<Sha256>::verify(b"other", data, &tag));
+    }
+
+    #[test]
+    fn empty_key_and_message() {
+        // Must not panic and must be deterministic.
+        let t1 = Hmac::<Sha256>::mac(b"", b"");
+        let t2 = Hmac::<Sha256>::mac(b"", b"");
+        assert_eq!(t1, t2);
+        assert_eq!(t1.len(), 32);
+    }
+}

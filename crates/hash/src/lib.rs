@@ -1,0 +1,71 @@
+//! # phi-hash
+//!
+//! Hash and MAC primitives built from scratch for the PhiOpenSSL
+//! reproduction: SHA-1, SHA-256 and SHA-512 ([`sha1`], [`sha2`]), HMAC
+//! ([`hmac`]), the PKCS#1 MGF1 mask generation function ([`mgf1`]) and the
+//! TLS 1.2 pseudo-random function ([`prf`]).
+//!
+//! These are the substrate for RSA's OAEP/PSS padding and for the SSL
+//! handshake simulation; none of it is on the paper's hot path, so the
+//! implementations favour clarity and are validated against FIPS / RFC
+//! test vectors.
+//!
+//! ```
+//! use phi_hash::sha2::Sha256;
+//! use phi_hash::Digest;
+//!
+//! let d = Sha256::digest(b"abc");
+//! assert_eq!(hex(&d), "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+//! # fn hex(b: &[u8]) -> String { b.iter().map(|x| format!("{x:02x}")).collect() }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hmac;
+pub mod mgf1;
+pub mod prf;
+pub mod sha1;
+pub mod sha2;
+
+/// A streaming hash function with a fixed output size.
+pub trait Digest: Default + Clone {
+    /// Digest size in bytes.
+    const OUTPUT_SIZE: usize;
+    /// Internal block size in bytes (HMAC needs it).
+    const BLOCK_SIZE: usize;
+
+    /// Absorb more input.
+    fn update(&mut self, data: &[u8]);
+
+    /// Finish and produce the digest.
+    fn finalize(self) -> Vec<u8>;
+
+    /// One-shot digest of `data`.
+    fn digest(data: &[u8]) -> Vec<u8> {
+        let mut h = Self::default();
+        h.update(data);
+        h.finalize()
+    }
+}
+
+/// Format bytes as lowercase hex (test and debugging helper).
+pub fn to_hex(bytes: &[u8]) -> String {
+    use std::fmt::Write;
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        let _ = write!(s, "{b:02x}");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_hex_formats() {
+        assert_eq!(to_hex(&[]), "");
+        assert_eq!(to_hex(&[0x00, 0xff, 0x0a]), "00ff0a");
+    }
+}

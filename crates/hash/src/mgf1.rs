@@ -1,0 +1,82 @@
+//! MGF1 mask generation (PKCS#1 v2.2 §B.2.1) — used by OAEP and PSS.
+
+use crate::Digest;
+
+/// Generate `len` mask bytes from `seed`.
+pub fn mgf1<D: Digest>(seed: &[u8], len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut counter: u32 = 0;
+    while out.len() < len {
+        let mut h = D::default();
+        h.update(seed);
+        h.update(&counter.to_be_bytes());
+        out.extend_from_slice(&h.finalize());
+        counter += 1;
+    }
+    out.truncate(len);
+    out
+}
+
+/// XOR `mask` into `data` in place (the OAEP/PSS masking step).
+pub fn xor_in_place(data: &mut [u8], mask: &[u8]) {
+    debug_assert!(mask.len() >= data.len());
+    for (d, m) in data.iter_mut().zip(mask.iter()) {
+        *d ^= m;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha1::Sha1;
+    use crate::sha2::Sha256;
+    use crate::to_hex;
+
+    #[test]
+    fn known_vector_sha1() {
+        // From the pyca/cryptography MGF1 vectors: MGF1-SHA1("foo", 3).
+        assert_eq!(to_hex(&mgf1::<Sha1>(b"foo", 3)), "1ac907");
+        // MGF1-SHA1("bar", 50).
+        assert_eq!(
+            to_hex(&mgf1::<Sha1>(b"bar", 50)),
+            "bc0c655e016bc2931d85a2e675181adcef7f581f76df2739da74faac41627be2\
+             f7f415c89e983fd0ce80ced9878641cb4876"
+        );
+    }
+
+    #[test]
+    fn known_vector_sha256() {
+        assert_eq!(
+            to_hex(&mgf1::<Sha256>(b"bar", 50)),
+            "382576a7841021cc28fc4c0948753fb8312090cea942ea4c4e735d10dc724b15\
+             5f9f6069f289d61daca0cb814502ef04eae1"
+        );
+    }
+
+    #[test]
+    fn exact_multiple_of_hash_length() {
+        let m = mgf1::<Sha256>(b"seed", 64);
+        assert_eq!(m.len(), 64);
+        // First 32 bytes = H(seed || 0), next 32 = H(seed || 1).
+        let mut h0 = Sha256::default();
+        h0.update(b"seed");
+        h0.update(&0u32.to_be_bytes());
+        assert_eq!(&m[..32], &h0.finalize()[..]);
+    }
+
+    #[test]
+    fn zero_length_mask() {
+        assert!(mgf1::<Sha256>(b"seed", 0).is_empty());
+    }
+
+    #[test]
+    fn xor_roundtrip() {
+        let mask = mgf1::<Sha256>(b"m", 16);
+        let original = *b"sixteen byte msg";
+        let mut data = original;
+        xor_in_place(&mut data, &mask);
+        assert_ne!(data, original);
+        xor_in_place(&mut data, &mask);
+        assert_eq!(data, original);
+    }
+}

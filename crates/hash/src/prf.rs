@@ -1,0 +1,123 @@
+//! The TLS 1.2 pseudo-random function (RFC 5246 §5): `P_SHA256`-based key
+//! expansion used by the SSL handshake substrate to derive the master
+//! secret and key block.
+
+use crate::hmac::Hmac;
+use crate::sha2::Sha256;
+
+/// `P_hash(secret, seed)` over HMAC-SHA256, producing `len` bytes.
+pub fn p_sha256(secret: &[u8], seed: &[u8], len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    // A(1) = HMAC(secret, seed); A(i) = HMAC(secret, A(i-1)).
+    let mut a = Hmac::<Sha256>::mac(secret, seed);
+    while out.len() < len {
+        let mut h = Hmac::<Sha256>::new(secret);
+        h.update(&a);
+        h.update(seed);
+        out.extend_from_slice(&h.finalize());
+        a = Hmac::<Sha256>::mac(secret, &a);
+    }
+    out.truncate(len);
+    out
+}
+
+/// The TLS 1.2 PRF: `PRF(secret, label, seed) = P_SHA256(secret, label || seed)`.
+pub fn prf_tls12(secret: &[u8], label: &[u8], seed: &[u8], len: usize) -> Vec<u8> {
+    let mut label_seed = Vec::with_capacity(label.len() + seed.len());
+    label_seed.extend_from_slice(label);
+    label_seed.extend_from_slice(seed);
+    p_sha256(secret, &label_seed, len)
+}
+
+/// Derive the 48-byte TLS 1.2 master secret.
+pub fn master_secret(
+    pre_master: &[u8],
+    client_random: &[u8; 32],
+    server_random: &[u8; 32],
+) -> Vec<u8> {
+    let mut seed = Vec::with_capacity(64);
+    seed.extend_from_slice(client_random);
+    seed.extend_from_slice(server_random);
+    prf_tls12(pre_master, b"master secret", &seed, 48)
+}
+
+/// Derive a key block of `len` bytes (server random first, per RFC 5246 §6.3).
+pub fn key_block(
+    master: &[u8],
+    client_random: &[u8; 32],
+    server_random: &[u8; 32],
+    len: usize,
+) -> Vec<u8> {
+    let mut seed = Vec::with_capacity(64);
+    seed.extend_from_slice(server_random);
+    seed.extend_from_slice(client_random);
+    prf_tls12(master, b"key expansion", &seed, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_hex;
+
+    #[test]
+    fn known_prf_vector() {
+        // Widely-circulated TLS 1.2 PRF (SHA-256) test vector.
+        let secret = [
+            0x9b, 0xbe, 0x43, 0x6b, 0xa9, 0x40, 0xf0, 0x17, 0xb1, 0x76, 0x52, 0x84, 0x9a, 0x71,
+            0xdb, 0x35,
+        ];
+        let seed = [
+            0xa0, 0xba, 0x9f, 0x93, 0x6c, 0xda, 0x31, 0x18, 0x27, 0xa6, 0xf7, 0x96, 0xff, 0xd5,
+            0x19, 0x8c,
+        ];
+        let out = prf_tls12(&secret, b"test label", &seed, 100);
+        assert_eq!(
+            to_hex(&out),
+            "e3f229ba727be17b8d122620557cd453c2aab21d07c3d495329b52d4e61edb5a\
+             6b301791e90d35c9c9a46b4e14baf9af0fa022f7077def17abfd3797c0564bab\
+             4fbc91666e9def9b97fce34f796789baa48082d122ee42c5a72e5a5110fff701\
+             87347b66"
+        );
+    }
+
+    #[test]
+    fn prf_is_deterministic_and_length_exact() {
+        for len in [0usize, 1, 31, 32, 33, 48, 100] {
+            let a = prf_tls12(b"s", b"l", b"seed", len);
+            let b = prf_tls12(b"s", b"l", b"seed", len);
+            assert_eq!(a, b);
+            assert_eq!(a.len(), len);
+        }
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        let a = prf_tls12(b"secret", b"label a", b"seed", 32);
+        let b = prf_tls12(b"secret", b"label b", b"seed", 32);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn master_secret_is_48_bytes() {
+        let pm = [7u8; 48];
+        let cr = [1u8; 32];
+        let sr = [2u8; 32];
+        let ms = master_secret(&pm, &cr, &sr);
+        assert_eq!(ms.len(), 48);
+        // Order of randoms matters (client first for master secret).
+        let swapped = master_secret(&pm, &sr, &cr);
+        assert_ne!(ms, swapped);
+    }
+
+    #[test]
+    fn key_block_expansion() {
+        let ms = [9u8; 48];
+        let cr = [1u8; 32];
+        let sr = [2u8; 32];
+        let kb = key_block(&ms, &cr, &sr, 104);
+        assert_eq!(kb.len(), 104);
+        // Prefix property: a shorter request is a prefix of a longer one.
+        let kb2 = key_block(&ms, &cr, &sr, 40);
+        assert_eq!(&kb[..40], &kb2[..]);
+    }
+}

@@ -1,0 +1,150 @@
+//! SHA-1 (FIPS 180-4) — needed by the TLS 1.0/1.1-era primitives and the
+//! PKCS#1 v1.5 DigestInfo for legacy signatures. Do not use for new
+//! designs; it is here because the substrate (OpenSSL) has it.
+
+use crate::Digest;
+use phi_simd::count::{record, OpClass};
+
+/// SHA-1 streaming state.
+#[derive(Debug, Clone)]
+pub struct Sha1 {
+    h: [u32; 5],
+    buf: Vec<u8>,
+    total: u64,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Sha1 {
+            h: [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0],
+            buf: Vec::new(),
+            total: 0,
+        }
+    }
+}
+
+impl Sha1 {
+    fn compress(&mut self, block: &[u8]) {
+        debug_assert_eq!(block.len(), 64);
+        // 80 rounds of ~7 ALU ops plus the schedule.
+        record(OpClass::SAlu, 650);
+        record(OpClass::SMem, 40);
+        let mut w = [0u32; 80];
+        for (i, c) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.h;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | (!b & d), 0x5A827999),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let t = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = t;
+        }
+        for (s, v) in self.h.iter_mut().zip([a, b, c, d, e]) {
+            *s = s.wrapping_add(v);
+        }
+    }
+}
+
+impl Digest for Sha1 {
+    const OUTPUT_SIZE: usize = 20;
+    const BLOCK_SIZE: usize = 64;
+
+    fn update(&mut self, data: &[u8]) {
+        self.total = self.total.wrapping_add(data.len() as u64);
+        self.buf.extend_from_slice(data);
+        let mut off = 0;
+        while self.buf.len() - off >= 64 {
+            let block: [u8; 64] = self.buf[off..off + 64].try_into().unwrap();
+            self.compress(&block);
+            off += 64;
+        }
+        self.buf.drain(..off);
+    }
+
+    fn finalize(mut self) -> Vec<u8> {
+        let bit_len = self.total.wrapping_mul(8);
+        let mut pad = vec![0x80u8];
+        let rem = (self.buf.len() + 1) % 64;
+        let zeros = if rem <= 56 { 56 - rem } else { 120 - rem };
+        pad.extend(std::iter::repeat_n(0u8, zeros));
+        pad.extend_from_slice(&bit_len.to_be_bytes());
+        self.update(&pad);
+        debug_assert!(self.buf.is_empty());
+        self.h.iter().flat_map(|v| v.to_be_bytes()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_hex;
+
+    #[test]
+    fn fips_vectors() {
+        assert_eq!(
+            to_hex(&Sha1::digest(b"")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
+        assert_eq!(
+            to_hex(&Sha1::digest(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+        assert_eq!(
+            to_hex(&Sha1::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let mut h = Sha1::default();
+        let chunk = [b'a'; 10_000];
+        for _ in 0..100 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            to_hex(&h.finalize()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let data = b"The quick brown fox jumps over the lazy dog";
+        let mut h = Sha1::default();
+        for b in data.chunks(3) {
+            h.update(b);
+        }
+        assert_eq!(h.finalize(), Sha1::digest(data));
+        assert_eq!(
+            to_hex(&Sha1::digest(data)),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"
+        );
+    }
+
+    #[test]
+    fn output_size() {
+        assert_eq!(Sha1::digest(b"x").len(), 20);
+        assert_eq!(Sha1::OUTPUT_SIZE, 20);
+        assert_eq!(Sha1::BLOCK_SIZE, 64);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the hash primitives: chunking invariance, HMAC
+//! key-length behaviour, PRF determinism and MGF1 prefix property.
+
+use phi_hash::hmac::Hmac;
+use phi_hash::mgf1::mgf1;
+use phi_hash::prf::{p_sha256, prf_tls12};
+use phi_hash::sha1::Sha1;
+use phi_hash::sha2::{Sha256, Sha512};
+use phi_hash::Digest;
+use proptest::prelude::*;
+
+fn data() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..600)
+}
+
+fn chunked_digest<D: Digest>(data: &[u8], chunk: usize) -> Vec<u8> {
+    let mut h = D::default();
+    for c in data.chunks(chunk.max(1)) {
+        h.update(c);
+    }
+    h.finalize()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sha256_chunking_invariant(data in data(), chunk in 1usize..70) {
+        prop_assert_eq!(chunked_digest::<Sha256>(&data, chunk), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn sha512_chunking_invariant(data in data(), chunk in 1usize..140) {
+        prop_assert_eq!(chunked_digest::<Sha512>(&data, chunk), Sha512::digest(&data));
+    }
+
+    #[test]
+    fn sha1_chunking_invariant(data in data(), chunk in 1usize..70) {
+        prop_assert_eq!(chunked_digest::<Sha1>(&data, chunk), Sha1::digest(&data));
+    }
+
+    #[test]
+    fn digests_differ_on_single_bit_flip(data in proptest::collection::vec(any::<u8>(), 1..100), byte in 0usize..100, bit in 0u8..8) {
+        let mut flipped = data.clone();
+        let i = byte % flipped.len();
+        flipped[i] ^= 1 << bit;
+        prop_assert_ne!(Sha256::digest(&data), Sha256::digest(&flipped));
+    }
+
+    #[test]
+    fn hmac_any_key_length(key in proptest::collection::vec(any::<u8>(), 0..200), msg in data()) {
+        // Must not panic for any key length, and verify its own output.
+        let tag = Hmac::<Sha256>::mac(&key, &msg);
+        prop_assert!(Hmac::<Sha256>::verify(&key, &msg, &tag));
+        // A different key (extended) gives a different tag.
+        let mut key2 = key.clone();
+        key2.push(0x42);
+        prop_assert_ne!(Hmac::<Sha256>::mac(&key2, &msg), tag);
+    }
+
+    #[test]
+    fn hmac_long_key_equals_hashed_key(key in proptest::collection::vec(any::<u8>(), 65..200), msg in data()) {
+        // RFC 2104: keys longer than the block are hashed first.
+        let hashed = Sha256::digest(&key);
+        prop_assert_eq!(
+            Hmac::<Sha256>::mac(&key, &msg),
+            Hmac::<Sha256>::mac(&hashed, &msg)
+        );
+    }
+
+    #[test]
+    fn mgf1_prefix_property(seed in data(), len_a in 0usize..100, len_b in 0usize..100) {
+        let (short, long) = (len_a.min(len_b), len_a.max(len_b));
+        let a = mgf1::<Sha256>(&seed, short);
+        let b = mgf1::<Sha256>(&seed, long);
+        prop_assert_eq!(&b[..short], &a[..]);
+    }
+
+    #[test]
+    fn prf_prefix_property(secret in data(), seed in data(), len in 0usize..150) {
+        let long = p_sha256(&secret, &seed, len + 32);
+        let short = p_sha256(&secret, &seed, len);
+        prop_assert_eq!(&long[..len], &short[..]);
+    }
+
+    #[test]
+    fn prf_separates_labels_and_secrets(secret in proptest::collection::vec(any::<u8>(), 1..64)) {
+        let a = prf_tls12(&secret, b"label one", b"seed", 32);
+        let b = prf_tls12(&secret, b"label two", b"seed", 32);
+        prop_assert_ne!(a.clone(), b);
+        let mut secret2 = secret.clone();
+        secret2[0] ^= 1;
+        prop_assert_ne!(prf_tls12(&secret2, b"label one", b"seed", 32), a);
+    }
+}

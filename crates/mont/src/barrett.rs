@@ -1,0 +1,225 @@
+//! Barrett reduction — the classical pre-Montgomery modular multiplication,
+//! included as the third point of the reduction-strategy ablation (E11:
+//! division vs Barrett vs Montgomery vs vectorized Montgomery).
+//!
+//! Barrett precomputes `µ = ⌊2^(2·64k) / n⌋` once and then reduces a
+//! double-width product with two more multiplications and no divisions:
+//! `q ≈ ⌊x / n⌋ = ((x >> 64(k−1)) · µ) >> 64(k+1)`, `r = x − q·n`, followed
+//! by at most two correcting subtractions.
+
+use phi_bigint::{BigIntError, BigUint};
+use phi_simd::count::{record, OpClass};
+
+/// A Barrett reduction context for a fixed modulus (any `n > 2`).
+#[derive(Debug, Clone)]
+pub struct BarrettCtx {
+    n: BigUint,
+    /// `⌊2^(2·64k) / n⌋`.
+    mu: BigUint,
+    /// Limb count of the modulus.
+    k: usize,
+}
+
+impl BarrettCtx {
+    /// Precompute for `n`. Unlike Montgomery, even moduli are fine.
+    pub fn new(n: &BigUint) -> Result<Self, BigIntError> {
+        if n.is_zero() {
+            return Err(BigIntError::DivisionByZero);
+        }
+        let k = n.limb_len();
+        let mu = &BigUint::power_of_two(2 * 64 * k as u32) / n;
+        Ok(BarrettCtx {
+            n: n.clone(),
+            mu,
+            k,
+        })
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// Record the footprint of one Barrett modular multiplication: the
+    /// full k×k product `x = a·b` plus the two reduction products, each of
+    /// which only needs half its partial products (only the high half of
+    /// `q̂·µ` and the low half of `q·n` are used — the classic Barrett
+    /// optimization), so ≈ 2k² word multiplies in total.
+    fn record_ops(&self) {
+        let k = self.k as u64;
+        record(OpClass::SMul64, 2 * k * k);
+        record(OpClass::SAlu, 7 * k * k + 12 * k);
+        record(OpClass::SMem, 5 * k * k + 6 * k);
+    }
+
+    /// Reduce a value `x < n²` to `x mod n`.
+    pub fn reduce(&self, x: &BigUint) -> BigUint {
+        debug_assert!(x < &self.n.square(), "Barrett input out of range");
+        let shift_lo = 64 * (self.k as u32 - 1);
+        let shift_hi = 64 * (self.k as u32 + 1);
+        let q1 = x >> shift_lo;
+        let q2 = &q1 * &self.mu;
+        let q3 = &q2 >> shift_hi;
+        let mut r = x.checked_sub(&(&q3 * &self.n)).expect("q3 underestimates");
+        // Barrett guarantees at most two corrections.
+        let mut corrections = 0;
+        while r >= self.n {
+            r -= &self.n;
+            corrections += 1;
+            debug_assert!(corrections <= 2, "Barrett correction bound violated");
+        }
+        r
+    }
+
+    /// `a·b mod n` for reduced operands.
+    pub fn mod_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        debug_assert!(a < &self.n && b < &self.n);
+        self.record_ops();
+        self.reduce(&(a * b))
+    }
+
+    /// `a² mod n`.
+    pub fn mod_sqr(&self, a: &BigUint) -> BigUint {
+        self.record_ops();
+        self.reduce(&a.square())
+    }
+
+    /// `base^exp mod n` by square-and-multiply over Barrett reductions
+    /// (how pre-Montgomery code exponentiated).
+    pub fn mod_exp(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if self.n.is_one() {
+            return BigUint::zero();
+        }
+        if exp.is_zero() {
+            return BigUint::one();
+        }
+        let base = if base < &self.n {
+            base.clone()
+        } else {
+            base % &self.n
+        };
+        if base.is_zero() {
+            return BigUint::zero();
+        }
+        let bits = exp.bit_length();
+        let mut acc = base.clone();
+        for i in (0..bits - 1).rev() {
+            acc = self.mod_sqr(&acc);
+            if exp.bit(i) {
+                acc = self.mod_mul(&acc, &base);
+            }
+        }
+        acc
+    }
+}
+
+/// Division-based modular multiplication with modeled accounting — the
+/// naive fourth point of the E11 ablation (`BN_mod` after every product).
+pub fn mod_mul_division(a: &BigUint, b: &BigUint, n: &BigUint) -> BigUint {
+    let k = n.limb_len() as u64;
+    // One k×k product, then a 2k/k Knuth division: each quotient digit
+    // costs a hardware divide plus a k-word multiply-subtract pass.
+    record(OpClass::SMul64, 2 * k * k);
+    record(OpClass::SDiv, k);
+    record(OpClass::SAlu, 8 * k * k + 10 * k);
+    record(OpClass::SMem, 5 * k * k + 4 * k);
+    a.mod_mul(b, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phi_simd::count;
+
+    fn n256() -> BigUint {
+        BigUint::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff61")
+            .unwrap()
+    }
+
+    #[test]
+    fn rejects_zero_modulus() {
+        assert!(BarrettCtx::new(&BigUint::zero()).is_err());
+    }
+
+    #[test]
+    fn even_modulus_works() {
+        // Barrett's advantage over Montgomery: no odd-modulus requirement.
+        let n = BigUint::from(100u64);
+        let ctx = BarrettCtx::new(&n).unwrap();
+        assert_eq!(
+            ctx.mod_mul(&BigUint::from(77u64), &BigUint::from(88u64))
+                .to_u64(),
+            Some(77 * 88 % 100)
+        );
+    }
+
+    #[test]
+    fn reduce_matches_rem() {
+        let n = n256();
+        let ctx = BarrettCtx::new(&n).unwrap();
+        let mut state = 0xB477_ADDAu64;
+        for _ in 0..50 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = &BigUint::from_limbs(vec![state; 4]) % &n;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let b = &BigUint::from_limbs(vec![state; 4]) % &n;
+            assert_eq!(ctx.mod_mul(&a, &b), a.mod_mul(&b, &n));
+        }
+    }
+
+    #[test]
+    fn near_modulus_operands() {
+        let n = n256();
+        let ctx = BarrettCtx::new(&n).unwrap();
+        let max = &n - &BigUint::one();
+        assert_eq!(ctx.mod_mul(&max, &max), max.mod_mul(&max, &n));
+        assert!(ctx.mod_mul(&BigUint::zero(), &max).is_zero());
+    }
+
+    #[test]
+    fn exp_matches_oracle() {
+        let n = n256();
+        let ctx = BarrettCtx::new(&n).unwrap();
+        let base = BigUint::from(123456789u64);
+        let exp = BigUint::from_hex("deadbeefcafebabe").unwrap();
+        assert_eq!(ctx.mod_exp(&base, &exp), base.mod_exp(&exp, &n));
+        // Edge exponents.
+        assert!(ctx.mod_exp(&base, &BigUint::zero()).is_one());
+        assert_eq!(ctx.mod_exp(&base, &BigUint::one()), base);
+    }
+
+    #[test]
+    fn division_wrapper_matches_and_charges_divides() {
+        let n = n256();
+        let a = BigUint::from(987654321u64);
+        let b = BigUint::from(123456789u64);
+        count::reset();
+        let (got, d) = count::measure(|| mod_mul_division(&a, &b, &n));
+        assert_eq!(got, a.mod_mul(&b, &n));
+        assert!(d.get(OpClass::SDiv) > 0);
+    }
+
+    #[test]
+    fn barrett_cheaper_than_division_dearer_than_montgomery() {
+        use phi_simd::CostModel;
+        let n = n256();
+        let ctx = BarrettCtx::new(&n).unwrap();
+        let mctx = crate::MontCtx64::new(&n).unwrap();
+        use crate::MontEngine;
+        let a = &BigUint::from(0xAAAAAAAAu64) % &n;
+        let b = &BigUint::from(0x55555555u64) % &n;
+        let model = CostModel::knc();
+        count::reset();
+        let (_, div) = count::measure(|| mod_mul_division(&a, &b, &n));
+        let (_, bar) = count::measure(|| ctx.mod_mul(&a, &b));
+        let (am, bm) = (mctx.to_mont(&a), mctx.to_mont(&b));
+        let (_, mont) = count::measure(|| mctx.mont_mul(&am, &bm));
+        let (cd, cb, cm) = (
+            model.issue_cycles(&div),
+            model.issue_cycles(&bar),
+            model.issue_cycles(&mont),
+        );
+        assert!(cb < cd, "Barrett {cb} !< division {cd}");
+        assert!(cm < cb, "Montgomery {cm} !< Barrett {cb}");
+    }
+}

@@ -1,0 +1,255 @@
+//! Montgomery context over 32-bit limbs — the `BN_LLONG` half-word path of
+//! a default portable OpenSSL build, which computes every 64-bit product
+//! from 32×32→64 multiplies.
+
+use crate::engine::MontEngine;
+use phi_bigint::{BigIntError, BigUint};
+use phi_simd::count::{record, OpClass};
+
+/// Inverse of an odd `x` modulo 2^32 by Newton iteration.
+pub fn inv_mod_2_32(x: u32) -> u32 {
+    debug_assert!(x & 1 == 1);
+    let mut inv = x; // 3 correct bits
+    for _ in 0..4 {
+        inv = inv.wrapping_mul(2u32.wrapping_sub(x.wrapping_mul(inv)));
+    }
+    debug_assert_eq!(x.wrapping_mul(inv), 1);
+    inv
+}
+
+/// 32×32→64 multiply-accumulate: `acc + a*b + carry` as `(lo, hi)`.
+#[inline]
+fn mac32(acc: u32, a: u32, b: u32, carry: u32) -> (u32, u32) {
+    let wide = acc as u64 + (a as u64) * (b as u64) + carry as u64;
+    (wide as u32, (wide >> 32) as u32)
+}
+
+/// Split a [`BigUint`] into little-endian 32-bit limbs, padded to `k`.
+fn to_u32_limbs(a: &BigUint, k: usize) -> Vec<u32> {
+    let mut out = Vec::with_capacity(k);
+    for &l in a.limbs() {
+        out.push(l as u32);
+        out.push((l >> 32) as u32);
+    }
+    if out.len() > k {
+        debug_assert!(
+            out[k..].iter().all(|&x| x == 0),
+            "value wider than {k} half-limbs"
+        );
+        out.truncate(k);
+    }
+    out.resize(k, 0);
+    out
+}
+
+/// Reassemble a [`BigUint`] from little-endian 32-bit limbs.
+fn from_u32_limbs(v: &[u32]) -> BigUint {
+    let mut limbs = Vec::with_capacity(v.len().div_ceil(2));
+    for pair in v.chunks(2) {
+        let lo = pair[0] as u64;
+        let hi = pair.get(1).copied().unwrap_or(0) as u64;
+        limbs.push(lo | (hi << 32));
+    }
+    BigUint::from_limbs(limbs)
+}
+
+/// Montgomery multiplication context with 32-bit limbs and CIOS reduction —
+/// the default-OpenSSL baseline kernel. Twice the limb count of
+/// [`MontCtx64`](crate::MontCtx64) and four times the multiply count, which
+/// is exactly the penalty the `BN_LLONG` build pays on 64-bit hardware.
+#[derive(Debug, Clone)]
+pub struct MontCtx32 {
+    n: BigUint,
+    n_limbs: Vec<u32>,
+    k: usize,
+    n0_inv: u32,
+    rr: BigUint,
+    r_bits: u32,
+}
+
+impl MontCtx32 {
+    /// Build a context for the odd modulus `n`.
+    pub fn new(n: &BigUint) -> Result<Self, BigIntError> {
+        if n.is_zero() || n.is_even() {
+            return Err(BigIntError::EvenModulus);
+        }
+        let k = n.bit_length().div_ceil(32) as usize;
+        let n_limbs = to_u32_limbs(n, k);
+        let r_bits = (k as u32) * 32;
+        let n0_inv = inv_mod_2_32(n_limbs[0]).wrapping_neg();
+        let rr = &BigUint::power_of_two(2 * r_bits) % n;
+        Ok(MontCtx32 {
+            n: n.clone(),
+            n_limbs,
+            k,
+            n0_inv,
+            rr,
+            r_bits,
+        })
+    }
+
+    /// Limb count (32-bit limbs).
+    pub fn limbs(&self) -> usize {
+        self.k
+    }
+
+    fn padded(&self, a: &BigUint) -> Vec<u32> {
+        debug_assert!(a < &self.n, "operand not reduced");
+        to_u32_limbs(a, self.k)
+    }
+
+    /// Operation footprint of one 32-bit CIOS call (same shape as the
+    /// 64-bit kernel, over `k` half-word limbs).
+    fn record_cios_ops(&self) {
+        // Per half-word product: 1 multiply + 2 ALU + 1 memory op — the
+        // BN_LLONG C code keeps two adjacent 32-bit limbs in one 64-bit
+        // accumulator, so carries and loads pair up relative to the
+        // 64-bit kernel's 3-ALU/2-mem footprint.
+        let k = self.k as u64;
+        record(OpClass::SMul32, 2 * k * k + k);
+        record(OpClass::SAlu, 4 * k * k + 8 * k);
+        record(OpClass::SMem, 2 * k * k + 2 * k);
+    }
+
+    fn cios(&self, a: &[u32], b: &[u32]) -> BigUint {
+        let k = self.k;
+        let mut t = vec![0u32; k + 2];
+        for &ai in a.iter().take(k) {
+            let mut c = 0u32;
+            for j in 0..k {
+                let (lo, hi) = mac32(t[j], ai, b[j], c);
+                t[j] = lo;
+                c = hi;
+            }
+            let (s, c2) = t[k].overflowing_add(c);
+            t[k] = s;
+            t[k + 1] += c2 as u32;
+
+            let m = t[0].wrapping_mul(self.n0_inv);
+            let (_, mut c) = mac32(t[0], m, self.n_limbs[0], 0);
+            for j in 1..k {
+                let (lo, hi) = mac32(t[j], m, self.n_limbs[j], c);
+                t[j - 1] = lo;
+                c = hi;
+            }
+            let (s, c2) = t[k].overflowing_add(c);
+            t[k - 1] = s;
+            t[k] = t[k + 1] + c2 as u32;
+            t[k + 1] = 0;
+        }
+        self.record_cios_ops();
+
+        let mut r = from_u32_limbs(&t[..=k]);
+        if r >= self.n {
+            r -= &self.n;
+        }
+        r
+    }
+}
+
+impl MontEngine for MontCtx32 {
+    fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    fn r_bits(&self) -> u32 {
+        self.r_bits
+    }
+
+    fn to_mont(&self, a: &BigUint) -> BigUint {
+        let reduced = if a < &self.n { a.clone() } else { a % &self.n };
+        self.cios(&self.padded(&reduced), &self.padded(&self.rr))
+    }
+
+    fn from_mont(&self, a: &BigUint) -> BigUint {
+        let mut one = vec![0u32; self.k];
+        one[0] = 1;
+        self.cios(&self.padded(a), &one)
+    }
+
+    fn one_mont(&self) -> BigUint {
+        &BigUint::power_of_two(self.r_bits) % &self.n
+    }
+
+    fn mont_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        self.cios(&self.padded(a), &self.padded(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phi_simd::count;
+
+    #[test]
+    fn inv_mod_2_32_identity() {
+        for x in [1u32, 3, 0xdeadbeef | 1, u32::MAX] {
+            assert_eq!(x.wrapping_mul(inv_mod_2_32(x)), 1);
+        }
+    }
+
+    #[test]
+    fn u32_limb_roundtrip() {
+        let n = BigUint::from_hex("123456789abcdef0fedcba98").unwrap();
+        let limbs = to_u32_limbs(&n, 3);
+        assert_eq!(limbs.len(), 3);
+        assert_eq!(from_u32_limbs(&limbs), n);
+    }
+
+    #[test]
+    fn half_limb_modulus_width() {
+        // A 96-bit modulus needs 3 half-word limbs, not 4.
+        let n = BigUint::from_hex("ffffffffffffffffffffffef").unwrap();
+        let c = MontCtx32::new(&n).unwrap();
+        assert_eq!(c.limbs(), 3);
+        assert_eq!(c.r_bits(), 96);
+    }
+
+    #[test]
+    fn roundtrip_and_correctness() {
+        let n = BigUint::from_hex("ffffffffffffffffffffffffffffff61").unwrap();
+        let c = MontCtx32::new(&n).unwrap();
+        let a = BigUint::from_hex("123456789abcdef").unwrap();
+        let b = BigUint::from_hex("fedcba987654321").unwrap();
+        assert_eq!(c.from_mont(&c.to_mont(&a)), a);
+        let prod = c.from_mont(&c.mont_mul(&c.to_mont(&a), &c.to_mont(&b)));
+        assert_eq!(prod, a.mod_mul(&b, &n));
+    }
+
+    #[test]
+    fn agrees_with_64_bit_context() {
+        let n =
+            BigUint::from_hex("f000000000000000000000000000000000000000000000000000000000000061")
+                .unwrap();
+        let c32 = MontCtx32::new(&n).unwrap();
+        let c64 = crate::MontCtx64::new(&n).unwrap();
+        let a = BigUint::from_hex("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa").unwrap();
+        let b = BigUint::from_hex("bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb").unwrap();
+        // Different R, so compare through plain residues.
+        let p32 = c32.from_mont(&c32.mont_mul(&c32.to_mont(&a), &c32.to_mont(&b)));
+        let p64 = c64.from_mont(&c64.mont_mul(&c64.to_mont(&a), &c64.to_mont(&b)));
+        assert_eq!(p32, p64);
+    }
+
+    #[test]
+    fn records_half_word_multiplies() {
+        let n = BigUint::from_hex("ffffffffffffffffffffffffffffff61").unwrap(); // k = 4 half-words
+        let c = MontCtx32::new(&n).unwrap();
+        let a = c.to_mont(&BigUint::from(3u64));
+        let b = c.to_mont(&BigUint::from(5u64));
+        count::reset();
+        let (_, d) = count::measure(|| c.mont_mul(&a, &b));
+        let k = 4u64;
+        assert_eq!(d.get(OpClass::SMul32), 2 * k * k + k);
+        assert_eq!(d.get(OpClass::SMul64), 0);
+    }
+
+    #[test]
+    fn near_modulus_operands() {
+        let n = BigUint::from_hex("ffffffef").unwrap();
+        let c = MontCtx32::new(&n).unwrap();
+        let max = &n - &BigUint::one();
+        let am = c.to_mont(&max);
+        assert!(c.from_mont(&c.mont_mul(&am, &am)).is_one());
+    }
+}

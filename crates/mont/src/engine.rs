@@ -1,0 +1,110 @@
+//! The [`MontEngine`] abstraction: anything that can do Montgomery-domain
+//! multiplication for a fixed odd modulus.
+//!
+//! Implemented by the scalar contexts in this crate and by the vectorized
+//! PhiOpenSSL kernel in the `phiopenssl` crate, so exponentiation
+//! strategies and RSA code are written once and run over every library.
+
+use phi_bigint::BigUint;
+
+/// Montgomery-domain arithmetic for a fixed odd modulus `n` and Montgomery
+/// radix `R = 2^r_bits`.
+///
+/// Values in the Montgomery domain are ordinary [`BigUint`]s in `[0, n)`
+/// representing `a·R mod n`. Implementations may use any internal digit
+/// representation as long as these methods round-trip.
+pub trait MontEngine {
+    /// The (odd) modulus.
+    fn modulus(&self) -> &BigUint;
+
+    /// Number of bits in the Montgomery radix `R`.
+    fn r_bits(&self) -> u32;
+
+    /// Map `a` into the Montgomery domain: `a·R mod n`.
+    fn to_mont(&self, a: &BigUint) -> BigUint;
+
+    /// Map out of the Montgomery domain: `a·R⁻¹ mod n`.
+    #[allow(clippy::wrong_self_convention)] // converts a value *through* the engine
+    fn from_mont(&self, a: &BigUint) -> BigUint;
+
+    /// The Montgomery representation of 1 (that is, `R mod n`).
+    fn one_mont(&self) -> BigUint;
+
+    /// Montgomery product: `a·b·R⁻¹ mod n`.
+    fn mont_mul(&self, a: &BigUint, b: &BigUint) -> BigUint;
+
+    /// Montgomery square; kernels may override with a dedicated squaring.
+    fn mont_sqr(&self, a: &BigUint) -> BigUint {
+        self.mont_mul(a, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivially slow reference engine used to test default methods and
+    /// as a behavioural contract for the real implementations.
+    struct NaiveEngine {
+        n: BigUint,
+        r: BigUint,
+        r_inv: BigUint,
+        r_bits: u32,
+    }
+
+    impl NaiveEngine {
+        fn new(n: BigUint) -> Self {
+            let r_bits = n.bit_length().div_ceil(64) * 64;
+            let r = BigUint::power_of_two(r_bits);
+            let r_inv = (&r % &n).mod_inverse(&n).unwrap();
+            NaiveEngine {
+                n,
+                r,
+                r_inv,
+                r_bits,
+            }
+        }
+    }
+
+    impl MontEngine for NaiveEngine {
+        fn modulus(&self) -> &BigUint {
+            &self.n
+        }
+        fn r_bits(&self) -> u32 {
+            self.r_bits
+        }
+        fn to_mont(&self, a: &BigUint) -> BigUint {
+            a.mod_mul(&self.r, &self.n)
+        }
+        fn from_mont(&self, a: &BigUint) -> BigUint {
+            a.mod_mul(&self.r_inv, &self.n)
+        }
+        fn one_mont(&self) -> BigUint {
+            &self.r % &self.n
+        }
+        fn mont_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+            a.mod_mul(b, &self.n).mod_mul(&self.r_inv, &self.n)
+        }
+    }
+
+    #[test]
+    fn naive_engine_roundtrip() {
+        let e = NaiveEngine::new(BigUint::from(101u64));
+        let a = BigUint::from(42u64);
+        assert_eq!(e.from_mont(&e.to_mont(&a)), a);
+    }
+
+    #[test]
+    fn default_sqr_matches_mul() {
+        let e = NaiveEngine::new(BigUint::from(101u64));
+        let am = e.to_mont(&BigUint::from(7u64));
+        assert_eq!(e.mont_sqr(&am), e.mont_mul(&am, &am));
+    }
+
+    #[test]
+    fn one_mont_is_multiplicative_identity() {
+        let e = NaiveEngine::new(BigUint::from(97u64));
+        let am = e.to_mont(&BigUint::from(33u64));
+        assert_eq!(e.mont_mul(&am, &e.one_mont()), am);
+    }
+}

@@ -1,0 +1,411 @@
+//! Montgomery exponentiation strategies.
+//!
+//! Three strategies, matching what the compared libraries use:
+//!
+//! * [`ExpStrategy::SquareMultiply`] — plain left-to-right binary
+//!   exponentiation (`BN_mod_exp_mont` without windowing),
+//! * [`ExpStrategy::SlidingWindow`] — OpenSSL's default odd-power sliding
+//!   window, with the window width chosen by
+//!   [`window_bits_for_exponent`],
+//! * [`ExpStrategy::FixedWindow`] — the fixed-window (2^w-ary) method the
+//!   PhiOpenSSL paper adopts; every window costs `w` squarings plus one
+//!   table multiplication regardless of the exponent bits, which is both
+//!   SIMD-friendly and constant-sequence.
+//!
+//! All strategies are generic over [`MontEngine`], so the same code
+//! exercises the scalar baselines and the vectorized PhiOpenSSL kernel.
+
+use crate::engine::MontEngine;
+use phi_bigint::BigUint;
+
+/// Which exponentiation algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpStrategy {
+    /// Left-to-right binary square-and-multiply.
+    SquareMultiply,
+    /// Sliding window over odd powers with the given width (1..=7).
+    SlidingWindow(u32),
+    /// Fixed 2^w-ary window with the given width (1..=7).
+    FixedWindow(u32),
+    /// The Montgomery powering ladder (two multiplications per bit).
+    MontgomeryLadder,
+}
+
+/// OpenSSL's `BN_window_bits_for_exponent_size` rule.
+pub fn window_bits_for_exponent(bits: u32) -> u32 {
+    if bits > 671 {
+        6
+    } else if bits > 239 {
+        5
+    } else if bits > 79 {
+        4
+    } else if bits > 23 {
+        3
+    } else {
+        1
+    }
+}
+
+/// `base^exp mod n` through the given engine and strategy. Input and output
+/// are plain residues; domain conversion happens inside.
+pub fn mont_exp<E: MontEngine + ?Sized>(
+    engine: &E,
+    base: &BigUint,
+    exp: &BigUint,
+    strategy: ExpStrategy,
+) -> BigUint {
+    let n = engine.modulus();
+    if n.is_one() {
+        return BigUint::zero();
+    }
+    if exp.is_zero() {
+        return BigUint::one();
+    }
+    let base_red = if base < n { base.clone() } else { base % n };
+    if base_red.is_zero() {
+        return BigUint::zero();
+    }
+    let bm = engine.to_mont(&base_red);
+    let result_m = match strategy {
+        ExpStrategy::SquareMultiply => exp_square_multiply(engine, &bm, exp),
+        ExpStrategy::SlidingWindow(w) => exp_sliding_window(engine, &bm, exp, w),
+        ExpStrategy::FixedWindow(w) => exp_fixed_window(engine, &bm, exp, w),
+        ExpStrategy::MontgomeryLadder => exp_montgomery_ladder(engine, &bm, exp),
+    };
+    engine.from_mont(&result_m)
+}
+
+/// Left-to-right binary method over a Montgomery-domain base.
+pub fn exp_square_multiply<E: MontEngine + ?Sized>(
+    engine: &E,
+    base_m: &BigUint,
+    exp: &BigUint,
+) -> BigUint {
+    let bits = exp.bit_length();
+    debug_assert!(bits > 0);
+    let mut acc = base_m.clone();
+    for i in (0..bits - 1).rev() {
+        acc = engine.mont_sqr(&acc);
+        if exp.bit(i) {
+            acc = engine.mont_mul(&acc, base_m);
+        }
+    }
+    acc
+}
+
+/// Sliding-window method with odd-power table of `2^(w-1)` entries.
+pub fn exp_sliding_window<E: MontEngine + ?Sized>(
+    engine: &E,
+    base_m: &BigUint,
+    exp: &BigUint,
+    w: u32,
+) -> BigUint {
+    assert!((1..=7).contains(&w), "window width out of range");
+    let bits = exp.bit_length();
+    debug_assert!(bits > 0);
+
+    // Table of odd powers: table[i] = base^(2i+1).
+    let table_len = 1usize << (w - 1);
+    let mut table = Vec::with_capacity(table_len);
+    table.push(base_m.clone());
+    if table_len > 1 {
+        let b2 = engine.mont_sqr(base_m);
+        for i in 1..table_len {
+            let prev: &BigUint = &table[i - 1];
+            table.push(engine.mont_mul(prev, &b2));
+        }
+    }
+
+    let mut acc: Option<BigUint> = None;
+    let mut i = bits as i64 - 1;
+    while i >= 0 {
+        if !exp.bit(i as u32) {
+            if let Some(a) = acc.take() {
+                acc = Some(engine.mont_sqr(&a));
+            }
+            // A leading zero run before the first set bit cannot happen
+            // (bit_length points at a set bit), so acc is Some here on.
+            i -= 1;
+            continue;
+        }
+        // Find the longest window [l, i] of width ≤ w ending in a set bit.
+        let mut l = (i - w as i64 + 1).max(0);
+        while !exp.bit(l as u32) {
+            l += 1;
+        }
+        let width = (i - l + 1) as u32;
+        let val = exp.extract_bits(l as u32, width);
+        debug_assert!(val & 1 == 1);
+        acc = Some(match acc.take() {
+            None => table[((val - 1) / 2) as usize].clone(),
+            Some(mut a) => {
+                for _ in 0..width {
+                    a = engine.mont_sqr(&a);
+                }
+                engine.mont_mul(&a, &table[((val - 1) / 2) as usize])
+            }
+        });
+        i = l - 1;
+    }
+    acc.expect("nonzero exponent processed at least one window")
+}
+
+/// Fixed 2^w-ary window: the strategy the paper's library uses. Scans
+/// ⌈bits/w⌉ aligned windows from the top; each window performs exactly `w`
+/// squarings and one table multiplication (including for zero windows),
+/// giving the data-independent operation sequence the vector engine wants.
+pub fn exp_fixed_window<E: MontEngine + ?Sized>(
+    engine: &E,
+    base_m: &BigUint,
+    exp: &BigUint,
+    w: u32,
+) -> BigUint {
+    assert!((1..=7).contains(&w), "window width out of range");
+    let bits = exp.bit_length();
+    debug_assert!(bits > 0);
+
+    // Full table: table[v] = base^v, v in [0, 2^w).
+    let table_len = 1usize << w;
+    let mut table = Vec::with_capacity(table_len);
+    table.push(engine.one_mont());
+    for i in 1..table_len {
+        let prev: &BigUint = &table[i - 1];
+        table.push(engine.mont_mul(prev, base_m));
+    }
+
+    let windows = bits.div_ceil(w);
+    let mut acc = engine.one_mont();
+    for win in (0..windows).rev() {
+        for _ in 0..w {
+            acc = engine.mont_sqr(&acc);
+        }
+        let lo = win * w;
+        let width = w.min(bits - lo);
+        let val = exp.extract_bits(lo, width);
+        acc = engine.mont_mul(&acc, &table[val as usize]);
+    }
+    acc
+}
+
+/// The Montgomery powering ladder: exactly two multiplications per
+/// exponent bit with a data-independent *dependency pattern* as well as
+/// sequence — the strongest (and slowest) of the constant-time options,
+/// provided for the hardening ablation alongside the fixed window.
+pub fn exp_montgomery_ladder<E: MontEngine + ?Sized>(
+    engine: &E,
+    base_m: &BigUint,
+    exp: &BigUint,
+) -> BigUint {
+    let bits = exp.bit_length();
+    debug_assert!(bits > 0);
+    let mut r0 = engine.one_mont();
+    let mut r1 = base_m.clone();
+    for i in (0..bits).rev() {
+        if exp.bit(i) {
+            r0 = engine.mont_mul(&r0, &r1);
+            r1 = engine.mont_sqr(&r1);
+        } else {
+            r1 = engine.mont_mul(&r0, &r1);
+            r0 = engine.mont_sqr(&r0);
+        }
+    }
+    r0
+}
+
+/// Number of Montgomery multiplications (squarings + multiplies) each
+/// strategy performs for an exponent of `bits` bits — used by the harness
+/// to sanity-check measured counts and by DESIGN.md's analytical tables.
+pub fn expected_mont_muls(bits: u32, strategy: ExpStrategy) -> u32 {
+    match strategy {
+        // bits-1 squarings + ~bits/2 multiplies on average.
+        ExpStrategy::SquareMultiply => (bits - 1) + bits / 2,
+        // table (2^(w-1)) + bits squarings + bits/(w+1) multiplies (expected).
+        ExpStrategy::SlidingWindow(w) => (1 << (w - 1)) + bits + bits / (w + 1),
+        // table (2^w - 1) + w·⌈bits/w⌉ squarings + ⌈bits/w⌉ multiplies.
+        ExpStrategy::FixedWindow(w) => (1 << w) - 1 + (w + 1) * bits.div_ceil(w),
+        // Exactly two multiplications per bit.
+        ExpStrategy::MontgomeryLadder => 2 * bits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx64::MontCtx64;
+
+    fn engine(hex: &str) -> MontCtx64 {
+        MontCtx64::new(&BigUint::from_hex(hex).unwrap()).unwrap()
+    }
+
+    fn all_strategies() -> Vec<ExpStrategy> {
+        vec![
+            ExpStrategy::SquareMultiply,
+            ExpStrategy::SlidingWindow(1),
+            ExpStrategy::SlidingWindow(4),
+            ExpStrategy::SlidingWindow(6),
+            ExpStrategy::FixedWindow(1),
+            ExpStrategy::FixedWindow(5),
+            ExpStrategy::MontgomeryLadder,
+        ]
+    }
+
+    #[test]
+    fn all_strategies_match_oracle_small() {
+        let e = engine("61"); // 97
+        let m = BigUint::from(97u64);
+        for s in all_strategies() {
+            for base in [0u64, 1, 2, 50, 96] {
+                for exp in [0u64, 1, 2, 3, 13, 96, 97, 200] {
+                    let got = mont_exp(&e, &BigUint::from(base), &BigUint::from(exp), s);
+                    let want = BigUint::from(base).mod_exp(&BigUint::from(exp), &m);
+                    assert_eq!(got, want, "{base}^{exp} mod 97 via {s:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_strategies_match_oracle_large() {
+        let e = engine("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff61");
+        let n = e.modulus().clone();
+        let base = BigUint::from_hex("123456789abcdef0123456789abcdef0123456789abcdef").unwrap();
+        let exp = BigUint::from_hex("fedcba9876543210fedcba9876543210").unwrap();
+        let want = base.mod_exp(&exp, &n);
+        for s in all_strategies() {
+            assert_eq!(mont_exp(&e, &base, &exp, s), want, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn exponent_all_ones_stresses_windows() {
+        let e = engine("ffffffffffffffc5");
+        let n = e.modulus().clone();
+        let base = BigUint::from(3u64);
+        let exp = &BigUint::power_of_two(130) - &BigUint::one();
+        let want = base.mod_exp(&exp, &n);
+        for s in all_strategies() {
+            assert_eq!(mont_exp(&e, &base, &exp, s), want, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn exponent_sparse_bits() {
+        let e = engine("ffffffffffffffc5");
+        let n = e.modulus().clone();
+        let base = BigUint::from(7u64);
+        let mut exp = BigUint::zero();
+        exp.set_bit(0, true);
+        exp.set_bit(64, true);
+        exp.set_bit(127, true);
+        let want = base.mod_exp(&exp, &n);
+        for s in all_strategies() {
+            assert_eq!(mont_exp(&e, &base, &exp, s), want, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn unreduced_base_is_reduced_first() {
+        let e = engine("61");
+        let got = mont_exp(
+            &e,
+            &BigUint::from(1000u64),
+            &BigUint::from(5u64),
+            ExpStrategy::FixedWindow(3),
+        );
+        assert_eq!(
+            got,
+            BigUint::from(1000u64).mod_exp(&BigUint::from(5u64), &BigUint::from(97u64))
+        );
+    }
+
+    #[test]
+    fn modulus_one_gives_zero() {
+        let e = MontCtx64::new(&BigUint::one()).unwrap();
+        assert!(mont_exp(
+            &e,
+            &BigUint::from(5u64),
+            &BigUint::from(3u64),
+            ExpStrategy::SquareMultiply
+        )
+        .is_zero());
+    }
+
+    #[test]
+    fn window_rule_matches_openssl_table() {
+        assert_eq!(window_bits_for_exponent(4096), 6);
+        assert_eq!(window_bits_for_exponent(672), 6);
+        assert_eq!(window_bits_for_exponent(671), 5);
+        assert_eq!(window_bits_for_exponent(240), 5);
+        assert_eq!(window_bits_for_exponent(239), 4);
+        assert_eq!(window_bits_for_exponent(80), 4);
+        assert_eq!(window_bits_for_exponent(79), 3);
+        assert_eq!(window_bits_for_exponent(24), 3);
+        assert_eq!(window_bits_for_exponent(23), 1);
+    }
+
+    #[test]
+    fn ladder_does_two_muls_per_bit() {
+        // Count engine calls through the wrapper used below.
+        let e = engine("ffffffffffffffc5");
+        let exp = BigUint::from_hex("ffffffffffff").unwrap(); // 48 bits
+        let bm = e.to_mont(&BigUint::from(3u64));
+        use phi_simd::count;
+        count::reset();
+        let (_, d) = count::measure(|| exp_montgomery_ladder(&e, &bm, &exp));
+        // 48 bits x 2 muls, each CIOS doing 2k^2+k = 3 SMul64 at k=1.
+        assert_eq!(d.get(phi_simd::OpClass::SMul64), 48 * 2 * 3);
+    }
+
+    #[test]
+    fn expected_mont_muls_ordering() {
+        // For big exponents, windowed methods do fewer multiplications.
+        let b = 2048;
+        let sm = expected_mont_muls(b, ExpStrategy::SquareMultiply);
+        let sw = expected_mont_muls(b, ExpStrategy::SlidingWindow(6));
+        let fw = expected_mont_muls(b, ExpStrategy::FixedWindow(5));
+        assert!(sw < sm);
+        assert!(fw < sm);
+    }
+
+    #[test]
+    fn fixed_window_count_is_exact() {
+        // Count actual engine calls through a wrapper.
+        use std::cell::Cell;
+        struct Counting<'a> {
+            inner: &'a MontCtx64,
+            muls: Cell<u32>,
+        }
+        impl MontEngine for Counting<'_> {
+            fn modulus(&self) -> &BigUint {
+                self.inner.modulus()
+            }
+            fn r_bits(&self) -> u32 {
+                self.inner.r_bits()
+            }
+            fn to_mont(&self, a: &BigUint) -> BigUint {
+                self.inner.to_mont(a)
+            }
+            fn from_mont(&self, a: &BigUint) -> BigUint {
+                self.inner.from_mont(a)
+            }
+            fn one_mont(&self) -> BigUint {
+                self.inner.one_mont()
+            }
+            fn mont_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+                self.muls.set(self.muls.get() + 1);
+                self.inner.mont_mul(a, b)
+            }
+        }
+        let inner = engine("ffffffffffffffc5");
+        let c = Counting {
+            inner: &inner,
+            muls: Cell::new(0),
+        };
+        let exp = BigUint::from_hex("ffffffffffffffff").unwrap(); // 64 bits
+        let w = 4;
+        let _ = exp_fixed_window(&c, &c.to_mont(&BigUint::from(3u64)), &exp, w);
+        // table: 2^w - 1 muls; loop: ceil(64/4) * (4 sqr + 1 mul).
+        let expect = (1u32 << w) - 1 + 64u32.div_ceil(w) * (w + 1);
+        assert_eq!(c.muls.get(), expect);
+    }
+}

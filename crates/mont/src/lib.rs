@@ -1,0 +1,58 @@
+//! # phi-mont
+//!
+//! Scalar word-level Montgomery arithmetic and the two baseline *libcrypto*
+//! profiles the PhiOpenSSL paper compares against.
+//!
+//! The paper measures PhiOpenSSL against
+//!
+//! * the **MPSS libcrypto** — OpenSSL cross-built for the Phi's `k1om`
+//!   target with generic 64-bit C big-number code (no assembler), and
+//! * the **default OpenSSL libcrypto** — the portable build whose
+//!   `BN_LLONG` configuration does 64-bit products through four 32-bit
+//!   half-word multiplies.
+//!
+//! Neither binary can be run today (KNC and MPSS are end-of-life), so this
+//! crate re-implements their hot paths faithfully at the algorithm level:
+//!
+//! * [`MontCtx64`] — CIOS Montgomery multiplication over 64-bit limbs
+//!   (the MPSS profile's kernel),
+//! * [`MontCtx32`] — CIOS over 32-bit limbs (the `BN_LLONG` profile's
+//!   kernel),
+//! * [`exp`] — square-and-multiply, sliding-window and fixed-window
+//!   Montgomery exponentiation, generic over any [`MontEngine`],
+//! * [`baseline`] — the [`baseline::Libcrypto`] facade wiring
+//!   kernels and window policies together into the two named baselines.
+//!
+//! Every kernel records its scalar operations through
+//! [`phi_simd::count`], so the benchmark harness can convert runs into
+//! modeled KNC cycles with the same cost model used for the vectorized
+//! library.
+//!
+//! ```
+//! use phi_bigint::BigUint;
+//! use phi_mont::{MontCtx64, MontEngine};
+//!
+//! let n = BigUint::from(97u64);
+//! let ctx = MontCtx64::new(&n).unwrap();
+//! let a = BigUint::from(5u64);
+//! let am = ctx.to_mont(&a);
+//! let sq = ctx.from_mont(&ctx.mont_mul(&am, &am));
+//! assert_eq!(sq.to_u64(), Some(25));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod barrett;
+pub mod baseline;
+pub mod ctx32;
+pub mod ctx64;
+pub mod engine;
+pub mod exp;
+
+pub use barrett::BarrettCtx;
+pub use baseline::{Libcrypto, MpssBaseline, OpensslBaseline};
+pub use ctx32::MontCtx32;
+pub use ctx64::MontCtx64;
+pub use engine::MontEngine;
+pub use exp::{window_bits_for_exponent, ExpStrategy};

@@ -1,0 +1,202 @@
+//! The KNC cycle-cost model.
+//!
+//! Converts deterministic [`count::OpCounts`](crate::count::OpCounts) into modeled
+//! Knights Corner cycles. This is the substitution for running on real Phi
+//! hardware: the paper's speedups are driven by instruction *counts*
+//! (16 digit products per vector op vs. one slow scalar multiply) and the
+//! in-order core's issue rules, both of which this model captures.
+//!
+//! ## Calibration
+//!
+//! Weights are derived from published KNC characteristics (in-order
+//! Pentium-derived scalar pipe, 512-bit VPU with 1 op/cycle throughput,
+//! multi-cycle unpipelined scalar multiply) and were calibrated **once**
+//! against the paper's headline claim (15.3× best-case Montgomery
+//! exponentiation speedup); every experiment in EXPERIMENTS.md then uses
+//! these same frozen constants. See `EXPERIMENTS.md §Calibration`.
+
+use crate::count::{OpClass, OpCounts, NUM_CLASSES};
+use crate::knc::KncMachine;
+
+/// Per-op-class issue-cycle weights plus the machine the cycles run on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    weights: [f64; NUM_CLASSES],
+    machine: KncMachine,
+}
+
+impl CostModel {
+    /// The frozen KNC model used by every experiment.
+    pub fn knc() -> Self {
+        let mut weights = [0.0; NUM_CLASSES];
+        // 512-bit VPU: one vector op per cycle of any flavour; swizzles and
+        // L1-resident loads share the pipe.
+        weights[OpClass::VMul.index()] = 1.0;
+        weights[OpClass::VAlu.index()] = 1.0;
+        weights[OpClass::VPerm.index()] = 1.0;
+        weights[OpClass::VMem.index()] = 1.0;
+        weights[OpClass::VMask.index()] = 0.5; // pairs on the scalar pipe
+                                               // Scalar pipe: P54C-derived in-order core. 64×64 multiply is
+                                               // microcoded and effectively unpipelined in the dependent chains
+                                               // Montgomery code produces.
+        weights[OpClass::SMul64.index()] = 10.0;
+        weights[OpClass::SMul32.index()] = 2.0;
+        weights[OpClass::SAlu.index()] = 1.0;
+        weights[OpClass::SMem.index()] = 1.0;
+        weights[OpClass::SDiv.index()] = 40.0;
+        CostModel {
+            weights,
+            machine: KncMachine::phi_5110p(),
+        }
+    }
+
+    /// A model with explicit weights (for ablations and tests).
+    pub fn with_weights(weights: [f64; NUM_CLASSES], machine: KncMachine) -> Self {
+        CostModel { weights, machine }
+    }
+
+    /// The machine this model runs on.
+    pub fn machine(&self) -> &KncMachine {
+        &self.machine
+    }
+
+    /// Weight of one class.
+    pub fn weight(&self, class: OpClass) -> f64 {
+        self.weights[class.index()]
+    }
+
+    /// Issue cycles consumed by the counted operations, at full issue rate
+    /// (i.e. with ≥ 2 threads resident on the core).
+    pub fn issue_cycles(&self, counts: &OpCounts) -> f64 {
+        OpClass::ALL
+            .iter()
+            .map(|&c| counts.get(c) as f64 * self.weights[c.index()])
+            .sum()
+    }
+
+    /// Cycles as observed by a *single* thread running alone on a core —
+    /// the KNC front end halves a lone context's issue rate, which is how
+    /// the paper's single-thread latency numbers were taken.
+    pub fn single_thread_cycles(&self, counts: &OpCounts) -> f64 {
+        self.issue_cycles(counts) / self.machine.issue_efficiency(1)
+    }
+
+    /// Wall-clock seconds for a single-thread run of the counted work.
+    pub fn single_thread_seconds(&self, counts: &OpCounts) -> f64 {
+        self.single_thread_cycles(counts) / self.machine.clock_hz
+    }
+
+    /// Card-level throughput (operations/second) when every operation costs
+    /// the counted work and `threads` threads run independent operations.
+    pub fn throughput(&self, counts_per_op: &OpCounts, threads: u32, scatter: bool) -> f64 {
+        self.machine
+            .throughput(self.issue_cycles(counts_per_op), threads, scatter)
+    }
+
+    /// Build a full [`CycleReport`] for one operation's counts.
+    pub fn report(&self, counts: &OpCounts) -> CycleReport {
+        CycleReport {
+            counts: *counts,
+            issue_cycles: self.issue_cycles(counts),
+            single_thread_cycles: self.single_thread_cycles(counts),
+            single_thread_micros: self.single_thread_seconds(counts) * 1e6,
+        }
+    }
+}
+
+/// A summary of modeled cost for one measured operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleReport {
+    /// The raw operation counts.
+    pub counts: OpCounts,
+    /// Issue cycles at full front-end rate.
+    pub issue_cycles: f64,
+    /// Cycles as seen by a lone thread (the paper's latency setting).
+    pub single_thread_cycles: f64,
+    /// Lone-thread latency in microseconds at the modeled clock.
+    pub single_thread_micros: f64,
+}
+
+impl CycleReport {
+    /// Speedup of `self` over `other` in single-thread latency
+    /// (`other / self`; > 1 means `self` is faster).
+    pub fn speedup_over(&self, other: &CycleReport) -> f64 {
+        other.single_thread_cycles / self.single_thread_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(OpClass, u64)]) -> OpCounts {
+        let mut c = OpCounts::zero();
+        for &(cl, n) in pairs {
+            c.set(cl, n);
+        }
+        c
+    }
+
+    #[test]
+    fn issue_cycles_weighted_sum() {
+        let m = CostModel::knc();
+        let c = counts(&[(OpClass::VMul, 10), (OpClass::SMul64, 2)]);
+        assert_eq!(m.issue_cycles(&c), 10.0 * 1.0 + 2.0 * 10.0);
+    }
+
+    #[test]
+    fn single_thread_pays_front_end_penalty() {
+        let m = CostModel::knc();
+        let c = counts(&[(OpClass::VAlu, 100)]);
+        assert_eq!(m.single_thread_cycles(&c), 200.0);
+    }
+
+    #[test]
+    fn vector_amortization_shape() {
+        // The structural claim of the paper: one vector FMA replaces 16
+        // scalar half-word products. Check the model preserves that ratio.
+        let m = CostModel::knc();
+        let vec_work = counts(&[(OpClass::VMul, 1)]);
+        let scalar_work = counts(&[(OpClass::SMul32, 16)]);
+        let ratio = m.issue_cycles(&scalar_work) / m.issue_cycles(&vec_work);
+        assert!(ratio > 10.0, "vector op should amortize >10x, got {ratio}");
+    }
+
+    #[test]
+    fn report_consistency() {
+        let m = CostModel::knc();
+        let c = counts(&[(OpClass::VMul, 1000)]);
+        let r = m.report(&c);
+        assert_eq!(r.issue_cycles, 1000.0);
+        assert_eq!(r.single_thread_cycles, 2000.0);
+        let micros = 2000.0 / 1.053e9 * 1e6;
+        assert!((r.single_thread_micros - micros).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_is_relative_latency() {
+        let m = CostModel::knc();
+        let fast = m.report(&counts(&[(OpClass::VMul, 100)]));
+        let slow = m.report(&counts(&[(OpClass::VMul, 400)]));
+        assert_eq!(fast.speedup_over(&slow), 4.0);
+        assert_eq!(slow.speedup_over(&fast), 0.25);
+    }
+
+    #[test]
+    fn throughput_uses_machine_placement() {
+        let m = CostModel::knc();
+        let c = counts(&[(OpClass::VMul, 1053)]);
+        // One op costs 1053 cycles; full card = 60 cores * 1.053e9 / 1053 = 60e6 ops/s.
+        let t = m.throughput(&c, 240, false);
+        assert!((t - 60.0e6).abs() / 60.0e6 < 1e-9);
+    }
+
+    #[test]
+    fn custom_weights_apply() {
+        let mut w = [0.0; NUM_CLASSES];
+        w[OpClass::SDiv.index()] = 100.0;
+        let m = CostModel::with_weights(w, KncMachine::phi_5110p());
+        assert_eq!(m.issue_cycles(&counts(&[(OpClass::SDiv, 3)])), 300.0);
+        assert_eq!(m.issue_cycles(&counts(&[(OpClass::VMul, 3)])), 0.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Machine description of the modeled Xeon Phi (Knights Corner) card.
+
+/// Static description of a KNC coprocessor, defaulting to the 61-core
+/// 1.053 GHz part (5110P-class) the paper targets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KncMachine {
+    /// Physical in-order cores on the card.
+    pub cores: u32,
+    /// Hardware thread contexts per core (KNC has 4-way round-robin SMT).
+    pub threads_per_core: u32,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+}
+
+impl KncMachine {
+    /// The Xeon Phi 5110P: 60 usable cores + 1 reserved, 1.053 GHz.
+    /// The paper's experiments run on the 60 user-visible cores.
+    pub fn phi_5110p() -> Self {
+        KncMachine {
+            cores: 60,
+            threads_per_core: 4,
+            clock_hz: 1.053e9,
+        }
+    }
+
+    /// The Xeon Phi 7120 (61 cores, 1.238 GHz) — the other common KNC part.
+    pub fn phi_7120() -> Self {
+        KncMachine {
+            cores: 61,
+            threads_per_core: 4,
+            clock_hz: 1.238e9,
+        }
+    }
+
+    /// Total hardware thread contexts.
+    pub fn total_threads(&self) -> u32 {
+        self.cores * self.threads_per_core
+    }
+
+    /// Front-end issue efficiency of one core running `t` resident threads.
+    ///
+    /// KNC's documented in-order front end cannot issue from the same
+    /// hardware context in back-to-back cycles, so a single thread reaches
+    /// at most half the core's issue slots; two or more threads saturate it.
+    pub fn issue_efficiency(&self, threads_on_core: u32) -> f64 {
+        match threads_on_core {
+            0 => 0.0,
+            1 => 0.5,
+            _ => 1.0,
+        }
+    }
+
+    /// Distribute `threads` over the cores with *compact* affinity: fill
+    /// core 0 to 4 threads, then core 1, … Returns per-core thread counts.
+    pub fn place_compact(&self, threads: u32) -> Vec<u32> {
+        let mut out = vec![0u32; self.cores as usize];
+        let mut left = threads.min(self.total_threads());
+        for slot in out.iter_mut() {
+            let take = left.min(self.threads_per_core);
+            *slot = take;
+            left -= take;
+            if left == 0 {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Distribute `threads` with *scatter* (a.k.a. balanced) affinity:
+    /// round-robin one thread per core before doubling up.
+    pub fn place_scatter(&self, threads: u32) -> Vec<u32> {
+        let mut out = vec![0u32; self.cores as usize];
+        let mut left = threads.min(self.total_threads());
+        let mut i = 0usize;
+        while left > 0 {
+            if out[i] < self.threads_per_core {
+                out[i] += 1;
+                left -= 1;
+            }
+            i = (i + 1) % self.cores as usize;
+        }
+        out
+    }
+
+    /// Aggregate issue capacity (in issued ops per second) of a placement.
+    pub fn aggregate_issue_rate(&self, placement: &[u32]) -> f64 {
+        placement
+            .iter()
+            .map(|&t| self.issue_efficiency(t) * self.clock_hz)
+            .sum()
+    }
+
+    /// Modeled throughput (operations completed per second) when each
+    /// operation costs `cycles_per_op` issue cycles and `threads` threads
+    /// run independent operations under the given affinity.
+    pub fn throughput(&self, cycles_per_op: f64, threads: u32, scatter: bool) -> f64 {
+        assert!(cycles_per_op > 0.0);
+        let placement = if scatter {
+            self.place_scatter(threads)
+        } else {
+            self.place_compact(threads)
+        };
+        self.aggregate_issue_rate(&placement) / cycles_per_op
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let m = KncMachine::phi_5110p();
+        assert_eq!(m.total_threads(), 240);
+        assert_eq!(KncMachine::phi_7120().total_threads(), 244);
+    }
+
+    #[test]
+    fn issue_efficiency_smt_rule() {
+        let m = KncMachine::phi_5110p();
+        assert_eq!(m.issue_efficiency(0), 0.0);
+        assert_eq!(m.issue_efficiency(1), 0.5);
+        assert_eq!(m.issue_efficiency(2), 1.0);
+        assert_eq!(m.issue_efficiency(4), 1.0);
+    }
+
+    #[test]
+    fn compact_fills_cores_in_order() {
+        let m = KncMachine::phi_5110p();
+        let p = m.place_compact(6);
+        assert_eq!(p[0], 4);
+        assert_eq!(p[1], 2);
+        assert_eq!(p[2], 0);
+        assert_eq!(p.iter().sum::<u32>(), 6);
+    }
+
+    #[test]
+    fn scatter_spreads_first() {
+        let m = KncMachine::phi_5110p();
+        let p = m.place_scatter(61);
+        assert_eq!(p[0], 2); // wrapped around once
+        assert_eq!(p[1], 1);
+        assert_eq!(p.iter().sum::<u32>(), 61);
+    }
+
+    #[test]
+    fn placement_clamps_to_capacity() {
+        let m = KncMachine::phi_5110p();
+        assert_eq!(m.place_compact(10_000).iter().sum::<u32>(), 240);
+        assert_eq!(m.place_scatter(10_000).iter().sum::<u32>(), 240);
+    }
+
+    #[test]
+    fn scatter_beats_compact_at_low_thread_counts() {
+        // With ≤ cores threads, scatter gets 0.5 efficiency per thread on
+        // its own core; compact packs pairs reaching 1.0 per *pair* — the
+        // same aggregate. The difference appears between those regimes:
+        let m = KncMachine::phi_5110p();
+        // 60 threads scatter: 60 cores × 0.5 = 30 core-equivalents.
+        // 60 threads compact: 15 cores × 1.0 = 15 core-equivalents.
+        let s = m.throughput(100.0, 60, true);
+        let c = m.throughput(100.0, 60, false);
+        assert!(s > c, "scatter {s} should beat compact {c} at 60 threads");
+    }
+
+    #[test]
+    fn throughput_saturates_at_full_card() {
+        let m = KncMachine::phi_5110p();
+        let full = m.throughput(1000.0, 240, false);
+        let over = m.throughput(1000.0, 480, false);
+        assert!((full - over).abs() < 1e-9);
+        // Full card = cores × clock / cycles.
+        let expect = 60.0 * 1.053e9 / 1000.0;
+        assert!((full - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn one_thread_is_half_a_core() {
+        let m = KncMachine::phi_5110p();
+        let t1 = m.throughput(1000.0, 1, false);
+        let t2 = m.throughput(1000.0, 2, false);
+        assert!(
+            (t2 / t1 - 2.0).abs() < 1e-12,
+            "2 compact threads double issue"
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests: every lane operation of the IMCI model against a
+//! straightforward scalar reference.
+
+use phi_simd::{count, Mask16, Mask8, OpClass, U32x16, U64x8};
+use proptest::prelude::*;
+
+fn lanes16() -> impl Strategy<Value = [u32; 16]> {
+    proptest::array::uniform16(any::<u32>())
+}
+
+fn lanes8() -> impl Strategy<Value = [u64; 8]> {
+    proptest::array::uniform8(any::<u64>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn u32x16_arith_lanewise(a in lanes16(), b in lanes16()) {
+        let va = U32x16::from_lanes(a);
+        let vb = U32x16::from_lanes(b);
+        for i in 0..16 {
+            prop_assert_eq!(va.add(vb).lane(i), a[i].wrapping_add(b[i]));
+            prop_assert_eq!(va.sub(vb).lane(i), a[i].wrapping_sub(b[i]));
+            prop_assert_eq!(va.mul_lo(vb).lane(i), a[i].wrapping_mul(b[i]));
+            prop_assert_eq!(va.and(vb).lane(i), a[i] & b[i]);
+            prop_assert_eq!(va.or(vb).lane(i), a[i] | b[i]);
+            prop_assert_eq!(va.xor(vb).lane(i), a[i] ^ b[i]);
+        }
+    }
+
+    #[test]
+    fn u32x16_shifts(a in lanes16(), s in 0u32..32) {
+        let va = U32x16::from_lanes(a);
+        for i in 0..16 {
+            prop_assert_eq!(va.shr(s).lane(i), a[i] >> s);
+            prop_assert_eq!(va.shl(s).lane(i), a[i] << s);
+        }
+    }
+
+    #[test]
+    fn u32x16_load_store_roundtrip(a in lanes16()) {
+        let v = U32x16::load(&a);
+        let mut out = [0u32; 16];
+        v.store(&mut out);
+        prop_assert_eq!(out, a);
+        prop_assert_eq!(v.to_lanes(), a);
+    }
+
+    #[test]
+    fn u64x8_arith_lanewise(a in lanes8(), b in lanes8()) {
+        let va = U64x8::from_lanes(a);
+        let vb = U64x8::from_lanes(b);
+        for i in 0..8 {
+            prop_assert_eq!(va.add(vb).lane(i), a[i].wrapping_add(b[i]));
+            prop_assert_eq!(va.sub(vb).lane(i), a[i].wrapping_sub(b[i]));
+            prop_assert_eq!(va.and(vb).lane(i), a[i] & b[i]);
+        }
+    }
+
+    #[test]
+    fn fma32_uses_low_halves(acc in lanes8(), a in lanes8(), b in lanes8()) {
+        // Constrain so no overflow: acc small, operands 27-bit like the kernels.
+        let acc: [u64; 8] = acc.map(|v| v >> 8);
+        let a27: [u64; 8] = a.map(|v| v & 0x7FF_FFFF);
+        let b27: [u64; 8] = b.map(|v| v & 0x7FF_FFFF);
+        let r = U64x8::from_lanes(acc).fma32(U64x8::from_lanes(a27), U64x8::from_lanes(b27));
+        for i in 0..8 {
+            prop_assert_eq!(r.lane(i), acc[i] + a27[i] * b27[i]);
+        }
+    }
+
+    #[test]
+    fn blend_respects_mask(a in lanes16(), b in lanes16(), bits in any::<u16>()) {
+        let m = Mask16(bits);
+        let r = U32x16::from_lanes(a).blend(m, U32x16::from_lanes(b));
+        for i in 0..16 {
+            let want = if (bits >> i) & 1 == 1 { b[i] } else { a[i] };
+            prop_assert_eq!(r.lane(i), want);
+        }
+    }
+
+    #[test]
+    fn compares_match_scalar(a in lanes8(), b in lanes8()) {
+        let va = U64x8::from_lanes(a);
+        let vb = U64x8::from_lanes(b);
+        let lt = va.cmp_lt(vb);
+        let eq = va.cmp_eq(vb);
+        for i in 0..8 {
+            prop_assert_eq!(lt.lane(i), a[i] < b[i]);
+            prop_assert_eq!(eq.lane(i), a[i] == b[i]);
+        }
+    }
+
+    #[test]
+    fn widen_then_pack_roundtrip(a in lanes16()) {
+        let v = U32x16::from_lanes(a);
+        prop_assert_eq!(U64x8::pack(v.widen_lo(), v.widen_hi()), v);
+    }
+
+    #[test]
+    fn shift_lanes_down_drops_lane0(a in lanes8(), fill in any::<u64>()) {
+        let r = U64x8::from_lanes(a).shift_lanes_down(fill);
+        for i in 0..7 {
+            prop_assert_eq!(r.lane(i), a[i + 1]);
+        }
+        prop_assert_eq!(r.lane(7), fill);
+    }
+
+    #[test]
+    fn mask_algebra(x in any::<u16>(), y in any::<u16>()) {
+        let a = Mask16(x);
+        let b = Mask16(y);
+        prop_assert_eq!(a.and(b).0, x & y);
+        prop_assert_eq!(a.or(b).0, x | y);
+        prop_assert_eq!(a.not().0, !x);
+        prop_assert_eq!(a.count(), x.count_ones());
+        let c = Mask8((x & 0xFF) as u8);
+        prop_assert_eq!(c.not().not(), c);
+    }
+
+    #[test]
+    fn every_vector_op_is_counted(a in lanes16()) {
+        // Arithmetic ops must each record exactly one instruction.
+        let va = U32x16::from_lanes(a);
+        let ((), d) = count::measure(|| {
+            let _ = va.add(va);
+            let _ = va.mul_lo(va);
+            let _ = va.shr(1);
+        });
+        prop_assert_eq!(d.get(OpClass::VAlu), 2);
+        prop_assert_eq!(d.get(OpClass::VMul), 1);
+    }
+}

@@ -1,0 +1,128 @@
+//! Multiplicative blinding for the private operation (OpenSSL's
+//! `BN_BLINDING`): randomizes the exponentiation input so timing variation
+//! cannot be correlated with the ciphertext.
+//!
+//! For a fresh random `r`: the private operation computes
+//! `m = (c·rᵉ)^d · r⁻¹ mod n`; since `(rᵉ)^d = r`, the blinding cancels.
+//! Like OpenSSL, the factor is squared between uses and refreshed
+//! periodically rather than regenerated per call.
+
+use phi_bigint::BigUint;
+use rand::Rng;
+
+/// Uses of one blinding factor before a fresh one is drawn (OpenSSL
+/// refreshes on the same order of magnitude).
+pub const REFRESH_INTERVAL: u32 = 32;
+
+/// Blinding state for one key.
+#[derive(Debug, Clone)]
+pub struct Blinding {
+    n: BigUint,
+    e: BigUint,
+    /// `rᵉ mod n` — multiplied into the ciphertext.
+    factor: BigUint,
+    /// `r⁻¹ mod n` — multiplied into the result.
+    unblind: BigUint,
+    uses: u32,
+}
+
+impl Blinding {
+    /// Draw an initial blinding pair for `(n, e)`.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, n: &BigUint, e: &BigUint) -> Self {
+        let (factor, unblind) = Self::draw(rng, n, e);
+        Blinding {
+            n: n.clone(),
+            e: e.clone(),
+            factor,
+            unblind,
+            uses: 0,
+        }
+    }
+
+    fn draw<R: Rng + ?Sized>(rng: &mut R, n: &BigUint, e: &BigUint) -> (BigUint, BigUint) {
+        loop {
+            let r = BigUint::random_range(rng, &BigUint::from(2u64), n);
+            if let Ok(r_inv) = r.mod_inverse(n) {
+                return (r.mod_exp(e, n), r_inv);
+            }
+            // r not invertible means gcd(r, n) > 1 — astronomically rare
+            // for real keys; retry.
+        }
+    }
+
+    /// Blind a ciphertext: `c·rᵉ mod n`.
+    pub fn blind(&self, c: &BigUint) -> BigUint {
+        c.mod_mul(&self.factor, &self.n)
+    }
+
+    /// Unblind a result: `m·r⁻¹ mod n`.
+    pub fn unblind(&self, m: &BigUint) -> BigUint {
+        m.mod_mul(&self.unblind, &self.n)
+    }
+
+    /// Advance the state: square the pair (cheap) or refresh (periodic).
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.uses += 1;
+        if self.uses >= REFRESH_INTERVAL {
+            let (f, u) = Self::draw(rng, &self.n, &self.e);
+            self.factor = f;
+            self.unblind = u;
+            self.uses = 0;
+        } else {
+            self.factor = self.factor.mod_square(&self.n);
+            self.unblind = self.unblind.mod_square(&self.n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Blinding, BigUint, BigUint, BigUint) {
+        // Textbook key: n = 61·53 = 3233, e = 17, d = 2753.
+        let n = BigUint::from(3233u64);
+        let e = BigUint::from(17u64);
+        let d = BigUint::from(2753u64);
+        let b = Blinding::new(&mut StdRng::seed_from_u64(3), &n, &e);
+        (b, n, e, d)
+    }
+
+    #[test]
+    fn blinding_cancels_through_private_op() {
+        let (mut b, n, e, d) = setup();
+        let mut rng = StdRng::seed_from_u64(4);
+        for m in [2u64, 65, 1000, 3232] {
+            let m = BigUint::from(m);
+            let c = m.mod_exp(&e, &n);
+            let blinded = b.blind(&c);
+            let raw = blinded.mod_exp(&d, &n);
+            let got = b.unblind(&raw);
+            assert_eq!(got, m);
+            b.step(&mut rng);
+        }
+    }
+
+    #[test]
+    fn step_squares_keep_the_invariant() {
+        let (mut b, n, e, d) = setup();
+        let mut rng = StdRng::seed_from_u64(5);
+        // Walk through more steps than the refresh interval.
+        let m = BigUint::from(99u64);
+        let c = m.mod_exp(&e, &n);
+        for i in 0..(REFRESH_INTERVAL + 5) {
+            let got = b.unblind(&b.blind(&c).mod_exp(&d, &n));
+            assert_eq!(got, m, "step {i}");
+            b.step(&mut rng);
+        }
+    }
+
+    #[test]
+    fn blinded_ciphertext_differs() {
+        let (b, n, e, _) = setup();
+        let c = BigUint::from(1234u64).mod_exp(&e, &n);
+        assert_ne!(b.blind(&c), c);
+    }
+}

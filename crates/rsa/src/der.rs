@@ -1,0 +1,445 @@
+//! Minimal ASN.1 DER for PKCS#1 key structures (RFC 8017 appendix A).
+//!
+//! Supports exactly what the key formats need: `INTEGER` (non-negative)
+//! and `SEQUENCE`, with definite lengths.
+
+use crate::error::RsaError;
+use crate::key::{RsaPrivateKey, RsaPublicKey};
+use phi_bigint::BigUint;
+
+const TAG_INTEGER: u8 = 0x02;
+const TAG_BIT_STRING: u8 = 0x03;
+const TAG_OCTET_STRING: u8 = 0x04;
+const TAG_NULL: u8 = 0x05;
+const TAG_OID: u8 = 0x06;
+const TAG_SEQUENCE: u8 = 0x30;
+
+/// The rsaEncryption OID, 1.2.840.113549.1.1.1, pre-encoded.
+const OID_RSA_ENCRYPTION: [u8; 9] = [0x2a, 0x86, 0x48, 0x86, 0xf7, 0x0d, 0x01, 0x01, 0x01];
+
+/// Append a DER length field.
+fn write_len(out: &mut Vec<u8>, len: usize) {
+    if len < 0x80 {
+        out.push(len as u8);
+    } else {
+        let bytes = len.to_be_bytes();
+        let skip = bytes.iter().take_while(|&&b| b == 0).count();
+        out.push(0x80 | (bytes.len() - skip) as u8);
+        out.extend_from_slice(&bytes[skip..]);
+    }
+}
+
+/// Append a DER INTEGER holding a non-negative big integer.
+fn write_integer(out: &mut Vec<u8>, v: &BigUint) {
+    let mut content = v.to_bytes_be();
+    if content.is_empty() {
+        content.push(0); // zero encodes as a single 0x00
+    } else if content[0] & 0x80 != 0 {
+        content.insert(0, 0); // keep it non-negative
+    }
+    out.push(TAG_INTEGER);
+    write_len(out, content.len());
+    out.extend_from_slice(&content);
+}
+
+/// Wrap `content` in a SEQUENCE.
+fn wrap_sequence(content: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(content.len() + 6);
+    out.push(TAG_SEQUENCE);
+    write_len(&mut out, content.len());
+    out.extend_from_slice(&content);
+    out
+}
+
+/// A simple DER reader.
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    fn err(&self, reason: &'static str) -> RsaError {
+        RsaError::DerError {
+            offset: self.pos,
+            reason,
+        }
+    }
+
+    fn byte(&mut self) -> Result<u8, RsaError> {
+        let b = *self.data.get(self.pos).ok_or(RsaError::DerError {
+            offset: self.pos,
+            reason: "truncated",
+        })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn length(&mut self) -> Result<usize, RsaError> {
+        let first = self.byte()?;
+        if first & 0x80 == 0 {
+            return Ok(first as usize);
+        }
+        let n = (first & 0x7F) as usize;
+        if n == 0 || n > 8 {
+            return Err(self.err("unsupported length form"));
+        }
+        let mut len = 0usize;
+        for _ in 0..n {
+            len = len.checked_mul(256).ok_or(self.err("length overflow"))? + self.byte()? as usize;
+        }
+        Ok(len)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RsaError> {
+        if self.pos + n > self.data.len() {
+            return Err(self.err("truncated"));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn integer(&mut self) -> Result<BigUint, RsaError> {
+        let tag = self.byte()?;
+        if tag != TAG_INTEGER {
+            return Err(self.err("expected INTEGER"));
+        }
+        let len = self.length()?;
+        if len == 0 {
+            return Err(self.err("empty INTEGER"));
+        }
+        let content = self.take(len)?;
+        if content[0] & 0x80 != 0 {
+            return Err(self.err("negative INTEGER"));
+        }
+        Ok(BigUint::from_bytes_be(content))
+    }
+
+    fn sequence(&mut self) -> Result<Reader<'a>, RsaError> {
+        let tag = self.byte()?;
+        if tag != TAG_SEQUENCE {
+            return Err(self.err("expected SEQUENCE"));
+        }
+        let len = self.length()?;
+        Ok(Reader::new(self.take(len)?))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.data.len()
+    }
+}
+
+/// Append the rsaEncryption AlgorithmIdentifier:
+/// `SEQUENCE { OID 1.2.840.113549.1.1.1, NULL }`.
+fn write_rsa_algorithm(out: &mut Vec<u8>) {
+    let mut content = Vec::with_capacity(13);
+    content.push(TAG_OID);
+    write_len(&mut content, OID_RSA_ENCRYPTION.len());
+    content.extend_from_slice(&OID_RSA_ENCRYPTION);
+    content.push(TAG_NULL);
+    content.push(0);
+    out.extend_from_slice(&wrap_sequence(content));
+}
+
+impl<'a> Reader<'a> {
+    fn expect_rsa_algorithm(&mut self) -> Result<(), RsaError> {
+        let mut alg = self.sequence()?;
+        let tag = alg.byte()?;
+        if tag != TAG_OID {
+            return Err(alg.err("expected OID"));
+        }
+        let len = alg.length()?;
+        if alg.take(len)? != OID_RSA_ENCRYPTION {
+            return Err(alg.err("not rsaEncryption"));
+        }
+        // Parameters: NULL (required by RFC 3279 for RSA).
+        if alg.byte()? != TAG_NULL || alg.length()? != 0 {
+            return Err(alg.err("expected NULL parameters"));
+        }
+        Ok(())
+    }
+
+    fn bit_string(&mut self) -> Result<&'a [u8], RsaError> {
+        if self.byte()? != TAG_BIT_STRING {
+            return Err(self.err("expected BIT STRING"));
+        }
+        let len = self.length()?;
+        let content = self.take(len)?;
+        if content.is_empty() || content[0] != 0 {
+            return Err(self.err("unsupported BIT STRING padding"));
+        }
+        Ok(&content[1..])
+    }
+
+    fn octet_string(&mut self) -> Result<&'a [u8], RsaError> {
+        if self.byte()? != TAG_OCTET_STRING {
+            return Err(self.err("expected OCTET STRING"));
+        }
+        let len = self.length()?;
+        self.take(len)
+    }
+}
+
+/// Encode a public key as an X.509 `SubjectPublicKeyInfo` (the format in
+/// certificates and `openssl rsa -pubout` output).
+pub fn encode_spki(key: &RsaPublicKey) -> Vec<u8> {
+    let pkcs1 = encode_public_key(key);
+    let mut content = Vec::new();
+    write_rsa_algorithm(&mut content);
+    content.push(TAG_BIT_STRING);
+    write_len(&mut content, pkcs1.len() + 1);
+    content.push(0); // no unused bits
+    content.extend_from_slice(&pkcs1);
+    wrap_sequence(content)
+}
+
+/// Decode an X.509 `SubjectPublicKeyInfo`.
+pub fn decode_spki(der: &[u8]) -> Result<RsaPublicKey, RsaError> {
+    let mut outer = Reader::new(der);
+    let mut seq = outer.sequence()?;
+    seq.expect_rsa_algorithm()?;
+    let pkcs1 = seq.bit_string()?;
+    if !seq.done() || !outer.done() {
+        return Err(RsaError::DerError {
+            offset: der.len(),
+            reason: "trailing bytes",
+        });
+    }
+    decode_public_key(pkcs1)
+}
+
+/// Encode a private key as PKCS#8 `PrivateKeyInfo` (version 0).
+pub fn encode_pkcs8(key: &RsaPrivateKey) -> Vec<u8> {
+    let pkcs1 = encode_private_key(key);
+    let mut content = Vec::new();
+    write_integer(&mut content, &BigUint::zero());
+    write_rsa_algorithm(&mut content);
+    content.push(TAG_OCTET_STRING);
+    write_len(&mut content, pkcs1.len());
+    content.extend_from_slice(&pkcs1);
+    wrap_sequence(content)
+}
+
+/// Decode a PKCS#8 `PrivateKeyInfo` carrying an RSA key.
+pub fn decode_pkcs8(der: &[u8]) -> Result<RsaPrivateKey, RsaError> {
+    let mut outer = Reader::new(der);
+    let mut seq = outer.sequence()?;
+    let version = seq.integer()?;
+    if !version.is_zero() {
+        return Err(RsaError::DerError {
+            offset: 0,
+            reason: "unsupported PKCS#8 version",
+        });
+    }
+    seq.expect_rsa_algorithm()?;
+    let pkcs1 = seq.octet_string()?;
+    if !seq.done() || !outer.done() {
+        return Err(RsaError::DerError {
+            offset: der.len(),
+            reason: "trailing bytes",
+        });
+    }
+    decode_private_key(pkcs1)
+}
+
+/// Encode a public key as PKCS#1 `RSAPublicKey`.
+pub fn encode_public_key(key: &RsaPublicKey) -> Vec<u8> {
+    let mut content = Vec::new();
+    write_integer(&mut content, key.n());
+    write_integer(&mut content, key.e());
+    wrap_sequence(content)
+}
+
+/// Decode a PKCS#1 `RSAPublicKey`.
+pub fn decode_public_key(der: &[u8]) -> Result<RsaPublicKey, RsaError> {
+    let mut outer = Reader::new(der);
+    let mut seq = outer.sequence()?;
+    let n = seq.integer()?;
+    let e = seq.integer()?;
+    if !seq.done() || !outer.done() {
+        return Err(RsaError::DerError {
+            offset: der.len(),
+            reason: "trailing bytes",
+        });
+    }
+    RsaPublicKey::new(n, e)
+}
+
+/// Encode a private key as PKCS#1 `RSAPrivateKey` (version 0, two primes).
+pub fn encode_private_key(key: &RsaPrivateKey) -> Vec<u8> {
+    let mut content = Vec::new();
+    write_integer(&mut content, &BigUint::zero()); // version
+    write_integer(&mut content, key.public().n());
+    write_integer(&mut content, key.public().e());
+    write_integer(&mut content, key.d());
+    write_integer(&mut content, key.p());
+    write_integer(&mut content, key.q());
+    write_integer(&mut content, key.dp());
+    write_integer(&mut content, key.dq());
+    write_integer(&mut content, key.qinv());
+    wrap_sequence(content)
+}
+
+/// Decode a PKCS#1 `RSAPrivateKey`, validating consistency.
+pub fn decode_private_key(der: &[u8]) -> Result<RsaPrivateKey, RsaError> {
+    let mut outer = Reader::new(der);
+    let mut seq = outer.sequence()?;
+    let version = seq.integer()?;
+    if !version.is_zero() {
+        return Err(RsaError::DerError {
+            offset: 0,
+            reason: "unsupported version",
+        });
+    }
+    let n = seq.integer()?;
+    let e = seq.integer()?;
+    let d = seq.integer()?;
+    let p = seq.integer()?;
+    let q = seq.integer()?;
+    let dp = seq.integer()?;
+    let dq = seq.integer()?;
+    let qinv = seq.integer()?;
+    if !seq.done() || !outer.done() {
+        return Err(RsaError::DerError {
+            offset: der.len(),
+            reason: "trailing bytes",
+        });
+    }
+    RsaPrivateKey::from_components(n, e, d, p, q, dp, dq, qinv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn key() -> RsaPrivateKey {
+        RsaPrivateKey::generate(&mut StdRng::seed_from_u64(0xDE5), 256).unwrap()
+    }
+
+    #[test]
+    fn public_key_roundtrip() {
+        let k = key();
+        let der = encode_public_key(k.public());
+        assert_eq!(&decode_public_key(&der).unwrap(), k.public());
+    }
+
+    #[test]
+    fn private_key_roundtrip() {
+        let k = key();
+        let der = encode_private_key(&k);
+        assert_eq!(decode_private_key(&der).unwrap(), k);
+    }
+
+    #[test]
+    fn der_structure_is_canonical() {
+        let k = key();
+        let der = encode_public_key(k.public());
+        assert_eq!(der[0], TAG_SEQUENCE);
+        // 256-bit n: 32-33 content bytes + header; total < 128 would be
+        // short form, here long form with one length byte is expected.
+        let reparse = decode_public_key(&der).unwrap();
+        assert_eq!(encode_public_key(&reparse), der, "canonical re-encode");
+    }
+
+    #[test]
+    fn integer_high_bit_gets_leading_zero() {
+        let mut out = Vec::new();
+        write_integer(&mut out, &BigUint::from(0x80u64));
+        assert_eq!(out, vec![TAG_INTEGER, 0x02, 0x00, 0x80]);
+        let mut out2 = Vec::new();
+        write_integer(&mut out2, &BigUint::from(0x7Fu64));
+        assert_eq!(out2, vec![TAG_INTEGER, 0x01, 0x7F]);
+    }
+
+    #[test]
+    fn zero_encodes_as_single_byte() {
+        let mut out = Vec::new();
+        write_integer(&mut out, &BigUint::zero());
+        assert_eq!(out, vec![TAG_INTEGER, 0x01, 0x00]);
+    }
+
+    #[test]
+    fn long_form_lengths() {
+        // A 2048-bit key forces multi-byte lengths.
+        let k = RsaPrivateKey::from_primes(
+            &phi_bigint::prime::generate_prime(&mut StdRng::seed_from_u64(1), 256).unwrap(),
+            &phi_bigint::prime::generate_prime(&mut StdRng::seed_from_u64(2), 256).unwrap(),
+            &BigUint::from(65537u64),
+        )
+        .unwrap();
+        let der = encode_private_key(&k);
+        assert!(der.len() > 300);
+        assert_eq!(decode_private_key(&der).unwrap(), k);
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        let k = key();
+        let der = encode_private_key(&k);
+        // Truncation.
+        assert!(decode_private_key(&der[..der.len() - 3]).is_err());
+        // Trailing garbage.
+        let mut extra = der.clone();
+        extra.push(0x00);
+        assert!(decode_private_key(&extra).is_err());
+        // Wrong outer tag.
+        let mut wrong = der.clone();
+        wrong[0] = 0x31;
+        assert!(decode_private_key(&wrong).is_err());
+        // Empty input.
+        assert!(decode_public_key(&[]).is_err());
+    }
+
+    #[test]
+    fn spki_roundtrip() {
+        let k = key();
+        let der = encode_spki(k.public());
+        assert_eq!(&decode_spki(&der).unwrap(), k.public());
+        // SPKI is bigger than bare PKCS#1 (algorithm id + bit string).
+        assert!(der.len() > encode_public_key(k.public()).len());
+    }
+
+    #[test]
+    fn pkcs8_roundtrip() {
+        let k = key();
+        let der = encode_pkcs8(&k);
+        assert_eq!(decode_pkcs8(&der).unwrap(), k);
+    }
+
+    #[test]
+    fn spki_rejects_wrong_oid() {
+        let k = key();
+        let mut der = encode_spki(k.public());
+        // The OID content starts after SEQ hdr + inner SEQ hdr + OID tag+len.
+        let pos = der
+            .windows(9)
+            .position(|w| w == OID_RSA_ENCRYPTION)
+            .unwrap();
+        der[pos] ^= 1;
+        assert!(decode_spki(&der).is_err());
+    }
+
+    #[test]
+    fn pkcs8_and_pkcs1_carry_the_same_key() {
+        let k = key();
+        let via8 = decode_pkcs8(&encode_pkcs8(&k)).unwrap();
+        let via1 = decode_private_key(&encode_private_key(&k)).unwrap();
+        assert_eq!(via8, via1);
+    }
+
+    #[test]
+    fn corrupted_component_fails_validation() {
+        let k = key();
+        let mut der = encode_private_key(&k);
+        // Flip a low-order bit near the end (inside qinv).
+        let len = der.len();
+        der[len - 1] ^= 1;
+        assert!(decode_private_key(&der).is_err());
+    }
+}

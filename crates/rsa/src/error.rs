@@ -1,0 +1,87 @@
+//! RSA error type.
+
+use phi_bigint::BigIntError;
+use std::fmt;
+
+/// Errors from RSA operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsaError {
+    /// The message is too long for the key / padding combination.
+    MessageTooLong {
+        /// Bytes offered.
+        got: usize,
+        /// Maximum the padding allows for this key.
+        max: usize,
+    },
+    /// Ciphertext or signature is not smaller than the modulus.
+    InputOutOfRange,
+    /// Padding check failed on decryption (reported uniformly to avoid
+    /// creating a padding oracle).
+    PaddingError,
+    /// Signature verification failed.
+    VerificationFailed,
+    /// The key failed a consistency check.
+    InvalidKey(&'static str),
+    /// Key generation could not complete.
+    KeyGeneration(BigIntError),
+    /// An arithmetic error from the big-number layer.
+    Arithmetic(BigIntError),
+    /// Malformed DER structure.
+    DerError {
+        /// Byte offset of the problem.
+        offset: usize,
+        /// What was wrong.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for RsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsaError::MessageTooLong { got, max } => {
+                write!(f, "message of {got} bytes exceeds the {max}-byte capacity")
+            }
+            RsaError::InputOutOfRange => write!(f, "input is not a canonical residue"),
+            RsaError::PaddingError => write!(f, "padding check failed"),
+            RsaError::VerificationFailed => write!(f, "signature verification failed"),
+            RsaError::InvalidKey(why) => write!(f, "invalid key: {why}"),
+            RsaError::KeyGeneration(e) => write!(f, "key generation failed: {e}"),
+            RsaError::Arithmetic(e) => write!(f, "arithmetic error: {e}"),
+            RsaError::DerError { offset, reason } => {
+                write!(f, "DER error at offset {offset}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RsaError {}
+
+impl From<BigIntError> for RsaError {
+    fn from(e: BigIntError) -> Self {
+        RsaError::Arithmetic(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RsaError::MessageTooLong { got: 100, max: 53 };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("53"));
+        assert!(RsaError::PaddingError.to_string().contains("padding"));
+        let d = RsaError::DerError {
+            offset: 7,
+            reason: "truncated",
+        };
+        assert!(d.to_string().contains('7'));
+    }
+
+    #[test]
+    fn from_bigint_error() {
+        let e: RsaError = BigIntError::DivisionByZero.into();
+        assert!(matches!(e, RsaError::Arithmetic(_)));
+    }
+}

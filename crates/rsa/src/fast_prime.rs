@@ -1,0 +1,185 @@
+//! Fast prime generation for RSA-sized keys.
+//!
+//! `phi_bigint::prime` deliberately runs Miller–Rabin over the naive
+//! division-based `mod_exp` — it is the independent oracle the Montgomery
+//! kernels are validated against and must stay simple. Key generation at
+//! 2048/4096 bits needs something faster, so this module re-runs the same
+//! sieve + Miller–Rabin structure over the word-level Montgomery context
+//! (exactly what OpenSSL's `BN_is_prime_fasttest_ex` does with
+//! `BN_mod_exp_mont`).
+
+use phi_bigint::prime::{mr_rounds_for_bits, trial_division, Primality, SMALL_PRIMES};
+use phi_bigint::{BigIntError, BigUint};
+use phi_mont::exp::{exp_sliding_window, exp_square_multiply};
+use phi_mont::{MontCtx64, MontEngine};
+use rand::Rng;
+
+/// One Miller–Rabin round over a prepared Montgomery context.
+fn mr_round(ctx: &MontCtx64, n: &BigUint, a: &BigUint, d: &BigUint, r: u32) -> Primality {
+    let n_minus_1 = n - &BigUint::one();
+    let am = ctx.to_mont(a);
+    let xm = if d.bit_length() > 64 {
+        exp_sliding_window(ctx, &am, d, 5)
+    } else {
+        exp_square_multiply(ctx, &am, d)
+    };
+    let mut x = ctx.from_mont(&xm);
+    if x.is_one() || x == n_minus_1 {
+        return Primality::ProbablyPrime;
+    }
+    let mut xm = xm;
+    for _ in 0..r.saturating_sub(1) {
+        xm = ctx.mont_sqr(&xm);
+        x = ctx.from_mont(&xm);
+        if x == n_minus_1 {
+            return Primality::ProbablyPrime;
+        }
+        if x.is_one() {
+            return Primality::Composite;
+        }
+    }
+    Primality::Composite
+}
+
+/// Montgomery-accelerated Miller–Rabin with the usual small-prime sieve.
+pub fn is_probably_prime_fast<R: Rng + ?Sized>(n: &BigUint, rounds: u32, rng: &mut R) -> bool {
+    if let Some(res) = trial_division(n) {
+        return res == Primality::ProbablyPrime;
+    }
+    let ctx = match MontCtx64::new(n) {
+        Ok(c) => c,
+        Err(_) => return false, // even n — already filtered, but be safe
+    };
+    let n_minus_1 = n - &BigUint::one();
+    let r = n_minus_1.trailing_zeros().expect("odd n > 2");
+    let d = &n_minus_1 >> r;
+    let two = BigUint::from(2u64);
+    let hi = n - &two;
+    for _ in 0..rounds {
+        let a = BigUint::random_range(rng, &two, &hi);
+        if mr_round(&ctx, n, &a, &d, r) == Primality::Composite {
+            return false;
+        }
+    }
+    true
+}
+
+/// Incremental-search prime generation: draw one candidate with the RSA
+/// shape, then walk odd numbers from it with a running sieve (OpenSSL's
+/// `probable_prime` structure) — far fewer random draws and GCDs than
+/// independent sampling.
+pub fn generate_prime_fast<R: Rng + ?Sized>(
+    rng: &mut R,
+    bits: u32,
+) -> Result<BigUint, BigIntError> {
+    if bits < 16 {
+        return Err(BigIntError::BitLengthTooSmall { bits, min: 16 });
+    }
+    let rounds = mr_rounds_for_bits(bits);
+    'outer: for _ in 0..64 {
+        let base = BigUint::random_prime_candidate(rng, bits);
+        // Remainders of the base against the sieve primes.
+        let rems: Vec<u64> = SMALL_PRIMES.iter().map(|&p| &base % p).collect();
+        // Walk base, base+2, base+4, … up to a window, skipping sieve hits.
+        let window = 4 * bits as u64;
+        let mut delta = 0u64;
+        while delta < window {
+            let hit = SMALL_PRIMES
+                .iter()
+                .zip(&rems)
+                .any(|(&p, &r)| (r + delta).is_multiple_of(p));
+            if !hit {
+                let candidate = &base + delta;
+                if candidate.bit_length() != bits {
+                    continue 'outer; // walked past the top of the range
+                }
+                if is_probably_prime_fast(&candidate, rounds, rng) {
+                    return Ok(candidate);
+                }
+            }
+            delta += 2;
+        }
+    }
+    Err(BigIntError::PrimeGenerationFailed { bits })
+}
+
+/// A prime `p` with `gcd(p−1, e) = 1`.
+pub fn generate_rsa_prime_fast<R: Rng + ?Sized>(
+    rng: &mut R,
+    bits: u32,
+    e: &BigUint,
+) -> Result<BigUint, BigIntError> {
+    for _ in 0..64 {
+        let p = generate_prime_fast(rng, bits)?;
+        if (&p - &BigUint::one()).gcd(e).is_one() {
+            return Ok(p);
+        }
+    }
+    Err(BigIntError::PrimeGenerationFailed { bits })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phi_bigint::prime::{is_prime_u64, is_probably_prime};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xFA57)
+    }
+
+    #[test]
+    fn agrees_with_slow_oracle_on_small_numbers() {
+        let mut r = rng();
+        for v in 900u64..1100 {
+            let fast = is_probably_prime_fast(&BigUint::from(v), 16, &mut r);
+            assert_eq!(fast, is_prime_u64(v), "{v}");
+        }
+    }
+
+    #[test]
+    fn rejects_known_strong_pseudoprimes() {
+        let mut r = rng();
+        for v in [3215031751u64, 3474749660383, 341550071728321] {
+            assert!(
+                !is_probably_prime_fast(&BigUint::from(v), 20, &mut r),
+                "{v}"
+            );
+        }
+    }
+
+    #[test]
+    fn generated_prime_passes_the_slow_oracle() {
+        let mut r = rng();
+        let p = generate_prime_fast(&mut r, 96).unwrap();
+        assert_eq!(p.bit_length(), 96);
+        assert_eq!(
+            is_probably_prime(&p, 16, &mut r),
+            Primality::ProbablyPrime,
+            "fast-generated prime rejected by the oracle"
+        );
+    }
+
+    #[test]
+    fn generates_larger_primes_quickly() {
+        let mut r = rng();
+        let p = generate_prime_fast(&mut r, 256).unwrap();
+        assert_eq!(p.bit_length(), 256);
+        assert!(p.is_odd());
+    }
+
+    #[test]
+    fn rsa_prime_coprime_to_e() {
+        let mut r = rng();
+        let e = BigUint::from(65537u64);
+        let p = generate_rsa_prime_fast(&mut r, 128, &e).unwrap();
+        assert!((&p - &BigUint::one()).gcd(&e).is_one());
+    }
+
+    #[test]
+    fn tiny_requests_rejected() {
+        let mut r = rng();
+        assert!(generate_prime_fast(&mut r, 8).is_err());
+    }
+}

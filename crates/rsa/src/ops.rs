@@ -1,0 +1,278 @@
+//! The raw RSA operations (`RSAEP` / `RSADP`), generic over the selected
+//! big-number library, plus the padded convenience API.
+//!
+//! The private operation follows OpenSSL's `rsa_ossl_mod_exp`: two CRT
+//! half-exponentiations with the library's exponentiation policy, Garner
+//! recombination with the library's multiplier, and optional blinding.
+
+use crate::blinding::Blinding;
+use crate::error::RsaError;
+use crate::key::{RsaPrivateKey, RsaPublicKey};
+use crate::padding;
+use phi_bigint::BigUint;
+use phi_mont::Libcrypto;
+use rand::Rng;
+
+/// An RSA operation context bound to one big-number library.
+pub struct RsaOps {
+    lib: Box<dyn Libcrypto>,
+    use_crt: bool,
+}
+
+impl RsaOps {
+    /// Build over the given library, with CRT enabled (the default of
+    /// every real RSA implementation).
+    pub fn new(lib: Box<dyn Libcrypto>) -> Self {
+        RsaOps { lib, use_crt: true }
+    }
+
+    /// Disable the CRT path (ablation E7 — a single full-size ladder).
+    pub fn without_crt(lib: Box<dyn Libcrypto>) -> Self {
+        RsaOps {
+            lib,
+            use_crt: false,
+        }
+    }
+
+    /// The wrapped library's display name.
+    pub fn lib_name(&self) -> &'static str {
+        self.lib.name()
+    }
+
+    /// Whether the private path uses the CRT.
+    pub fn uses_crt(&self) -> bool {
+        self.use_crt
+    }
+
+    /// `RSAEP`: `m^e mod n`. Errors if `m ≥ n`.
+    pub fn public_op(&self, key: &RsaPublicKey, m: &BigUint) -> Result<BigUint, RsaError> {
+        if m >= key.n() {
+            return Err(RsaError::InputOutOfRange);
+        }
+        Ok(self.lib.mod_exp(m, key.e(), key.n())?)
+    }
+
+    /// `RSADP`: `c^d mod n` via CRT (or the full ladder when disabled).
+    pub fn private_op(&self, key: &RsaPrivateKey, c: &BigUint) -> Result<BigUint, RsaError> {
+        if c >= key.public().n() {
+            return Err(RsaError::InputOutOfRange);
+        }
+        if !self.use_crt {
+            return Ok(self.lib.mod_exp(c, key.d(), key.public().n())?);
+        }
+        // m1 = c^dp mod p ; m2 = c^dq mod q
+        let m1 = self.lib.mod_exp(c, key.dp(), key.p())?;
+        let m2 = self.lib.mod_exp(c, key.dq(), key.q())?;
+        // h = qinv · (m1 − m2) mod p  (Garner)
+        let diff = m1.mod_sub(&m2, key.p());
+        let h = self.lib.big_mul(key.qinv(), &diff).rem_ref(key.p())?;
+        // m = m2 + h·q
+        Ok(&m2 + &self.lib.big_mul(&h, key.q()))
+    }
+
+    /// `RSADP` with multiplicative blinding (the side-channel-hardened
+    /// production path).
+    pub fn private_op_blinded<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        key: &RsaPrivateKey,
+        blinding: &mut Blinding,
+        c: &BigUint,
+    ) -> Result<BigUint, RsaError> {
+        let blinded = blinding.blind(c);
+        let raw = self.private_op(key, &blinded)?;
+        let out = blinding.unblind(&raw);
+        blinding.step(rng);
+        Ok(out)
+    }
+
+    // ----- padded convenience API -----
+
+    /// PKCS#1 v1.5 encryption.
+    pub fn encrypt_pkcs1v15<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        key: &RsaPublicKey,
+        msg: &[u8],
+    ) -> Result<Vec<u8>, RsaError> {
+        let em = padding::pkcs1v15::pad_encrypt(rng, msg, key.size_bytes())?;
+        let c = self.public_op(key, &BigUint::from_bytes_be(&em))?;
+        Ok(c.to_bytes_be_padded(key.size_bytes()))
+    }
+
+    /// PKCS#1 v1.5 decryption.
+    pub fn decrypt_pkcs1v15(&self, key: &RsaPrivateKey, ct: &[u8]) -> Result<Vec<u8>, RsaError> {
+        let c = BigUint::from_bytes_be(ct);
+        let em = self
+            .private_op(key, &c)?
+            .to_bytes_be_padded(key.public().size_bytes());
+        padding::pkcs1v15::unpad_encrypt(&em)
+    }
+
+    /// PKCS#1 v1.5 signature over a SHA-256 digest of `msg`.
+    pub fn sign_pkcs1v15_sha256(
+        &self,
+        key: &RsaPrivateKey,
+        msg: &[u8],
+    ) -> Result<Vec<u8>, RsaError> {
+        let em = padding::pkcs1v15::pad_sign_sha256(msg, key.public().size_bytes())?;
+        let s = self.private_op(key, &BigUint::from_bytes_be(&em))?;
+        Ok(s.to_bytes_be_padded(key.public().size_bytes()))
+    }
+
+    /// Verify a PKCS#1 v1.5 / SHA-256 signature.
+    pub fn verify_pkcs1v15_sha256(
+        &self,
+        key: &RsaPublicKey,
+        msg: &[u8],
+        sig: &[u8],
+    ) -> Result<(), RsaError> {
+        if sig.len() != key.size_bytes() {
+            return Err(RsaError::VerificationFailed);
+        }
+        let s = BigUint::from_bytes_be(sig);
+        let em = self
+            .public_op(key, &s)?
+            .to_bytes_be_padded(key.size_bytes());
+        padding::pkcs1v15::verify_sign_sha256(msg, &em)
+    }
+
+    /// OAEP (SHA-256) encryption.
+    pub fn encrypt_oaep<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        key: &RsaPublicKey,
+        msg: &[u8],
+        label: &[u8],
+    ) -> Result<Vec<u8>, RsaError> {
+        let em = padding::oaep::pad(rng, msg, label, key.size_bytes())?;
+        let c = self.public_op(key, &BigUint::from_bytes_be(&em))?;
+        Ok(c.to_bytes_be_padded(key.size_bytes()))
+    }
+
+    /// OAEP (SHA-256) decryption.
+    pub fn decrypt_oaep(
+        &self,
+        key: &RsaPrivateKey,
+        ct: &[u8],
+        label: &[u8],
+    ) -> Result<Vec<u8>, RsaError> {
+        let c = BigUint::from_bytes_be(ct);
+        let em = self
+            .private_op(key, &c)?
+            .to_bytes_be_padded(key.public().size_bytes());
+        padding::oaep::unpad(&em, label)
+    }
+
+    /// PSS (SHA-256) signature.
+    pub fn sign_pss_sha256<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        key: &RsaPrivateKey,
+        msg: &[u8],
+    ) -> Result<Vec<u8>, RsaError> {
+        let bits = key.public().bits();
+        let em = padding::pss::encode(rng, msg, bits)?;
+        let s = self.private_op(key, &BigUint::from_bytes_be(&em))?;
+        Ok(s.to_bytes_be_padded(key.public().size_bytes()))
+    }
+
+    /// Verify a PSS (SHA-256) signature.
+    pub fn verify_pss_sha256(
+        &self,
+        key: &RsaPublicKey,
+        msg: &[u8],
+        sig: &[u8],
+    ) -> Result<(), RsaError> {
+        if sig.len() != key.size_bytes() {
+            return Err(RsaError::VerificationFailed);
+        }
+        let s = BigUint::from_bytes_be(sig);
+        let em_int = self.public_op(key, &s)?;
+        padding::pss::verify(msg, &em_int, key.bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phi_mont::{MpssBaseline, OpensslBaseline};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn key256() -> RsaPrivateKey {
+        RsaPrivateKey::generate(&mut StdRng::seed_from_u64(0xA11CE), 256).unwrap()
+    }
+
+    fn all_ops() -> Vec<RsaOps> {
+        vec![
+            RsaOps::new(Box::new(MpssBaseline)),
+            RsaOps::new(Box::new(OpensslBaseline)),
+        ]
+    }
+
+    #[test]
+    fn public_private_roundtrip_all_libs() {
+        let key = key256();
+        let m = BigUint::from(0xDEADBEEFu64);
+        for ops in all_ops() {
+            let c = ops.public_op(key.public(), &m).unwrap();
+            assert_eq!(ops.private_op(&key, &c).unwrap(), m, "{}", ops.lib_name());
+        }
+    }
+
+    #[test]
+    fn crt_equals_full_ladder() {
+        let key = key256();
+        let c = BigUint::from(123456789u64);
+        let with = RsaOps::new(Box::new(MpssBaseline))
+            .private_op(&key, &c)
+            .unwrap();
+        let without = RsaOps::without_crt(Box::new(MpssBaseline))
+            .private_op(&key, &c)
+            .unwrap();
+        assert_eq!(with, without);
+        assert_eq!(with, c.mod_exp(key.d(), key.public().n()));
+    }
+
+    #[test]
+    fn out_of_range_inputs_rejected() {
+        let key = key256();
+        let ops = RsaOps::new(Box::new(MpssBaseline));
+        let too_big = key.public().n().clone();
+        assert!(matches!(
+            ops.public_op(key.public(), &too_big),
+            Err(RsaError::InputOutOfRange)
+        ));
+        assert!(matches!(
+            ops.private_op(&key, &too_big),
+            Err(RsaError::InputOutOfRange)
+        ));
+    }
+
+    #[test]
+    fn blinded_private_op_matches_plain() {
+        let key = key256();
+        let ops = RsaOps::new(Box::new(MpssBaseline));
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut blinding = Blinding::new(&mut rng, key.public().n(), key.public().e());
+        let m = BigUint::from(424242u64);
+        let c = ops.public_op(key.public(), &m).unwrap();
+        for _ in 0..5 {
+            let got = ops
+                .private_op_blinded(&mut rng, &key, &mut blinding, &c)
+                .unwrap();
+            assert_eq!(got, m);
+        }
+    }
+
+    #[test]
+    fn message_zero_and_one() {
+        let key = key256();
+        let ops = RsaOps::new(Box::new(MpssBaseline));
+        for m in [BigUint::zero(), BigUint::one()] {
+            let c = ops.public_op(key.public(), &m).unwrap();
+            assert_eq!(ops.private_op(&key, &c).unwrap(), m);
+        }
+    }
+}

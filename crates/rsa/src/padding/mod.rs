@@ -1,0 +1,5 @@
+//! PKCS#1 padding schemes: v1.5 (encryption and signatures), OAEP, PSS.
+
+pub mod oaep;
+pub mod pkcs1v15;
+pub mod pss;

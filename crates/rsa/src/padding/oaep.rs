@@ -1,0 +1,189 @@
+//! EME-OAEP (RFC 8017 §7.1), generic over the hash function. The
+//! SHA-256 instantiation is what [`crate::RsaOps`] exposes; RFC 8017's
+//! default parameterization is SHA-1 and works through the generic entry
+//! points.
+
+use crate::error::RsaError;
+use phi_hash::mgf1::{mgf1, xor_in_place};
+use phi_hash::sha2::Sha256;
+use phi_hash::Digest;
+use rand::Rng;
+
+const H_LEN: usize = 32; // SHA-256
+
+/// Encode with an explicit hash function.
+pub fn pad_with<D: Digest, R: Rng + ?Sized>(
+    rng: &mut R,
+    msg: &[u8],
+    label: &[u8],
+    k: usize,
+) -> Result<Vec<u8>, RsaError> {
+    let h_len = D::OUTPUT_SIZE;
+    if k < 2 * h_len + 2 || msg.len() > k - 2 * h_len - 2 {
+        return Err(RsaError::MessageTooLong {
+            got: msg.len(),
+            max: k.saturating_sub(2 * h_len + 2),
+        });
+    }
+    let l_hash = D::digest(label);
+    // DB = lHash || PS || 0x01 || M
+    let mut db = Vec::with_capacity(k - h_len - 1);
+    db.extend_from_slice(&l_hash);
+    db.resize(k - h_len - 1 - msg.len() - 1, 0);
+    db.push(0x01);
+    db.extend_from_slice(msg);
+    debug_assert_eq!(db.len(), k - h_len - 1);
+
+    let mut seed = vec![0u8; h_len];
+    rng.fill(&mut seed[..]);
+
+    let db_mask = mgf1::<D>(&seed, db.len());
+    xor_in_place(&mut db, &db_mask);
+    let seed_mask = mgf1::<D>(&db, h_len);
+    xor_in_place(&mut seed, &seed_mask);
+
+    let mut em = Vec::with_capacity(k);
+    em.push(0x00);
+    em.extend_from_slice(&seed);
+    em.extend_from_slice(&db);
+    debug_assert_eq!(em.len(), k);
+    Ok(em)
+}
+
+/// Encode with SHA-256 (the suite's default).
+pub fn pad<R: Rng + ?Sized>(
+    rng: &mut R,
+    msg: &[u8],
+    label: &[u8],
+    k: usize,
+) -> Result<Vec<u8>, RsaError> {
+    let _ = H_LEN;
+    pad_with::<Sha256, R>(rng, msg, label, k)
+}
+
+/// Decode with an explicit hash function; every failure mode returns the
+/// same [`RsaError::PaddingError`] (Manger-oracle hygiene).
+pub fn unpad_with<D: Digest>(em: &[u8], label: &[u8]) -> Result<Vec<u8>, RsaError> {
+    let h_len = D::OUTPUT_SIZE;
+    let k = em.len();
+    if k < 2 * h_len + 2 || em[0] != 0x00 {
+        return Err(RsaError::PaddingError);
+    }
+    let mut seed = em[1..1 + h_len].to_vec();
+    let mut db = em[1 + h_len..].to_vec();
+
+    let seed_mask = mgf1::<D>(&db, h_len);
+    xor_in_place(&mut seed, &seed_mask);
+    let db_mask = mgf1::<D>(&seed, db.len());
+    xor_in_place(&mut db, &db_mask);
+
+    let l_hash = D::digest(label);
+    if db[..h_len] != l_hash[..] {
+        return Err(RsaError::PaddingError);
+    }
+    // Skip the zero PS, expect 0x01, then the message.
+    let rest = &db[h_len..];
+    let one = rest
+        .iter()
+        .position(|&b| b != 0)
+        .ok_or(RsaError::PaddingError)?;
+    if rest[one] != 0x01 {
+        return Err(RsaError::PaddingError);
+    }
+    Ok(rest[one + 1..].to_vec())
+}
+
+/// Decode with SHA-256 (the suite's default).
+pub fn unpad(em: &[u8], label: &[u8]) -> Result<Vec<u8>, RsaError> {
+    unpad_with::<Sha256>(em, label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x0AEB)
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        let mut r = rng();
+        let k = 128;
+        for len in [0usize, 1, 17, k - 2 * H_LEN - 2] {
+            let msg: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let em = pad(&mut r, &msg, b"", k).unwrap();
+            assert_eq!(unpad(&em, b"").unwrap(), msg, "len {len}");
+        }
+    }
+
+    #[test]
+    fn label_must_match() {
+        let mut r = rng();
+        let em = pad(&mut r, b"secret", b"label-a", 128).unwrap();
+        assert!(unpad(&em, b"label-a").is_ok());
+        assert!(matches!(
+            unpad(&em, b"label-b"),
+            Err(RsaError::PaddingError)
+        ));
+    }
+
+    #[test]
+    fn message_too_long() {
+        let mut r = rng();
+        let max = 128 - 2 * H_LEN - 2;
+        assert!(pad(&mut r, &vec![0u8; max + 1], b"", 128).is_err());
+        assert!(pad(&mut r, &vec![0u8; max], b"", 128).is_ok());
+    }
+
+    #[test]
+    fn key_too_small_for_oaep() {
+        let mut r = rng();
+        assert!(pad(&mut r, b"", b"", 2 * H_LEN + 1).is_err());
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut r = rng();
+        let em = pad(&mut r, b"data", b"", 128).unwrap();
+        for idx in [0usize, 1, 40, 127] {
+            let mut bad = em.clone();
+            bad[idx] ^= 0x80;
+            assert!(unpad(&bad, b"").is_err(), "corruption at {idx} accepted");
+        }
+    }
+
+    #[test]
+    fn encoding_is_randomized() {
+        let mut r = rng();
+        let a = pad(&mut r, b"same message", b"", 128).unwrap();
+        let b = pad(&mut r, b"same message", b"", 128).unwrap();
+        assert_ne!(a, b);
+        // But both decode to the same plaintext.
+        assert_eq!(unpad(&a, b"").unwrap(), unpad(&b, b"").unwrap());
+    }
+
+    #[test]
+    fn sha1_parameterization_roundtrips() {
+        // RFC 8017's default hash is SHA-1; the generic entry points
+        // support it (and the two parameterizations are incompatible).
+        use phi_hash::sha1::Sha1;
+        let mut r = rng();
+        let em = pad_with::<Sha1, _>(&mut r, b"legacy", b"", 128).unwrap();
+        assert_eq!(unpad_with::<Sha1>(&em, b"").unwrap(), b"legacy");
+        assert!(unpad_with::<Sha256>(&em, b"").is_err());
+        // SHA-1's 20-byte hash allows longer messages per key.
+        assert!(pad_with::<Sha1, _>(&mut r, &[0u8; 86], b"", 128).is_ok());
+        assert!(pad_with::<Sha256, _>(&mut r, &[0u8; 86], b"", 128).is_err());
+    }
+
+    #[test]
+    fn leading_byte_must_be_zero() {
+        let mut r = rng();
+        let mut em = pad(&mut r, b"x", b"", 128).unwrap();
+        em[0] = 1;
+        assert!(unpad(&em, b"").is_err());
+    }
+}

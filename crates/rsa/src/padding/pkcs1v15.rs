@@ -1,0 +1,206 @@
+//! PKCS#1 v1.5 padding (RFC 8017 §7.2 and §9.2).
+
+use crate::error::RsaError;
+use phi_hash::sha2::Sha256;
+use phi_hash::Digest;
+use rand::Rng;
+
+/// Minimum random padding string length for encryption.
+const MIN_PS_LEN: usize = 8;
+
+/// ASN.1 DigestInfo prefix for SHA-256 (RFC 8017 §9.2 note 1).
+pub const SHA256_DIGEST_INFO: [u8; 19] = [
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01, 0x05,
+    0x00, 0x04, 0x20,
+];
+
+/// EME-PKCS1-v1_5 encode: `00 02 PS 00 M` with nonzero random PS.
+pub fn pad_encrypt<R: Rng + ?Sized>(
+    rng: &mut R,
+    msg: &[u8],
+    k: usize,
+) -> Result<Vec<u8>, RsaError> {
+    if msg.len() + MIN_PS_LEN + 3 > k {
+        return Err(RsaError::MessageTooLong {
+            got: msg.len(),
+            max: k.saturating_sub(MIN_PS_LEN + 3),
+        });
+    }
+    let ps_len = k - msg.len() - 3;
+    let mut em = Vec::with_capacity(k);
+    em.push(0x00);
+    em.push(0x02);
+    for _ in 0..ps_len {
+        // Nonzero random bytes.
+        loop {
+            let b: u8 = rng.gen();
+            if b != 0 {
+                em.push(b);
+                break;
+            }
+        }
+    }
+    em.push(0x00);
+    em.extend_from_slice(msg);
+    debug_assert_eq!(em.len(), k);
+    Ok(em)
+}
+
+/// EME-PKCS1-v1_5 decode. All failure modes return the same
+/// [`RsaError::PaddingError`] to avoid a Bleichenbacher-style oracle.
+pub fn unpad_encrypt(em: &[u8]) -> Result<Vec<u8>, RsaError> {
+    if em.len() < MIN_PS_LEN + 3 || em[0] != 0x00 || em[1] != 0x02 {
+        return Err(RsaError::PaddingError);
+    }
+    // Find the 0x00 separator after the PS.
+    let sep = em[2..]
+        .iter()
+        .position(|&b| b == 0)
+        .ok_or(RsaError::PaddingError)?;
+    if sep < MIN_PS_LEN {
+        return Err(RsaError::PaddingError);
+    }
+    Ok(em[2 + sep + 1..].to_vec())
+}
+
+/// EMSA-PKCS1-v1_5 encode for SHA-256: `00 01 FF..FF 00 DigestInfo`.
+pub fn pad_sign_sha256(msg: &[u8], k: usize) -> Result<Vec<u8>, RsaError> {
+    let t: Vec<u8> = SHA256_DIGEST_INFO
+        .iter()
+        .copied()
+        .chain(Sha256::digest(msg))
+        .collect();
+    if t.len() + 11 > k {
+        return Err(RsaError::MessageTooLong {
+            got: t.len(),
+            max: k.saturating_sub(11),
+        });
+    }
+    let mut em = Vec::with_capacity(k);
+    em.push(0x00);
+    em.push(0x01);
+    em.resize(k - t.len() - 1, 0xFF);
+    em.push(0x00);
+    em.extend_from_slice(&t);
+    debug_assert_eq!(em.len(), k);
+    Ok(em)
+}
+
+/// EMSA-PKCS1-v1_5 verification by deterministic re-encoding and
+/// constant-time comparison.
+pub fn verify_sign_sha256(msg: &[u8], em: &[u8]) -> Result<(), RsaError> {
+    let expected = pad_sign_sha256(msg, em.len())?;
+    let mut diff = 0u8;
+    for (a, b) in expected.iter().zip(em.iter()) {
+        diff |= a ^ b;
+    }
+    if diff == 0 && expected.len() == em.len() {
+        Ok(())
+    } else {
+        Err(RsaError::VerificationFailed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xFEED)
+    }
+
+    #[test]
+    fn encrypt_pad_structure() {
+        let mut r = rng();
+        let em = pad_encrypt(&mut r, b"hello", 32).unwrap();
+        assert_eq!(em.len(), 32);
+        assert_eq!(em[0], 0x00);
+        assert_eq!(em[1], 0x02);
+        // PS bytes nonzero, then separator.
+        let ps_len = 32 - 5 - 3;
+        assert!(em[2..2 + ps_len].iter().all(|&b| b != 0));
+        assert_eq!(em[2 + ps_len], 0x00);
+        assert_eq!(&em[2 + ps_len + 1..], b"hello");
+    }
+
+    #[test]
+    fn encrypt_roundtrip_various_lengths() {
+        let mut r = rng();
+        for len in [0usize, 1, 10, 21] {
+            let msg: Vec<u8> = (0..len as u8).collect();
+            let em = pad_encrypt(&mut r, &msg, 32).unwrap();
+            assert_eq!(unpad_encrypt(&em).unwrap(), msg, "len {len}");
+        }
+    }
+
+    #[test]
+    fn encrypt_message_too_long() {
+        let mut r = rng();
+        assert!(matches!(
+            pad_encrypt(&mut r, &[0u8; 22], 32),
+            Err(RsaError::MessageTooLong { max: 21, .. })
+        ));
+        // Exactly at the limit is fine.
+        assert!(pad_encrypt(&mut r, &[0u8; 21], 32).is_ok());
+    }
+
+    #[test]
+    fn unpad_rejects_malformed() {
+        // Wrong leading bytes.
+        assert!(unpad_encrypt(&[0x01; 32]).is_err());
+        let mut bad = vec![0x00, 0x02];
+        bad.extend(vec![0xAA; 30]); // no separator at all
+        assert!(unpad_encrypt(&bad).is_err());
+        // Separator too early (PS < 8).
+        let mut short_ps = vec![0x00, 0x02, 0xAA, 0xAA, 0x00];
+        short_ps.extend(vec![0x55; 27]);
+        assert!(unpad_encrypt(&short_ps).is_err());
+        // Too short overall.
+        assert!(unpad_encrypt(&[0x00, 0x02, 0x00]).is_err());
+    }
+
+    #[test]
+    fn message_of_zero_bytes_is_allowed() {
+        let mut r = rng();
+        let em = pad_encrypt(&mut r, b"", 16).unwrap();
+        assert_eq!(unpad_encrypt(&em).unwrap(), b"");
+    }
+
+    #[test]
+    fn sign_pad_structure() {
+        let em = pad_sign_sha256(b"msg", 64).unwrap();
+        assert_eq!(em.len(), 64);
+        assert_eq!(&em[..2], &[0x00, 0x01]);
+        let t_len = 19 + 32;
+        assert!(em[2..64 - t_len - 1].iter().all(|&b| b == 0xFF));
+        assert_eq!(em[64 - t_len - 1], 0x00);
+        assert_eq!(&em[64 - t_len..64 - 32], &SHA256_DIGEST_INFO);
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let em = pad_sign_sha256(b"message", 64).unwrap();
+        assert!(verify_sign_sha256(b"message", &em).is_ok());
+        assert!(verify_sign_sha256(b"other", &em).is_err());
+        let mut corrupt = em.clone();
+        corrupt[40] ^= 1;
+        assert!(verify_sign_sha256(b"message", &corrupt).is_err());
+    }
+
+    #[test]
+    fn sign_key_too_small() {
+        // DigestInfo + digest = 51 bytes; needs k >= 62.
+        assert!(pad_sign_sha256(b"m", 61).is_err());
+        assert!(pad_sign_sha256(b"m", 62).is_ok());
+    }
+
+    #[test]
+    fn padding_is_randomized() {
+        let mut r = rng();
+        let a = pad_encrypt(&mut r, b"same", 32).unwrap();
+        let b = pad_encrypt(&mut r, b"same", 32).unwrap();
+        assert_ne!(a, b, "PS must be random");
+    }
+}

@@ -1,0 +1,212 @@
+//! EMSA-PSS (RFC 8017 §9.1), generic over the hash function with
+//! salt length equal to the hash length (the common parameterization).
+//! The SHA-256 instantiation is what [`crate::RsaOps`] exposes.
+
+use crate::error::RsaError;
+use phi_bigint::BigUint;
+use phi_hash::mgf1::{mgf1, xor_in_place};
+use phi_hash::sha2::Sha256;
+use phi_hash::Digest;
+use rand::Rng;
+
+/// Salt length of the default (SHA-256) parameterization.
+pub const SALT_LEN: usize = 32;
+
+fn em_len(mod_bits: u32) -> usize {
+    ((mod_bits - 1) as usize).div_ceil(8)
+}
+
+/// `H = Hash(0x00*8 || mHash || salt)`.
+fn h_value<D: Digest>(m_hash: &[u8], salt: &[u8]) -> Vec<u8> {
+    let mut h = D::default();
+    h.update(&[0u8; 8]);
+    h.update(m_hash);
+    h.update(salt);
+    h.finalize()
+}
+
+/// Encode `msg` for a modulus of `mod_bits` bits with an explicit hash.
+pub fn encode_with<D: Digest, R: Rng + ?Sized>(
+    rng: &mut R,
+    msg: &[u8],
+    mod_bits: u32,
+) -> Result<Vec<u8>, RsaError> {
+    let h_len = D::OUTPUT_SIZE;
+    let salt_len = D::OUTPUT_SIZE;
+    let em_bits = mod_bits - 1;
+    let em_len = em_len(mod_bits);
+    if em_len < h_len + salt_len + 2 {
+        return Err(RsaError::MessageTooLong {
+            got: msg.len(),
+            max: 0,
+        });
+    }
+    let m_hash = D::digest(msg);
+    let mut salt = vec![0u8; salt_len];
+    rng.fill(&mut salt[..]);
+    let h = h_value::<D>(&m_hash, &salt);
+
+    // DB = PS || 0x01 || salt
+    let mut db = vec![0u8; em_len - salt_len - h_len - 2];
+    db.push(0x01);
+    db.extend_from_slice(&salt);
+    debug_assert_eq!(db.len(), em_len - h_len - 1);
+
+    let db_mask = mgf1::<D>(&h, db.len());
+    xor_in_place(&mut db, &db_mask);
+    // Clear the leftmost 8·emLen − emBits bits.
+    let top_bits = 8 * em_len as u32 - em_bits;
+    db[0] &= 0xFFu8 >> top_bits;
+
+    let mut em = db;
+    em.extend_from_slice(&h);
+    em.push(0xbc);
+    debug_assert_eq!(em.len(), em_len);
+    Ok(em)
+}
+
+/// Encode with SHA-256 (the suite's default).
+pub fn encode<R: Rng + ?Sized>(
+    rng: &mut R,
+    msg: &[u8],
+    mod_bits: u32,
+) -> Result<Vec<u8>, RsaError> {
+    encode_with::<Sha256, R>(rng, msg, mod_bits)
+}
+
+/// Verify `em_int = s^e mod n` against `msg` with an explicit hash.
+pub fn verify_with<D: Digest>(msg: &[u8], em_int: &BigUint, mod_bits: u32) -> Result<(), RsaError> {
+    let h_len = D::OUTPUT_SIZE;
+    let salt_len = D::OUTPUT_SIZE;
+    let em_bits = mod_bits - 1;
+    let em_len = em_len(mod_bits);
+    if em_int.bit_length() > em_bits {
+        return Err(RsaError::VerificationFailed);
+    }
+    let em = em_int.to_bytes_be_padded(em_len);
+    if em_len < h_len + salt_len + 2 || em[em_len - 1] != 0xbc {
+        return Err(RsaError::VerificationFailed);
+    }
+    let (masked_db, rest) = em.split_at(em_len - h_len - 1);
+    let h = &rest[..h_len];
+
+    let top_bits = 8 * em_len as u32 - em_bits;
+    if masked_db[0] & !(0xFFu8 >> top_bits) != 0 {
+        return Err(RsaError::VerificationFailed);
+    }
+
+    let mut db = masked_db.to_vec();
+    let db_mask = mgf1::<D>(h, db.len());
+    xor_in_place(&mut db, &db_mask);
+    db[0] &= 0xFFu8 >> top_bits;
+
+    // DB must be zeros, then 0x01, then the salt.
+    let ps_len = em_len - h_len - salt_len - 2;
+    if db[..ps_len].iter().any(|&b| b != 0) || db[ps_len] != 0x01 {
+        return Err(RsaError::VerificationFailed);
+    }
+    let salt = &db[ps_len + 1..];
+    debug_assert_eq!(salt.len(), salt_len);
+
+    let m_hash = D::digest(msg);
+    let expected_h = h_value::<D>(&m_hash, salt);
+    if expected_h == h {
+        Ok(())
+    } else {
+        Err(RsaError::VerificationFailed)
+    }
+}
+
+/// Verify with SHA-256 (the suite's default).
+pub fn verify(msg: &[u8], em_int: &BigUint, mod_bits: u32) -> Result<(), RsaError> {
+    verify_with::<Sha256>(msg, em_int, mod_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x9355)
+    }
+
+    fn as_int(em: &[u8]) -> BigUint {
+        BigUint::from_bytes_be(em)
+    }
+
+    #[test]
+    fn encode_verify_roundtrip() {
+        let mut r = rng();
+        for bits in [1024u32, 1025, 1031, 2048] {
+            let em = encode(&mut r, b"hello pss", bits).unwrap();
+            verify(b"hello pss", &as_int(&em), bits).unwrap();
+        }
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let mut r = rng();
+        let em = encode(&mut r, b"original", 1024).unwrap();
+        assert!(verify(b"tampered", &as_int(&em), 1024).is_err());
+    }
+
+    #[test]
+    fn corrupted_encoding_rejected() {
+        let mut r = rng();
+        let em = encode(&mut r, b"m", 1024).unwrap();
+        for idx in [0usize, 50, 95, 127] {
+            let mut bad = em.clone();
+            bad[idx] ^= 0x40;
+            assert!(verify(b"m", &as_int(&bad), 1024).is_err(), "byte {idx}");
+        }
+    }
+
+    #[test]
+    fn trailer_byte_checked() {
+        let mut r = rng();
+        let mut em = encode(&mut r, b"m", 1024).unwrap();
+        *em.last_mut().unwrap() = 0xbd;
+        assert!(verify(b"m", &as_int(&em), 1024).is_err());
+    }
+
+    #[test]
+    fn top_bits_cleared() {
+        let mut r = rng();
+        // For mod_bits ≡ 1 (mod 8), emBits = mod_bits−1 is a byte multiple;
+        // otherwise the top bits of EM must be zero.
+        let em = encode(&mut r, b"m", 1028).unwrap();
+        let top_bits = 8 * em.len() as u32 - 1027;
+        assert_eq!(em[0] & !(0xFF >> top_bits), 0);
+    }
+
+    #[test]
+    fn salted_encodings_differ_but_both_verify() {
+        let mut r = rng();
+        let a = encode(&mut r, b"msg", 1024).unwrap();
+        let b = encode(&mut r, b"msg", 1024).unwrap();
+        assert_ne!(a, b);
+        verify(b"msg", &as_int(&a), 1024).unwrap();
+        verify(b"msg", &as_int(&b), 1024).unwrap();
+    }
+
+    #[test]
+    fn sha1_parameterization() {
+        use phi_hash::sha1::Sha1;
+        let mut r = rng();
+        let em = encode_with::<Sha1, _>(&mut r, b"legacy pss", 1024).unwrap();
+        verify_with::<Sha1>(b"legacy pss", &as_int(&em), 1024).unwrap();
+        // The two parameterizations are incompatible.
+        assert!(verify_with::<Sha256>(b"legacy pss", &as_int(&em), 1024).is_err());
+        // SHA-1's smaller footprint fits smaller moduli.
+        assert!(encode_with::<Sha1, _>(&mut r, b"m", 344).is_ok());
+        assert!(encode_with::<Sha256, _>(&mut r, b"m", 344).is_err());
+    }
+
+    #[test]
+    fn modulus_too_small() {
+        let mut r = rng();
+        assert!(encode(&mut r, b"m", 256).is_err()); // emLen 32 < 66
+    }
+}

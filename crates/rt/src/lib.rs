@@ -1,0 +1,25 @@
+//! # phi-rt
+//!
+//! The execution model of the Xeon Phi card for the PhiOpenSSL
+//! reproduction: a thread pool with *simulated* core/SMT placement
+//! ([`pool`]), the host↔device offload cost model ([`offload`]), and
+//! latency/throughput aggregation ([`stats`]).
+//!
+//! Real KNC cards expose 240 hardware threads over 60 in-order cores and
+//! are fed over PCIe. This crate runs the work for real on host threads
+//! (so results are correct and wall-clock is measurable) while tracking the
+//! per-thread instruction counts that the KNC cost model turns into
+//! *modeled* card throughput under a chosen affinity
+//! ([`AffinityPolicy::Compact`] / [`AffinityPolicy::Scatter`]) — the thread
+//! scaling experiment E5.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod offload;
+pub mod pool;
+pub mod stats;
+
+pub use offload::{OffloadBatcher, OffloadModel};
+pub use pool::{AffinityPolicy, BatchReport, PhiPool};
+pub use stats::Summary;

@@ -1,0 +1,188 @@
+//! Host↔coprocessor offload cost model.
+//!
+//! KNC hangs off PCIe gen-2 x16: every piece of work shipped to the card
+//! pays a per-transfer latency plus a bandwidth term, which is why the
+//! paper (like every offload design) batches small RSA requests into
+//! larger transfers. [`OffloadModel`] prices a transfer; [`OffloadBatcher`]
+//! accumulates requests into batches and accounts for the modeled time the
+//! batched transfers would take against the one-at-a-time alternative.
+
+/// Modeled transfer characteristics of the host↔card link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OffloadModel {
+    /// One-way latency per DMA transaction, seconds.
+    pub latency_s: f64,
+    /// Sustained bandwidth, bytes per second.
+    pub bandwidth_bps: f64,
+}
+
+impl Default for OffloadModel {
+    fn default() -> Self {
+        // PCIe 2.0 x16 to a KNC card: ~6 GB/s sustained, ~10 µs per DMA.
+        OffloadModel {
+            latency_s: 10e-6,
+            bandwidth_bps: 6.0e9,
+        }
+    }
+}
+
+impl OffloadModel {
+    /// Modeled seconds for one transfer of `bytes` payload bytes.
+    pub fn transfer_seconds(&self, bytes: usize) -> f64 {
+        self.latency_s + bytes as f64 / self.bandwidth_bps
+    }
+
+    /// Modeled seconds for a round trip (request + response payloads).
+    pub fn round_trip_seconds(&self, request_bytes: usize, response_bytes: usize) -> f64 {
+        self.transfer_seconds(request_bytes) + self.transfer_seconds(response_bytes)
+    }
+}
+
+/// One queued offload request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OffloadRequest {
+    /// Caller-chosen identifier (e.g. connection id).
+    pub id: u64,
+    /// Request payload size in bytes.
+    pub bytes: usize,
+}
+
+/// A batch that was flushed to the card.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlushedBatch {
+    /// The requests in the batch, in arrival order.
+    pub requests: Vec<OffloadRequest>,
+    /// Modeled transfer time for the whole batch (one DMA).
+    pub batched_seconds: f64,
+    /// Modeled transfer time had each request been its own DMA.
+    pub unbatched_seconds: f64,
+}
+
+impl FlushedBatch {
+    /// Latency saved by batching.
+    pub fn saving_seconds(&self) -> f64 {
+        self.unbatched_seconds - self.batched_seconds
+    }
+}
+
+/// Accumulates requests and flushes them in batches of up to `capacity`.
+#[derive(Debug)]
+pub struct OffloadBatcher {
+    model: OffloadModel,
+    capacity: usize,
+    pending: Vec<OffloadRequest>,
+}
+
+impl OffloadBatcher {
+    /// A batcher flushing after `capacity` requests.
+    pub fn new(model: OffloadModel, capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        OffloadBatcher {
+            model,
+            capacity,
+            pending: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Queue a request; returns the flushed batch when the capacity fills.
+    pub fn push(&mut self, req: OffloadRequest) -> Option<FlushedBatch> {
+        self.pending.push(req);
+        if self.pending.len() >= self.capacity {
+            Some(self.flush().expect("pending nonempty"))
+        } else {
+            None
+        }
+    }
+
+    /// Number of requests waiting.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Force a flush of whatever is pending.
+    pub fn flush(&mut self) -> Option<FlushedBatch> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let requests: Vec<OffloadRequest> = self.pending.drain(..).collect();
+        let total: usize = requests.iter().map(|r| r.bytes).sum();
+        let batched_seconds = self.model.transfer_seconds(total);
+        let unbatched_seconds = requests
+            .iter()
+            .map(|r| self.model.transfer_seconds(r.bytes))
+            .sum();
+        Some(FlushedBatch {
+            requests,
+            batched_seconds,
+            unbatched_seconds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_cost_has_latency_floor() {
+        let m = OffloadModel::default();
+        let tiny = m.transfer_seconds(1);
+        assert!(tiny >= m.latency_s);
+        // Latency dominates small transfers.
+        assert!(tiny < 2.0 * m.latency_s);
+    }
+
+    #[test]
+    fn transfer_cost_scales_with_size() {
+        let m = OffloadModel::default();
+        let small = m.transfer_seconds(1 << 10);
+        let large = m.transfer_seconds(1 << 30);
+        assert!(large > small * 100.0);
+        // 1 GiB at 6 GB/s ≈ 0.18 s.
+        assert!((large - (10e-6 + (1u64 << 30) as f64 / 6.0e9)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_trip_is_two_transfers() {
+        let m = OffloadModel::default();
+        assert!(
+            (m.round_trip_seconds(100, 200) - (m.transfer_seconds(100) + m.transfer_seconds(200)))
+                .abs()
+                < 1e-15
+        );
+    }
+
+    #[test]
+    fn batcher_flushes_at_capacity() {
+        let mut b = OffloadBatcher::new(OffloadModel::default(), 3);
+        assert!(b.push(OffloadRequest { id: 1, bytes: 256 }).is_none());
+        assert!(b.push(OffloadRequest { id: 2, bytes: 256 }).is_none());
+        let batch = b.push(OffloadRequest { id: 3, bytes: 256 }).unwrap();
+        assert_eq!(batch.requests.len(), 3);
+        assert_eq!(b.pending(), 0);
+        assert_eq!(batch.requests[0].id, 1);
+    }
+
+    #[test]
+    fn batching_saves_latency() {
+        let mut b = OffloadBatcher::new(OffloadModel::default(), 16);
+        let mut flushed = None;
+        for i in 0..16 {
+            flushed = flushed.or(b.push(OffloadRequest { id: i, bytes: 256 }));
+        }
+        let batch = flushed.unwrap();
+        // 16 DMAs collapse into 1: save ~15 latencies.
+        assert!(batch.saving_seconds() > 14.0 * 10e-6);
+        assert!(batch.batched_seconds < batch.unbatched_seconds);
+    }
+
+    #[test]
+    fn manual_flush_handles_partial_batch() {
+        let mut b = OffloadBatcher::new(OffloadModel::default(), 8);
+        assert!(b.flush().is_none());
+        b.push(OffloadRequest { id: 9, bytes: 64 });
+        let batch = b.flush().unwrap();
+        assert_eq!(batch.requests.len(), 1);
+        assert!(b.flush().is_none());
+    }
+}

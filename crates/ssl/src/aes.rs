@@ -1,0 +1,318 @@
+//! AES-128/AES-256 block cipher (FIPS 197), for the record layer.
+//!
+//! A straightforward table-free implementation (S-box lookups plus
+//! xtime-based MixColumns): the record layer is workload plumbing for the
+//! handshake experiments, not a performance subject, so clarity wins.
+
+use phi_simd::count::{record, OpClass};
+
+/// The AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+/// Inverse S-box, generated from [`SBOX`] at first use.
+fn inv_sbox() -> &'static [u8; 256] {
+    use std::sync::OnceLock;
+    static INV: OnceLock<[u8; 256]> = OnceLock::new();
+    INV.get_or_init(|| {
+        let mut inv = [0u8; 256];
+        for (i, &v) in SBOX.iter().enumerate() {
+            inv[v as usize] = i as u8;
+        }
+        inv
+    })
+}
+
+#[inline]
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (((b >> 7) & 1) * 0x1b)
+}
+
+/// GF(2^8) multiply.
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    p
+}
+
+/// Key size variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeySize {
+    /// 128-bit key, 10 rounds.
+    Aes128,
+    /// 256-bit key, 14 rounds.
+    Aes256,
+}
+
+impl KeySize {
+    fn nk(self) -> usize {
+        match self {
+            KeySize::Aes128 => 4,
+            KeySize::Aes256 => 8,
+        }
+    }
+
+    fn rounds(self) -> usize {
+        match self {
+            KeySize::Aes128 => 10,
+            KeySize::Aes256 => 14,
+        }
+    }
+
+    /// Key length in bytes.
+    pub fn key_len(self) -> usize {
+        self.nk() * 4
+    }
+}
+
+/// An expanded AES key (encrypt and decrypt directions).
+#[derive(Debug, Clone)]
+pub struct Aes {
+    round_keys: Vec<[u8; 16]>,
+    rounds: usize,
+}
+
+impl Aes {
+    /// Expand a key of the size's length. Panics on a wrong key length.
+    pub fn new(size: KeySize, key: &[u8]) -> Aes {
+        assert_eq!(key.len(), size.key_len(), "wrong key length");
+        let nk = size.nk();
+        let rounds = size.rounds();
+        let total_words = 4 * (rounds + 1);
+
+        let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+        for i in 0..nk {
+            w.push([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+        }
+        let mut rcon: u8 = 1;
+        for i in nk..total_words {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1);
+                for b in temp.iter_mut() {
+                    *b = SBOX[*b as usize];
+                }
+                temp[0] ^= rcon;
+                rcon = xtime(rcon);
+            } else if nk > 6 && i % nk == 4 {
+                for b in temp.iter_mut() {
+                    *b = SBOX[*b as usize];
+                }
+            }
+            let prev = w[i - nk];
+            w.push([
+                prev[0] ^ temp[0],
+                prev[1] ^ temp[1],
+                prev[2] ^ temp[2],
+                prev[3] ^ temp[3],
+            ]);
+        }
+
+        let round_keys = w
+            .chunks_exact(4)
+            .map(|c| {
+                let mut rk = [0u8; 16];
+                for (j, word) in c.iter().enumerate() {
+                    rk[4 * j..4 * j + 4].copy_from_slice(word);
+                }
+                rk
+            })
+            .collect();
+        Aes { round_keys, rounds }
+    }
+
+    /// Encrypt one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        // Modeled: per round, 16 table lookups + ~20 ALU ops.
+        record(OpClass::SAlu, 20 * self.rounds as u64);
+        record(OpClass::SMem, 16 * self.rounds as u64);
+        add_round_key(block, &self.round_keys[0]);
+        for r in 1..self.rounds {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[r]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[self.rounds]);
+    }
+
+    /// Decrypt one 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        record(OpClass::SAlu, 24 * self.rounds as u64);
+        record(OpClass::SMem, 16 * self.rounds as u64);
+        add_round_key(block, &self.round_keys[self.rounds]);
+        inv_shift_rows(block);
+        inv_sub_bytes(block);
+        for r in (1..self.rounds).rev() {
+            add_round_key(block, &self.round_keys[r]);
+            inv_mix_columns(block);
+            inv_shift_rows(block);
+            inv_sub_bytes(block);
+        }
+        add_round_key(block, &self.round_keys[0]);
+    }
+}
+
+fn add_round_key(b: &mut [u8; 16], rk: &[u8; 16]) {
+    for i in 0..16 {
+        b[i] ^= rk[i];
+    }
+}
+
+fn sub_bytes(b: &mut [u8; 16]) {
+    for v in b.iter_mut() {
+        *v = SBOX[*v as usize];
+    }
+}
+
+fn inv_sub_bytes(b: &mut [u8; 16]) {
+    let inv = inv_sbox();
+    for v in b.iter_mut() {
+        *v = inv[*v as usize];
+    }
+}
+
+/// State is column-major: byte `r + 4c` is row r, column c.
+fn shift_rows(b: &mut [u8; 16]) {
+    let orig = *b;
+    for r in 1..4 {
+        for c in 0..4 {
+            b[r + 4 * c] = orig[r + 4 * ((c + r) % 4)];
+        }
+    }
+}
+
+fn inv_shift_rows(b: &mut [u8; 16]) {
+    let orig = *b;
+    for r in 1..4 {
+        for c in 0..4 {
+            b[r + 4 * ((c + r) % 4)] = orig[r + 4 * c];
+        }
+    }
+}
+
+fn mix_columns(b: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [b[4 * c], b[4 * c + 1], b[4 * c + 2], b[4 * c + 3]];
+        b[4 * c] = xtime(col[0]) ^ (xtime(col[1]) ^ col[1]) ^ col[2] ^ col[3];
+        b[4 * c + 1] = col[0] ^ xtime(col[1]) ^ (xtime(col[2]) ^ col[2]) ^ col[3];
+        b[4 * c + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ (xtime(col[3]) ^ col[3]);
+        b[4 * c + 3] = (xtime(col[0]) ^ col[0]) ^ col[1] ^ col[2] ^ xtime(col[3]);
+    }
+}
+
+fn inv_mix_columns(b: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [b[4 * c], b[4 * c + 1], b[4 * c + 2], b[4 * c + 3]];
+        b[4 * c] = gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
+        b[4 * c + 1] = gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
+        b[4 * c + 2] = gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);
+        b[4 * c + 3] = gmul(col[0], 11) ^ gmul(col[1], 13) ^ gmul(col[2], 9) ^ gmul(col[3], 14);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn fips197_aes128_vector() {
+        // FIPS 197 appendix B.
+        let key = hex("2b7e151628aed2a6abf7158809cf4f3c");
+        let aes = Aes::new(KeySize::Aes128, &key);
+        let mut block: [u8; 16] = hex("3243f6a8885a308d313198a2e0370734").try_into().unwrap();
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("3925841d02dc09fbdc118597196a0b32"));
+        aes.decrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("3243f6a8885a308d313198a2e0370734"));
+    }
+
+    #[test]
+    fn fips197_appendix_c1_aes128() {
+        let key = hex("000102030405060708090a0b0c0d0e0f");
+        let aes = Aes::new(KeySize::Aes128, &key);
+        let mut block: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+    }
+
+    #[test]
+    fn fips197_appendix_c3_aes256() {
+        let key = hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+        let aes = Aes::new(KeySize::Aes256, &key);
+        let mut block: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("8ea2b7ca516745bfeafc49904b496089"));
+        aes.decrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn roundtrip_random_blocks() {
+        let aes = Aes::new(KeySize::Aes128, &[7u8; 16]);
+        let mut state = 1u64;
+        for _ in 0..50 {
+            let mut block = [0u8; 16];
+            for b in block.iter_mut() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                *b = (state >> 32) as u8;
+            }
+            let orig = block;
+            aes.encrypt_block(&mut block);
+            assert_ne!(block, orig);
+            aes.decrypt_block(&mut block);
+            assert_eq!(block, orig);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong key length")]
+    fn wrong_key_length_panics() {
+        Aes::new(KeySize::Aes256, &[0u8; 16]);
+    }
+
+    #[test]
+    fn gf_multiplication_basics() {
+        assert_eq!(gmul(0x57, 0x83), 0xc1); // FIPS 197 §4.2 example
+        assert_eq!(gmul(0x57, 0x13), 0xfe);
+        assert_eq!(xtime(0x57), 0xae);
+        assert_eq!(xtime(0xae), 0x47);
+    }
+
+    #[test]
+    fn key_sizes() {
+        assert_eq!(KeySize::Aes128.key_len(), 16);
+        assert_eq!(KeySize::Aes256.key_len(), 32);
+    }
+}

@@ -1,0 +1,229 @@
+//! TLS alert records (RFC 5246 §7.2): how a peer is told the handshake
+//! failed instead of the connection just vanishing.
+
+use crate::error::SslError;
+use crate::record::{ContentType, Record};
+
+/// Alert severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertLevel {
+    /// The connection may continue.
+    Warning,
+    /// The connection must be torn down.
+    Fatal,
+}
+
+impl AlertLevel {
+    fn byte(self) -> u8 {
+        match self {
+            AlertLevel::Warning => 1,
+            AlertLevel::Fatal => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, SslError> {
+        match b {
+            1 => Ok(AlertLevel::Warning),
+            2 => Ok(AlertLevel::Fatal),
+            _ => Err(SslError::Decode {
+                offset: 0,
+                reason: "unknown alert level",
+            }),
+        }
+    }
+}
+
+/// Alert descriptions (the subset this substrate can raise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertDescription {
+    /// 0 — orderly connection closure.
+    CloseNotify,
+    /// 10 — a message arrived out of order.
+    UnexpectedMessage,
+    /// 20 — record MAC check failed.
+    BadRecordMac,
+    /// 40 — generic handshake failure (incl. no common cipher).
+    HandshakeFailure,
+    /// 42 — certificate could not be parsed.
+    BadCertificate,
+    /// 45 — certificate outside its validity window.
+    CertificateExpired,
+    /// 50 — a message failed to decode.
+    DecodeError,
+    /// 51 — a cryptographic check failed (Finished, signature).
+    DecryptError,
+}
+
+impl AlertDescription {
+    fn byte(self) -> u8 {
+        match self {
+            AlertDescription::CloseNotify => 0,
+            AlertDescription::UnexpectedMessage => 10,
+            AlertDescription::BadRecordMac => 20,
+            AlertDescription::HandshakeFailure => 40,
+            AlertDescription::BadCertificate => 42,
+            AlertDescription::CertificateExpired => 45,
+            AlertDescription::DecodeError => 50,
+            AlertDescription::DecryptError => 51,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, SslError> {
+        Ok(match b {
+            0 => AlertDescription::CloseNotify,
+            10 => AlertDescription::UnexpectedMessage,
+            20 => AlertDescription::BadRecordMac,
+            40 => AlertDescription::HandshakeFailure,
+            42 => AlertDescription::BadCertificate,
+            45 => AlertDescription::CertificateExpired,
+            50 => AlertDescription::DecodeError,
+            51 => AlertDescription::DecryptError,
+            _ => {
+                return Err(SslError::Decode {
+                    offset: 1,
+                    reason: "unknown alert description",
+                })
+            }
+        })
+    }
+}
+
+/// A parsed alert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Alert {
+    /// Severity.
+    pub level: AlertLevel,
+    /// What went wrong.
+    pub description: AlertDescription,
+}
+
+impl Alert {
+    /// A fatal alert.
+    pub fn fatal(description: AlertDescription) -> Alert {
+        Alert {
+            level: AlertLevel::Fatal,
+            description,
+        }
+    }
+
+    /// The orderly-shutdown warning.
+    pub fn close_notify() -> Alert {
+        Alert {
+            level: AlertLevel::Warning,
+            description: AlertDescription::CloseNotify,
+        }
+    }
+
+    /// Frame as a record.
+    pub fn to_record(self) -> Record {
+        Record {
+            ctype: ContentType::Alert,
+            payload: vec![self.level.byte(), self.description.byte()],
+        }
+    }
+
+    /// Parse from an alert record.
+    pub fn from_record(rec: &Record) -> Result<Alert, SslError> {
+        if rec.ctype != ContentType::Alert || rec.payload.len() != 2 {
+            return Err(SslError::Decode {
+                offset: 0,
+                reason: "not a well-formed alert",
+            });
+        }
+        Ok(Alert {
+            level: AlertLevel::from_byte(rec.payload[0])?,
+            description: AlertDescription::from_byte(rec.payload[1])?,
+        })
+    }
+
+    /// The alert a handshake endpoint should send for a given failure —
+    /// deliberately coarse (like real stacks) so the alert itself does not
+    /// become an oracle.
+    pub fn for_error(err: &SslError) -> Alert {
+        let description = match err {
+            SslError::Decode { .. } => AlertDescription::DecodeError,
+            SslError::UnexpectedMessage { .. } => AlertDescription::UnexpectedMessage,
+            SslError::FinishedMismatch => AlertDescription::DecryptError,
+            SslError::NoCommonCipher => AlertDescription::HandshakeFailure,
+            SslError::BadPremaster => AlertDescription::HandshakeFailure,
+            SslError::Rsa(_) => AlertDescription::HandshakeFailure,
+        };
+        Alert::fatal(description)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phi_rsa::RsaError;
+
+    #[test]
+    fn roundtrip_all_alerts() {
+        for desc in [
+            AlertDescription::CloseNotify,
+            AlertDescription::UnexpectedMessage,
+            AlertDescription::BadRecordMac,
+            AlertDescription::HandshakeFailure,
+            AlertDescription::BadCertificate,
+            AlertDescription::CertificateExpired,
+            AlertDescription::DecodeError,
+            AlertDescription::DecryptError,
+        ] {
+            for level in [AlertLevel::Warning, AlertLevel::Fatal] {
+                let a = Alert {
+                    level,
+                    description: desc,
+                };
+                let rec = a.to_record();
+                assert_eq!(rec.ctype, ContentType::Alert);
+                assert_eq!(Alert::from_record(&rec).unwrap(), a);
+                // And the record survives the wire.
+                let wire = rec.encode();
+                let (back, _) = Record::decode(&wire).unwrap().unwrap();
+                assert_eq!(Alert::from_record(&back).unwrap(), a);
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_alerts_rejected() {
+        let rec = Record {
+            ctype: ContentType::Alert,
+            payload: vec![1],
+        };
+        assert!(Alert::from_record(&rec).is_err());
+        let rec = Record {
+            ctype: ContentType::Alert,
+            payload: vec![3, 0],
+        };
+        assert!(Alert::from_record(&rec).is_err());
+        let rec = Record {
+            ctype: ContentType::Alert,
+            payload: vec![2, 99],
+        };
+        assert!(Alert::from_record(&rec).is_err());
+        let rec = Record::handshake(vec![2, 0]);
+        assert!(Alert::from_record(&rec).is_err());
+    }
+
+    #[test]
+    fn error_mapping_is_coarse() {
+        // Padding failures and key failures map to the same alert — no
+        // Bleichenbacher oracle through the alert channel.
+        let a = Alert::for_error(&SslError::Rsa(RsaError::PaddingError));
+        let b = Alert::for_error(&SslError::NoCommonCipher);
+        assert_eq!(a.description, b.description);
+        assert_eq!(a.level, AlertLevel::Fatal);
+        assert_eq!(
+            Alert::for_error(&SslError::FinishedMismatch).description,
+            AlertDescription::DecryptError
+        );
+    }
+
+    #[test]
+    fn close_notify_is_a_warning() {
+        let a = Alert::close_notify();
+        assert_eq!(a.level, AlertLevel::Warning);
+        assert_eq!(a.description, AlertDescription::CloseNotify);
+    }
+}

@@ -1,0 +1,426 @@
+//! X.509-shaped certificates: issuance, chains and verification.
+//!
+//! Real X.509 drags in Names, UTCTime, extensions and a bag of OIDs that
+//! add nothing to the handshake experiments, so this substrate keeps the
+//! *semantics* — a signed `TBSCertificate` binding a subject name to a
+//! `SubjectPublicKeyInfo`, verifiable against an issuer chain up to a
+//! self-signed root — over a compact DER-style encoding (tag/length/value
+//! with the same wire grammar as `phi_rsa::der`, but not bit-compatible
+//! with RFC 5280).
+
+use crate::error::SslError;
+use phi_rsa::der::{decode_spki, encode_spki};
+use phi_rsa::key::{RsaPrivateKey, RsaPublicKey};
+use phi_rsa::RsaOps;
+
+const TAG_INTEGER: u8 = 0x02;
+const TAG_OCTET_STRING: u8 = 0x04;
+const TAG_UTF8_STRING: u8 = 0x0c;
+const TAG_SEQUENCE: u8 = 0x30;
+
+fn write_len(out: &mut Vec<u8>, len: usize) {
+    if len < 0x80 {
+        out.push(len as u8);
+    } else {
+        let bytes = len.to_be_bytes();
+        let skip = bytes.iter().take_while(|&&b| b == 0).count();
+        out.push(0x80 | (bytes.len() - skip) as u8);
+        out.extend_from_slice(&bytes[skip..]);
+    }
+}
+
+fn write_tlv(out: &mut Vec<u8>, tag: u8, content: &[u8]) {
+    out.push(tag);
+    write_len(out, content.len());
+    out.extend_from_slice(content);
+}
+
+fn write_u64(out: &mut Vec<u8>, v: u64) {
+    let bytes = v.to_be_bytes();
+    let skip = bytes.iter().take_while(|&&b| b == 0).count().min(7);
+    write_tlv(out, TAG_INTEGER, &bytes[skip..]);
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    fn err(&self, reason: &'static str) -> SslError {
+        SslError::Decode {
+            offset: self.pos,
+            reason,
+        }
+    }
+
+    fn tlv(&mut self, want: u8) -> Result<&'a [u8], SslError> {
+        let tag = *self.data.get(self.pos).ok_or(self.err("truncated"))?;
+        if tag != want {
+            return Err(self.err("unexpected tag"));
+        }
+        self.pos += 1;
+        let first = *self.data.get(self.pos).ok_or(self.err("truncated"))?;
+        self.pos += 1;
+        let len = if first & 0x80 == 0 {
+            first as usize
+        } else {
+            let n = (first & 0x7F) as usize;
+            if n == 0 || n > 8 {
+                return Err(self.err("bad length"));
+            }
+            let mut len = 0usize;
+            for _ in 0..n {
+                let b = *self.data.get(self.pos).ok_or(self.err("truncated"))?;
+                self.pos += 1;
+                len = len.checked_mul(256).ok_or(self.err("length overflow"))? + b as usize;
+            }
+            len
+        };
+        if self.pos + len > self.data.len() {
+            return Err(self.err("truncated"));
+        }
+        let s = &self.data[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(s)
+    }
+
+    fn u64_int(&mut self) -> Result<u64, SslError> {
+        let c = self.tlv(TAG_INTEGER)?;
+        if c.len() > 8 {
+            return Err(self.err("integer too wide"));
+        }
+        let mut v = 0u64;
+        for &b in c {
+            v = (v << 8) | b as u64;
+        }
+        Ok(v)
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.data.len()
+    }
+}
+
+/// An X.509-shaped certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// Serial number.
+    pub serial: u64,
+    /// Issuer common name.
+    pub issuer: String,
+    /// Subject common name.
+    pub subject: String,
+    /// Validity start (seconds since the epoch).
+    pub not_before: u64,
+    /// Validity end (seconds since the epoch).
+    pub not_after: u64,
+    /// SubjectPublicKeyInfo of the certified key.
+    pub spki: Vec<u8>,
+    /// PKCS#1 v1.5 / SHA-256 signature over the TBS bytes, by the issuer.
+    pub signature: Vec<u8>,
+}
+
+impl Certificate {
+    /// The to-be-signed bytes.
+    fn tbs(&self) -> Vec<u8> {
+        let mut c = Vec::new();
+        write_u64(&mut c, self.serial);
+        write_tlv(&mut c, TAG_UTF8_STRING, self.issuer.as_bytes());
+        write_tlv(&mut c, TAG_UTF8_STRING, self.subject.as_bytes());
+        write_u64(&mut c, self.not_before);
+        write_u64(&mut c, self.not_after);
+        write_tlv(&mut c, TAG_OCTET_STRING, &self.spki);
+        let mut out = Vec::with_capacity(c.len() + 5);
+        write_tlv(&mut out, TAG_SEQUENCE, &c);
+        out
+    }
+
+    /// Issue a certificate for `subject_key`, signed by `issuer_key`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn issue(
+        ops: &RsaOps,
+        issuer_key: &RsaPrivateKey,
+        issuer: &str,
+        subject_key: &RsaPublicKey,
+        subject: &str,
+        serial: u64,
+        not_before: u64,
+        not_after: u64,
+    ) -> Result<Certificate, SslError> {
+        let mut cert = Certificate {
+            serial,
+            issuer: issuer.to_string(),
+            subject: subject.to_string(),
+            not_before,
+            not_after,
+            spki: encode_spki(subject_key),
+            signature: Vec::new(),
+        };
+        cert.signature = ops.sign_pkcs1v15_sha256(issuer_key, &cert.tbs())?;
+        Ok(cert)
+    }
+
+    /// Issue a self-signed certificate (issuer == subject).
+    pub fn self_signed(
+        ops: &RsaOps,
+        key: &RsaPrivateKey,
+        name: &str,
+        serial: u64,
+        not_before: u64,
+        not_after: u64,
+    ) -> Result<Certificate, SslError> {
+        Self::issue(
+            ops,
+            key,
+            name,
+            key.public(),
+            name,
+            serial,
+            not_before,
+            not_after,
+        )
+    }
+
+    /// Serialize: `SEQUENCE { tbs, OCTET STRING signature }`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut c = self.tbs();
+        write_tlv(&mut c, TAG_OCTET_STRING, &self.signature);
+        let mut out = Vec::with_capacity(c.len() + 5);
+        write_tlv(&mut out, TAG_SEQUENCE, &c);
+        out
+    }
+
+    /// Parse a certificate.
+    pub fn decode(der: &[u8]) -> Result<Certificate, SslError> {
+        let mut outer = Reader::new(der);
+        let body = outer.tlv(TAG_SEQUENCE)?;
+        if !outer.done() {
+            return Err(SslError::Decode {
+                offset: der.len(),
+                reason: "trailing bytes",
+            });
+        }
+        let mut r = Reader::new(body);
+        let tbs_body = r.tlv(TAG_SEQUENCE)?;
+        let signature = r.tlv(TAG_OCTET_STRING)?.to_vec();
+        if !r.done() {
+            return Err(SslError::Decode {
+                offset: 0,
+                reason: "trailing bytes in certificate",
+            });
+        }
+        let mut t = Reader::new(tbs_body);
+        let serial = t.u64_int()?;
+        let issuer =
+            String::from_utf8(t.tlv(TAG_UTF8_STRING)?.to_vec()).map_err(|_| SslError::Decode {
+                offset: 0,
+                reason: "issuer not UTF-8",
+            })?;
+        let subject =
+            String::from_utf8(t.tlv(TAG_UTF8_STRING)?.to_vec()).map_err(|_| SslError::Decode {
+                offset: 0,
+                reason: "subject not UTF-8",
+            })?;
+        let not_before = t.u64_int()?;
+        let not_after = t.u64_int()?;
+        let spki = t.tlv(TAG_OCTET_STRING)?.to_vec();
+        if !t.done() {
+            return Err(SslError::Decode {
+                offset: 0,
+                reason: "trailing bytes in TBS",
+            });
+        }
+        Ok(Certificate {
+            serial,
+            issuer,
+            subject,
+            not_before,
+            not_after,
+            spki,
+            signature,
+        })
+    }
+
+    /// The certified public key.
+    pub fn public_key(&self) -> Result<RsaPublicKey, SslError> {
+        Ok(decode_spki(&self.spki)?)
+    }
+
+    /// Verify this certificate's signature against the issuer's key and
+    /// check validity at time `now`.
+    pub fn verify(
+        &self,
+        issuer_key: &RsaPublicKey,
+        ops: &RsaOps,
+        now: u64,
+    ) -> Result<(), SslError> {
+        if now < self.not_before || now > self.not_after {
+            return Err(SslError::Decode {
+                offset: 0,
+                reason: "certificate expired or not yet valid",
+            });
+        }
+        ops.verify_pkcs1v15_sha256(issuer_key, &self.tbs(), &self.signature)?;
+        Ok(())
+    }
+
+    /// Verify a leaf-first chain ending in a self-signed root: each
+    /// certificate's issuer name must match the next one's subject, every
+    /// signature must verify, and the root must self-verify.
+    pub fn verify_chain(chain: &[Certificate], ops: &RsaOps, now: u64) -> Result<(), SslError> {
+        if chain.is_empty() {
+            return Err(SslError::Decode {
+                offset: 0,
+                reason: "empty chain",
+            });
+        }
+        for pair in chain.windows(2) {
+            let (leaf, issuer) = (&pair[0], &pair[1]);
+            if leaf.issuer != issuer.subject {
+                return Err(SslError::Decode {
+                    offset: 0,
+                    reason: "issuer/subject mismatch",
+                });
+            }
+            leaf.verify(&issuer.public_key()?, ops, now)?;
+        }
+        let root = chain.last().expect("nonempty");
+        if root.issuer != root.subject {
+            return Err(SslError::Decode {
+                offset: 0,
+                reason: "root is not self-signed",
+            });
+        }
+        root.verify(&root.public_key()?, ops, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phi_mont::MpssBaseline;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ops() -> RsaOps {
+        RsaOps::new(Box::new(MpssBaseline))
+    }
+
+    fn key(seed: u64) -> RsaPrivateKey {
+        RsaPrivateKey::generate(&mut StdRng::seed_from_u64(seed), 768).unwrap()
+    }
+
+    const NOW: u64 = 1_700_000_000;
+
+    #[test]
+    fn self_signed_roundtrip_and_verify() {
+        let k = key(1);
+        let cert =
+            Certificate::self_signed(&ops(), &k, "root.test", 1, NOW - 10, NOW + 10).unwrap();
+        let der = cert.encode();
+        let back = Certificate::decode(&der).unwrap();
+        assert_eq!(back, cert);
+        back.verify(&back.public_key().unwrap(), &ops(), NOW)
+            .unwrap();
+        assert_eq!(back.public_key().unwrap(), *k.public());
+    }
+
+    #[test]
+    fn validity_window_enforced() {
+        let k = key(2);
+        let cert = Certificate::self_signed(&ops(), &k, "t", 1, 100, 200).unwrap();
+        let pk = cert.public_key().unwrap();
+        assert!(cert.verify(&pk, &ops(), 150).is_ok());
+        assert!(cert.verify(&pk, &ops(), 99).is_err(), "not yet valid");
+        assert!(cert.verify(&pk, &ops(), 201).is_err(), "expired");
+    }
+
+    #[test]
+    fn tampering_breaks_the_signature() {
+        let k = key(3);
+        let cert = Certificate::self_signed(&ops(), &k, "t", 7, NOW - 1, NOW + 1).unwrap();
+        let pk = cert.public_key().unwrap();
+        let mut bad = cert.clone();
+        bad.subject = "evil".into();
+        assert!(bad.verify(&pk, &ops(), NOW).is_err());
+        let mut bad2 = cert.clone();
+        bad2.serial += 1;
+        assert!(bad2.verify(&pk, &ops(), NOW).is_err());
+        let mut bad3 = cert;
+        *bad3.signature.last_mut().unwrap() ^= 1;
+        assert!(bad3.verify(&pk, &ops(), NOW).is_err());
+    }
+
+    #[test]
+    fn two_level_chain_verifies() {
+        let root_key = key(4);
+        let leaf_key = key(5);
+        let o = ops();
+        let root =
+            Certificate::self_signed(&o, &root_key, "root", 1, NOW - 100, NOW + 100).unwrap();
+        let leaf = Certificate::issue(
+            &o,
+            &root_key,
+            "root",
+            leaf_key.public(),
+            "server.test",
+            2,
+            NOW - 10,
+            NOW + 10,
+        )
+        .unwrap();
+        Certificate::verify_chain(&[leaf.clone(), root.clone()], &o, NOW).unwrap();
+        // Wrong order / broken linkage fails.
+        assert!(Certificate::verify_chain(&[root.clone(), leaf.clone()], &o, NOW).is_err());
+        // A leaf alone is not a valid chain (not self-signed).
+        assert!(Certificate::verify_chain(&[leaf], &o, NOW).is_err());
+        // The root alone is.
+        Certificate::verify_chain(&[root], &o, NOW).unwrap();
+    }
+
+    #[test]
+    fn wrong_issuer_key_rejected() {
+        let root_key = key(6);
+        let other_key = key(7);
+        let o = ops();
+        let leaf = Certificate::issue(
+            &o,
+            &root_key,
+            "root",
+            key(8).public(),
+            "leaf",
+            3,
+            NOW - 1,
+            NOW + 1,
+        )
+        .unwrap();
+        assert!(leaf.verify(other_key.public(), &o, NOW).is_err());
+        assert!(leaf.verify(root_key.public(), &o, NOW).is_ok());
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        let k = key(9);
+        let der = Certificate::self_signed(&ops(), &k, "t", 1, 0, u64::MAX)
+            .unwrap()
+            .encode();
+        assert!(Certificate::decode(&der[..der.len() - 2]).is_err());
+        let mut extra = der.clone();
+        extra.push(0);
+        assert!(Certificate::decode(&extra).is_err());
+        let mut wrong_tag = der;
+        wrong_tag[0] = 0x31;
+        assert!(Certificate::decode(&wrong_tag).is_err());
+        assert!(Certificate::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        assert!(Certificate::verify_chain(&[], &ops(), NOW).is_err());
+    }
+}

@@ -1,0 +1,296 @@
+//! TLS 1.2 CBC record protection: AES-CBC with HMAC-SHA256,
+//! MAC-then-encrypt, explicit per-record IV (RFC 5246 §6.2.3.2).
+
+use crate::aes::{Aes, KeySize};
+use crate::error::SslError;
+use crate::record::{ContentType, Record, VERSION_TLS12};
+use phi_hash::hmac::Hmac;
+use phi_hash::sha2::Sha256;
+use rand::Rng;
+
+const BLOCK: usize = 16;
+const MAC_LEN: usize = 32;
+
+/// CBC encrypt in place-ish: returns iv || ciphertext.
+fn cbc_encrypt(aes: &Aes, iv: [u8; BLOCK], plaintext: &[u8]) -> Vec<u8> {
+    assert!(
+        plaintext.len().is_multiple_of(BLOCK),
+        "CBC needs padded input"
+    );
+    let mut out = Vec::with_capacity(BLOCK + plaintext.len());
+    out.extend_from_slice(&iv);
+    let mut prev = iv;
+    for chunk in plaintext.chunks_exact(BLOCK) {
+        let mut block = [0u8; BLOCK];
+        for i in 0..BLOCK {
+            block[i] = chunk[i] ^ prev[i];
+        }
+        aes.encrypt_block(&mut block);
+        out.extend_from_slice(&block);
+        prev = block;
+    }
+    out
+}
+
+/// CBC decrypt `iv || ciphertext` into the plaintext.
+fn cbc_decrypt(aes: &Aes, data: &[u8]) -> Result<Vec<u8>, SslError> {
+    if data.len() < 2 * BLOCK || !data.len().is_multiple_of(BLOCK) {
+        return Err(SslError::Decode {
+            offset: 0,
+            reason: "bad CBC length",
+        });
+    }
+    let mut prev: [u8; BLOCK] = data[..BLOCK].try_into().unwrap();
+    let mut out = Vec::with_capacity(data.len() - BLOCK);
+    for chunk in data[BLOCK..].chunks_exact(BLOCK) {
+        let mut block: [u8; BLOCK] = chunk.try_into().unwrap();
+        aes.decrypt_block(&mut block);
+        for i in 0..BLOCK {
+            block[i] ^= prev[i];
+        }
+        out.extend_from_slice(&block);
+        prev = chunk.try_into().unwrap();
+    }
+    Ok(out)
+}
+
+/// TLS CBC padding: `n+1` bytes of value `n`.
+fn pad_tls(data: &mut Vec<u8>) {
+    let rem = (data.len() + 1) % BLOCK;
+    let pad = if rem == 0 { 0 } else { (BLOCK - rem) as u8 };
+    for _ in 0..=pad {
+        data.push(pad);
+    }
+    debug_assert_eq!(data.len() % BLOCK, 0);
+}
+
+/// Strip and verify TLS CBC padding.
+fn unpad_tls(data: &mut Vec<u8>) -> Result<(), SslError> {
+    let &last = data.last().ok_or(SslError::Decode {
+        offset: 0,
+        reason: "empty plaintext",
+    })?;
+    let pad_len = last as usize + 1;
+    if pad_len > data.len() {
+        return Err(SslError::Decode {
+            offset: 0,
+            reason: "bad padding length",
+        });
+    }
+    let start = data.len() - pad_len;
+    if data[start..].iter().any(|&b| b != last) {
+        return Err(SslError::Decode {
+            offset: start,
+            reason: "bad padding bytes",
+        });
+    }
+    data.truncate(start);
+    Ok(())
+}
+
+/// The MAC input: seq(8) || type(1) || version(2) || length(2) || payload.
+fn record_mac(mac_key: &[u8], seq: u64, ctype: ContentType, payload: &[u8]) -> Vec<u8> {
+    let mut h = Hmac::<Sha256>::new(mac_key);
+    h.update(&seq.to_be_bytes());
+    h.update(&[ctype.byte()]);
+    h.update(&VERSION_TLS12);
+    h.update(&(payload.len() as u16).to_be_bytes());
+    h.update(payload);
+    h.finalize()
+}
+
+/// One direction of record protection (one write key + MAC key + sequence).
+pub struct RecordCipher {
+    aes: Aes,
+    mac_key: Vec<u8>,
+    seq: u64,
+}
+
+impl RecordCipher {
+    /// Build from a write key (16 bytes, AES-128) and a 32-byte MAC key.
+    pub fn new(write_key: &[u8], mac_key: &[u8]) -> RecordCipher {
+        RecordCipher {
+            aes: Aes::new(KeySize::Aes128, write_key),
+            mac_key: mac_key.to_vec(),
+            seq: 0,
+        }
+    }
+
+    /// Records protected so far (the TLS sequence number).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Protect a plaintext record: MAC, pad, CBC-encrypt under a fresh IV.
+    pub fn seal<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        ctype: ContentType,
+        payload: &[u8],
+    ) -> Record {
+        let mac = record_mac(&self.mac_key, self.seq, ctype, payload);
+        self.seq += 1;
+        let mut pt = Vec::with_capacity(payload.len() + MAC_LEN + BLOCK);
+        pt.extend_from_slice(payload);
+        pt.extend_from_slice(&mac);
+        pad_tls(&mut pt);
+        let mut iv = [0u8; BLOCK];
+        rng.fill(&mut iv);
+        Record {
+            ctype,
+            payload: cbc_encrypt(&self.aes, iv, &pt),
+        }
+    }
+
+    /// Open a protected record, verifying padding and MAC.
+    pub fn open(&mut self, rec: &Record) -> Result<Vec<u8>, SslError> {
+        let mut pt = cbc_decrypt(&self.aes, &rec.payload)?;
+        unpad_tls(&mut pt)?;
+        if pt.len() < MAC_LEN {
+            return Err(SslError::Decode {
+                offset: 0,
+                reason: "record shorter than MAC",
+            });
+        }
+        let mac_start = pt.len() - MAC_LEN;
+        let (payload, got_mac) = pt.split_at(mac_start);
+        let want = record_mac(&self.mac_key, self.seq, rec.ctype, payload);
+        let mut diff = 0u8;
+        for (a, b) in want.iter().zip(got_mac.iter()) {
+            diff |= a ^ b;
+        }
+        if diff != 0 {
+            return Err(SslError::FinishedMismatch);
+        }
+        self.seq += 1;
+        Ok(payload.to_vec())
+    }
+}
+
+/// Both directions of a connection's record protection, derived from the
+/// TLS 1.2 key block (client-write and server-write keys).
+pub struct ConnectionKeys {
+    /// Protects data the client sends.
+    pub client_write: RecordCipher,
+    /// Protects data the server sends.
+    pub server_write: RecordCipher,
+}
+
+impl ConnectionKeys {
+    /// Derive from the master secret and hello randoms, per RFC 5246 §6.3:
+    /// `client_mac || server_mac || client_key || server_key`.
+    pub fn derive(master: &[u8], client_random: &[u8; 32], server_random: &[u8; 32]) -> Self {
+        let kb =
+            phi_hash::prf::key_block(master, client_random, server_random, 2 * MAC_LEN + 2 * 16);
+        let (cm, rest) = kb.split_at(MAC_LEN);
+        let (sm, rest) = rest.split_at(MAC_LEN);
+        let (ck, sk) = rest.split_at(16);
+        ConnectionKeys {
+            client_write: RecordCipher::new(ck, cm),
+            server_write: RecordCipher::new(sk, sm),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pair() -> (RecordCipher, RecordCipher) {
+        // Sender and receiver share one direction's keys.
+        let wk = [1u8; 16];
+        let mk = [2u8; 32];
+        (RecordCipher::new(&wk, &mk), RecordCipher::new(&wk, &mk))
+    }
+
+    #[test]
+    fn seal_open_roundtrip_various_lengths() {
+        let (mut tx, mut rx) = pair();
+        let mut rng = StdRng::seed_from_u64(1);
+        for len in [0usize, 1, 15, 16, 17, 100, 1000] {
+            let payload: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let rec = tx.seal(&mut rng, ContentType::Handshake, &payload);
+            assert_ne!(rec.payload, payload, "must be encrypted");
+            assert_eq!(rx.open(&rec).unwrap(), payload, "len {len}");
+        }
+    }
+
+    #[test]
+    fn sequence_numbers_must_stay_in_step() {
+        let (mut tx, mut rx) = pair();
+        let mut rng = StdRng::seed_from_u64(2);
+        let r1 = tx.seal(&mut rng, ContentType::Handshake, b"one");
+        let r2 = tx.seal(&mut rng, ContentType::Handshake, b"two");
+        // Replaying r2 first fails (wrong sequence), in order succeeds.
+        assert!(rx.open(&r2).is_err());
+        // rx consumed seq 0 on the failed attempt? No — open only bumps on
+        // success. In-order now works.
+        assert_eq!(rx.open(&r1).unwrap(), b"one");
+        assert_eq!(rx.open(&r2).unwrap(), b"two");
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let (mut tx, mut rx) = pair();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut rec = tx.seal(&mut rng, ContentType::Handshake, b"payload");
+        let n = rec.payload.len();
+        rec.payload[n - 1] ^= 1;
+        assert!(rx.open(&rec).is_err());
+    }
+
+    #[test]
+    fn content_type_is_authenticated() {
+        let (mut tx, mut rx) = pair();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut rec = tx.seal(&mut rng, ContentType::Handshake, b"data");
+        rec.ctype = ContentType::Alert;
+        assert!(rx.open(&rec).is_err());
+    }
+
+    #[test]
+    fn padding_validation() {
+        let mut v = vec![1, 2, 3];
+        pad_tls(&mut v);
+        assert_eq!(v.len() % BLOCK, 0);
+        let mut w = v.clone();
+        unpad_tls(&mut w).unwrap();
+        assert_eq!(w, vec![1, 2, 3]);
+        // Corrupt one padding byte.
+        let n = v.len();
+        v[n - 2] ^= 0xFF;
+        assert!(unpad_tls(&mut v).is_err());
+    }
+
+    #[test]
+    fn fresh_ivs_randomize_ciphertexts() {
+        let (mut tx, _) = pair();
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = tx.seal(&mut rng, ContentType::Handshake, b"same");
+        let mut tx2 = RecordCipher::new(&[1u8; 16], &[2u8; 32]);
+        let b = tx2.seal(&mut rng, ContentType::Handshake, b"same");
+        assert_ne!(a.payload, b.payload);
+    }
+
+    #[test]
+    fn derived_connection_keys_are_directional() {
+        let master = [9u8; 48];
+        let cr = [1u8; 32];
+        let sr = [2u8; 32];
+        let mut client_side = ConnectionKeys::derive(&master, &cr, &sr);
+        let mut server_side = ConnectionKeys::derive(&master, &cr, &sr);
+        let mut rng = StdRng::seed_from_u64(6);
+        // Client writes, server reads with its copy of client_write.
+        let rec = client_side
+            .client_write
+            .seal(&mut rng, ContentType::Handshake, b"app data");
+        assert_eq!(server_side.client_write.open(&rec).unwrap(), b"app data");
+        // The server's own direction cannot open client records.
+        let rec2 = client_side
+            .client_write
+            .seal(&mut rng, ContentType::Handshake, b"x");
+        assert!(server_side.server_write.open(&rec2).is_err());
+    }
+}

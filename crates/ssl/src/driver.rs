@@ -1,0 +1,181 @@
+//! In-memory handshake drivers: one-shot and multi-threaded throughput.
+
+use crate::error::SslError;
+use crate::handshake::{Client, Server};
+use crate::record::Record;
+use phi_rsa::key::RsaPrivateKey;
+use phi_rsa::RsaOps;
+use phi_rt::{AffinityPolicy, BatchReport, PhiPool};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a completed handshake.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HandshakeOutcome {
+    /// The shared master secret both sides agreed on.
+    pub master_secret: Vec<u8>,
+    /// Round trips taken (record flights exchanged).
+    pub flights: usize,
+}
+
+/// Run a handshake like [`drive_handshake`], but on failure also return
+/// the fatal alert the failing side would have sent to its peer.
+pub fn drive_handshake_with_alerts<R: Rng + ?Sized>(
+    rng: &mut R,
+    server: &mut Server,
+    client: &mut Client,
+) -> Result<HandshakeOutcome, (SslError, crate::alert::Alert)> {
+    drive_handshake(rng, server, client).map_err(|e| {
+        let alert = crate::alert::Alert::for_error(&e);
+        (e, alert)
+    })
+}
+
+/// Run one full client↔server handshake over an in-memory pipe.
+pub fn drive_handshake<R: Rng + ?Sized>(
+    rng: &mut R,
+    server: &mut Server,
+    client: &mut Client,
+) -> Result<HandshakeOutcome, SslError> {
+    let mut to_server: Vec<Record> = vec![client.start()?];
+    let mut to_client: Vec<Record> = Vec::new();
+    let mut flights = 0;
+    while !(server.is_established() && client.is_established()) {
+        flights += 1;
+        if flights > 8 {
+            return Err(SslError::UnexpectedMessage {
+                state: "driver",
+                got: 0,
+            });
+        }
+        for rec in std::mem::take(&mut to_server) {
+            to_client.extend(server.process(&rec)?);
+        }
+        for rec in std::mem::take(&mut to_client) {
+            to_server.extend(client.process(rng, &rec)?);
+        }
+    }
+    debug_assert_eq!(server.master_secret(), client.master_secret());
+    Ok(HandshakeOutcome {
+        master_secret: server.master_secret().to_vec(),
+        flights,
+    })
+}
+
+/// Run `count` independent handshakes across a [`PhiPool`], each task
+/// building its own server/client pair over backends produced by
+/// `make_ops` (so any library can be plugged in). Returns the pool's
+/// batch report for modeled-throughput analysis.
+pub fn handshake_throughput<F>(
+    key: &RsaPrivateKey,
+    make_ops: F,
+    count: usize,
+    threads: u32,
+    policy: AffinityPolicy,
+) -> (usize, BatchReport)
+where
+    F: Fn() -> RsaOps + Sync,
+{
+    let pool = PhiPool::new(threads, policy);
+    let (oks, report) = pool.run_batch(count, |i| {
+        let mut rng = StdRng::seed_from_u64(0x5511 + i as u64);
+        let mut server = Server::new(&mut rng, key.clone(), make_ops());
+        let mut client = Client::new(&mut rng, make_ops());
+        drive_handshake(&mut rng, &mut server, &mut client).is_ok()
+    });
+    let successes = oks.iter().filter(|&&ok| ok).count();
+    (successes, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phi_mont::{Libcrypto, MpssBaseline, OpensslBaseline};
+    use phiopenssl::PhiLibrary;
+
+    fn key() -> RsaPrivateKey {
+        RsaPrivateKey::generate(&mut StdRng::seed_from_u64(0xD01), 512).unwrap()
+    }
+
+    #[test]
+    fn drive_handshake_completes_in_three_flights() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut server = Server::new(&mut rng, key(), RsaOps::new(Box::new(MpssBaseline)));
+        let mut client = Client::new(&mut rng, RsaOps::new(Box::new(MpssBaseline)));
+        let outcome = drive_handshake(&mut rng, &mut server, &mut client).unwrap();
+        assert_eq!(outcome.master_secret.len(), 48);
+        assert!(outcome.flights <= 3, "took {} flights", outcome.flights);
+    }
+
+    #[test]
+    fn all_three_backends_interoperate() {
+        // Server on each backend, client always on the baseline: the
+        // libraries must be wire-compatible.
+        let makers: Vec<Box<dyn Fn() -> Box<dyn Libcrypto>>> = vec![
+            Box::new(|| Box::new(PhiLibrary::default()) as Box<dyn Libcrypto>),
+            Box::new(|| Box::new(MpssBaseline)),
+            Box::new(|| Box::new(OpensslBaseline)),
+        ];
+        for make in makers {
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut server = Server::new(&mut rng, key(), RsaOps::new(make()));
+            let mut client = Client::new(&mut rng, RsaOps::new(Box::new(MpssBaseline)));
+            let outcome = drive_handshake(&mut rng, &mut server, &mut client).unwrap();
+            assert_eq!(outcome.master_secret.len(), 48);
+        }
+    }
+
+    #[test]
+    fn throughput_driver_counts_successes() {
+        let k = key();
+        let (ok, report) = handshake_throughput(
+            &k,
+            || RsaOps::new(Box::new(MpssBaseline)),
+            8,
+            4,
+            AffinityPolicy::Compact,
+        );
+        assert_eq!(ok, 8);
+        assert_eq!(report.tasks, 8);
+        // Handshakes burn scalar multiplies on this backend.
+        assert!(report.total_counts.get(phi_simd::OpClass::SMul64) > 0);
+    }
+}
+
+#[cfg(test)]
+mod alert_tests {
+    use super::*;
+    use crate::alert::AlertDescription;
+    use crate::msg::HandshakeMsg;
+    use crate::record::Record;
+    use phi_mont::MpssBaseline;
+
+    #[test]
+    fn failed_handshake_maps_to_an_alert() {
+        let key = RsaPrivateKey::generate(&mut StdRng::seed_from_u64(0xA1E), 512).unwrap();
+        let mut rng = StdRng::seed_from_u64(40);
+        let mut server = Server::new(&mut rng, key, RsaOps::new(Box::new(MpssBaseline)));
+        // Offer only an unsupported cipher: the server must fail with a
+        // handshake_failure alert.
+        let bad_hello = Record::handshake(
+            HandshakeMsg::ClientHello {
+                random: [0; 32],
+                session_id: vec![],
+                ciphers: vec![0x1301],
+            }
+            .encode(),
+        );
+        let err = server.process(&bad_hello).unwrap_err();
+        let alert = crate::alert::Alert::for_error(&err);
+        assert_eq!(alert.description, AlertDescription::HandshakeFailure);
+    }
+
+    #[test]
+    fn drive_with_alerts_succeeds_silently() {
+        let key = RsaPrivateKey::generate(&mut StdRng::seed_from_u64(0xA1F), 512).unwrap();
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut server = Server::new(&mut rng, key, RsaOps::new(Box::new(MpssBaseline)));
+        let mut client = Client::new(&mut rng, RsaOps::new(Box::new(MpssBaseline)));
+        assert!(drive_handshake_with_alerts(&mut rng, &mut server, &mut client).is_ok());
+    }
+}

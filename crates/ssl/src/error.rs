@@ -1,0 +1,82 @@
+//! SSL substrate errors.
+
+use phi_rsa::RsaError;
+use std::fmt;
+
+/// Errors from the handshake substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SslError {
+    /// A record or message could not be parsed.
+    Decode {
+        /// Where parsing failed.
+        offset: usize,
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// A message arrived that the state machine did not expect.
+    UnexpectedMessage {
+        /// Human-readable state name.
+        state: &'static str,
+        /// The offending handshake message type byte.
+        got: u8,
+    },
+    /// The peer's Finished MAC did not verify.
+    FinishedMismatch,
+    /// No mutually supported cipher suite.
+    NoCommonCipher,
+    /// The premaster secret failed version/format checks.
+    BadPremaster,
+    /// RSA layer failure.
+    Rsa(RsaError),
+}
+
+impl fmt::Display for SslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SslError::Decode { offset, reason } => {
+                write!(f, "decode error at byte {offset}: {reason}")
+            }
+            SslError::UnexpectedMessage { state, got } => {
+                write!(f, "unexpected handshake message {got:#x} in state {state}")
+            }
+            SslError::FinishedMismatch => write!(f, "Finished verification failed"),
+            SslError::NoCommonCipher => write!(f, "no common cipher suite"),
+            SslError::BadPremaster => write!(f, "premaster secret check failed"),
+            SslError::Rsa(e) => write!(f, "RSA failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SslError {}
+
+impl From<RsaError> for SslError {
+    fn from(e: RsaError) -> Self {
+        SslError::Rsa(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SslError::FinishedMismatch.to_string().contains("Finished"));
+        let e = SslError::UnexpectedMessage {
+            state: "AwaitHello",
+            got: 0x10,
+        };
+        assert!(e.to_string().contains("AwaitHello"));
+        let d = SslError::Decode {
+            offset: 3,
+            reason: "short",
+        };
+        assert!(d.to_string().contains('3'));
+    }
+
+    #[test]
+    fn from_rsa_error() {
+        let e: SslError = RsaError::PaddingError.into();
+        assert!(matches!(e, SslError::Rsa(_)));
+    }
+}

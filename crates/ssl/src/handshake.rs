@@ -1,0 +1,934 @@
+//! Client and server handshake state machines (RSA key transport).
+//!
+//! Message flow (RFC 5246, static-RSA suite):
+//!
+//! ```text
+//! C -> S  ClientHello
+//! S -> C  ServerHello, Certificate, ServerHelloDone
+//! C -> S  ClientKeyExchange, ChangeCipherSpec, Finished
+//! S -> C  ChangeCipherSpec, Finished
+//! ```
+//!
+//! The server's RSA private decryption of the premaster secret is the
+//! expensive step — the one the paper accelerates — and runs through the
+//! pluggable [`RsaOps`] backend.
+
+use crate::error::SslError;
+use crate::msg::{HandshakeMsg, CIPHER_RSA_AES128_SHA256};
+use crate::record::{ContentType, Record};
+use crate::session::{Session, SessionCache};
+use phi_hash::prf;
+use phi_hash::sha2::Sha256;
+use phi_hash::Digest;
+use phi_rsa::key::{RsaPrivateKey, RsaPublicKey};
+use phi_rsa::{RsaError, RsaOps};
+use rand::Rng;
+use std::sync::Arc;
+
+/// Length of the Finished verify_data.
+const VERIFY_LEN: usize = 12;
+
+fn finished_mac(master: &[u8], label: &[u8], transcript: &[u8]) -> [u8; 12] {
+    let hash = Sha256::digest(transcript);
+    let v = prf::prf_tls12(master, label, &hash, VERIFY_LEN);
+    v.try_into().expect("12 bytes")
+}
+
+/// Build the 48-byte premaster: version then 46 random bytes.
+fn make_premaster<R: Rng + ?Sized>(rng: &mut R) -> [u8; 48] {
+    let mut pm = [0u8; 48];
+    pm[0] = 3;
+    pm[1] = 3;
+    rng.fill(&mut pm[2..]);
+    pm
+}
+
+// ---------------------------------------------------------------- server
+
+/// Server-side handshake states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ServerState {
+    AwaitClientHello,
+    AwaitClientKeyExchange,
+    AwaitChangeCipherSpec,
+    AwaitFinished,
+    Established,
+}
+
+/// A server handshake instance (one per connection).
+pub struct Server {
+    key: RsaPrivateKey,
+    ops: RsaOps,
+    state: ServerState,
+    server_random: [u8; 32],
+    client_random: [u8; 32],
+    master: Vec<u8>,
+    transcript: Vec<u8>,
+    /// The session ID this connection issues (or echoes when resuming).
+    session_id: [u8; 32],
+    cache: Option<Arc<SessionCache>>,
+    resumed: bool,
+    /// Encoded certificate presented instead of the bare public key.
+    cert_der: Option<Vec<u8>>,
+}
+
+impl Server {
+    /// A fresh server handshake over the given key and backend.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, key: RsaPrivateKey, ops: RsaOps) -> Self {
+        Self::build(rng, key, ops, None)
+    }
+
+    /// A server handshake wired to a shared session cache: completed
+    /// sessions are stored, and ClientHellos carrying a cached session ID
+    /// take the abbreviated (RSA-free) resumption path.
+    pub fn with_cache<R: Rng + ?Sized>(
+        rng: &mut R,
+        key: RsaPrivateKey,
+        ops: RsaOps,
+        cache: Arc<SessionCache>,
+    ) -> Self {
+        Self::build(rng, key, ops, Some(cache))
+    }
+
+    fn build<R: Rng + ?Sized>(
+        rng: &mut R,
+        key: RsaPrivateKey,
+        ops: RsaOps,
+        cache: Option<Arc<SessionCache>>,
+    ) -> Self {
+        let mut server_random = [0u8; 32];
+        rng.fill(&mut server_random);
+        let mut session_id = [0u8; 32];
+        rng.fill(&mut session_id);
+        Server {
+            key,
+            ops,
+            state: ServerState::AwaitClientHello,
+            server_random,
+            client_random: [0; 32],
+            master: Vec::new(),
+            transcript: Vec::new(),
+            session_id,
+            cache,
+            resumed: false,
+            cert_der: None,
+        }
+    }
+
+    /// Present an X.509-shaped certificate (see [`crate::cert`]) instead
+    /// of a bare PKCS#1 public key. The certificate must certify this
+    /// server's key.
+    pub fn set_certificate(&mut self, cert: &crate::cert::Certificate) {
+        debug_assert_eq!(
+            cert.public_key().ok().as_ref(),
+            Some(self.key.public()),
+            "certificate does not match the server key"
+        );
+        self.cert_der = Some(cert.encode());
+    }
+
+    /// True if this handshake took the abbreviated resumption path.
+    pub fn is_resumed(&self) -> bool {
+        self.resumed
+    }
+
+    /// True once the handshake completed.
+    pub fn is_established(&self) -> bool {
+        self.state == ServerState::Established
+    }
+
+    /// The negotiated master secret (empty before key exchange).
+    pub fn master_secret(&self) -> &[u8] {
+        &self.master
+    }
+
+    /// Derive the record-protection keys for the established connection.
+    /// Panics if called before the handshake completed.
+    pub fn connection_keys(&self) -> crate::cipher::ConnectionKeys {
+        assert!(self.is_established(), "handshake not complete");
+        crate::cipher::ConnectionKeys::derive(
+            &self.master,
+            &self.client_random,
+            &self.server_random,
+        )
+    }
+
+    /// Feed one record; returns the records to send back.
+    pub fn process(&mut self, rec: &Record) -> Result<Vec<Record>, SslError> {
+        match (self.state, rec.ctype) {
+            (ServerState::AwaitChangeCipherSpec, ContentType::ChangeCipherSpec) => {
+                self.state = ServerState::AwaitFinished;
+                Ok(Vec::new())
+            }
+            (_, ContentType::Handshake) => {
+                let mut out = Vec::new();
+                let mut off = 0;
+                while off < rec.payload.len() {
+                    let (msg, used) = HandshakeMsg::decode(&rec.payload[off..])?;
+                    let raw = rec.payload[off..off + used].to_vec();
+                    off += used;
+                    out.extend(self.on_message(msg, &raw)?);
+                }
+                Ok(out)
+            }
+            _ => Err(SslError::UnexpectedMessage {
+                state: self.state_name(),
+                got: rec.ctype.byte(),
+            }),
+        }
+    }
+
+    fn state_name(&self) -> &'static str {
+        match self.state {
+            ServerState::AwaitClientHello => "AwaitClientHello",
+            ServerState::AwaitClientKeyExchange => "AwaitClientKeyExchange",
+            ServerState::AwaitChangeCipherSpec => "AwaitChangeCipherSpec",
+            ServerState::AwaitFinished => "AwaitFinished",
+            ServerState::Established => "Established",
+        }
+    }
+
+    fn on_message(&mut self, msg: HandshakeMsg, raw: &[u8]) -> Result<Vec<Record>, SslError> {
+        match (self.state, msg) {
+            (
+                ServerState::AwaitClientHello,
+                HandshakeMsg::ClientHello {
+                    random,
+                    session_id,
+                    ciphers,
+                },
+            ) => {
+                if !ciphers.contains(&CIPHER_RSA_AES128_SHA256) {
+                    return Err(SslError::NoCommonCipher);
+                }
+                self.client_random = random;
+                self.transcript.extend_from_slice(raw);
+
+                // Abbreviated path: a cached session skips the key exchange.
+                if session_id.len() == 32 {
+                    let offered: [u8; 32] = session_id.clone().try_into().unwrap();
+                    if let Some(master) = self.cache.as_ref().and_then(|c| c.lookup(&offered)) {
+                        self.master = master;
+                        self.session_id = offered;
+                        self.resumed = true;
+
+                        let hello = HandshakeMsg::ServerHello {
+                            random: self.server_random,
+                            session_id: offered.to_vec(),
+                            cipher: CIPHER_RSA_AES128_SHA256,
+                        };
+                        self.transcript.extend_from_slice(&hello.encode());
+                        let mac = finished_mac(&self.master, b"server finished", &self.transcript);
+                        let fin = HandshakeMsg::Finished { verify_data: mac };
+                        self.transcript.extend_from_slice(&fin.encode());
+                        self.state = ServerState::AwaitChangeCipherSpec;
+                        return Ok(vec![
+                            Record::handshake(hello.encode()),
+                            Record::change_cipher_spec(),
+                            Record::handshake(fin.encode()),
+                        ]);
+                    }
+                }
+
+                let hello = HandshakeMsg::ServerHello {
+                    random: self.server_random,
+                    session_id: self.session_id.to_vec(),
+                    cipher: CIPHER_RSA_AES128_SHA256,
+                };
+                let cert = HandshakeMsg::Certificate {
+                    der: self
+                        .cert_der
+                        .clone()
+                        .unwrap_or_else(|| phi_rsa::der::encode_public_key(self.key.public())),
+                };
+                let done = HandshakeMsg::ServerHelloDone;
+                let mut payload = Vec::new();
+                for m in [&hello, &cert, &done] {
+                    let bytes = m.encode();
+                    self.transcript.extend_from_slice(&bytes);
+                    payload.extend_from_slice(&bytes);
+                }
+                self.state = ServerState::AwaitClientKeyExchange;
+                Ok(vec![Record::handshake(payload)])
+            }
+            (
+                ServerState::AwaitClientKeyExchange,
+                HandshakeMsg::ClientKeyExchange {
+                    encrypted_premaster,
+                },
+            ) => {
+                self.transcript.extend_from_slice(raw);
+                // Decrypt; on any failure substitute a wrong premaster so
+                // the handshake fails only at Finished (Bleichenbacher
+                // countermeasure — no padding oracle).
+                let premaster = match self.ops.decrypt_pkcs1v15(&self.key, &encrypted_premaster) {
+                    Ok(pm) if pm.len() == 48 && pm[0] == 3 && pm[1] == 3 => pm,
+                    Ok(_) | Err(RsaError::PaddingError) => vec![0u8; 48],
+                    Err(e) => return Err(e.into()),
+                };
+                self.master =
+                    prf::master_secret(&premaster, &self.client_random, &self.server_random);
+                self.state = ServerState::AwaitChangeCipherSpec;
+                Ok(Vec::new())
+            }
+            (ServerState::AwaitFinished, HandshakeMsg::Finished { verify_data }) => {
+                let expect = finished_mac(&self.master, b"client finished", &self.transcript);
+                if expect != verify_data {
+                    return Err(SslError::FinishedMismatch);
+                }
+                self.transcript.extend_from_slice(raw);
+                self.state = ServerState::Established;
+
+                if self.resumed {
+                    // Abbreviated flow: the server's Finished already went
+                    // out with the ServerHello flight.
+                    return Ok(Vec::new());
+                }
+
+                let my_mac = finished_mac(&self.master, b"server finished", &self.transcript);
+                let fin = HandshakeMsg::Finished {
+                    verify_data: my_mac,
+                };
+                self.transcript.extend_from_slice(&fin.encode());
+                if let Some(cache) = &self.cache {
+                    cache.insert(self.session_id, self.master.clone());
+                }
+                Ok(vec![
+                    Record::change_cipher_spec(),
+                    Record::handshake(fin.encode()),
+                ])
+            }
+            (_, other) => Err(SslError::UnexpectedMessage {
+                state: self.state_name(),
+                got: other.type_byte(),
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- client
+
+/// Client-side handshake states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClientState {
+    Start,
+    AwaitServerFlight,
+    AwaitChangeCipherSpec,
+    AwaitFinished,
+    Established,
+}
+
+/// A client handshake instance.
+pub struct Client {
+    ops: RsaOps,
+    state: ClientState,
+    client_random: [u8; 32],
+    server_random: [u8; 32],
+    server_key: Option<RsaPublicKey>,
+    premaster: [u8; 48],
+    master: Vec<u8>,
+    transcript: Vec<u8>,
+    /// Queued server handshake messages not yet fully processed.
+    pending_flight: Vec<HandshakeMsg>,
+    /// Session offered for resumption, if any.
+    offered: Option<Session>,
+    /// When set, presented certificates are verified at this time.
+    verify_time: Option<u64>,
+    /// Session ID the server issued (or echoed).
+    issued_session_id: Vec<u8>,
+    resumed: bool,
+}
+
+impl Client {
+    /// A fresh client handshake using `ops` for the public-key operation.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, ops: RsaOps) -> Self {
+        Self::build(rng, ops, None)
+    }
+
+    /// A client that offers the given session for resumption. If the
+    /// server still caches it, the handshake completes without any RSA
+    /// operation; otherwise it silently falls back to the full flow.
+    pub fn with_resumption<R: Rng + ?Sized>(rng: &mut R, ops: RsaOps, session: Session) -> Self {
+        Self::build(rng, ops, Some(session))
+    }
+
+    fn build<R: Rng + ?Sized>(rng: &mut R, ops: RsaOps, offered: Option<Session>) -> Self {
+        let mut client_random = [0u8; 32];
+        rng.fill(&mut client_random);
+        Client {
+            ops,
+            state: ClientState::Start,
+            client_random,
+            server_random: [0; 32],
+            server_key: None,
+            premaster: make_premaster(rng),
+            master: Vec::new(),
+            transcript: Vec::new(),
+            pending_flight: Vec::new(),
+            offered,
+            verify_time: None,
+            issued_session_id: Vec::new(),
+            resumed: false,
+        }
+    }
+
+    /// Require certificate verification (self-signature + validity at
+    /// `now`). Without this the client accepts bare public keys too.
+    pub fn set_verify_time(&mut self, now: u64) {
+        self.verify_time = Some(now);
+    }
+
+    /// True if this handshake took the abbreviated resumption path.
+    pub fn is_resumed(&self) -> bool {
+        self.resumed
+    }
+
+    /// The session this connection established, for later resumption.
+    pub fn session(&self) -> Option<Session> {
+        if self.is_established() && self.issued_session_id.len() == 32 {
+            Some(Session {
+                id: self.issued_session_id.clone().try_into().unwrap(),
+                master: self.master.clone(),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// True once the handshake completed.
+    pub fn is_established(&self) -> bool {
+        self.state == ClientState::Established
+    }
+
+    /// The negotiated master secret.
+    pub fn master_secret(&self) -> &[u8] {
+        &self.master
+    }
+
+    /// Derive the record-protection keys for the established connection.
+    /// Panics if called before the handshake completed.
+    pub fn connection_keys(&self) -> crate::cipher::ConnectionKeys {
+        assert!(self.is_established(), "handshake not complete");
+        crate::cipher::ConnectionKeys::derive(
+            &self.master,
+            &self.client_random,
+            &self.server_random,
+        )
+    }
+
+    /// Produce the opening ClientHello.
+    pub fn start(&mut self) -> Result<Record, SslError> {
+        assert_eq!(self.state, ClientState::Start, "start called twice");
+        let hello = HandshakeMsg::ClientHello {
+            random: self.client_random,
+            session_id: self
+                .offered
+                .as_ref()
+                .map(|s| s.id.to_vec())
+                .unwrap_or_default(),
+            ciphers: vec![CIPHER_RSA_AES128_SHA256],
+        };
+        let bytes = hello.encode();
+        self.transcript.extend_from_slice(&bytes);
+        self.state = ClientState::AwaitServerFlight;
+        Ok(Record::handshake(bytes))
+    }
+
+    /// Feed one record; returns the records to send back. The padding RNG
+    /// is threaded per call so the client stays `Send`.
+    pub fn process<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        rec: &Record,
+    ) -> Result<Vec<Record>, SslError> {
+        match (self.state, rec.ctype) {
+            (ClientState::AwaitChangeCipherSpec, ContentType::ChangeCipherSpec) => {
+                self.state = ClientState::AwaitFinished;
+                Ok(Vec::new())
+            }
+            (ClientState::AwaitServerFlight, ContentType::ChangeCipherSpec) if self.resumed => {
+                // Abbreviated flow: the server's Finished follows directly.
+                self.state = ClientState::AwaitFinished;
+                Ok(Vec::new())
+            }
+            (_, ContentType::Handshake) => {
+                let mut out = Vec::new();
+                let mut off = 0;
+                while off < rec.payload.len() {
+                    let (msg, used) = HandshakeMsg::decode(&rec.payload[off..])?;
+                    let raw = rec.payload[off..off + used].to_vec();
+                    off += used;
+                    out.extend(self.on_message(rng, msg, &raw)?);
+                }
+                Ok(out)
+            }
+            _ => Err(SslError::UnexpectedMessage {
+                state: self.state_name(),
+                got: rec.ctype.byte(),
+            }),
+        }
+    }
+
+    fn state_name(&self) -> &'static str {
+        match self.state {
+            ClientState::Start => "Start",
+            ClientState::AwaitServerFlight => "AwaitServerFlight",
+            ClientState::AwaitChangeCipherSpec => "AwaitChangeCipherSpec",
+            ClientState::AwaitFinished => "AwaitFinished",
+            ClientState::Established => "Established",
+        }
+    }
+
+    fn on_message<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        msg: HandshakeMsg,
+        raw: &[u8],
+    ) -> Result<Vec<Record>, SslError> {
+        match (self.state, msg) {
+            (
+                ClientState::AwaitServerFlight,
+                HandshakeMsg::ServerHello {
+                    random,
+                    session_id,
+                    cipher,
+                },
+            ) => {
+                if cipher != CIPHER_RSA_AES128_SHA256 {
+                    return Err(SslError::NoCommonCipher);
+                }
+                self.server_random = random;
+                self.transcript.extend_from_slice(raw);
+                if let Some(offered) = &self.offered {
+                    if session_id == offered.id {
+                        self.resumed = true;
+                        self.master = offered.master.clone();
+                    }
+                }
+                self.issued_session_id = session_id.clone();
+                self.pending_flight.push(HandshakeMsg::ServerHello {
+                    random,
+                    session_id,
+                    cipher,
+                });
+                Ok(Vec::new())
+            }
+            (ClientState::AwaitServerFlight, HandshakeMsg::Certificate { der }) => {
+                // Either an X.509-shaped certificate or a bare PKCS#1 key.
+                let key = match crate::cert::Certificate::decode(&der) {
+                    Ok(cert) => {
+                        if let Some(now) = self.verify_time {
+                            // Substrate trust model: the presented cert must
+                            // at least self-verify and be within validity.
+                            cert.verify(&cert.public_key()?, &self.ops, now)?;
+                        }
+                        cert.public_key()?
+                    }
+                    Err(_) => {
+                        if self.verify_time.is_some() {
+                            return Err(SslError::Decode {
+                                offset: 0,
+                                reason: "verification required but no certificate presented",
+                            });
+                        }
+                        phi_rsa::der::decode_public_key(&der)?
+                    }
+                };
+                self.server_key = Some(key);
+                self.transcript.extend_from_slice(raw);
+                Ok(Vec::new())
+            }
+            (ClientState::AwaitServerFlight, HandshakeMsg::ServerHelloDone) => {
+                self.transcript.extend_from_slice(raw);
+                let key = self
+                    .server_key
+                    .as_ref()
+                    .ok_or(SslError::UnexpectedMessage {
+                        state: "AwaitServerFlight",
+                        got: 14,
+                    })?;
+
+                let encrypted = self.ops.encrypt_pkcs1v15(rng, key, &self.premaster)?;
+                let cke = HandshakeMsg::ClientKeyExchange {
+                    encrypted_premaster: encrypted,
+                };
+                let cke_bytes = cke.encode();
+                self.transcript.extend_from_slice(&cke_bytes);
+
+                self.master =
+                    prf::master_secret(&self.premaster, &self.client_random, &self.server_random);
+                let mac = finished_mac(&self.master, b"client finished", &self.transcript);
+                let fin = HandshakeMsg::Finished { verify_data: mac };
+                self.transcript.extend_from_slice(&fin.encode());
+
+                self.state = ClientState::AwaitChangeCipherSpec;
+                Ok(vec![
+                    Record::handshake(cke_bytes),
+                    Record::change_cipher_spec(),
+                    Record::handshake(fin.encode()),
+                ])
+            }
+            (ClientState::AwaitFinished, HandshakeMsg::Finished { verify_data }) => {
+                let expect = finished_mac(&self.master, b"server finished", &self.transcript);
+                if expect != verify_data {
+                    return Err(SslError::FinishedMismatch);
+                }
+                self.state = ClientState::Established;
+                if self.resumed {
+                    // Abbreviated flow: respond with our own CCS + Finished.
+                    self.transcript.extend_from_slice(raw);
+                    let mac = finished_mac(&self.master, b"client finished", &self.transcript);
+                    let fin = HandshakeMsg::Finished { verify_data: mac };
+                    self.transcript.extend_from_slice(&fin.encode());
+                    return Ok(vec![
+                        Record::change_cipher_spec(),
+                        Record::handshake(fin.encode()),
+                    ]);
+                }
+                Ok(Vec::new())
+            }
+            (_, other) => Err(SslError::UnexpectedMessage {
+                state: self.state_name(),
+                got: other.type_byte(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phi_mont::MpssBaseline;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn key() -> RsaPrivateKey {
+        RsaPrivateKey::generate(&mut StdRng::seed_from_u64(0x55E1), 512).unwrap()
+    }
+
+    fn ops() -> RsaOps {
+        RsaOps::new(Box::new(MpssBaseline))
+    }
+
+    #[test]
+    fn full_handshake_succeeds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut server = Server::new(&mut rng, key(), ops());
+        let mut client = Client::new(&mut rng, ops());
+
+        let mut to_server = vec![client.start().unwrap()];
+        let mut to_client: Vec<Record> = Vec::new();
+        for _ in 0..10 {
+            for rec in std::mem::take(&mut to_server) {
+                to_client.extend(server.process(&rec).unwrap());
+            }
+            for rec in std::mem::take(&mut to_client) {
+                to_server.extend(client.process(&mut rng, &rec).unwrap());
+            }
+            if server.is_established() && client.is_established() {
+                break;
+            }
+        }
+        assert!(server.is_established());
+        assert!(client.is_established());
+        assert_eq!(server.master_secret(), client.master_secret());
+        assert_eq!(server.master_secret().len(), 48);
+    }
+
+    #[test]
+    fn tampered_finished_detected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut server = Server::new(&mut rng, key(), ops());
+        let mut client = Client::new(&mut rng, ops());
+
+        let hello = client.start().unwrap();
+        let flight = server.process(&hello).unwrap();
+        let mut client_out = Vec::new();
+        for rec in &flight {
+            client_out.extend(client.process(&mut rng, rec).unwrap());
+        }
+        // client_out = [CKE, CCS, Finished]; corrupt the Finished MAC.
+        assert_eq!(client_out.len(), 3);
+        let mut fin = client_out[2].clone();
+        let n = fin.payload.len();
+        fin.payload[n - 1] ^= 1;
+        server.process(&client_out[0]).unwrap();
+        server.process(&client_out[1]).unwrap();
+        assert_eq!(server.process(&fin), Err(SslError::FinishedMismatch));
+    }
+
+    #[test]
+    fn tampered_premaster_fails_at_finished_not_before() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut server = Server::new(&mut rng, key(), ops());
+        let mut client = Client::new(&mut rng, ops());
+
+        let hello = client.start().unwrap();
+        let flight = server.process(&hello).unwrap();
+        let mut client_out = Vec::new();
+        for rec in &flight {
+            client_out.extend(client.process(&mut rng, rec).unwrap());
+        }
+        // Corrupt the encrypted premaster — server must NOT error here
+        // (anti-Bleichenbacher), only at Finished.
+        let mut cke = client_out[0].clone();
+        let n = cke.payload.len();
+        cke.payload[n - 1] ^= 0xFF;
+        assert!(server.process(&cke).unwrap().is_empty());
+        server.process(&client_out[1]).unwrap();
+        assert_eq!(
+            server.process(&client_out[2]),
+            Err(SslError::FinishedMismatch)
+        );
+    }
+
+    #[test]
+    fn cipher_mismatch_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut server = Server::new(&mut rng, key(), ops());
+        let bad_hello = Record::handshake(
+            HandshakeMsg::ClientHello {
+                random: [0; 32],
+                session_id: vec![],
+                ciphers: vec![0x1301],
+            }
+            .encode(),
+        );
+        assert_eq!(server.process(&bad_hello), Err(SslError::NoCommonCipher));
+    }
+
+    #[test]
+    fn out_of_order_message_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut server = Server::new(&mut rng, key(), ops());
+        let fin = Record::handshake(
+            HandshakeMsg::Finished {
+                verify_data: [0; 12],
+            }
+            .encode(),
+        );
+        assert!(matches!(
+            server.process(&fin),
+            Err(SslError::UnexpectedMessage { .. })
+        ));
+    }
+
+    #[test]
+    fn distinct_handshakes_get_distinct_masters() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let run = |rng: &mut StdRng| {
+            let mut server = Server::new(rng, key(), ops());
+            let mut client = Client::new(rng, ops());
+            let mut to_server = vec![client.start().unwrap()];
+            let mut to_client: Vec<Record> = Vec::new();
+            for _ in 0..10 {
+                for rec in std::mem::take(&mut to_server) {
+                    to_client.extend(server.process(&rec).unwrap());
+                }
+                for rec in std::mem::take(&mut to_client) {
+                    to_server.extend(client.process(rng, &rec).unwrap());
+                }
+            }
+            server.master_secret().to_vec()
+        };
+        assert_ne!(run(&mut rng), run(&mut rng));
+    }
+}
+
+#[cfg(test)]
+mod resumption_tests {
+    use super::*;
+    use crate::driver::drive_handshake;
+    use crate::session::SessionCache;
+    use phi_mont::MpssBaseline;
+    use phi_simd::count::{self, OpClass};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn key() -> RsaPrivateKey {
+        RsaPrivateKey::generate(&mut StdRng::seed_from_u64(0x2E5), 512).unwrap()
+    }
+
+    fn ops() -> RsaOps {
+        RsaOps::new(Box::new(MpssBaseline))
+    }
+
+    #[test]
+    fn full_then_resumed_handshake() {
+        let cache = SessionCache::new(16);
+        let mut rng = StdRng::seed_from_u64(20);
+        let k = key();
+
+        // Full handshake issues a session.
+        let mut server = Server::with_cache(&mut rng, k.clone(), ops(), Arc::clone(&cache));
+        let mut client = Client::new(&mut rng, ops());
+        drive_handshake(&mut rng, &mut server, &mut client).unwrap();
+        assert!(!server.is_resumed() && !client.is_resumed());
+        let session = client.session().expect("session issued");
+        assert_eq!(cache.len(), 1);
+
+        // Resumption completes without RSA work.
+        let mut server2 = Server::with_cache(&mut rng, k, ops(), Arc::clone(&cache));
+        let mut client2 = Client::with_resumption(&mut rng, ops(), session);
+        count::reset();
+        let (_, d) =
+            count::measure(|| drive_handshake(&mut rng, &mut server2, &mut client2).unwrap());
+        assert!(server2.is_resumed());
+        assert!(client2.is_resumed());
+        assert_eq!(server2.master_secret(), client2.master_secret());
+        assert_eq!(
+            d.get(OpClass::SMul64),
+            0,
+            "resumption must not touch the RSA backend"
+        );
+    }
+
+    #[test]
+    fn unknown_session_falls_back_to_full_handshake() {
+        let cache = SessionCache::new(16);
+        let mut rng = StdRng::seed_from_u64(21);
+        let stale = Session {
+            id: [0x77; 32],
+            master: vec![9; 48],
+        };
+        let mut server = Server::with_cache(&mut rng, key(), ops(), cache);
+        let mut client = Client::with_resumption(&mut rng, ops(), stale);
+        let outcome = drive_handshake(&mut rng, &mut server, &mut client).unwrap();
+        assert!(!server.is_resumed());
+        assert!(!client.is_resumed());
+        assert_eq!(outcome.master_secret.len(), 48);
+        // The fresh session is resumable afterwards.
+        assert!(client.session().is_some());
+    }
+
+    #[test]
+    fn resumed_connection_can_protect_app_data() {
+        let cache = SessionCache::new(4);
+        let mut rng = StdRng::seed_from_u64(22);
+        let k = key();
+        let mut server = Server::with_cache(&mut rng, k.clone(), ops(), Arc::clone(&cache));
+        let mut client = Client::new(&mut rng, ops());
+        drive_handshake(&mut rng, &mut server, &mut client).unwrap();
+        let session = client.session().unwrap();
+
+        let mut server2 = Server::with_cache(&mut rng, k, ops(), cache);
+        let mut client2 = Client::with_resumption(&mut rng, ops(), session);
+        drive_handshake(&mut rng, &mut server2, &mut client2).unwrap();
+
+        let mut ck = client2.connection_keys();
+        let mut sk = server2.connection_keys();
+        let rec = ck
+            .client_write
+            .seal(&mut rng, ContentType::ApplicationData, b"resumed!");
+        assert_eq!(sk.client_write.open(&rec).unwrap(), b"resumed!");
+    }
+
+    #[test]
+    fn server_without_cache_never_resumes() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let k = key();
+        // First handshake against a cacheless server: client still gets an
+        // id (server always issues one) but the server forgot it.
+        let mut server = Server::new(&mut rng, k.clone(), ops());
+        let mut client = Client::new(&mut rng, ops());
+        drive_handshake(&mut rng, &mut server, &mut client).unwrap();
+        let session = client.session().unwrap();
+
+        let mut server2 = Server::new(&mut rng, k, ops());
+        let mut client2 = Client::with_resumption(&mut rng, ops(), session);
+        drive_handshake(&mut rng, &mut server2, &mut client2).unwrap();
+        assert!(!server2.is_resumed());
+    }
+
+    #[test]
+    fn tampered_server_finished_on_resumption_detected() {
+        let cache = SessionCache::new(4);
+        let mut rng = StdRng::seed_from_u64(24);
+        let k = key();
+        let mut server = Server::with_cache(&mut rng, k.clone(), ops(), Arc::clone(&cache));
+        let mut client = Client::new(&mut rng, ops());
+        drive_handshake(&mut rng, &mut server, &mut client).unwrap();
+        let session = client.session().unwrap();
+
+        let mut server2 = Server::with_cache(&mut rng, k, ops(), cache);
+        let mut client2 = Client::with_resumption(&mut rng, ops(), session);
+        let hello = client2.start().unwrap();
+        let mut flight = server2.process(&hello).unwrap();
+        assert_eq!(flight.len(), 3, "abbreviated flight: hello, ccs, finished");
+        // Corrupt the server Finished.
+        let n = flight[2].payload.len();
+        flight[2].payload[n - 1] ^= 1;
+        client2.process(&mut rng, &flight[0]).unwrap();
+        client2.process(&mut rng, &flight[1]).unwrap();
+        assert_eq!(
+            client2.process(&mut rng, &flight[2]),
+            Err(SslError::FinishedMismatch)
+        );
+    }
+}
+
+#[cfg(test)]
+mod certificate_handshake_tests {
+    use super::*;
+    use crate::cert::Certificate;
+    use crate::driver::drive_handshake;
+    use phi_mont::MpssBaseline;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const NOW: u64 = 1_700_000_000;
+
+    fn key() -> RsaPrivateKey {
+        RsaPrivateKey::generate(&mut StdRng::seed_from_u64(0xCE27), 768).unwrap()
+    }
+
+    fn ops() -> RsaOps {
+        RsaOps::new(Box::new(MpssBaseline))
+    }
+
+    #[test]
+    fn handshake_with_certificate_and_verification() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let k = key();
+        let cert =
+            Certificate::self_signed(&ops(), &k, "server.test", 1, NOW - 60, NOW + 60).unwrap();
+        let mut server = Server::new(&mut rng, k, ops());
+        server.set_certificate(&cert);
+        let mut client = Client::new(&mut rng, ops());
+        client.set_verify_time(NOW);
+        let outcome = drive_handshake(&mut rng, &mut server, &mut client).unwrap();
+        assert_eq!(outcome.master_secret.len(), 48);
+    }
+
+    #[test]
+    fn expired_certificate_aborts_the_handshake() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let k = key();
+        let cert = Certificate::self_signed(&ops(), &k, "old", 1, 100, 200).unwrap();
+        let mut server = Server::new(&mut rng, k, ops());
+        server.set_certificate(&cert);
+        let mut client = Client::new(&mut rng, ops());
+        client.set_verify_time(NOW); // long after not_after
+        assert!(drive_handshake(&mut rng, &mut server, &mut client).is_err());
+    }
+
+    #[test]
+    fn verifying_client_rejects_bare_key_server() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let mut server = Server::new(&mut rng, key(), ops()); // no certificate
+        let mut client = Client::new(&mut rng, ops());
+        client.set_verify_time(NOW);
+        assert!(drive_handshake(&mut rng, &mut server, &mut client).is_err());
+    }
+
+    #[test]
+    fn lenient_client_accepts_certificate_too() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let k = key();
+        let cert = Certificate::self_signed(&ops(), &k, "s", 1, NOW - 1, NOW + 1).unwrap();
+        let mut server = Server::new(&mut rng, k, ops());
+        server.set_certificate(&cert);
+        let mut client = Client::new(&mut rng, ops()); // no verify_time
+        drive_handshake(&mut rng, &mut server, &mut client).unwrap();
+    }
+}

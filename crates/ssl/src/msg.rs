@@ -1,0 +1,346 @@
+//! Handshake messages: `msg_type(1) length(3) body`.
+
+use crate::error::SslError;
+
+/// Handshake message type bytes (RFC 5246 §7.4).
+pub mod msg_type {
+    /// ClientHello.
+    pub const CLIENT_HELLO: u8 = 1;
+    /// ServerHello.
+    pub const SERVER_HELLO: u8 = 2;
+    /// Certificate.
+    pub const CERTIFICATE: u8 = 11;
+    /// ServerHelloDone.
+    pub const SERVER_HELLO_DONE: u8 = 14;
+    /// ClientKeyExchange.
+    pub const CLIENT_KEY_EXCHANGE: u8 = 16;
+    /// Finished.
+    pub const FINISHED: u8 = 20;
+}
+
+/// The RSA-key-transport suite this substrate speaks
+/// (TLS_RSA_WITH_AES_128_CBC_SHA256).
+pub const CIPHER_RSA_AES128_SHA256: u16 = 0x003C;
+
+/// A parsed handshake message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HandshakeMsg {
+    /// Client's opening flight.
+    ClientHello {
+        /// 32-byte client random.
+        random: [u8; 32],
+        /// Session to resume (empty for a full handshake).
+        session_id: Vec<u8>,
+        /// Offered cipher suites.
+        ciphers: Vec<u16>,
+    },
+    /// Server's parameter choice.
+    ServerHello {
+        /// 32-byte server random.
+        random: [u8; 32],
+        /// The session this connection can later resume (or the echoed
+        /// client session ID when resuming).
+        session_id: Vec<u8>,
+        /// Selected cipher suite.
+        cipher: u16,
+    },
+    /// Server's (bare PKCS#1) public key standing in for a certificate
+    /// chain.
+    Certificate {
+        /// DER-encoded `RSAPublicKey`.
+        der: Vec<u8>,
+    },
+    /// End of the server's flight.
+    ServerHelloDone,
+    /// RSA-encrypted premaster secret.
+    ClientKeyExchange {
+        /// Ciphertext of the 48-byte premaster.
+        encrypted_premaster: Vec<u8>,
+    },
+    /// Handshake transcript MAC.
+    Finished {
+        /// 12-byte verify_data.
+        verify_data: [u8; 12],
+    },
+}
+
+fn put_u24(out: &mut Vec<u8>, v: usize) {
+    assert!(v < 1 << 24);
+    out.extend_from_slice(&[(v >> 16) as u8, (v >> 8) as u8, v as u8]);
+}
+
+fn get(buf: &[u8], at: usize, n: usize) -> Result<&[u8], SslError> {
+    buf.get(at..at + n).ok_or(SslError::Decode {
+        offset: at,
+        reason: "truncated message",
+    })
+}
+
+impl HandshakeMsg {
+    /// The wire type byte.
+    pub fn type_byte(&self) -> u8 {
+        match self {
+            HandshakeMsg::ClientHello { .. } => msg_type::CLIENT_HELLO,
+            HandshakeMsg::ServerHello { .. } => msg_type::SERVER_HELLO,
+            HandshakeMsg::Certificate { .. } => msg_type::CERTIFICATE,
+            HandshakeMsg::ServerHelloDone => msg_type::SERVER_HELLO_DONE,
+            HandshakeMsg::ClientKeyExchange { .. } => msg_type::CLIENT_KEY_EXCHANGE,
+            HandshakeMsg::Finished { .. } => msg_type::FINISHED,
+        }
+    }
+
+    /// Serialize as `type || u24 length || body`.
+    pub fn encode(&self) -> Vec<u8> {
+        let body = self.encode_body();
+        let mut out = Vec::with_capacity(4 + body.len());
+        out.push(self.type_byte());
+        put_u24(&mut out, body.len());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    fn encode_body(&self) -> Vec<u8> {
+        match self {
+            HandshakeMsg::ClientHello {
+                random,
+                session_id,
+                ciphers,
+            } => {
+                assert!(session_id.len() <= 32, "session id too long");
+                let mut b = Vec::with_capacity(35 + session_id.len() + 2 * ciphers.len());
+                b.extend_from_slice(random);
+                b.push(session_id.len() as u8);
+                b.extend_from_slice(session_id);
+                b.extend_from_slice(&(2 * ciphers.len() as u16).to_be_bytes());
+                for c in ciphers {
+                    b.extend_from_slice(&c.to_be_bytes());
+                }
+                b
+            }
+            HandshakeMsg::ServerHello {
+                random,
+                session_id,
+                cipher,
+            } => {
+                assert!(session_id.len() <= 32, "session id too long");
+                let mut b = Vec::with_capacity(35 + session_id.len());
+                b.extend_from_slice(random);
+                b.push(session_id.len() as u8);
+                b.extend_from_slice(session_id);
+                b.extend_from_slice(&cipher.to_be_bytes());
+                b
+            }
+            HandshakeMsg::Certificate { der } => {
+                let mut b = Vec::with_capacity(3 + der.len());
+                put_u24(&mut b, der.len());
+                b.extend_from_slice(der);
+                b
+            }
+            HandshakeMsg::ServerHelloDone => Vec::new(),
+            HandshakeMsg::ClientKeyExchange {
+                encrypted_premaster,
+            } => {
+                let mut b = Vec::with_capacity(2 + encrypted_premaster.len());
+                b.extend_from_slice(&(encrypted_premaster.len() as u16).to_be_bytes());
+                b.extend_from_slice(encrypted_premaster);
+                b
+            }
+            HandshakeMsg::Finished { verify_data } => verify_data.to_vec(),
+        }
+    }
+
+    /// Parse one message from the front of `buf`; returns the message and
+    /// bytes consumed.
+    pub fn decode(buf: &[u8]) -> Result<(HandshakeMsg, usize), SslError> {
+        let head = get(buf, 0, 4)?;
+        let mtype = head[0];
+        let len = ((head[1] as usize) << 16) | ((head[2] as usize) << 8) | head[3] as usize;
+        let body = get(buf, 4, len)?;
+        let msg = match mtype {
+            msg_type::CLIENT_HELLO => {
+                let random: [u8; 32] = get(body, 0, 32)?.try_into().unwrap();
+                let sid_len = get(body, 32, 1)?[0] as usize;
+                if sid_len > 32 {
+                    return Err(SslError::Decode {
+                        offset: 32,
+                        reason: "session id too long",
+                    });
+                }
+                let session_id = get(body, 33, sid_len)?.to_vec();
+                let at = 33 + sid_len;
+                let clen = u16::from_be_bytes(get(body, at, 2)?.try_into().unwrap()) as usize;
+                if !clen.is_multiple_of(2) {
+                    return Err(SslError::Decode {
+                        offset: at,
+                        reason: "odd cipher list",
+                    });
+                }
+                let cbytes = get(body, at + 2, clen)?;
+                let ciphers = cbytes
+                    .chunks_exact(2)
+                    .map(|c| u16::from_be_bytes([c[0], c[1]]))
+                    .collect();
+                HandshakeMsg::ClientHello {
+                    random,
+                    session_id,
+                    ciphers,
+                }
+            }
+            msg_type::SERVER_HELLO => {
+                let random: [u8; 32] = get(body, 0, 32)?.try_into().unwrap();
+                let sid_len = get(body, 32, 1)?[0] as usize;
+                if sid_len > 32 {
+                    return Err(SslError::Decode {
+                        offset: 32,
+                        reason: "session id too long",
+                    });
+                }
+                let session_id = get(body, 33, sid_len)?.to_vec();
+                let at = 33 + sid_len;
+                let cipher = u16::from_be_bytes(get(body, at, 2)?.try_into().unwrap());
+                HandshakeMsg::ServerHello {
+                    random,
+                    session_id,
+                    cipher,
+                }
+            }
+            msg_type::CERTIFICATE => {
+                let head = get(body, 0, 3)?;
+                let dlen =
+                    ((head[0] as usize) << 16) | ((head[1] as usize) << 8) | head[2] as usize;
+                HandshakeMsg::Certificate {
+                    der: get(body, 3, dlen)?.to_vec(),
+                }
+            }
+            msg_type::SERVER_HELLO_DONE => HandshakeMsg::ServerHelloDone,
+            msg_type::CLIENT_KEY_EXCHANGE => {
+                let elen = u16::from_be_bytes(get(body, 0, 2)?.try_into().unwrap()) as usize;
+                HandshakeMsg::ClientKeyExchange {
+                    encrypted_premaster: get(body, 2, elen)?.to_vec(),
+                }
+            }
+            msg_type::FINISHED => {
+                let verify_data: [u8; 12] = get(body, 0, 12)?.try_into().unwrap();
+                HandshakeMsg::Finished { verify_data }
+            }
+            _ => {
+                return Err(SslError::Decode {
+                    offset: 0,
+                    reason: "unknown message type",
+                })
+            }
+        };
+        Ok((msg, 4 + len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(m: HandshakeMsg) {
+        let wire = m.encode();
+        let (back, used) = HandshakeMsg::decode(&wire).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(used, wire.len());
+    }
+
+    #[test]
+    fn all_messages_roundtrip() {
+        roundtrip(HandshakeMsg::ClientHello {
+            random: [7; 32],
+            session_id: vec![],
+            ciphers: vec![CIPHER_RSA_AES128_SHA256, 0x002F],
+        });
+        roundtrip(HandshakeMsg::ClientHello {
+            random: [7; 32],
+            session_id: vec![0xAB; 32],
+            ciphers: vec![CIPHER_RSA_AES128_SHA256],
+        });
+        roundtrip(HandshakeMsg::ServerHello {
+            random: [9; 32],
+            session_id: vec![0xCD; 32],
+            cipher: CIPHER_RSA_AES128_SHA256,
+        });
+        roundtrip(HandshakeMsg::Certificate {
+            der: vec![0x30, 0x03, 0x02, 0x01, 0x05],
+        });
+        roundtrip(HandshakeMsg::ServerHelloDone);
+        roundtrip(HandshakeMsg::ClientKeyExchange {
+            encrypted_premaster: vec![0xAB; 128],
+        });
+        roundtrip(HandshakeMsg::Finished {
+            verify_data: [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12],
+        });
+    }
+
+    #[test]
+    fn type_bytes_match_rfc() {
+        assert_eq!(
+            HandshakeMsg::ClientHello {
+                random: [0; 32],
+                session_id: vec![],
+                ciphers: vec![]
+            }
+            .type_byte(),
+            1
+        );
+        assert_eq!(HandshakeMsg::ServerHelloDone.type_byte(), 14);
+        assert_eq!(
+            HandshakeMsg::Finished {
+                verify_data: [0; 12]
+            }
+            .type_byte(),
+            20
+        );
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let wire = HandshakeMsg::ClientHello {
+            random: [1; 32],
+            session_id: vec![],
+            ciphers: vec![1, 2, 3],
+        }
+        .encode();
+        for cut in [0usize, 3, 10, wire.len() - 1] {
+            assert!(HandshakeMsg::decode(&wire[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let mut wire = HandshakeMsg::ServerHelloDone.encode();
+        wire[0] = 99;
+        assert!(HandshakeMsg::decode(&wire).is_err());
+    }
+
+    #[test]
+    fn odd_cipher_list_rejected() {
+        let mut wire = HandshakeMsg::ClientHello {
+            random: [1; 32],
+            session_id: vec![],
+            ciphers: vec![1],
+        }
+        .encode();
+        // Corrupt the cipher list length to an odd value (and total).
+        wire[4 + 34] = 1;
+        assert!(HandshakeMsg::decode(&wire).is_err());
+    }
+
+    #[test]
+    fn messages_back_to_back() {
+        let mut wire = HandshakeMsg::ServerHello {
+            random: [3; 32],
+            session_id: vec![],
+            cipher: 1,
+        }
+        .encode();
+        let second = HandshakeMsg::ServerHelloDone.encode();
+        wire.extend_from_slice(&second);
+        let (m1, used) = HandshakeMsg::decode(&wire).unwrap();
+        assert!(matches!(m1, HandshakeMsg::ServerHello { .. }));
+        let (m2, _) = HandshakeMsg::decode(&wire[used..]).unwrap();
+        assert_eq!(m2, HandshakeMsg::ServerHelloDone);
+    }
+}

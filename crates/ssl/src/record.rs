@@ -1,0 +1,236 @@
+//! TLS record-layer framing: `type(1) version(2) length(2) payload`.
+
+use crate::error::SslError;
+
+/// TLS record content types (the subset the handshake uses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContentType {
+    /// Cipher-state switch marker.
+    ChangeCipherSpec,
+    /// Handshake protocol messages.
+    Handshake,
+    /// Alerts (used for fatal errors).
+    Alert,
+    /// Protected application payload.
+    ApplicationData,
+}
+
+impl ContentType {
+    /// Wire value.
+    pub fn byte(self) -> u8 {
+        match self {
+            ContentType::ChangeCipherSpec => 20,
+            ContentType::Alert => 21,
+            ContentType::Handshake => 22,
+            ContentType::ApplicationData => 23,
+        }
+    }
+
+    /// Parse a wire value.
+    pub fn from_byte(b: u8) -> Result<Self, SslError> {
+        match b {
+            20 => Ok(ContentType::ChangeCipherSpec),
+            21 => Ok(ContentType::Alert),
+            22 => Ok(ContentType::Handshake),
+            23 => Ok(ContentType::ApplicationData),
+            _ => Err(SslError::Decode {
+                offset: 0,
+                reason: "unknown content type",
+            }),
+        }
+    }
+}
+
+/// TLS 1.2 on the wire.
+pub const VERSION_TLS12: [u8; 2] = [3, 3];
+
+/// Maximum record payload (RFC 5246: 2^14).
+pub const MAX_PAYLOAD: usize = 1 << 14;
+
+/// One framed record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Content type.
+    pub ctype: ContentType,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Record {
+    /// Frame a handshake payload.
+    pub fn handshake(payload: Vec<u8>) -> Record {
+        Record {
+            ctype: ContentType::Handshake,
+            payload,
+        }
+    }
+
+    /// The one-byte ChangeCipherSpec record.
+    pub fn change_cipher_spec() -> Record {
+        Record {
+            ctype: ContentType::ChangeCipherSpec,
+            payload: vec![1],
+        }
+    }
+
+    /// Serialize with the 5-byte header.
+    pub fn encode(&self) -> Vec<u8> {
+        assert!(self.payload.len() <= MAX_PAYLOAD, "record too large");
+        let mut out = Vec::with_capacity(5 + self.payload.len());
+        out.push(self.ctype.byte());
+        out.extend_from_slice(&VERSION_TLS12);
+        out.extend_from_slice(&(self.payload.len() as u16).to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parse one record from the front of `buf`; returns the record and
+    /// the bytes consumed, or `None` if more bytes are needed.
+    pub fn decode(buf: &[u8]) -> Result<Option<(Record, usize)>, SslError> {
+        if buf.len() < 5 {
+            return Ok(None);
+        }
+        let ctype = ContentType::from_byte(buf[0])?;
+        if buf[1..3] != VERSION_TLS12 {
+            return Err(SslError::Decode {
+                offset: 1,
+                reason: "unsupported version",
+            });
+        }
+        let len = u16::from_be_bytes([buf[3], buf[4]]) as usize;
+        if len > MAX_PAYLOAD {
+            return Err(SslError::Decode {
+                offset: 3,
+                reason: "record too large",
+            });
+        }
+        if buf.len() < 5 + len {
+            return Ok(None);
+        }
+        Ok(Some((
+            Record {
+                ctype,
+                payload: buf[5..5 + len].to_vec(),
+            },
+            5 + len,
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let r = Record::handshake(vec![1, 2, 3, 4]);
+        let wire = r.encode();
+        assert_eq!(wire[0], 22);
+        assert_eq!(&wire[1..3], &VERSION_TLS12);
+        assert_eq!(u16::from_be_bytes([wire[3], wire[4]]), 4);
+        let (back, used) = Record::decode(&wire).unwrap().unwrap();
+        assert_eq!(back, r);
+        assert_eq!(used, wire.len());
+    }
+
+    #[test]
+    fn decode_needs_full_header_and_body() {
+        let r = Record::handshake(vec![9; 10]);
+        let wire = r.encode();
+        assert!(Record::decode(&wire[..3]).unwrap().is_none());
+        assert!(Record::decode(&wire[..wire.len() - 1]).unwrap().is_none());
+    }
+
+    #[test]
+    fn decode_leaves_trailing_bytes() {
+        let mut wire = Record::change_cipher_spec().encode();
+        wire.extend_from_slice(&[22, 3, 3]); // start of a second record
+        let (rec, used) = Record::decode(&wire).unwrap().unwrap();
+        assert_eq!(rec.ctype, ContentType::ChangeCipherSpec);
+        assert_eq!(rec.payload, vec![1]);
+        assert_eq!(used, 6);
+    }
+
+    #[test]
+    fn rejects_bad_type_and_version() {
+        let mut wire = Record::handshake(vec![0]).encode();
+        wire[0] = 99;
+        assert!(Record::decode(&wire).is_err());
+        let mut wire2 = Record::handshake(vec![0]).encode();
+        wire2[2] = 1; // TLS 1.0-ish
+        assert!(Record::decode(&wire2).is_err());
+    }
+
+    #[test]
+    fn content_type_bytes() {
+        for ct in [
+            ContentType::ChangeCipherSpec,
+            ContentType::Alert,
+            ContentType::Handshake,
+            ContentType::ApplicationData,
+        ] {
+            assert_eq!(ContentType::from_byte(ct.byte()).unwrap(), ct);
+        }
+        assert!(ContentType::from_byte(0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "record too large")]
+    fn oversize_record_panics_on_encode() {
+        Record::handshake(vec![0; MAX_PAYLOAD + 1]).encode();
+    }
+}
+
+#[cfg(test)]
+mod stream_tests {
+    use super::*;
+
+    /// Reassemble records from a byte stream fed in arbitrary slices —
+    /// what a real socket delivers.
+    fn drain(buf: &mut Vec<u8>) -> Vec<Record> {
+        let mut out = Vec::new();
+        loop {
+            match Record::decode(buf).expect("valid stream") {
+                Some((rec, used)) => {
+                    buf.drain(..used);
+                    out.push(rec);
+                }
+                None => return out,
+            }
+        }
+    }
+
+    #[test]
+    fn byte_stream_reassembly_across_arbitrary_chunking() {
+        let records = vec![
+            Record::handshake(vec![1; 100]),
+            Record::change_cipher_spec(),
+            Record::handshake(vec![2; 3]),
+            Record {
+                ctype: ContentType::ApplicationData,
+                payload: vec![3; 500],
+            },
+        ];
+        let wire: Vec<u8> = records.iter().flat_map(|r| r.encode()).collect();
+
+        for chunk in [1usize, 2, 3, 7, 64, 1024] {
+            let mut buf = Vec::new();
+            let mut got = Vec::new();
+            for piece in wire.chunks(chunk) {
+                buf.extend_from_slice(piece);
+                got.extend(drain(&mut buf));
+            }
+            assert!(buf.is_empty(), "chunk {chunk}: residue left");
+            assert_eq!(got, records, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn garbage_mid_stream_is_an_error_not_a_hang() {
+        let mut wire = Record::handshake(vec![1, 2, 3]).encode();
+        wire.extend_from_slice(&[0xFF, 3, 3, 0, 1, 0]); // bad content type
+        let (first, used) = Record::decode(&wire).unwrap().unwrap();
+        assert_eq!(first.payload, vec![1, 2, 3]);
+        assert!(Record::decode(&wire[used..]).is_err());
+    }
+}

@@ -1,0 +1,139 @@
+//! Session caching for abbreviated handshakes (RFC 5246 §7.3).
+//!
+//! A resumed handshake reuses a cached master secret and skips the RSA key
+//! exchange entirely — which is exactly why the paper's full-handshake
+//! measurements matter: resumption amortizes the private-key cost, but
+//! every *new* client pays it.
+
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// A resumable session: the ID the server issued plus the master secret.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Session {
+    /// 32-byte session identifier.
+    pub id: [u8; 32],
+    /// 48-byte master secret.
+    pub master: Vec<u8>,
+}
+
+/// A bounded FIFO session store, shared by all server handshakes of one
+/// listener.
+#[derive(Debug)]
+pub struct SessionCache {
+    inner: Mutex<CacheInner>,
+}
+
+#[derive(Debug)]
+struct CacheInner {
+    map: HashMap<[u8; 32], Vec<u8>>,
+    order: VecDeque<[u8; 32]>,
+    capacity: usize,
+}
+
+impl SessionCache {
+    /// A cache evicting FIFO beyond `capacity` sessions.
+    pub fn new(capacity: usize) -> Arc<SessionCache> {
+        assert!(capacity >= 1);
+        Arc::new(SessionCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                capacity,
+            }),
+        })
+    }
+
+    /// Store a completed session.
+    pub fn insert(&self, id: [u8; 32], master: Vec<u8>) {
+        let mut inner = self.inner.lock();
+        if inner.map.insert(id, master).is_none() {
+            inner.order.push_back(id);
+            if inner.order.len() > inner.capacity {
+                if let Some(evicted) = inner.order.pop_front() {
+                    inner.map.remove(&evicted);
+                }
+            }
+        }
+    }
+
+    /// Look up a master secret by session ID.
+    pub fn lookup(&self, id: &[u8; 32]) -> Option<Vec<u8>> {
+        self.inner.lock().map.get(id).cloned()
+    }
+
+    /// Remove one session (e.g. on a failed resumption).
+    pub fn remove(&self, id: &[u8; 32]) {
+        let mut inner = self.inner.lock();
+        inner.map.remove(id);
+        inner.order.retain(|x| x != id);
+    }
+
+    /// Live session count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(b: u8) -> [u8; 32] {
+        [b; 32]
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let c = SessionCache::new(8);
+        assert!(c.is_empty());
+        c.insert(id(1), vec![0xAA; 48]);
+        assert_eq!(c.lookup(&id(1)), Some(vec![0xAA; 48]));
+        assert_eq!(c.lookup(&id(2)), None);
+        c.remove(&id(1));
+        assert_eq!(c.lookup(&id(1)), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let c = SessionCache::new(2);
+        c.insert(id(1), vec![1]);
+        c.insert(id(2), vec![2]);
+        c.insert(id(3), vec![3]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.lookup(&id(1)), None, "oldest evicted");
+        assert!(c.lookup(&id(2)).is_some());
+        assert!(c.lookup(&id(3)).is_some());
+    }
+
+    #[test]
+    fn reinsert_same_id_does_not_duplicate() {
+        let c = SessionCache::new(2);
+        c.insert(id(1), vec![1]);
+        c.insert(id(1), vec![9]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.lookup(&id(1)), Some(vec![9]));
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let c = SessionCache::new(64);
+        let handles: Vec<_> = (0..8u8)
+            .map(|i| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || c.insert(id(i), vec![i; 48]))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.len(), 8);
+    }
+}

@@ -1,0 +1,57 @@
+//! The second vectorization axis in action: a busy decryption service
+//! draining ciphertexts through the 16-way batched Montgomery engine
+//! (one operation per 512-bit vector lane, one shared private key).
+//!
+//! ```text
+//! cargo run --release --example batch_decrypt
+//! ```
+
+use phi_bigint::BigUint;
+use phi_rsa::key::RsaPrivateKey;
+use phi_simd::{count, CostModel};
+use phiopenssl::batch::{BatchMont, BATCH_WIDTH};
+use phiopenssl::VMontCtx;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(99);
+    println!("generating a 1024-bit key…");
+    let key = RsaPrivateKey::generate(&mut rng, 1024).expect("keygen");
+    let n = key.public().n().clone();
+    let e = key.public().e().clone();
+
+    // A batch of 16 ciphertexts (same key — the natural server shape).
+    let messages: Vec<BigUint> = (0..BATCH_WIDTH as u64)
+        .map(|i| BigUint::from(0x1000 + i).mod_exp(&BigUint::from(3u64), &n))
+        .collect();
+    let ciphertexts: Vec<BigUint> = messages.iter().map(|m| m.mod_exp(&e, &n)).collect();
+
+    // Simplification for the demo: batch-exponentiate with d directly
+    // (the CRT-batched variant combines this with the crt module).
+    let ctx = VMontCtx::new(&n).expect("odd modulus");
+    let bm = BatchMont::new(&ctx);
+
+    count::reset();
+    let (batch_out, batch_counts) = count::measure(|| bm.mod_exp_16(&ciphertexts, key.d(), 5));
+    let (single_out, single_counts) = count::measure(|| {
+        ciphertexts
+            .iter()
+            .map(|c| {
+                phiopenssl::vexp::mod_exp_vec(&ctx, c, key.d(), 5, phiopenssl::TableLookup::Direct)
+            })
+            .collect::<Vec<_>>()
+    });
+
+    assert_eq!(batch_out, single_out, "batch and single paths must agree");
+    assert_eq!(batch_out, messages, "decryption must invert encryption");
+    println!("decrypted {} ciphertexts correctly, twice", BATCH_WIDTH);
+
+    let model = CostModel::knc();
+    let batch_us = model.single_thread_seconds(&batch_counts) * 1e6;
+    let single_us = model.single_thread_seconds(&single_counts) * 1e6;
+    println!("\nmodeled KNC time for the batch of {BATCH_WIDTH}:");
+    println!("  16 single vector ladders : {single_us:>10.1} µs");
+    println!("  one 16-way batched ladder: {batch_us:>10.1} µs");
+    println!("  batching speedup         : {:.2}x", single_us / batch_us);
+}

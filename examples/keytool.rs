@@ -1,0 +1,63 @@
+//! A tiny `openssl genrsa`/`rsa`-style tool over the reproduction stack:
+//! generates a key, round-trips it through PKCS#1 DER, validates it, and
+//! prints the component summary.
+//!
+//! ```text
+//! cargo run --release --example keytool [bits]
+//! ```
+
+use phi_hash::to_hex;
+use phi_rsa::der;
+use phi_rsa::key::RsaPrivateKey;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let bits: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1024);
+
+    println!("generating a {bits}-bit RSA key…");
+    let key =
+        RsaPrivateKey::generate(&mut StdRng::seed_from_u64(0xD1CE), bits).expect("key generation");
+    key.validate().expect("generated key must validate");
+
+    let pub_der = der::encode_public_key(key.public());
+    let priv_der = der::encode_private_key(&key);
+    println!("  PKCS#1 RSAPublicKey : {} bytes", pub_der.len());
+    println!("  PKCS#1 RSAPrivateKey: {} bytes", priv_der.len());
+
+    // Round trip both encodings.
+    assert_eq!(
+        &der::decode_public_key(&pub_der).expect("decode pub"),
+        key.public()
+    );
+    assert_eq!(
+        der::decode_private_key(&priv_der).expect("decode priv"),
+        key
+    );
+    println!("  DER round trips and re-validates OK");
+
+    let hex_head = |b: &phi_bigint::BigUint| {
+        let h = b.to_hex();
+        if h.len() > 32 {
+            format!("{}…({} hex digits)", &h[..32], h.len())
+        } else {
+            h
+        }
+    };
+    println!("\ncomponents:");
+    println!("  n    = {}", hex_head(key.public().n()));
+    println!("  e    = {}", key.public().e());
+    println!("  d    = {}", hex_head(key.d()));
+    println!("  p    = {}", hex_head(key.p()));
+    println!("  q    = {}", hex_head(key.q()));
+    println!("  dP   = {}", hex_head(key.dp()));
+    println!("  dQ   = {}", hex_head(key.dq()));
+    println!("  qInv = {}", hex_head(key.qinv()));
+    println!(
+        "\nDER (public), first 32 bytes: {}",
+        to_hex(&pub_der[..32.min(pub_der.len())])
+    );
+}

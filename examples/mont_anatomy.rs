@@ -1,0 +1,70 @@
+//! Anatomy of the vectorized Montgomery multiplication: walks one
+//! operation through the three libraries and prints exactly which
+//! instructions the modeled Xeon Phi would issue for each — the
+//! operation-count story behind every speedup in the paper.
+//!
+//! ```text
+//! cargo run --release --example mont_anatomy
+//! ```
+
+use phi_bigint::BigUint;
+use phi_mont::{MontCtx32, MontCtx64, MontEngine};
+use phi_simd::count::{self, OpClass};
+use phi_simd::CostModel;
+use phiopenssl::VMontCtx;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn show(name: &str, counts: &phi_simd::OpCounts, model: &CostModel) {
+    println!("\n{name}");
+    for class in OpClass::ALL {
+        let n = counts.get(class);
+        if n > 0 {
+            println!(
+                "  {:<7}: {n:>8} ops x {:>4.1} cy = {:>9.0} cy",
+                format!("{class:?}"),
+                model.weight(class),
+                n as f64 * model.weight(class)
+            );
+        }
+    }
+    println!(
+        "  total: {:.0} issue cycles ({:.2} µs single-thread at 1.053 GHz)",
+        model.issue_cycles(counts),
+        model.single_thread_seconds(counts) * 1e6
+    );
+}
+
+fn main() {
+    let bits = 2048;
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut n = BigUint::random_bits(&mut rng, bits);
+    n.set_bit(0, true);
+    let a = &BigUint::random_bits(&mut rng, bits) % &n;
+    let b = &BigUint::random_bits(&mut rng, bits) % &n;
+    let model = CostModel::knc();
+
+    println!("one {bits}-bit Montgomery multiplication, three ways:");
+
+    let v = VMontCtx::new(&n).unwrap();
+    let (av, bv) = (v.to_mont_vec(&a), v.to_mont_vec(&b));
+    count::reset();
+    let (_, c) = count::measure(|| v.mont_mul_vec(&av, &bv));
+    show("PhiOpenSSL (512-bit vectorized, radix 2^27)", &c, &model);
+
+    let m64 = MontCtx64::new(&n).unwrap();
+    let (am, bm) = (m64.to_mont(&a), m64.to_mont(&b));
+    let (_, c) = count::measure(|| m64.mont_mul(&am, &bm));
+    show("MPSS libcrypto (64-bit scalar CIOS)", &c, &model);
+
+    let m32 = MontCtx32::new(&n).unwrap();
+    let (am, bm) = (m32.to_mont(&a), m32.to_mont(&b));
+    let (_, c) = count::measure(|| m32.mont_mul(&am, &bm));
+    show("default OpenSSL (BN_LLONG 32-bit scalar CIOS)", &c, &model);
+
+    println!(
+        "\nthe story: sixteen 27-bit digit products retire per vector FMA, while the\n\
+         scalar pipes pay ~10 cycles per dependent 64x64 multiply — that ratio is\n\
+         the whole paper."
+    );
+}

@@ -1,0 +1,25 @@
+//! # phiopenssl-suite
+//!
+//! Workspace facade for the PhiOpenSSL reproduction: re-exports every
+//! crate under one roof and hosts the runnable examples (`examples/`) and
+//! the cross-crate integration tests (`tests/`).
+//!
+//! Start with the `quickstart` example:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! and see `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
+//! the paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+
+pub use phi_bigint as bigint;
+pub use phi_hash as hash;
+pub use phi_mont as mont;
+pub use phi_rsa as rsa;
+pub use phi_rt as rt;
+pub use phi_simd as simd;
+pub use phi_ssl as ssl;
+pub use phiopenssl as core_lib;

@@ -1,0 +1,94 @@
+//! Fuzz-style robustness properties: every wire-format decoder in the
+//! stack must return `Ok`/`Err` on arbitrary bytes — never panic — and
+//! every encoder⇄decoder pair must round-trip under mutation without
+//! crashing.
+
+use phi_ssl::msg::HandshakeMsg;
+use phi_ssl::record::Record;
+use proptest::prelude::*;
+
+fn bytes(max: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn record_decode_never_panics(data in bytes(512)) {
+        let _ = Record::decode(&data);
+    }
+
+    #[test]
+    fn handshake_msg_decode_never_panics(data in bytes(512)) {
+        let _ = HandshakeMsg::decode(&data);
+    }
+
+    #[test]
+    fn certificate_decode_never_panics(data in bytes(512)) {
+        let _ = phi_ssl::cert::Certificate::decode(&data);
+    }
+
+    #[test]
+    fn der_decoders_never_panic(data in bytes(512)) {
+        let _ = phi_rsa::der::decode_public_key(&data);
+        let _ = phi_rsa::der::decode_private_key(&data);
+        let _ = phi_rsa::der::decode_spki(&data);
+        let _ = phi_rsa::der::decode_pkcs8(&data);
+    }
+
+    #[test]
+    fn pem_and_base64_never_panic(data in bytes(256)) {
+        let text = String::from_utf8_lossy(&data).into_owned();
+        let _ = phi_rsa::pem::base64_decode(&text);
+        let _ = phi_rsa::pem::pem_decode(&text);
+    }
+
+    #[test]
+    fn pkcs1_unpad_never_panics(data in bytes(256)) {
+        let _ = phi_rsa::padding::pkcs1v15::unpad_encrypt(&data);
+        let _ = phi_rsa::padding::pkcs1v15::verify_sign_sha256(b"m", &data);
+    }
+
+    #[test]
+    fn oaep_unpad_never_panics(data in bytes(256)) {
+        let _ = phi_rsa::padding::oaep::unpad(&data, b"label");
+    }
+
+    #[test]
+    fn biguint_parsers_never_panic(data in bytes(128)) {
+        let text = String::from_utf8_lossy(&data).into_owned();
+        let _ = phi_bigint::BigUint::from_hex(&text);
+        let _ = phi_bigint::BigUint::from_dec(&text);
+        // Byte parsers accept anything.
+        let _ = phi_bigint::BigUint::from_bytes_be(&data);
+        let _ = phi_bigint::BigUint::from_bytes_le(&data);
+    }
+
+    #[test]
+    fn mutated_record_decode_total(data in bytes(64), flip in 0usize..64) {
+        // Start from a valid record, flip one byte, decode must stay total.
+        let rec = Record::handshake(data);
+        let mut wire = rec.encode();
+        let i = flip % wire.len();
+        wire[i] ^= 0xFF;
+        let _ = Record::decode(&wire);
+    }
+
+    #[test]
+    fn mutated_private_key_der_never_panics(flip_at in 0usize..400, xor in 1u8..=255) {
+        use phi_rsa::key::RsaPrivateKey;
+        use rand::SeedableRng;
+        let key = RsaPrivateKey::generate(
+            &mut rand::rngs::StdRng::seed_from_u64(0xF42),
+            128,
+        ).unwrap();
+        let mut der = phi_rsa::der::encode_private_key(&key);
+        let i = flip_at % der.len();
+        der[i] ^= xor;
+        // Must either parse to a valid (possibly equal) key or error out.
+        if let Ok(k) = phi_rsa::der::decode_private_key(&der) {
+            k.validate().expect("decoder only returns validated keys");
+        }
+    }
+}
