@@ -26,6 +26,7 @@ fn run(id: &str) -> bool {
         "e11" => println!("{}", ex::e11_reduction(&SIZES)),
         "e12" => println!("{}", ex::e12_resumption(2048)),
         "e13" => println!("{}", ex::e13_multikey_verify(&[1024, 2048])),
+        "e14" => println!("{}", ex::e14_service(1024, &[0.2, 0.5, 0.9, 1.5, 3.0], 512)),
         _ => return false,
     }
     true
@@ -34,14 +35,14 @@ fn run(id: &str) -> bool {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let ids: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        (1..=13).map(|i| format!("e{i}")).collect()
+        (1..=14).map(|i| format!("e{i}")).collect()
     } else {
         args
     };
     println!("# PhiOpenSSL evaluation harness (modeled KNC channel)\n");
     for id in &ids {
         if !run(id) {
-            eprintln!("unknown experiment id: {id} (expected e1..e13 or all)");
+            eprintln!("unknown experiment id: {id} (expected e1..e14 or all)");
             std::process::exit(2);
         }
     }

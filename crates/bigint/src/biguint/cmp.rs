@@ -72,6 +72,8 @@ mod tests {
     }
 
     #[test]
+    // The point of this test is the mixed-type comparison impls.
+    #[allow(clippy::cmp_owned)]
     fn compare_with_u64() {
         assert!(BigUint::from(5u64) == 5u64);
         assert!(BigUint::from(5u64) < 6u64);

@@ -118,7 +118,7 @@ pub fn is_prime_u64(v: u64) -> bool {
         if v == p {
             return true;
         }
-        if v % p == 0 {
+        if v.is_multiple_of(p) {
             return false;
         }
     }

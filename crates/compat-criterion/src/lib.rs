@@ -1,0 +1,329 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! Implements the interface this workspace's benches use — `Criterion`
+//! builder knobs, `benchmark_group` / `bench_function` /
+//! `bench_with_input`, `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — on top of a simple
+//! `Instant`-based timing loop that prints one line per benchmark.
+//!
+//! There is no statistical analysis, outlier rejection, or HTML report;
+//! each benchmark runs a short warm-up to calibrate the iteration count,
+//! then `sample_size` timed samples, and reports the fastest sample's
+//! mean ns/iter (the usual low-noise point estimate).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// Re-export point for the value-laundering helper.
+pub use std::hint::black_box;
+
+/// Unit used to express a benchmark's work per iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier `group_name/function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Compose an id from a function name and a parameter value.
+    pub fn new(function_id: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    /// Id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times the closure under test.
+pub struct Bencher {
+    iters_per_sample: u64,
+    sample_size: usize,
+    best_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Run `routine` in a calibrated timing loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let mut best = f64::INFINITY;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / self.iters_per_sample as f64;
+            if ns < best {
+                best = ns;
+            }
+        }
+        self.best_ns_per_iter = best;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the work performed per iteration (reported as a rate).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Override the sample count for this group (accepted for API
+    /// compatibility; the global sample size already applies).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let _ = n;
+        self
+    }
+
+    /// Benchmark a closure with no parameter.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let report = self.criterion.run_one(&label, |b| f(b));
+        self.print(&label, report);
+        self
+    }
+
+    /// Benchmark a closure against one input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let report = self.criterion.run_one(&label, |b| f(b, input));
+        self.print(&label, report);
+        self
+    }
+
+    /// End the group (no-op; exists for API compatibility).
+    pub fn finish(&mut self) {}
+
+    fn print(&self, label: &str, ns_per_iter: f64) {
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / (ns_per_iter * 1e-9);
+                println!("bench {label:<48} {ns_per_iter:>12.1} ns/iter {rate:>14.0} elem/s");
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 / (ns_per_iter * 1e-9) / (1024.0 * 1024.0);
+                println!("bench {label:<48} {ns_per_iter:>12.1} ns/iter {rate:>12.1} MiB/s");
+            }
+            None => {
+                println!("bench {label:<48} {ns_per_iter:>12.1} ns/iter");
+            }
+        }
+    }
+}
+
+/// Benchmark driver; mirrors criterion's builder surface.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Total time budget split across the samples.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Calibration time before sampling starts.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Accepted for CLI compatibility; configuration wins here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = self.run_one(id, |b| f(b));
+        println!("bench {id:<48} {report:>12.1} ns/iter");
+        self
+    }
+
+    /// Final-report hook (no-op; exists for API compatibility).
+    pub fn final_summary(&mut self) {}
+
+    fn run_one(&self, _label: &str, mut f: impl FnMut(&mut Bencher)) -> f64 {
+        // Calibrate: find an iteration count that makes one sample last
+        // roughly measurement_time / sample_size, by timing one probe
+        // iteration during warm-up.
+        let mut probe = Bencher {
+            iters_per_sample: 1,
+            sample_size: 1,
+            best_ns_per_iter: 0.0,
+        };
+        let warm_up_deadline = Instant::now() + self.warm_up_time;
+        f(&mut probe);
+        let mut per_iter_ns = probe.best_ns_per_iter.max(1.0);
+        while Instant::now() < warm_up_deadline {
+            f(&mut probe);
+            per_iter_ns = per_iter_ns.min(probe.best_ns_per_iter.max(1.0));
+        }
+        let sample_budget_ns = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let iters = ((sample_budget_ns / per_iter_ns).round() as u64).clamp(1, 1 << 24);
+
+        let mut bencher = Bencher {
+            iters_per_sample: iters,
+            sample_size: self.sample_size,
+            best_ns_per_iter: 0.0,
+        };
+        f(&mut bencher);
+        bencher.best_ns_per_iter
+    }
+}
+
+/// Declare a benchmark group binding, optionally with a config expression.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn bench_function_reports_positive_time() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("t");
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("work", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn bench_with_input_passes_the_input() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("t2");
+        let input = 7u64;
+        group.bench_with_input(BenchmarkId::new("square", input), &input, |b, &x| {
+            b.iter(|| x * x);
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 512).to_string(), "f/512");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+
+    criterion_group! {
+        name = demo_group;
+        config = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        targets = demo_target
+    }
+
+    fn demo_target(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1u32 + 1));
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        demo_group();
+    }
+}

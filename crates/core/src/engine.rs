@@ -97,6 +97,31 @@ impl BatchCrtEngine {
             .collect()
     }
 
+    /// Execute 1..=[`BATCH_WIDTH`] operations through one full-width
+    /// batch pass, masking the dead lanes.
+    ///
+    /// Dead lanes are padded with the ciphertext 1 (whose private op is
+    /// again 1, a valid residue for every key) and their results
+    /// discarded. The pass costs the same as a full batch regardless of
+    /// occupancy — the lane ladder always runs all sixteen lanes — which
+    /// is exactly the trade the deadline-driven service layer makes: pay
+    /// full width now rather than park the requests longer.
+    pub fn private_op_masked(&self, cts: &[BigUint]) -> Vec<BigUint> {
+        assert!(
+            !cts.is_empty() && cts.len() <= BATCH_WIDTH,
+            "need 1..={BATCH_WIDTH} inputs, got {}",
+            cts.len()
+        );
+        if cts.len() == BATCH_WIDTH {
+            return self.private_op_16(cts);
+        }
+        let mut padded = cts.to_vec();
+        padded.resize(BATCH_WIDTH, BigUint::one());
+        let mut out = self.private_op_16(&padded);
+        out.truncate(cts.len());
+        out
+    }
+
     /// Execute an arbitrary number of operations, running full batches
     /// through the lane engine and the remainder through single-lane CRT.
     pub fn private_op_many(&self, cts: &[BigUint]) -> Vec<BigUint> {
@@ -213,6 +238,38 @@ mod tests {
         );
         // And it never touches the scalar multiplier in the ladders.
         let _ = batched.get(OpClass::SMul64);
+    }
+
+    #[test]
+    fn masked_batch_matches_full_occupancy_semantics() {
+        let (engine, _, e, _) = demo();
+        for live in [1usize, 2, 7, 15] {
+            let (msgs, cts) = ciphertexts(engine.modulus(), &e, live);
+            assert_eq!(engine.private_op_masked(&cts), msgs, "live {live}");
+        }
+        let (msgs, cts) = ciphertexts(engine.modulus(), &e, BATCH_WIDTH);
+        assert_eq!(engine.private_op_masked(&cts), msgs);
+    }
+
+    #[test]
+    fn masked_batch_costs_full_width() {
+        let (engine, _, e, _) = demo();
+        let (_, cts) = ciphertexts(engine.modulus(), &e, BATCH_WIDTH);
+        count::reset();
+        let (_, full) = count::measure(|| engine.private_op_16(&cts));
+        let (_, masked) = count::measure(|| engine.private_op_masked(&cts[..3]));
+        // Dead lanes still execute: a 3-live-lane pass issues the same
+        // vector work as a full one (ciphertext values change the windowed
+        // multiply pattern slightly; vector multiplies dominate and match).
+        assert_eq!(masked.get(OpClass::VMul), full.get(OpClass::VMul));
+    }
+
+    #[test]
+    #[should_panic(expected = "need 1..=16")]
+    fn masked_batch_rejects_oversize() {
+        let (engine, _, e, _) = demo();
+        let (_, cts) = ciphertexts(engine.modulus(), &e, BATCH_WIDTH + 1);
+        engine.private_op_masked(&cts);
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub use batch::BatchMont;
 pub use batch_multi::MultiBatchMont;
 pub use crt::CrtKey;
 pub use engine::BatchCrtEngine;
-pub use library::{PhiConfig, PhiLibrary};
+pub use library::{ConfigError, PhiConfig, PhiConfigBuilder, PhiLibrary};
 pub use radix::{VecNum, DIGIT_BITS, DIGIT_MASK};
 pub use vexp::TableLookup;
 pub use vmont::VMontCtx;

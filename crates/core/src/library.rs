@@ -6,9 +6,36 @@ use crate::vexp::{mod_exp_vec, TableLookup, DEFAULT_WINDOW};
 use crate::vmont::VMontCtx;
 use crate::vmul::big_mul_vectorized;
 use phi_bigint::{BigIntError, BigUint};
+use phi_mont::session::{ExpPolicy, ModulusSession};
 use phi_mont::{ExpStrategy, Libcrypto, MontEngine};
+use std::fmt;
+
+/// An invalid [`PhiConfig`] tunable, rejected at build time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Fixed-window width outside the supported `1..=7` range.
+    WindowOutOfRange(u32),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::WindowOutOfRange(w) => {
+                write!(f, "fixed-window width {w} outside supported range 1..=7")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Tunables of the vectorized library.
+///
+/// Construct through [`PhiConfig::builder`], which validates every
+/// tunable. The fields remain public for pattern matching and reading,
+/// but filling them in by hand is a deprecated pattern — a struct
+/// literal can smuggle in a window width the exponentiation kernel will
+/// reject much later, at `assert!` distance from the mistake.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PhiConfig {
     /// Fixed-window width for exponentiation (the paper uses 5).
@@ -23,6 +50,63 @@ impl Default for PhiConfig {
             window: DEFAULT_WINDOW,
             lookup: TableLookup::Direct,
         }
+    }
+}
+
+impl PhiConfig {
+    /// Start a validating builder at the paper's defaults
+    /// (window 5, direct table lookup).
+    pub fn builder() -> PhiConfigBuilder {
+        PhiConfigBuilder {
+            config: PhiConfig::default(),
+        }
+    }
+}
+
+/// Validating builder for [`PhiConfig`]; see [`PhiConfig::builder`].
+///
+/// ```
+/// use phiopenssl::{PhiConfig, PhiLibrary};
+///
+/// # fn main() -> Result<(), phiopenssl::ConfigError> {
+/// let config = PhiConfig::builder().window(6)?.constant_time().build();
+/// let lib = PhiLibrary::with_config(config);
+/// assert_eq!(lib.config.window, 6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct PhiConfigBuilder {
+    config: PhiConfig,
+}
+
+impl PhiConfigBuilder {
+    /// Set the fixed-window width; widths outside `1..=7` are rejected
+    /// (0 would never terminate table fill, above 7 the 2^w-entry table
+    /// stops fitting the modeled per-core L2 budget).
+    pub fn window(mut self, window: u32) -> Result<Self, ConfigError> {
+        if window == 0 || window > 7 {
+            return Err(ConfigError::WindowOutOfRange(window));
+        }
+        self.config.window = window;
+        Ok(self)
+    }
+
+    /// Use the constant-time (gather-all-rows) window-table lookup.
+    pub fn constant_time(mut self) -> Self {
+        self.config.lookup = TableLookup::ConstantTime;
+        self
+    }
+
+    /// Set the window-table lookup policy explicitly.
+    pub fn lookup(mut self, lookup: TableLookup) -> Self {
+        self.config.lookup = lookup;
+        self
+    }
+
+    /// Finish, yielding the validated configuration.
+    pub fn build(self) -> PhiConfig {
+        self.config
     }
 }
 
@@ -60,28 +144,28 @@ impl Libcrypto for PhiLibrary {
         big_mul_vectorized(a, b)
     }
 
-    fn mont_mul(&self, a: &BigUint, b: &BigUint, n: &BigUint) -> Result<BigUint, BigIntError> {
-        let ctx = VMontCtx::new(n)?;
-        Ok(ctx.mont_mul(a, b))
-    }
-
-    fn mod_exp(&self, base: &BigUint, exp: &BigUint, n: &BigUint) -> Result<BigUint, BigIntError> {
-        let ctx = VMontCtx::new(n)?;
-        Ok(mod_exp_vec(
-            &ctx,
-            base,
-            exp,
-            self.config.window,
-            self.config.lookup,
-        ))
-    }
-
-    fn make_engine(&self, n: &BigUint) -> Result<Box<dyn MontEngine>, BigIntError> {
+    fn make_engine(&self, n: &BigUint) -> Result<Box<dyn MontEngine + Send + Sync>, BigIntError> {
         Ok(Box::new(VMontCtx::new(n)?))
     }
 
     fn strategy_for(&self, _bits: u32) -> ExpStrategy {
         ExpStrategy::FixedWindow(self.config.window)
+    }
+
+    fn with_modulus(&self, n: &BigUint) -> Result<ModulusSession, BigIntError> {
+        // One context build for both roles: the cloned handle shares the
+        // precomputed n'/R² tables, so the session still counts as a
+        // single setup.
+        let ctx = VMontCtx::new(n)?;
+        let exp_ctx = ctx.clone();
+        let PhiConfig { window, lookup } = self.config;
+        Ok(ModulusSession::new(
+            self.name(),
+            Box::new(ctx),
+            ExpPolicy::Custom(Box::new(move |base, exp| {
+                mod_exp_vec(&exp_ctx, base, exp, window, lookup)
+            })),
+        ))
     }
 }
 
@@ -173,5 +257,55 @@ mod tests {
         let e = lib.make_engine(&n256()).unwrap();
         let a = BigUint::from(999u64);
         assert_eq!(e.from_mont(&e.to_mont(&a)), a);
+    }
+
+    #[test]
+    fn builder_validates_window() {
+        let config = PhiConfig::builder()
+            .window(6)
+            .unwrap()
+            .constant_time()
+            .build();
+        assert_eq!(config.window, 6);
+        assert_eq!(config.lookup, TableLookup::ConstantTime);
+        assert_eq!(PhiConfig::builder().build(), PhiConfig::default());
+        assert_eq!(
+            PhiConfig::builder().window(0).unwrap_err(),
+            ConfigError::WindowOutOfRange(0)
+        );
+        assert_eq!(
+            PhiConfig::builder().window(8).unwrap_err(),
+            ConfigError::WindowOutOfRange(8)
+        );
+        assert!(ConfigError::WindowOutOfRange(9)
+            .to_string()
+            .contains("1..=7"));
+    }
+
+    #[test]
+    fn session_keeps_the_vector_path_and_config() {
+        let lib = PhiLibrary::with_config(PhiConfig::builder().window(4).unwrap().build());
+        let n = n256();
+        let session = lib.with_modulus(&n).unwrap();
+        let base = BigUint::from(3u64);
+        let exp = BigUint::from(1000001u64);
+        count::reset();
+        let (got, d) = count::measure(|| session.mod_exp(&base, &exp));
+        assert_eq!(got, base.mod_exp(&exp, &n));
+        assert!(d.get(OpClass::VMul) > 0, "session must use the vector pipe");
+        assert_eq!(d.get(OpClass::SMul64), 0);
+    }
+
+    #[test]
+    fn session_builds_one_context_for_mul_and_exp() {
+        let n = n256();
+        let lib = PhiLibrary::default();
+        let ((), setups) = count::measure_ctx_setups(|| {
+            let session = lib.with_modulus(&n).unwrap();
+            let am = session.engine().to_mont(&BigUint::from(5u64));
+            session.mont_mul(&am, &am);
+            session.mod_exp(&BigUint::from(5u64), &BigUint::from(65537u64));
+        });
+        assert_eq!(setups, 1, "mul and exp share the one session context");
     }
 }

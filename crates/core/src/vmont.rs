@@ -65,6 +65,7 @@ impl VMontCtx {
         if n.is_zero() || n.is_even() {
             return Err(BigIntError::EvenModulus);
         }
+        phi_simd::count::record_ctx_setup();
         let k = n.bit_length().div_ceil(DIGIT_BITS) as usize;
         // One extra digit so the pre-subtraction value (< 2n) always fits.
         let kk = pad_to_lanes(k + 1);

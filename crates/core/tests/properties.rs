@@ -142,6 +142,36 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn masked_engine_matches_sequential_crt(
+        seeds in proptest::collection::vec(any::<u64>(), BATCH_WIDTH),
+        live in 1usize..=15,
+    ) {
+        use phiopenssl::{BatchCrtEngine, CrtKey};
+        let p = BigUint::from_hex("ffffffffffffffc5").unwrap(); // 2^64-59
+        let q = BigUint::from_hex("7fffffffffffffe7").unwrap(); // 2^63-25
+        let e = BigUint::from(65537u64);
+        let phi = &(&p - &BigUint::one()) * &(&q - &BigUint::one());
+        let d = e.mod_inverse(&phi).unwrap();
+        let key = CrtKey::new(&p, &q, &d).unwrap();
+        let engine = BatchCrtEngine::new(&key).unwrap();
+        let n = engine.modulus().clone();
+        let cts: Vec<BigUint> = seeds[..live].iter().map(|&s| &BigUint::from(s) % &n).collect();
+        let got = engine.private_op_masked(&cts);
+        prop_assert_eq!(got.len(), live);
+        for (j, c) in cts.iter().enumerate() {
+            prop_assert_eq!(
+                &got[j],
+                &key.private_op(c, 5, TableLookup::Direct),
+                "lane {} of {}", j, live
+            );
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     #[test]

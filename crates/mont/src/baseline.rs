@@ -17,12 +17,21 @@
 use crate::ctx32::MontCtx32;
 use crate::ctx64::MontCtx64;
 use crate::engine::MontEngine;
-use crate::exp::{mont_exp, window_bits_for_exponent, ExpStrategy};
+use crate::exp::{window_bits_for_exponent, ExpStrategy};
+use crate::session::{ExpPolicy, ModulusSession};
 use phi_bigint::{BigIntError, BigUint};
 use phi_simd::count::{record, OpClass};
 
 /// A reference libcrypto profile: the subset of OpenSSL's BN API the
 /// benchmarks exercise, with modeled KNC operation accounting.
+///
+/// The primary modular-arithmetic path is [`Libcrypto::with_modulus`],
+/// which builds the Montgomery context **once** and returns a
+/// [`ModulusSession`] for the whole operation stream. The one-shot
+/// [`Libcrypto::mont_mul`] / [`Libcrypto::mod_exp`] conveniences remain
+/// for single operations, but they rebuild the context on every call —
+/// any call site issuing more than one operation against the same
+/// modulus should hold a session instead.
 pub trait Libcrypto {
     /// Human-readable profile name (used in harness tables).
     fn name(&self) -> &'static str;
@@ -31,18 +40,43 @@ pub trait Libcrypto {
     /// algorithm and word size.
     fn big_mul(&self, a: &BigUint, b: &BigUint) -> BigUint;
 
-    /// One Montgomery multiplication modulo `n` (operands reduced).
-    fn mont_mul(&self, a: &BigUint, b: &BigUint, n: &BigUint) -> Result<BigUint, BigIntError>;
-
-    /// `base^exp mod n` with this library's exponentiation policy.
-    fn mod_exp(&self, base: &BigUint, exp: &BigUint, n: &BigUint) -> Result<BigUint, BigIntError>;
-
     /// Build a reusable Montgomery engine for repeated work modulo `n`.
-    fn make_engine(&self, n: &BigUint) -> Result<Box<dyn MontEngine>, BigIntError>;
+    fn make_engine(&self, n: &BigUint) -> Result<Box<dyn MontEngine + Send + Sync>, BigIntError>;
 
     /// The exponentiation strategy this library would pick for `bits`-bit
     /// exponents.
     fn strategy_for(&self, bits: u32) -> ExpStrategy;
+
+    /// Open a cached-context session for repeated work modulo `n`.
+    ///
+    /// The default builds one engine via [`Libcrypto::make_engine`] and
+    /// pairs it with the OpenSSL sliding-window rule, which is exactly
+    /// the policy of both scalar baselines. Libraries with a different
+    /// exponentiation policy (the vectorized library's fixed-window
+    /// path) override this to install their own [`ExpPolicy`].
+    fn with_modulus(&self, n: &BigUint) -> Result<ModulusSession, BigIntError> {
+        Ok(ModulusSession::new(
+            self.name(),
+            self.make_engine(n)?,
+            ExpPolicy::SlidingByRule,
+        ))
+    }
+
+    /// One Montgomery multiplication modulo `n` (operands reduced).
+    ///
+    /// Thin one-shot wrapper: builds a throwaway session per call. Hold a
+    /// [`ModulusSession`] via [`Libcrypto::with_modulus`] for streams.
+    fn mont_mul(&self, a: &BigUint, b: &BigUint, n: &BigUint) -> Result<BigUint, BigIntError> {
+        Ok(self.with_modulus(n)?.mont_mul(a, b))
+    }
+
+    /// `base^exp mod n` with this library's exponentiation policy.
+    ///
+    /// Thin one-shot wrapper: builds a throwaway session per call. Hold a
+    /// [`ModulusSession`] via [`Libcrypto::with_modulus`] for streams.
+    fn mod_exp(&self, base: &BigUint, exp: &BigUint, n: &BigUint) -> Result<BigUint, BigIntError> {
+        Ok(self.with_modulus(n)?.mod_exp(base, exp))
+    }
 }
 
 /// Record the modeled footprint of a schoolbook product over `ka × kb`
@@ -109,22 +143,7 @@ impl Libcrypto for MpssBaseline {
         a.mul_schoolbook(b)
     }
 
-    fn mont_mul(&self, a: &BigUint, b: &BigUint, n: &BigUint) -> Result<BigUint, BigIntError> {
-        let ctx = MontCtx64::new(n)?;
-        Ok(ctx.mont_mul(a, b))
-    }
-
-    fn mod_exp(&self, base: &BigUint, exp: &BigUint, n: &BigUint) -> Result<BigUint, BigIntError> {
-        let ctx = MontCtx64::new(n)?;
-        Ok(mont_exp(
-            &ctx,
-            base,
-            exp,
-            self.strategy_for(exp.bit_length()),
-        ))
-    }
-
-    fn make_engine(&self, n: &BigUint) -> Result<Box<dyn MontEngine>, BigIntError> {
+    fn make_engine(&self, n: &BigUint) -> Result<Box<dyn MontEngine + Send + Sync>, BigIntError> {
         Ok(Box::new(MontCtx64::new(n)?))
     }
 
@@ -151,22 +170,7 @@ impl Libcrypto for OpensslBaseline {
         a.mul_ref(b)
     }
 
-    fn mont_mul(&self, a: &BigUint, b: &BigUint, n: &BigUint) -> Result<BigUint, BigIntError> {
-        let ctx = MontCtx32::new(n)?;
-        Ok(ctx.mont_mul(a, b))
-    }
-
-    fn mod_exp(&self, base: &BigUint, exp: &BigUint, n: &BigUint) -> Result<BigUint, BigIntError> {
-        let ctx = MontCtx32::new(n)?;
-        Ok(mont_exp(
-            &ctx,
-            base,
-            exp,
-            self.strategy_for(exp.bit_length()),
-        ))
-    }
-
-    fn make_engine(&self, n: &BigUint) -> Result<Box<dyn MontEngine>, BigIntError> {
+    fn make_engine(&self, n: &BigUint) -> Result<Box<dyn MontEngine + Send + Sync>, BigIntError> {
         Ok(Box::new(MontCtx32::new(n)?))
     }
 

@@ -73,6 +73,7 @@ impl MontCtx32 {
         if n.is_zero() || n.is_even() {
             return Err(BigIntError::EvenModulus);
         }
+        phi_simd::count::record_ctx_setup();
         let k = n.bit_length().div_ceil(32) as usize;
         let n_limbs = to_u32_limbs(n, k);
         let r_bits = (k as u32) * 32;

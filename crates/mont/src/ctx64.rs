@@ -43,6 +43,7 @@ impl MontCtx64 {
         if n.is_zero() || n.is_even() {
             return Err(BigIntError::EvenModulus);
         }
+        phi_simd::count::record_ctx_setup();
         let n_limbs = n.limbs().to_vec();
         let k = n_limbs.len();
         let r_bits = (k as u32) * 64;

@@ -49,6 +49,7 @@ pub mod ctx32;
 pub mod ctx64;
 pub mod engine;
 pub mod exp;
+pub mod session;
 
 pub use barrett::BarrettCtx;
 pub use baseline::{Libcrypto, MpssBaseline, OpensslBaseline};
@@ -56,3 +57,4 @@ pub use ctx32::MontCtx32;
 pub use ctx64::MontCtx64;
 pub use engine::MontEngine;
 pub use exp::{window_bits_for_exponent, ExpStrategy};
+pub use session::{ExpPolicy, ModulusSession};

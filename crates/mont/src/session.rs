@@ -1,0 +1,246 @@
+//! [`ModulusSession`]: a cached Montgomery context plus the owning
+//! library's exponentiation policy, for repeated work modulo one `n`.
+//!
+//! The one-shot [`Libcrypto`](crate::Libcrypto) conveniences rebuild a
+//! Montgomery context (n′ and R² precomputation) on every call, which is
+//! fine for a single operation but wrong for any stream of operations
+//! against the same modulus — an RSA key, a TLS server certificate, a
+//! benchmark sweep. A session is obtained once per modulus via
+//! [`Libcrypto::with_modulus`](crate::Libcrypto::with_modulus) and then
+//! amortizes the setup across every subsequent call.
+//!
+//! The session carries not just the engine but the *policy*: how the
+//! library turns `base^exp mod n` into engine calls. The scalar baselines
+//! use the OpenSSL sliding-window rule; the vectorized library installs a
+//! custom closure running its fixed-window vector path, so a session is a
+//! faithful stand-in for the library it came from.
+
+use crate::engine::MontEngine;
+use crate::exp::{mont_exp, window_bits_for_exponent, ExpStrategy};
+use phi_bigint::BigUint;
+use std::fmt;
+
+/// A library-supplied exponentiation routine, called as `f(base, exp)`.
+pub type ExpFn = Box<dyn Fn(&BigUint, &BigUint) -> BigUint + Send + Sync>;
+
+/// How a session computes `base^exp mod n`.
+pub enum ExpPolicy {
+    /// OpenSSL's sliding-window rule: width chosen per exponent size by
+    /// [`window_bits_for_exponent`], run through the session's engine.
+    SlidingByRule,
+    /// One fixed [`ExpStrategy`] for every exponent, run through the
+    /// session's engine.
+    Fixed(ExpStrategy),
+    /// A library-supplied exponentiation routine (e.g. the vectorized
+    /// fixed-window path, which needs its own context type rather than
+    /// the `dyn MontEngine` interface).
+    Custom(ExpFn),
+}
+
+impl fmt::Debug for ExpPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExpPolicy::SlidingByRule => f.write_str("SlidingByRule"),
+            ExpPolicy::Fixed(s) => write!(f, "Fixed({s:?})"),
+            ExpPolicy::Custom(_) => f.write_str("Custom(..)"),
+        }
+    }
+}
+
+/// A reusable per-modulus computation session: one Montgomery engine,
+/// built once, plus the owning library's exponentiation policy.
+///
+/// Sessions are `Send + Sync`, so one session can serve many threads
+/// (every method takes `&self`).
+pub struct ModulusSession {
+    library: &'static str,
+    engine: Box<dyn MontEngine + Send + Sync>,
+    policy: ExpPolicy,
+}
+
+impl fmt::Debug for ModulusSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ModulusSession")
+            .field("library", &self.library)
+            .field("modulus_bits", &self.engine.modulus().bit_length())
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
+impl ModulusSession {
+    /// Assemble a session from its parts. Libraries call this from
+    /// [`Libcrypto::with_modulus`](crate::Libcrypto::with_modulus);
+    /// application code normally never constructs one directly.
+    pub fn new(
+        library: &'static str,
+        engine: Box<dyn MontEngine + Send + Sync>,
+        policy: ExpPolicy,
+    ) -> Self {
+        ModulusSession {
+            library,
+            engine,
+            policy,
+        }
+    }
+
+    /// Name of the library profile this session came from.
+    pub fn library(&self) -> &'static str {
+        self.library
+    }
+
+    /// The (odd) modulus this session is bound to.
+    pub fn modulus(&self) -> &BigUint {
+        self.engine.modulus()
+    }
+
+    /// The underlying Montgomery engine, for callers that drive the
+    /// domain conversions themselves.
+    pub fn engine(&self) -> &(dyn MontEngine + Send + Sync) {
+        self.engine.as_ref()
+    }
+
+    /// Montgomery product `a·b·R⁻¹ mod n` (operands in the Montgomery
+    /// domain), without rebuilding any context.
+    pub fn mont_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        self.engine.mont_mul(a, b)
+    }
+
+    /// Plain modular product `a·b mod n` of reduced residues, computed
+    /// through the Montgomery engine (one domain entry + two products).
+    pub fn mod_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        // (a·R) · b · R⁻¹ = a·b (mod n): one domain entry, one product,
+        // and the R factors cancel without an explicit exit.
+        self.engine.mont_mul(&self.engine.to_mont(a), b)
+    }
+
+    /// `base^exp mod n` under this session's policy. Input and output are
+    /// plain residues.
+    pub fn mod_exp(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        match &self.policy {
+            ExpPolicy::SlidingByRule => {
+                let w = window_bits_for_exponent(exp.bit_length());
+                mont_exp(
+                    self.engine.as_ref(),
+                    base,
+                    exp,
+                    ExpStrategy::SlidingWindow(w),
+                )
+            }
+            ExpPolicy::Fixed(strategy) => mont_exp(self.engine.as_ref(), base, exp, *strategy),
+            ExpPolicy::Custom(f) => f(base, exp),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::{Libcrypto, MpssBaseline, OpensslBaseline};
+    use phi_simd::count;
+
+    fn n256() -> BigUint {
+        BigUint::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff61")
+            .unwrap()
+    }
+
+    #[test]
+    fn session_mod_exp_matches_one_shot() {
+        let n = n256();
+        let base = BigUint::from_hex("1234567890abcdef").unwrap();
+        let exp = BigUint::from_hex("fedcba9876543210123456789").unwrap();
+        for lib in [&MpssBaseline as &dyn Libcrypto, &OpensslBaseline] {
+            let session = lib.with_modulus(&n).unwrap();
+            assert_eq!(
+                session.mod_exp(&base, &exp),
+                lib.mod_exp(&base, &exp, &n).unwrap(),
+                "{}",
+                lib.name()
+            );
+            assert_eq!(session.library(), lib.name());
+            assert_eq!(session.modulus(), &n);
+        }
+    }
+
+    #[test]
+    fn session_builds_exactly_one_context() {
+        let n = n256();
+        let base = BigUint::from(3u64);
+        let exp = BigUint::from(65537u64);
+        let ((), setups) = count::measure_ctx_setups(|| {
+            let session = MpssBaseline.with_modulus(&n).unwrap();
+            for _ in 0..8 {
+                session.mod_exp(&base, &exp);
+            }
+        });
+        assert_eq!(setups, 1, "one context per session, reused across calls");
+    }
+
+    #[test]
+    fn one_shot_wrappers_rebuild_each_time() {
+        let n = n256();
+        let base = BigUint::from(3u64);
+        let exp = BigUint::from(65537u64);
+        let ((), setups) = count::measure_ctx_setups(|| {
+            for _ in 0..4 {
+                MpssBaseline.mod_exp(&base, &exp, &n).unwrap();
+            }
+        });
+        assert_eq!(setups, 4, "the convenience path pays setup per call");
+    }
+
+    #[test]
+    fn mod_mul_is_modular_product() {
+        let n = n256();
+        let session = OpensslBaseline.with_modulus(&n).unwrap();
+        let a = BigUint::from(123456789u64);
+        let b = BigUint::from(987654321u64);
+        assert_eq!(session.mod_mul(&a, &b), a.mod_mul(&b, &n));
+    }
+
+    #[test]
+    fn fixed_policy_runs_the_given_strategy() {
+        let n = n256();
+        let engine = MpssBaseline.make_engine(&n).unwrap();
+        let session = ModulusSession::new(
+            "test",
+            engine,
+            ExpPolicy::Fixed(ExpStrategy::MontgomeryLadder),
+        );
+        let base = BigUint::from(7u64);
+        let exp = BigUint::from(1000003u64);
+        assert_eq!(session.mod_exp(&base, &exp), base.mod_exp(&exp, &n));
+    }
+
+    #[test]
+    fn custom_policy_is_called() {
+        let n = n256();
+        let engine = MpssBaseline.make_engine(&n).unwrap();
+        let session = ModulusSession::new(
+            "test",
+            engine,
+            ExpPolicy::Custom(Box::new(|base, _exp| base.clone())),
+        );
+        let base = BigUint::from(42u64);
+        assert_eq!(session.mod_exp(&base, &BigUint::from(9u64)), base);
+    }
+
+    #[test]
+    fn sessions_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModulusSession>();
+    }
+
+    #[test]
+    fn even_modulus_is_rejected() {
+        assert!(MpssBaseline.with_modulus(&BigUint::from(100u64)).is_err());
+    }
+
+    #[test]
+    fn debug_formats_without_leaking_contents() {
+        let session = MpssBaseline.with_modulus(&n256()).unwrap();
+        let s = format!("{session:?}");
+        assert!(s.contains("ModulusSession"), "{s}");
+        assert!(s.contains("SlidingByRule"), "{s}");
+    }
+}

@@ -160,6 +160,12 @@ impl fmt::Display for OpCounts {
 
 thread_local! {
     static COUNTS: RefCell<OpCounts> = const { RefCell::new(OpCounts { counts: [0; NUM_CLASSES] }) };
+    // Montgomery context constructions are tracked separately from the
+    // OpClass table: they are a *setup* event (n', R^2 precomputation),
+    // not a modeled steady-state instruction class, and folding them into
+    // the cost model would skew cycle totals. The counter exists so tests
+    // can assert that cached-context code paths build each context once.
+    static CTX_SETUPS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
 }
 
 /// Record `n` operations of the given class on the current thread.
@@ -187,6 +193,29 @@ pub fn measure<R>(f: impl FnOnce() -> R) -> (R, OpCounts) {
     let out = f();
     let after = snapshot();
     (out, after.since(&before))
+}
+
+/// Record one Montgomery context construction on the current thread.
+///
+/// Called by every `MontCtx64` / `MontCtx32` / `VMontCtx` constructor.
+/// Not part of [`OpCounts`]: context setup is a one-time precomputation
+/// event, not a steady-state instruction class the cost model weighs.
+#[inline]
+pub fn record_ctx_setup() {
+    CTX_SETUPS.with(|c| c.set(c.get() + 1));
+}
+
+/// Montgomery context constructions recorded on this thread so far.
+pub fn ctx_setups() -> u64 {
+    CTX_SETUPS.with(|c| c.get())
+}
+
+/// Run `f` and return its result together with the number of Montgomery
+/// context constructions it performed on this thread.
+pub fn measure_ctx_setups<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let before = ctx_setups();
+    let out = f();
+    (out, ctx_setups() - before)
 }
 
 #[cfg(test)]
@@ -252,6 +281,22 @@ mod tests {
         });
         assert_eq!(handle.join().unwrap(), 42);
         assert_eq!(snapshot().get(OpClass::VMul), 1);
+    }
+
+    #[test]
+    fn ctx_setups_are_differential_and_thread_local() {
+        let base = ctx_setups();
+        record_ctx_setup();
+        record_ctx_setup();
+        assert_eq!(ctx_setups(), base + 2);
+        let ((), n) = measure_ctx_setups(record_ctx_setup);
+        assert_eq!(n, 1);
+        let handle = std::thread::spawn(|| {
+            assert_eq!(ctx_setups(), 0);
+            record_ctx_setup();
+            ctx_setups()
+        });
+        assert_eq!(handle.join().unwrap(), 1);
     }
 
     #[test]

@@ -1,6 +1,10 @@
 //! Property tests: every lane operation of the IMCI model against a
 //! straightforward scalar reference.
 
+// Lane index i must pair the vector's .lane(i) with the scalar array's
+// [i]; an iterator would hide that correspondence.
+#![allow(clippy::needless_range_loop)]
+
 use phi_simd::{count, Mask16, Mask8, OpClass, U32x16, U64x8};
 use proptest::prelude::*;
 

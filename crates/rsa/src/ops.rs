@@ -4,34 +4,131 @@
 //! The private operation follows OpenSSL's `rsa_ossl_mod_exp`: two CRT
 //! half-exponentiations with the library's exponentiation policy, Garner
 //! recombination with the library's multiplier, and optional blinding.
+//!
+//! Montgomery contexts are cached: every modulus an [`RsaOps`] touches
+//! (`n`, `p`, `q`) gets one [`ModulusSession`] built on first use and
+//! reused for the life of the context. A key's operation stream therefore
+//! pays context setup once per modulus, not once per call.
+//!
+//! For batch-shaped server loads, [`RsaBatchService`] wires a private key
+//! into the deadline-driven batch service of `phi_rt`: submissions from
+//! any thread aggregate into 16-lane [`BatchCrtEngine`] passes. An
+//! [`RsaOps`] with an attached service ([`RsaOps::with_service`]) routes
+//! eligible private operations through it and falls back to the
+//! sequential CRT path under backpressure.
 
 use crate::blinding::Blinding;
 use crate::error::RsaError;
 use crate::key::{RsaPrivateKey, RsaPublicKey};
 use crate::padding;
 use phi_bigint::BigUint;
-use phi_mont::Libcrypto;
+use phi_mont::{Libcrypto, ModulusSession};
+use phi_rt::service::{BatchService, ServiceConfig, SubmitError, TicketHandle};
+use phi_rt::stats::ServiceReport;
+use phiopenssl::BatchCrtEngine;
 use rand::Rng;
+use std::sync::{Arc, Mutex};
+
+/// A shared deadline-driven batch executor for one private key.
+///
+/// Wraps [`BatchService`] around a [`BatchCrtEngine`] built from the
+/// key's CRT material. Clone-free sharing: wrap it in an [`Arc`] and
+/// hand it to every [`RsaOps`] (or TLS connection) serving that key.
+pub struct RsaBatchService {
+    service: BatchService<BigUint, BigUint>,
+    n: BigUint,
+}
+
+impl RsaBatchService {
+    /// Start a batch service for `key` with the given aggregation policy.
+    pub fn new(key: &RsaPrivateKey, config: ServiceConfig) -> Result<Self, RsaError> {
+        let engine = BatchCrtEngine::from_parts(
+            key.public().n().clone(),
+            key.dp().clone(),
+            key.dq().clone(),
+            key.qinv().clone(),
+            key.p().clone(),
+            key.q().clone(),
+        )?;
+        let service =
+            BatchService::new(config, move |cts: &[BigUint]| engine.private_op_masked(cts));
+        Ok(RsaBatchService {
+            service,
+            n: key.public().n().clone(),
+        })
+    }
+
+    /// Service with the default policy (16 lanes, 2 ms deadline).
+    pub fn with_defaults(key: &RsaPrivateKey) -> Result<Self, RsaError> {
+        Self::new(key, ServiceConfig::default())
+    }
+
+    /// The public modulus this service decrypts under.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// Submit one ciphertext; redeem the handle for the plaintext.
+    pub fn submit(&self, c: BigUint) -> Result<TicketHandle<BigUint>, SubmitError> {
+        self.service.submit(c)
+    }
+
+    /// Submit and block until the batch containing this request ran.
+    pub fn call(&self, c: BigUint) -> Result<BigUint, SubmitError> {
+        self.service.call(c)
+    }
+
+    /// Telemetry snapshot (flushes, occupancy, rejects so far).
+    pub fn report(&self) -> ServiceReport {
+        self.service.report()
+    }
+
+    /// Drain parked requests, stop the worker, return final telemetry.
+    pub fn shutdown(self) -> ServiceReport {
+        self.service.shutdown()
+    }
+}
 
 /// An RSA operation context bound to one big-number library.
+///
+/// Caches one [`ModulusSession`] per modulus it operates under, so
+/// repeated operations never rebuild Montgomery contexts.
 pub struct RsaOps {
     lib: Box<dyn Libcrypto>,
     use_crt: bool,
+    sessions: Mutex<Vec<(BigUint, Arc<ModulusSession>)>>,
+    service: Option<Arc<RsaBatchService>>,
 }
 
 impl RsaOps {
     /// Build over the given library, with CRT enabled (the default of
     /// every real RSA implementation).
     pub fn new(lib: Box<dyn Libcrypto>) -> Self {
-        RsaOps { lib, use_crt: true }
+        RsaOps {
+            lib,
+            use_crt: true,
+            sessions: Mutex::new(Vec::new()),
+            service: None,
+        }
     }
 
     /// Disable the CRT path (ablation E7 — a single full-size ladder).
     pub fn without_crt(lib: Box<dyn Libcrypto>) -> Self {
         RsaOps {
-            lib,
             use_crt: false,
+            ..Self::new(lib)
         }
+    }
+
+    /// Route eligible private operations through a shared batch service.
+    ///
+    /// A private op goes to the service when CRT is enabled and the key's
+    /// modulus matches the service's; on [`SubmitError::QueueFull`] the
+    /// operation falls back to this context's sequential CRT path, so
+    /// backpressure degrades throughput rather than failing requests.
+    pub fn with_service(mut self, service: Arc<RsaBatchService>) -> Self {
+        self.service = Some(service);
+        self
     }
 
     /// The wrapped library's display name.
@@ -44,25 +141,55 @@ impl RsaOps {
         self.use_crt
     }
 
+    /// The cached session for `n`, built through the library on first use.
+    fn session_for(&self, n: &BigUint) -> Result<Arc<ModulusSession>, RsaError> {
+        let mut cache = self.sessions.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, session)) = cache.iter().find(|(m, _)| m == n) {
+            return Ok(Arc::clone(session));
+        }
+        let session = Arc::new(self.lib.with_modulus(n)?);
+        cache.push((n.clone(), Arc::clone(&session)));
+        Ok(session)
+    }
+
     /// `RSAEP`: `m^e mod n`. Errors if `m ≥ n`.
     pub fn public_op(&self, key: &RsaPublicKey, m: &BigUint) -> Result<BigUint, RsaError> {
         if m >= key.n() {
             return Err(RsaError::InputOutOfRange);
         }
-        Ok(self.lib.mod_exp(m, key.e(), key.n())?)
+        Ok(self.session_for(key.n())?.mod_exp(m, key.e()))
     }
 
     /// `RSADP`: `c^d mod n` via CRT (or the full ladder when disabled).
+    ///
+    /// With an attached [`RsaBatchService`] for this key, the operation
+    /// is batched with concurrent requests; under service backpressure it
+    /// runs sequentially here instead.
     pub fn private_op(&self, key: &RsaPrivateKey, c: &BigUint) -> Result<BigUint, RsaError> {
         if c >= key.public().n() {
             return Err(RsaError::InputOutOfRange);
         }
+        if let Some(service) = &self.service {
+            if self.use_crt && service.modulus() == key.public().n() {
+                match service.call(c.clone()) {
+                    Ok(m) => return Ok(m),
+                    Err(SubmitError::QueueFull { .. }) => {
+                        // Shed to the sequential path below.
+                    }
+                }
+            }
+        }
+        self.private_op_sequential(key, c)
+    }
+
+    /// The in-thread private operation (never routed to a service).
+    fn private_op_sequential(&self, key: &RsaPrivateKey, c: &BigUint) -> Result<BigUint, RsaError> {
         if !self.use_crt {
-            return Ok(self.lib.mod_exp(c, key.d(), key.public().n())?);
+            return Ok(self.session_for(key.public().n())?.mod_exp(c, key.d()));
         }
         // m1 = c^dp mod p ; m2 = c^dq mod q
-        let m1 = self.lib.mod_exp(c, key.dp(), key.p())?;
-        let m2 = self.lib.mod_exp(c, key.dq(), key.q())?;
+        let m1 = self.session_for(key.p())?.mod_exp(c, key.dp());
+        let m2 = self.session_for(key.q())?.mod_exp(c, key.dq());
         // h = qinv · (m1 − m2) mod p  (Garner)
         let diff = m1.mod_sub(&m2, key.p());
         let h = self.lib.big_mul(key.qinv(), &diff).rem_ref(key.p())?;
@@ -274,5 +401,89 @@ mod tests {
             let c = ops.public_op(key.public(), &m).unwrap();
             assert_eq!(ops.private_op(&key, &c).unwrap(), m);
         }
+    }
+
+    /// Regression for the session cache: an operation stream over one key
+    /// builds each Montgomery context exactly once — `n` for the public
+    /// side, `p` and `q` for the CRT halves — no matter how many
+    /// operations run.
+    #[test]
+    fn operation_stream_builds_each_context_once() {
+        let key = key256();
+        let m = BigUint::from(0x5EED5u64);
+        for lib in [
+            Box::new(MpssBaseline) as Box<dyn Libcrypto>,
+            Box::new(OpensslBaseline),
+            Box::new(phiopenssl::PhiLibrary::default()),
+        ] {
+            let ops = RsaOps::new(lib);
+            let name = ops.lib_name();
+            let (_, setups) = phi_simd::count::measure_ctx_setups(|| {
+                let c = ops.public_op(key.public(), &m).unwrap();
+                for _ in 0..6 {
+                    assert_eq!(ops.private_op(&key, &c).unwrap(), m, "{name}");
+                }
+            });
+            assert_eq!(setups, 3, "{name}: one context each for n, p, q");
+        }
+    }
+
+    #[test]
+    fn non_crt_stream_builds_one_context() {
+        let key = key256();
+        let ops = RsaOps::without_crt(Box::new(MpssBaseline));
+        let m = BigUint::from(31337u64);
+        let (_, setups) = phi_simd::count::measure_ctx_setups(|| {
+            let c = ops.public_op(key.public(), &m).unwrap();
+            for _ in 0..4 {
+                assert_eq!(ops.private_op(&key, &c).unwrap(), m);
+            }
+        });
+        assert_eq!(setups, 1, "public and full-ladder paths share n's session");
+    }
+
+    #[test]
+    fn service_backed_private_op_matches_sequential() {
+        let key = key256();
+        let service = Arc::new(RsaBatchService::with_defaults(&key).unwrap());
+        let ops = RsaOps::new(Box::new(MpssBaseline)).with_service(Arc::clone(&service));
+        let plain = RsaOps::new(Box::new(MpssBaseline));
+        for i in 1u64..=5 {
+            let m = BigUint::from(i * 1_000_003);
+            let c = ops.public_op(key.public(), &m).unwrap();
+            assert_eq!(ops.private_op(&key, &c).unwrap(), m);
+            assert_eq!(plain.private_op(&key, &c).unwrap(), m);
+        }
+        drop(ops);
+        let report = Arc::try_unwrap(service)
+            .unwrap_or_else(|_| panic!("service still shared"))
+            .shutdown();
+        assert_eq!(
+            report.ops(),
+            5,
+            "all five private ops went through the service"
+        );
+    }
+
+    /// A service for a *different* key must never capture the operation:
+    /// the modulus check routes mismatched keys to the sequential path.
+    #[test]
+    fn service_for_other_key_is_bypassed() {
+        let key = key256();
+        let other = RsaPrivateKey::generate(&mut StdRng::seed_from_u64(0xB0B), 256).unwrap();
+        let service = Arc::new(RsaBatchService::with_defaults(&other).unwrap());
+        let ops = RsaOps::new(Box::new(MpssBaseline)).with_service(Arc::clone(&service));
+        let m = BigUint::from(8675309u64);
+        let c = ops.public_op(key.public(), &m).unwrap();
+        assert_eq!(ops.private_op(&key, &c).unwrap(), m);
+        drop(ops);
+        let report = Arc::try_unwrap(service)
+            .unwrap_or_else(|_| panic!("service still shared"))
+            .shutdown();
+        assert_eq!(
+            report.ops(),
+            0,
+            "mismatched modulus must not reach the service"
+        );
     }
 }

@@ -18,8 +18,13 @@
 
 pub mod offload;
 pub mod pool;
+pub mod service;
 pub mod stats;
 
 pub use offload::{OffloadBatcher, OffloadModel};
 pub use pool::{AffinityPolicy, BatchReport, PhiPool};
-pub use stats::Summary;
+pub use service::{
+    Batch, BatchService, Collector, FlushReason, ServiceConfig, SubmitError, Ticket, TicketHandle,
+    BATCH_WIDTH,
+};
+pub use stats::{FlushRecord, ServiceReport, Summary};

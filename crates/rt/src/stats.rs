@@ -1,4 +1,7 @@
-//! Small statistics helpers for latency/throughput reporting.
+//! Small statistics helpers for latency/throughput reporting, plus the
+//! per-flush accounting the batch service layer folds its telemetry into.
+
+use crate::service::FlushReason;
 
 /// A summary of a set of latency samples (seconds).
 #[derive(Debug, Clone, PartialEq)]
@@ -52,9 +55,135 @@ pub fn geomean(values: &[f64]) -> f64 {
     (log_sum / values.len() as f64).exp()
 }
 
+/// Telemetry of one batch pass through the service collector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlushRecord {
+    /// What triggered the flush.
+    pub reason: FlushReason,
+    /// Live lanes in the batch (1..=width).
+    pub occupancy: usize,
+    /// Lane width of the batch engine (occupancy ≤ width).
+    pub width: usize,
+    /// Requests still queued after this batch was taken.
+    pub queue_depth_after: usize,
+    /// How long the oldest request in the batch waited, in seconds.
+    pub oldest_wait: f64,
+    /// Modeled single-thread KNC seconds the batch pass cost.
+    pub modeled_seconds: f64,
+    /// Host wall-clock seconds the batch pass took.
+    pub wall_seconds: f64,
+}
+
+impl FlushRecord {
+    /// Fraction of lanes doing live work (a masked partial batch still
+    /// pays the full-width pass, so this is the efficiency of the flush).
+    pub fn occupancy_fraction(&self) -> f64 {
+        self.occupancy as f64 / self.width as f64
+    }
+}
+
+/// Aggregated telemetry of a batch service's lifetime.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServiceReport {
+    /// One record per executed batch, in flush order.
+    pub flushes: Vec<FlushRecord>,
+    /// Submissions bounced for backpressure (queue at high-water mark).
+    pub rejected: u64,
+}
+
+impl ServiceReport {
+    /// Total completed operations (live lanes across all flushes).
+    pub fn ops(&self) -> usize {
+        self.flushes.iter().map(|f| f.occupancy).sum()
+    }
+
+    /// Number of executed batches.
+    pub fn flush_count(&self) -> usize {
+        self.flushes.len()
+    }
+
+    /// Number of flushes with the given trigger.
+    pub fn flushes_by(&self, reason: FlushReason) -> usize {
+        self.flushes.iter().filter(|f| f.reason == reason).count()
+    }
+
+    /// Mean live-lane fraction across flushes (0 when nothing flushed).
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.flushes.is_empty() {
+            return 0.0;
+        }
+        self.flushes
+            .iter()
+            .map(FlushRecord::occupancy_fraction)
+            .sum::<f64>()
+            / self.flushes.len() as f64
+    }
+
+    /// Total modeled single-thread KNC seconds spent in batch passes.
+    pub fn total_modeled_seconds(&self) -> f64 {
+        self.flushes.iter().map(|f| f.modeled_seconds).sum()
+    }
+
+    /// Total host wall-clock seconds spent in batch passes.
+    pub fn total_wall_seconds(&self) -> f64 {
+        self.flushes.iter().map(|f| f.wall_seconds).sum()
+    }
+
+    /// Modeled throughput over the service's busy time, in operations per
+    /// modeled second (0 when nothing flushed).
+    pub fn modeled_throughput(&self) -> f64 {
+        let t = self.total_modeled_seconds();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.ops() as f64 / t
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn record(reason: FlushReason, occupancy: usize, modeled: f64) -> FlushRecord {
+        FlushRecord {
+            reason,
+            occupancy,
+            width: 16,
+            queue_depth_after: 0,
+            oldest_wait: 1e-3,
+            modeled_seconds: modeled,
+            wall_seconds: modeled / 100.0,
+        }
+    }
+
+    #[test]
+    fn service_report_aggregates() {
+        let report = ServiceReport {
+            flushes: vec![
+                record(FlushReason::Full, 16, 2e-3),
+                record(FlushReason::Deadline, 4, 2e-3),
+                record(FlushReason::Drain, 2, 2e-3),
+            ],
+            rejected: 3,
+        };
+        assert_eq!(report.ops(), 22);
+        assert_eq!(report.flush_count(), 3);
+        assert_eq!(report.flushes_by(FlushReason::Full), 1);
+        assert_eq!(report.flushes_by(FlushReason::Deadline), 1);
+        let expected_occ = (1.0 + 0.25 + 0.125) / 3.0;
+        assert!((report.mean_occupancy() - expected_occ).abs() < 1e-12);
+        assert!((report.total_modeled_seconds() - 6e-3).abs() < 1e-15);
+        assert!((report.modeled_throughput() - 22.0 / 6e-3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_report_is_well_defined() {
+        let report = ServiceReport::default();
+        assert_eq!(report.ops(), 0);
+        assert_eq!(report.mean_occupancy(), 0.0);
+        assert_eq!(report.modeled_throughput(), 0.0);
+    }
 
     #[test]
     fn summary_of_known_set() {

@@ -1,0 +1,144 @@
+//! Property tests for the deadline-driven batch collector: under any
+//! arrival schedule, every accepted ticket is delivered in exactly one
+//! flushed batch — nothing lost, nothing duplicated — and no flush
+//! violates the width bound or fires before it is due.
+
+use phi_rt::service::{Collector, FlushReason, ServiceConfig, SubmitError, Ticket};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Drive a collector through an arrival schedule on a virtual clock.
+///
+/// `gaps_us` are inter-arrival times in microseconds. Between arrivals the
+/// driver flushes whatever the collector says is due (checking at the
+/// flush deadline itself when it falls inside a gap, as the worker's
+/// condvar timeout does), and drains the remainder at the end.
+type Flush = (FlushReason, Vec<Ticket>, f64);
+
+fn run_schedule(config: ServiceConfig, gaps_us: &[u32]) -> (Vec<Ticket>, Vec<Flush>, u64) {
+    let mut collector: Collector<u64> = Collector::new(config);
+    let mut accepted = Vec::new();
+    let mut flushes: Vec<Flush> = Vec::new();
+    let mut now = 0.0f64;
+    for (i, &gap) in gaps_us.iter().enumerate() {
+        // Advance virtual time, firing any deadline that expires en route.
+        let target = now + gap as f64 * 1e-6;
+        while let Some(deadline) = collector.next_deadline() {
+            if deadline > target {
+                break;
+            }
+            now = deadline.max(now);
+            if let Some(reason) = collector.ready(now) {
+                let batch = collector.take_batch(reason, now);
+                flushes.push((
+                    reason,
+                    batch.entries.iter().map(|p| p.ticket).collect(),
+                    now,
+                ));
+            }
+        }
+        now = target;
+        match collector.submit(i as u64, now) {
+            Ok(ticket) => accepted.push(ticket),
+            Err(SubmitError::QueueFull { .. }) => {}
+        }
+        // Width-triggered flush is checked immediately, like the worker.
+        while let Some(reason) = collector.ready(now) {
+            let batch = collector.take_batch(reason, now);
+            flushes.push((
+                reason,
+                batch.entries.iter().map(|p| p.ticket).collect(),
+                now,
+            ));
+        }
+    }
+    while !collector.is_empty() {
+        let reason = collector.ready(now).unwrap_or(FlushReason::Drain);
+        let batch = collector.take_batch(reason, now);
+        flushes.push((
+            reason,
+            batch.entries.iter().map(|p| p.ticket).collect(),
+            now,
+        ));
+    }
+    (accepted, flushes, collector.rejected())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn no_ticket_lost_or_duplicated(
+        gaps_us in proptest::collection::vec(0u32..3000, 1..200),
+        width in 1usize..=16,
+        max_wait_us in 1u32..5000,
+        cap_batches in 1usize..=4,
+    ) {
+        let config = ServiceConfig {
+            width,
+            max_wait: max_wait_us as f64 * 1e-6,
+            queue_cap: width * cap_batches,
+        };
+        let (accepted, flushes, rejected) = run_schedule(config, &gaps_us);
+
+        // Conservation: the flushed tickets are exactly the accepted
+        // tickets, each exactly once, in submission order.
+        let delivered: Vec<Ticket> = flushes.iter().flat_map(|(_, t, _)| t.clone()).collect();
+        prop_assert_eq!(&delivered, &accepted, "delivery must preserve order");
+        let unique: HashSet<Ticket> = delivered.iter().copied().collect();
+        prop_assert_eq!(unique.len(), delivered.len(), "duplicated ticket");
+        prop_assert_eq!(
+            accepted.len() + rejected as usize,
+            gaps_us.len(),
+            "every submission either accepted or rejected"
+        );
+
+        // Every flush respects the width bound and its stated trigger.
+        for (reason, tickets, _at) in &flushes {
+            prop_assert!(!tickets.is_empty(), "empty flush");
+            prop_assert!(tickets.len() <= width, "flush wider than engine");
+            if *reason == FlushReason::Full {
+                prop_assert_eq!(tickets.len(), width, "Full flush not full");
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_bounds_every_wait(
+        gaps_us in proptest::collection::vec(0u32..2000, 1..120),
+        max_wait_us in 10u32..2000,
+    ) {
+        let config = ServiceConfig {
+            width: 16,
+            max_wait: max_wait_us as f64 * 1e-6,
+            queue_cap: 64,
+        };
+        let mut collector: Collector<u64> = Collector::new(config);
+        let mut now = 0.0f64;
+        for (i, &gap) in gaps_us.iter().enumerate() {
+            let target = now + gap as f64 * 1e-6;
+            while let Some(deadline) = collector.next_deadline() {
+                if deadline > target {
+                    break;
+                }
+                now = deadline.max(now);
+                if let Some(reason) = collector.ready(now) {
+                    let batch = collector.take_batch(reason, now);
+                    // The driver flushes at the deadline, so no request in
+                    // the batch waited longer than max_wait (plus float fuzz).
+                    prop_assert!(
+                        batch.oldest_wait() <= config.max_wait + 1e-12,
+                        "oldest waited {} > max_wait {}",
+                        batch.oldest_wait(),
+                        config.max_wait
+                    );
+                }
+            }
+            now = target;
+            let _ = collector.submit(i as u64, now);
+            while let Some(reason) = collector.ready(now) {
+                collector.take_batch(reason, now);
+            }
+        }
+    }
+}

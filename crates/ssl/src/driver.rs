@@ -4,10 +4,13 @@ use crate::error::SslError;
 use crate::handshake::{Client, Server};
 use crate::record::Record;
 use phi_rsa::key::RsaPrivateKey;
-use phi_rsa::RsaOps;
+use phi_rsa::{RsaBatchService, RsaOps};
+use phi_rt::service::ServiceConfig;
+use phi_rt::stats::ServiceReport;
 use phi_rt::{AffinityPolicy, BatchReport, PhiPool};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Result of a completed handshake.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,6 +90,47 @@ where
     (successes, report)
 }
 
+/// Run `count` concurrent handshakes like [`handshake_throughput`], but
+/// with every server private operation routed through ONE shared
+/// deadline-driven [`RsaBatchService`] for the key.
+///
+/// This is the paper's server deployment shape: many connections, one
+/// private key, and a single card-side batch engine aggregating the RSA
+/// decryptions into 16-lane passes. Concurrent handshakes land in the
+/// same collection window and ride the same batch; under backpressure
+/// individual connections degrade to their own sequential CRT, so the
+/// handshake success count is unaffected by load.
+///
+/// Returns `(successes, pool_report, service_report)` — the service
+/// report carries per-flush occupancy, trigger reasons, and modeled vs
+/// wall time for throughput analysis.
+pub fn drive_concurrent_batched<F>(
+    key: &RsaPrivateKey,
+    make_ops: F,
+    count: usize,
+    threads: u32,
+    policy: AffinityPolicy,
+    config: ServiceConfig,
+) -> Result<(usize, BatchReport, ServiceReport), SslError>
+where
+    F: Fn() -> RsaOps + Sync,
+{
+    let service = Arc::new(RsaBatchService::new(key, config)?);
+    let pool = PhiPool::new(threads, policy);
+    let (oks, report) = pool.run_batch(count, |i| {
+        let mut rng = StdRng::seed_from_u64(0xBA7C + i as u64);
+        let server_ops = make_ops().with_service(Arc::clone(&service));
+        let mut server = Server::new(&mut rng, key.clone(), server_ops);
+        let mut client = Client::new(&mut rng, make_ops());
+        drive_handshake(&mut rng, &mut server, &mut client).is_ok()
+    });
+    let successes = oks.iter().filter(|&&ok| ok).count();
+    let service_report = Arc::try_unwrap(service)
+        .unwrap_or_else(|_| unreachable!("pool tasks joined, no other holders"))
+        .shutdown();
+    Ok((successes, report, service_report))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +183,33 @@ mod tests {
         assert_eq!(report.tasks, 8);
         // Handshakes burn scalar multiplies on this backend.
         assert!(report.total_counts.get(phi_simd::OpClass::SMul64) > 0);
+    }
+
+    #[test]
+    fn batched_driver_routes_server_ops_through_one_service() {
+        let k = key();
+        let config = ServiceConfig {
+            width: 4,
+            max_wait: 500e-6,
+            queue_cap: 16,
+        };
+        let (ok, _pool_report, service_report) = drive_concurrent_batched(
+            &k,
+            || RsaOps::new(Box::new(MpssBaseline)),
+            6,
+            4,
+            AffinityPolicy::Compact,
+            config,
+        )
+        .unwrap();
+        assert_eq!(ok, 6);
+        // Each handshake performs exactly one server private op (the
+        // premaster decryption), all captured by the shared service.
+        assert_eq!(service_report.ops(), 6);
+        assert!(service_report.flush_count() >= 1);
+        for flush in &service_report.flushes {
+            assert!(flush.occupancy >= 1 && flush.occupancy <= 4);
+        }
     }
 }
 

@@ -55,6 +55,12 @@ impl From<RsaError> for SslError {
     }
 }
 
+impl From<phi_bigint::BigIntError> for SslError {
+    fn from(e: phi_bigint::BigIntError) -> Self {
+        SslError::Rsa(RsaError::Arithmetic(e))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,5 +84,11 @@ mod tests {
     fn from_rsa_error() {
         let e: SslError = RsaError::PaddingError.into();
         assert!(matches!(e, SslError::Rsa(_)));
+    }
+
+    #[test]
+    fn from_bigint_error() {
+        let e: SslError = phi_bigint::BigIntError::DivisionByZero.into();
+        assert!(matches!(e, SslError::Rsa(RsaError::Arithmetic(_))));
     }
 }

@@ -1,0 +1,109 @@
+//! The service-layer surface in one sitting: validated configuration,
+//! cached Montgomery sessions, and the deadline-driven batch RSA service
+//! shared by a burst of concurrent decryptors.
+//!
+//! ```text
+//! cargo run --release --example batch_service
+//! ```
+
+use phi_bigint::BigUint;
+use phi_mont::Libcrypto;
+use phi_rsa::key::RsaPrivateKey;
+use phi_rsa::{RsaBatchService, RsaOps};
+use phi_rt::service::{FlushReason, ServiceConfig};
+use phiopenssl::{PhiConfig, PhiLibrary};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn main() {
+    // --- validated configuration -------------------------------------
+    let config = PhiConfig::builder()
+        .window(5)
+        .expect("5 is in range")
+        .constant_time()
+        .build();
+    println!("builder accepted window 5, constant-time lookup");
+    match PhiConfig::builder().window(0) {
+        Err(e) => println!("builder rejected window 0: {e}"),
+        Ok(_) => unreachable!("window 0 must be rejected"),
+    }
+    match PhiConfig::builder().window(8) {
+        Err(e) => println!("builder rejected window 8: {e}"),
+        Ok(_) => unreachable!("window 8 must be rejected"),
+    }
+
+    // --- cached Montgomery sessions ----------------------------------
+    let key = RsaPrivateKey::generate(&mut StdRng::seed_from_u64(42), 1024).expect("keygen");
+    let lib = PhiLibrary::with_config(config);
+    let n = key.public().n().clone();
+    let e = key.public().e().clone();
+    let m = BigUint::from(0x5eed_f00du64);
+    let (ct, setups) = phi_simd::count::measure_ctx_setups(|| {
+        let session = lib.with_modulus(&n).expect("odd modulus");
+        let mut ct = m.clone();
+        for _ in 0..8 {
+            ct = session.mod_exp(&ct, &e);
+        }
+        ct
+    });
+    println!("8 public ops through one session -> {setups} context setup(s)");
+    assert_eq!(setups, 1, "session must cache its Montgomery context");
+
+    // --- the deadline-driven batch service ---------------------------
+    let service = Arc::new(
+        RsaBatchService::new(
+            &key,
+            ServiceConfig {
+                width: 4,
+                max_wait: 2e-3,
+                queue_cap: 64,
+            },
+        )
+        .expect("CRT service"),
+    );
+    let ops = RsaOps::new(Box::new(PhiLibrary::default()));
+    let expected = ops.private_op(&key, &ct).expect("sequential reference");
+
+    let workers: Vec<_> = (0..8)
+        .map(|i| {
+            let service = Arc::clone(&service);
+            let c = ct.clone();
+            std::thread::spawn(move || (i, service.call(c).expect("batched op")))
+        })
+        .collect();
+    for w in workers {
+        let (i, pt) = w.join().expect("worker");
+        assert_eq!(pt, expected, "lane {i} disagrees with sequential CRT");
+    }
+    let report = Arc::try_unwrap(service)
+        .unwrap_or_else(|_| unreachable!("all workers joined"))
+        .shutdown();
+    println!(
+        "batch service: {} ops in {} flushes (full: {}, deadline: {}), mean lane occupancy {:.0}%",
+        report.ops(),
+        report.flush_count(),
+        report.flushes_by(FlushReason::Full),
+        report.flushes_by(FlushReason::Deadline),
+        100.0 * report.mean_occupancy(),
+    );
+    println!("every batched plaintext matches the sequential CRT result");
+
+    // A lone request can't fill a batch: the deadline fires instead and
+    // the pass runs with masked (dummy) lanes.
+    let lone = RsaBatchService::with_defaults(&key).expect("CRT service");
+    assert_eq!(lone.call(ct.clone()).expect("lone op"), expected);
+    let report = lone.shutdown();
+    let flush = &report.flushes[0];
+    println!(
+        "lone request: flushed by {:?} after {:.1} ms with {}/{} lanes live",
+        flush.reason,
+        1e3 * flush.oldest_wait,
+        flush.occupancy,
+        flush.width,
+    );
+
+    // --- one error type at the workspace rim -------------------------
+    let err = phiopenssl_suite::Error::from(PhiConfig::builder().window(0).unwrap_err());
+    println!("suite-level error: {err}");
+}

@@ -25,7 +25,8 @@ fn main() {
     println!("generating the server's 1024-bit RSA key…");
     let key = RsaPrivateKey::generate(&mut StdRng::seed_from_u64(7), 1024).expect("keygen");
 
-    let backends: Vec<(&str, fn() -> Box<dyn Libcrypto>)> = vec![
+    type LibMaker = fn() -> Box<dyn Libcrypto>;
+    let backends: Vec<(&str, LibMaker)> = vec![
         ("PhiOpenSSL", || Box::new(PhiLibrary::default())),
         ("MPSS      ", || Box::new(MpssBaseline)),
         ("OpenSSL   ", || Box::new(OpensslBaseline)),

@@ -23,3 +23,97 @@ pub use phi_rt as rt;
 pub use phi_simd as simd;
 pub use phi_ssl as ssl;
 pub use phiopenssl as core_lib;
+
+use std::fmt;
+
+/// The unified error of the suite: every layer's error converts into it
+/// with `?`, so cross-crate examples and integration code can use one
+/// [`Result`] alias end to end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Big-number arithmetic failure (`phi_bigint`).
+    BigInt(bigint::BigIntError),
+    /// Library configuration rejected (`phiopenssl`).
+    Config(core_lib::ConfigError),
+    /// RSA layer failure (`phi_rsa`).
+    Rsa(rsa::RsaError),
+    /// Handshake substrate failure (`phi_ssl`).
+    Ssl(ssl::SslError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::BigInt(e) => write!(f, "bigint: {e}"),
+            Error::Config(e) => write!(f, "config: {e}"),
+            Error::Rsa(e) => write!(f, "rsa: {e}"),
+            Error::Ssl(e) => write!(f, "ssl: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::BigInt(e) => Some(e),
+            Error::Config(e) => Some(e),
+            Error::Rsa(e) => Some(e),
+            Error::Ssl(e) => Some(e),
+        }
+    }
+}
+
+impl From<bigint::BigIntError> for Error {
+    fn from(e: bigint::BigIntError) -> Self {
+        Error::BigInt(e)
+    }
+}
+
+impl From<core_lib::ConfigError> for Error {
+    fn from(e: core_lib::ConfigError) -> Self {
+        Error::Config(e)
+    }
+}
+
+impl From<rsa::RsaError> for Error {
+    fn from(e: rsa::RsaError) -> Self {
+        Error::Rsa(e)
+    }
+}
+
+impl From<ssl::SslError> for Error {
+    fn from(e: ssl::SslError) -> Self {
+        Error::Ssl(e)
+    }
+}
+
+/// Workspace-wide result alias over [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_layer_error_converts() {
+        fn takes_all() -> Result<()> {
+            // Each `?` exercises one From impl.
+            Err(bigint::BigIntError::DivisionByZero)?;
+            unreachable!()
+        }
+        assert!(matches!(takes_all(), Err(Error::BigInt(_))));
+        let c: Error = core_lib::ConfigError::WindowOutOfRange(9).into();
+        assert!(matches!(c, Error::Config(_)));
+        let r: Error = rsa::RsaError::PaddingError.into();
+        assert!(matches!(r, Error::Rsa(_)));
+        let s: Error = ssl::SslError::FinishedMismatch.into();
+        assert!(matches!(s, Error::Ssl(_)));
+    }
+
+    #[test]
+    fn display_prefixes_the_layer() {
+        let e: Error = rsa::RsaError::PaddingError.into();
+        assert!(e.to_string().starts_with("rsa: "));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}
