@@ -1,0 +1,98 @@
+//! The CI perf-regression gate over `BENCH_*.json` reports.
+//!
+//! ```text
+//! # integrity + span-coverage check of one report
+//! perfgate --check BENCH_PR2.json
+//!
+//! # regression gate: fresh run vs committed baseline
+//! perfgate --baseline bench/baseline.json BENCH_PR2.json
+//! ```
+//!
+//! Exit status 0 = pass, 1 = gate failure (regression, bad coverage, or
+//! schema-invalid report), 2 = usage error. The modeled channel is
+//! deterministic, so a failing gate is a code change, never noise.
+
+use phi_bench::gate;
+use phi_trace::Report;
+
+fn usage(code: i32) -> ! {
+    eprintln!(
+        "usage: perfgate --check REPORT.json\n\
+         \u{20}      perfgate --baseline BASELINE.json REPORT.json"
+    );
+    std::process::exit(code);
+}
+
+fn load(path: &str) -> Report {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    Report::from_json_str(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: invalid bench report: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn run_check(path: &str) -> i32 {
+    let report = load(path);
+    let problems = gate::check(&report);
+    if problems.is_empty() {
+        println!(
+            "perfgate --check {path}: ok ({} experiments, gated {})",
+            report.experiments.len(),
+            gate::GATED.join(" ")
+        );
+        0
+    } else {
+        for p in &problems {
+            eprintln!("perfgate: {p}");
+        }
+        1
+    }
+}
+
+fn run_gate(baseline_path: &str, fresh_path: &str) -> i32 {
+    let baseline = load(baseline_path);
+    let fresh = load(fresh_path);
+    let lines = gate::compare(&baseline, &fresh).unwrap_or_else(|e| {
+        eprintln!("perfgate: {e}");
+        std::process::exit(1);
+    });
+    let mut failed = false;
+    println!(
+        "perfgate: modeled throughput, fresh vs baseline (tolerance -{:.0}%)",
+        gate::REGRESSION_TOLERANCE * 100.0
+    );
+    for l in &lines {
+        println!(
+            "  {:4}  {:>12.3}  vs  {:>12.3}  ratio {:.4}  {}",
+            l.id,
+            l.fresh,
+            l.baseline,
+            l.ratio,
+            if l.ok { "ok" } else { "REGRESSION" }
+        );
+        failed |= !l.ok;
+    }
+    if failed {
+        eprintln!(
+            "perfgate: modeled throughput regressed more than {:.0}% on a gated experiment",
+            gate::REGRESSION_TOLERANCE * 100.0
+        );
+        1
+    } else {
+        0
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("--check") if args.len() == 2 => run_check(&args[1]),
+        Some("--baseline") if args.len() == 3 => run_gate(&args[1], &args[2]),
+        Some("--help") | Some("-h") => usage(0),
+        _ => usage(2),
+    };
+    std::process::exit(code);
+}

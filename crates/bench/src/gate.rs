@@ -1,0 +1,212 @@
+//! The CI perf-regression gate: checks a bench report's integrity and
+//! compares a fresh run against the committed baseline.
+//!
+//! The modeled channel is deterministic — the same code produces the
+//! same issue-cycle counts on every machine — so the gate can compare a
+//! committed `bench/baseline.json` against a fresh CI run exactly: any
+//! drop in modeled throughput is a code change, not noise. The
+//! [`REGRESSION_TOLERANCE`] exists to absorb *intentional* small
+//! trade-offs, not measurement jitter.
+
+use phi_trace::Report;
+
+/// Experiments the gate compares. A representative slice of the
+/// evaluation: E1 (multiplication kernel), E5 (RSA private op feeding
+/// the thread-scaling figure), E14 (the batch service end to end).
+pub const GATED: [&str; 3] = ["e1", "e5", "e14"];
+
+/// Maximum tolerated drop in modeled throughput (fraction of baseline).
+pub const REGRESSION_TOLERANCE: f64 = 0.15;
+
+/// Acceptable span-coverage band: the per-scope exclusive cycles must
+/// sum to within 5% of each gated experiment's modeled total, or the
+/// trace has stopped accounting for the hot paths.
+pub const COVERAGE_BOUNDS: (f64, f64) = (0.95, 1.05);
+
+/// Integrity-check one report: schema validation plus, for every gated
+/// experiment, presence and span coverage within [`COVERAGE_BOUNDS`].
+/// Returns a list of problems (empty = pass).
+pub fn check(report: &Report) -> Vec<String> {
+    if let Err(e) = report.validate() {
+        return vec![e];
+    }
+    let mut problems = Vec::new();
+    for id in GATED {
+        match report.experiment(id) {
+            None => problems.push(format!("gated experiment {id} missing from the report")),
+            Some(e) => {
+                let cov = e.span_coverage();
+                if !(COVERAGE_BOUNDS.0..=COVERAGE_BOUNDS.1).contains(&cov) {
+                    problems.push(format!(
+                        "{id}: span coverage {:.3} outside [{:.2}, {:.2}] — \
+                         the trace no longer accounts for the modeled work",
+                        cov, COVERAGE_BOUNDS.0, COVERAGE_BOUNDS.1
+                    ));
+                }
+            }
+        }
+    }
+    problems
+}
+
+/// One gated experiment's comparison against the baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateLine {
+    /// Experiment id.
+    pub id: String,
+    /// Baseline modeled throughput (runs per modeled second).
+    pub baseline: f64,
+    /// Fresh modeled throughput.
+    pub fresh: f64,
+    /// `fresh / baseline`.
+    pub ratio: f64,
+    /// Whether the line passes the gate.
+    pub ok: bool,
+}
+
+/// Compare a fresh report against the baseline on the gated
+/// experiments. Errors on structural problems (profile mismatch, a
+/// gated experiment missing from either side); otherwise returns one
+/// [`GateLine`] per gated experiment, `ok = false` where modeled
+/// throughput dropped more than [`REGRESSION_TOLERANCE`].
+pub fn compare(baseline: &Report, fresh: &Report) -> Result<Vec<GateLine>, String> {
+    if baseline.profile != fresh.profile {
+        return Err(format!(
+            "profile mismatch: baseline is '{}', fresh run is '{}' — \
+             the sweeps are not comparable",
+            baseline.profile, fresh.profile
+        ));
+    }
+    let mut lines = Vec::new();
+    for id in GATED {
+        let base = baseline.experiment(id).ok_or_else(|| {
+            format!("gated experiment {id} missing from the baseline — regenerate it")
+        })?;
+        let new = fresh
+            .experiment(id)
+            .ok_or_else(|| format!("gated experiment {id} missing from the fresh report"))?;
+        if base.modeled_throughput <= 0.0 {
+            return Err(format!("{id}: baseline throughput is not positive"));
+        }
+        let ratio = new.modeled_throughput / base.modeled_throughput;
+        lines.push(GateLine {
+            id: id.to_owned(),
+            baseline: base.modeled_throughput,
+            fresh: new.modeled_throughput,
+            ratio,
+            ok: ratio >= 1.0 - REGRESSION_TOLERANCE,
+        });
+    }
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phi_trace::{ExperimentReport, SpanReport};
+
+    fn experiment(id: &str, cycles: f64, seconds: f64) -> ExperimentReport {
+        ExperimentReport {
+            id: id.into(),
+            title: format!("experiment {id}"),
+            modeled_cycles: cycles,
+            modeled_seconds: seconds,
+            modeled_throughput: 1.0 / seconds,
+            wall_seconds: 0.01,
+            spans: vec![SpanReport {
+                scope: "vmul".into(),
+                entries: 1,
+                exclusive_cycles: cycles, // full coverage
+                total_cycles: cycles,
+                exclusive_wall_seconds: 0.005,
+            }],
+            flush: None,
+        }
+    }
+
+    fn full_report() -> Report {
+        let mut r = Report::new("smoke");
+        for id in GATED {
+            r.experiments.push(experiment(id, 1e6, 1e-3));
+        }
+        r
+    }
+
+    #[test]
+    fn clean_report_passes_check() {
+        assert!(check(&full_report()).is_empty());
+    }
+
+    #[test]
+    fn missing_gated_experiment_fails_check() {
+        let mut r = full_report();
+        r.experiments.retain(|e| e.id != "e5");
+        let problems = check(&r);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("e5"), "{problems:?}");
+    }
+
+    #[test]
+    fn poor_span_coverage_fails_check() {
+        let mut r = full_report();
+        r.experiments[0].spans[0].exclusive_cycles = 0.5e6; // 50% coverage
+        let problems = check(&r);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("coverage"), "{problems:?}");
+    }
+
+    #[test]
+    fn invalid_schema_fails_check() {
+        let mut r = full_report();
+        r.schema = "something-else".into();
+        assert!(check(&r)[0].contains("schema"));
+    }
+
+    #[test]
+    fn identical_reports_pass_the_gate() {
+        let base = full_report();
+        let lines = compare(&base, &base.clone()).unwrap();
+        assert_eq!(lines.len(), GATED.len());
+        assert!(lines.iter().all(|l| l.ok && (l.ratio - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn small_regressions_pass_large_ones_fail() {
+        let base = full_report();
+        let mut fresh = base.clone();
+        // e1 10% slower: within tolerance.
+        fresh.experiments[0].modeled_throughput *= 0.90;
+        // e5 20% slower: over the line.
+        fresh.experiments[1].modeled_throughput *= 0.80;
+        let lines = compare(&base, &fresh).unwrap();
+        assert!(lines[0].ok, "{:?}", lines[0]);
+        assert!(!lines[1].ok, "{:?}", lines[1]);
+        assert!(lines[2].ok);
+    }
+
+    #[test]
+    fn speedups_always_pass() {
+        let base = full_report();
+        let mut fresh = base.clone();
+        for e in &mut fresh.experiments {
+            e.modeled_throughput *= 10.0;
+        }
+        assert!(compare(&base, &fresh).unwrap().iter().all(|l| l.ok));
+    }
+
+    #[test]
+    fn structural_mismatches_error() {
+        let base = full_report();
+        let mut fresh = base.clone();
+        fresh.profile = "full".into();
+        assert!(compare(&base, &fresh).unwrap_err().contains("profile"));
+
+        let mut fresh = base.clone();
+        fresh.experiments.retain(|e| e.id != "e14");
+        assert!(compare(&base, &fresh).unwrap_err().contains("e14"));
+
+        let mut hollow = base.clone();
+        hollow.experiments[0].modeled_throughput = 0.0;
+        assert!(compare(&hollow, &base).unwrap_err().contains("positive"));
+    }
+}

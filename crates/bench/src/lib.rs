@@ -21,7 +21,9 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod gate;
 pub mod measure;
+pub mod registry;
 pub mod table;
 pub mod workload;
 

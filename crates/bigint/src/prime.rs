@@ -62,7 +62,7 @@ pub fn trial_division(n: &BigUint) -> Option<Primality> {
                 return Some(Primality::ProbablyPrime);
             }
         }
-        if (n % p).is_multiple_of(p) {
+        if n % p == 0 {
             return Some(Primality::Composite);
         }
     }
@@ -118,7 +118,7 @@ pub fn is_prime_u64(v: u64) -> bool {
         if v == p {
             return true;
         }
-        if v.is_multiple_of(p) {
+        if v % p == 0 {
             return false;
         }
     }

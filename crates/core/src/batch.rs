@@ -113,6 +113,7 @@ impl<'c> BatchMont<'c> {
     ///
     /// All operands must be context-shaped and `< n`.
     pub fn mont_mul_16(&self, a: &Batch16, b: &Batch16) -> Batch16 {
+        let _span = phi_trace::span(phi_trace::Scope::BatchMont);
         let kk = self.ctx.padded_digits();
         let k = self.ctx.digits();
         debug_assert_eq!(a.len(), kk);
@@ -205,6 +206,7 @@ impl<'c> BatchMont<'c> {
     /// (the RSA-server shape: one private key, many ciphertexts), using the
     /// fixed-window ladder.
     pub fn mod_exp_16(&self, bases: &[BigUint], exp: &BigUint, window: u32) -> Vec<BigUint> {
+        let _span = phi_trace::span(phi_trace::Scope::BatchExp);
         assert_eq!(bases.len(), BATCH_WIDTH);
         assert!((1..=7).contains(&window));
         if self.ctx.modulus().is_one() {

@@ -146,6 +146,7 @@ impl MultiBatchMont {
 
     /// Sixteen Montgomery products, lane `j` modulo `moduli[j]`.
     pub fn mont_mul_16(&self, a: &Batch16, b: &Batch16) -> Batch16 {
+        let _span = phi_trace::span(phi_trace::Scope::BatchMont);
         let kk = self.kk;
         debug_assert_eq!(a.len(), kk);
         debug_assert_eq!(b.len(), kk);
@@ -223,6 +224,7 @@ impl MultiBatchMont {
     /// moduli — the batched signature-verification shape (`e = 65537`
     /// across different keys).
     pub fn mod_exp_16(&self, bases: &[BigUint], exp: &BigUint, window: u32) -> Vec<BigUint> {
+        let _span = phi_trace::span(phi_trace::Scope::BatchExp);
         assert_eq!(bases.len(), BATCH_WIDTH);
         assert!((1..=7).contains(&window));
         if exp.is_zero() {

@@ -113,6 +113,7 @@ impl CrtKey {
 
         // Garner recombination: h = qInv·(m1 − m2) mod p as one Montgomery
         // product (qInv is pre-lifted into the domain).
+        let _span = phi_trace::span(phi_trace::Scope::CrtRecombine);
         let diff = m1.mod_sub(&m2, &self.p);
         let h = self
             .ctx_p

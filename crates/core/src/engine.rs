@@ -83,6 +83,7 @@ impl BatchCrtEngine {
         let m1 = bp.mod_exp_16(cts, &self.dp, self.window);
         let m2 = bq.mod_exp_16(cts, &self.dq, self.window);
         // …then per-lane Garner recombination.
+        let _span = phi_trace::span(phi_trace::Scope::CrtRecombine);
         let qinv_mont = self.ctx_p.to_mont_vec(&self.qinv);
         m1.iter()
             .zip(m2.iter())
@@ -151,6 +152,7 @@ impl BatchCrtEngine {
                 exp_fixed_window_vec(&self.ctx_q, &cm, &self.dq, self.window, TableLookup::Direct);
             self.ctx_q.from_mont_vec(&r)
         };
+        let _span = phi_trace::span(phi_trace::Scope::CrtRecombine);
         let diff = m1.mod_sub(&m2, &self.p);
         let qinv_mont = self.ctx_p.to_mont_vec(&self.qinv);
         let h = self

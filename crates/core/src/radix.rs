@@ -91,7 +91,7 @@ impl VecNum {
     /// Wrap an existing digit vector without conversion charges (kernel
     /// internal; digits must already be reduced-radix and lane-padded).
     pub(crate) fn from_digits_unchecked(digits: Vec<u64>) -> Self {
-        debug_assert!(digits.len().is_multiple_of(LANES));
+        debug_assert!(digits.len() % LANES == 0);
         debug_assert!(digits.iter().all(|&d| d <= DIGIT_MASK));
         VecNum { digits }
     }

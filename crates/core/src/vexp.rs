@@ -57,6 +57,7 @@ pub fn exp_fixed_window_vec(
     window: u32,
     lookup: TableLookup,
 ) -> VecNum {
+    let _span = phi_trace::span(phi_trace::Scope::VExpWindow);
     assert!((1..=7).contains(&window), "window width out of range");
     let bits = exp.bit_length();
     debug_assert!(bits > 0);
@@ -97,6 +98,7 @@ pub fn exp_sliding_window_vec(
     exp: &BigUint,
     window: u32,
 ) -> VecNum {
+    let _span = phi_trace::span(phi_trace::Scope::VExpWindow);
     assert!((1..=7).contains(&window), "window width out of range");
     let bits = exp.bit_length();
     debug_assert!(bits > 0);

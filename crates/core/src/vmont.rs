@@ -65,6 +65,7 @@ impl VMontCtx {
         if n.is_zero() || n.is_even() {
             return Err(BigIntError::EvenModulus);
         }
+        let _span = phi_trace::span(phi_trace::Scope::CtxSetup);
         phi_simd::count::record_ctx_setup();
         let k = n.bit_length().div_ceil(DIGIT_BITS) as usize;
         // One extra digit so the pre-subtraction value (< 2n) always fits.
@@ -142,6 +143,7 @@ impl VMontCtx {
     /// Inputs must be context-shaped and numerically `< n`; the output is
     /// reduced to `[0, n)`.
     pub fn mont_mul_vec(&self, a: &VecNum, b: &VecNum) -> VecNum {
+        let _span = phi_trace::span(phi_trace::Scope::MontReduce);
         debug_assert_eq!(a.len(), self.kk);
         debug_assert_eq!(b.len(), self.kk);
         let chunks = self.chunks;

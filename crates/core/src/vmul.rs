@@ -25,6 +25,7 @@ use phi_simd::U64x8;
 /// load and store around the FMA (the `B` operand still folds into the
 /// FMA).
 pub fn vec_mul(a: &VecNum, b: &VecNum) -> VecNum {
+    let _span = phi_trace::span(phi_trace::Scope::VMul);
     let out_len = pad_to_lanes(a.len() + b.len());
     let mut acc = vec![0u64; out_len + LANES]; // slack so offset chunks never clip
     let b_chunks = b.len() / LANES;
@@ -64,6 +65,7 @@ pub fn vec_mul(a: &VecNum, b: &VecNum) -> VecNum {
 /// Vectorized squaring. Computes the off-diagonal strip once and doubles it
 /// (the classic half-product trick), then adds the diagonal terms.
 pub fn vec_sqr(a: &VecNum) -> VecNum {
+    let _span = phi_trace::span(phi_trace::Scope::VSqr);
     let out_len = pad_to_lanes(2 * a.len());
     let mut acc = vec![0u64; out_len + LANES];
     let chunks = a.len() / LANES;
@@ -129,6 +131,7 @@ pub fn vec_sqr(a: &VecNum) -> VecNum {
 
 /// Convenience: vectorized product of two big integers.
 pub fn big_mul_vectorized(a: &BigUint, b: &BigUint) -> BigUint {
+    let _span = phi_trace::span(phi_trace::Scope::BigMul);
     if a.is_zero() || b.is_zero() {
         return BigUint::zero();
     }

@@ -23,6 +23,7 @@ use phi_simd::U64x8;
 ///
 /// Produces exactly the same value as `ctx.mont_sqr_vec(a)`.
 pub fn mont_sqr_sos(ctx: &VMontCtx, a: &VecNum) -> VecNum {
+    let _span = phi_trace::span(phi_trace::Scope::VSqr);
     let k = ctx.digits();
     let kk = ctx.padded_digits();
     debug_assert_eq!(a.len(), kk);

@@ -73,6 +73,7 @@ impl BarrettCtx {
 
     /// `a·b mod n` for reduced operands.
     pub fn mod_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let _span = phi_trace::span(phi_trace::Scope::MontReduce);
         debug_assert!(a < &self.n && b < &self.n);
         self.record_ops();
         self.reduce(&(a * b))
@@ -80,6 +81,7 @@ impl BarrettCtx {
 
     /// `a² mod n`.
     pub fn mod_sqr(&self, a: &BigUint) -> BigUint {
+        let _span = phi_trace::span(phi_trace::Scope::MontReduce);
         self.record_ops();
         self.reduce(&a.square())
     }
@@ -116,6 +118,7 @@ impl BarrettCtx {
 /// Division-based modular multiplication with modeled accounting — the
 /// naive fourth point of the E11 ablation (`BN_mod` after every product).
 pub fn mod_mul_division(a: &BigUint, b: &BigUint, n: &BigUint) -> BigUint {
+    let _span = phi_trace::span(phi_trace::Scope::MontReduce);
     let k = n.limb_len() as u64;
     // One k×k product, then a 2k/k Knuth division: each quotient digit
     // costs a hardware divide plus a k-word multiply-subtract pass.

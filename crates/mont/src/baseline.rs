@@ -139,6 +139,7 @@ impl Libcrypto for MpssBaseline {
     }
 
     fn big_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let _span = phi_trace::span(phi_trace::Scope::BigMul);
         record_schoolbook(a.limb_len() as u64, b.limb_len() as u64, 64);
         a.mul_schoolbook(b)
     }
@@ -158,6 +159,7 @@ impl Libcrypto for OpensslBaseline {
     }
 
     fn big_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let _span = phi_trace::span(phi_trace::Scope::BigMul);
         // Half-word limb counts; balanced Karatsuba model over the larger.
         let ka = (a.bit_length().div_ceil(32)) as u64;
         let kb = (b.bit_length().div_ceil(32)) as u64;

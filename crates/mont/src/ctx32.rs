@@ -73,6 +73,7 @@ impl MontCtx32 {
         if n.is_zero() || n.is_even() {
             return Err(BigIntError::EvenModulus);
         }
+        let _span = phi_trace::span(phi_trace::Scope::CtxSetup);
         phi_simd::count::record_ctx_setup();
         let k = n.bit_length().div_ceil(32) as usize;
         let n_limbs = to_u32_limbs(n, k);
@@ -158,11 +159,13 @@ impl MontEngine for MontCtx32 {
     }
 
     fn to_mont(&self, a: &BigUint) -> BigUint {
+        let _span = phi_trace::span(phi_trace::Scope::MontReduce);
         let reduced = if a < &self.n { a.clone() } else { a % &self.n };
         self.cios(&self.padded(&reduced), &self.padded(&self.rr))
     }
 
     fn from_mont(&self, a: &BigUint) -> BigUint {
+        let _span = phi_trace::span(phi_trace::Scope::MontReduce);
         let mut one = vec![0u32; self.k];
         one[0] = 1;
         self.cios(&self.padded(a), &one)
@@ -173,6 +176,7 @@ impl MontEngine for MontCtx32 {
     }
 
     fn mont_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let _span = phi_trace::span(phi_trace::Scope::MontReduce);
         self.cios(&self.padded(a), &self.padded(b))
     }
 }

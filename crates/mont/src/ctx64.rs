@@ -43,6 +43,7 @@ impl MontCtx64 {
         if n.is_zero() || n.is_even() {
             return Err(BigIntError::EvenModulus);
         }
+        let _span = phi_trace::span(phi_trace::Scope::CtxSetup);
         phi_simd::count::record_ctx_setup();
         let n_limbs = n.limbs().to_vec();
         let k = n_limbs.len();
@@ -139,11 +140,13 @@ impl MontEngine for MontCtx64 {
     }
 
     fn to_mont(&self, a: &BigUint) -> BigUint {
+        let _span = phi_trace::span(phi_trace::Scope::MontReduce);
         let reduced = if a < &self.n { a.clone() } else { a % &self.n };
         self.cios(&self.padded(&reduced), &self.padded(&self.rr))
     }
 
     fn from_mont(&self, a: &BigUint) -> BigUint {
+        let _span = phi_trace::span(phi_trace::Scope::MontReduce);
         let one = {
             let mut v = vec![0u64; self.k];
             v[0] = 1;
@@ -157,6 +160,7 @@ impl MontEngine for MontCtx64 {
     }
 
     fn mont_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let _span = phi_trace::span(phi_trace::Scope::MontReduce);
         self.cios(&self.padded(a), &self.padded(b))
     }
 }

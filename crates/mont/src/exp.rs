@@ -54,6 +54,7 @@ pub fn mont_exp<E: MontEngine + ?Sized>(
     exp: &BigUint,
     strategy: ExpStrategy,
 ) -> BigUint {
+    let _span = phi_trace::span(phi_trace::Scope::MontExp);
     let n = engine.modulus();
     if n.is_one() {
         return BigUint::zero();

@@ -1,0 +1,39 @@
+//! Workspace-wide observability: cycle-accounted spans, a process-global
+//! metrics registry, and the machine-readable bench report format.
+//!
+//! The crate has three layers, bottom to top:
+//!
+//! * [`span()`] — a lightweight scoped-timer API. A [`SpanGuard`] charges
+//!   the modeled KNC issue cycles (from [`phi_simd::count`]) and host
+//!   wall time that elapse between its creation and drop to a named
+//!   [`Scope`]. Attribution is *exclusive*: cycles spent inside a nested
+//!   span are charged to the inner scope only, so the per-scope exclusive
+//!   totals of any trace sum to the cycles of its outermost spans.
+//!   Tracing is off by default and gated behind one relaxed atomic load,
+//!   and spans never call [`phi_simd::count::record`], so modeled numbers
+//!   are bit-identical with tracing on or off.
+//! * [`metrics`] — a process-global registry of named counters, gauges
+//!   and histograms that `phi_rt::service`, `phi_rsa::ops` and
+//!   `phi_ssl::driver` publish into while tracing is enabled.
+//! * [`report`] — the `phi-bench-report/v1` schema: per-experiment
+//!   modeled cycles, modeled throughput, wall time, span breakdown and
+//!   flush telemetry, serialized through the dependency-free [`json`]
+//!   module.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod scope;
+pub mod span;
+pub mod stats;
+
+pub use metrics::{registry, MetricsSnapshot, Registry};
+pub use report::{ExperimentReport, FlushTelemetry, Report, SpanReport, SCHEMA};
+pub use scope::Scope;
+pub use span::{
+    disable, enable, is_enabled, reset, snapshot, span, SpanGuard, SpanStats, TraceSnapshot,
+};
+pub use stats::{geomean, percentile, Summary};

@@ -1,0 +1,177 @@
+//! A process-global registry of named counters, gauges and histograms.
+//!
+//! Publishers (`phi_rt::service`, `phi_rsa::ops`, `phi_ssl::driver`)
+//! call [`Registry::counter_add`]/[`Registry::gauge_set`]/
+//! [`Registry::observe`] on the [`registry`]
+//! only while tracing is enabled ([`crate::span::is_enabled`]), so the
+//! registry, like spans, costs nothing in normal library use. Names are
+//! dotted paths (`service.flush.full`, `ssl.handshakes`); the harness
+//! resets the registry before each experiment and harvests the values
+//! into the bench report afterwards.
+
+use crate::stats::Summary;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Vec<f64>>,
+}
+
+/// A set of named counters, gauges and histograms behind one lock.
+///
+/// Usually accessed through the process-global [`registry`]; separate
+/// instances exist only in tests.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // Metric values are plain data; a poisoned lock just means a
+        // publisher panicked mid-update, which cannot corrupt them.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Add `n` to the counter `name` (creating it at zero).
+    pub fn counter_add(&self, name: &str, n: u64) {
+        *self.lock().counters.entry(name.to_owned()).or_insert(0) += n;
+    }
+
+    /// Set the gauge `name` to `value`.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        self.lock().gauges.insert(name.to_owned(), value);
+    }
+
+    /// Append one sample to the histogram `name`.
+    pub fn observe(&self, name: &str, sample: f64) {
+        self.lock()
+            .histograms
+            .entry(name.to_owned())
+            .or_default()
+            .push(sample);
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.lock().gauges.get(name).copied()
+    }
+
+    /// Summarize a histogram's samples (`None` if absent or empty).
+    pub fn histogram_summary(&self, name: &str) -> Option<Summary> {
+        let inner = self.lock();
+        let samples = inner.histograms.get(name)?;
+        if samples.is_empty() {
+            return None;
+        }
+        Some(Summary::of(samples))
+    }
+
+    /// Copy out everything.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.lock();
+        MetricsSnapshot {
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            histograms: inner.histograms.clone(),
+        }
+    }
+
+    /// Drop all values (the harness calls this between experiments).
+    pub fn reset(&self) {
+        let mut inner = self.lock();
+        inner.counters.clear();
+        inner.gauges.clear();
+        inner.histograms.clear();
+    }
+}
+
+/// A point-in-time copy of a [`Registry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Raw histogram samples by name.
+    pub histograms: BTreeMap<String, Vec<f64>>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Summarize a histogram's samples (`None` if absent or empty).
+    pub fn histogram_summary(&self, name: &str) -> Option<Summary> {
+        let samples = self.histograms.get(name)?;
+        if samples.is_empty() {
+            return None;
+        }
+        Some(Summary::of(samples))
+    }
+}
+
+/// The process-global registry every instrumented crate publishes into.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let r = Registry::new();
+        assert_eq!(r.counter("x"), 0);
+        r.counter_add("x", 2);
+        r.counter_add("x", 3);
+        r.counter_add("y", 1);
+        assert_eq!(r.counter("x"), 5);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("x"), 5);
+        assert_eq!(snap.counter("y"), 1);
+        r.reset();
+        assert_eq!(r.counter("x"), 0);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let r = Registry::new();
+        assert_eq!(r.gauge("g"), None);
+        r.gauge_set("g", 1.5);
+        r.gauge_set("g", 2.5);
+        assert_eq!(r.gauge("g"), Some(2.5));
+    }
+
+    #[test]
+    fn histograms_summarize() {
+        let r = Registry::new();
+        assert!(r.histogram_summary("h").is_none());
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            r.observe("h", v);
+        }
+        let s = r.histogram_summary("h").unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(r.snapshot().histogram_summary("h").unwrap().count, 4);
+    }
+}

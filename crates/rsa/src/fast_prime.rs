@@ -87,7 +87,7 @@ pub fn generate_prime_fast<R: Rng + ?Sized>(
             let hit = SMALL_PRIMES
                 .iter()
                 .zip(&rems)
-                .any(|(&p, &r)| (r + delta).is_multiple_of(p));
+                .any(|(&p, &r)| (r + delta) % p == 0);
             if !hit {
                 let candidate = &base + delta;
                 if candidate.bit_length() != bits {

@@ -166,18 +166,30 @@ impl RsaOps {
     /// is batched with concurrent requests; under service backpressure it
     /// runs sequentially here instead.
     pub fn private_op(&self, key: &RsaPrivateKey, c: &BigUint) -> Result<BigUint, RsaError> {
+        let _span = phi_trace::span(phi_trace::Scope::RsaPrivate);
         if c >= key.public().n() {
             return Err(RsaError::InputOutOfRange);
         }
         if let Some(service) = &self.service {
             if self.use_crt && service.modulus() == key.public().n() {
                 match service.call(c.clone()) {
-                    Ok(m) => return Ok(m),
+                    Ok(m) => {
+                        if phi_trace::is_enabled() {
+                            phi_trace::registry().counter_add("rsa.private.batched", 1);
+                        }
+                        return Ok(m);
+                    }
                     Err(SubmitError::QueueFull { .. }) => {
                         // Shed to the sequential path below.
+                        if phi_trace::is_enabled() {
+                            phi_trace::registry().counter_add("rsa.private.shed", 1);
+                        }
                     }
                 }
             }
+        }
+        if phi_trace::is_enabled() {
+            phi_trace::registry().counter_add("rsa.private.sequential", 1);
         }
         self.private_op_sequential(key, c)
     }

@@ -106,6 +106,12 @@ impl OffloadBatcher {
         }
         let requests: Vec<OffloadRequest> = self.pending.drain(..).collect();
         let total: usize = requests.iter().map(|r| r.bytes).sum();
+        if phi_trace::is_enabled() {
+            let reg = phi_trace::registry();
+            reg.counter_add("offload.flushes", 1);
+            reg.counter_add("offload.requests", requests.len() as u64);
+            reg.counter_add("offload.bytes", total as u64);
+        }
         let batched_seconds = self.model.transfer_seconds(total);
         let unbatched_seconds = requests
             .iter()

@@ -144,7 +144,10 @@ impl PhiPool {
                             break;
                         }
                         let t0 = Instant::now();
-                        let out = f(i);
+                        let out = {
+                            let _span = phi_trace::span(phi_trace::Scope::PoolTask);
+                            f(i)
+                        };
                         let dt = t0.elapsed().as_secs_f64();
                         results.lock()[i] = Some(out);
                         task_times.lock()[i] = dt;

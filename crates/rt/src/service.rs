@@ -22,8 +22,8 @@
 //! * [`BatchService`] — the threaded wrapper: a worker thread owns the
 //!   collector, watches the deadline, executes flushes, and answers each
 //!   ticket through its own completion channel. Telemetry is folded into
-//!   a [`ServiceReport`](crate::stats::ServiceReport) as
-//!   [`FlushRecord`](crate::stats::FlushRecord)s.
+//!   a [`ServiceReport`] as
+//!   [`FlushRecord`]s.
 
 use crate::stats::{FlushRecord, ServiceReport};
 use phi_simd::cost::CostModel;
@@ -188,9 +188,15 @@ impl<T> Collector<T> {
     pub fn submit(&mut self, payload: T, now: f64) -> Result<Ticket, SubmitError> {
         if self.queue.len() >= self.config.queue_cap {
             self.rejected += 1;
+            if phi_trace::is_enabled() {
+                phi_trace::registry().counter_add("service.rejected", 1);
+            }
             return Err(SubmitError::QueueFull {
                 depth: self.queue.len(),
             });
+        }
+        if phi_trace::is_enabled() {
+            phi_trace::registry().counter_add("service.submitted", 1);
         }
         let ticket = Ticket(self.next_ticket);
         self.next_ticket += 1;
@@ -243,6 +249,21 @@ impl<T> Collector<T> {
         assert!(!self.queue.is_empty(), "take_batch on an empty collector");
         let take = self.queue.len().min(self.config.width);
         let entries: Vec<Pending<T>> = self.queue.drain(..take).collect();
+        if phi_trace::is_enabled() {
+            let reg = phi_trace::registry();
+            reg.counter_add("service.flush.count", 1);
+            let by = match reason {
+                FlushReason::Full => "service.flush.full",
+                FlushReason::Deadline => "service.flush.deadline",
+                FlushReason::Drain => "service.flush.drain",
+            };
+            reg.counter_add(by, 1);
+            reg.counter_add("service.ops", entries.len() as u64);
+            reg.observe(
+                "service.occupancy",
+                entries.len() as f64 / self.config.width as f64,
+            );
+        }
         Batch {
             reason,
             entries,
@@ -432,7 +453,10 @@ where
                 .map(|p| (p.payload.payload, p.payload.reply))
                 .unzip();
             let wall_start = Instant::now();
-            let (results, ops) = count::measure(|| batch_fn(&payloads));
+            let (results, ops) = count::measure(|| {
+                let _span = phi_trace::span(phi_trace::Scope::ServiceFlush);
+                batch_fn(&payloads)
+            });
             let wall_seconds = wall_start.elapsed().as_secs_f64();
             payloads.clear();
             assert_eq!(

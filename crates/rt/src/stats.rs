@@ -1,59 +1,11 @@
-//! Small statistics helpers for latency/throughput reporting, plus the
-//! per-flush accounting the batch service layer folds its telemetry into.
+//! Per-flush accounting the batch service layer folds its telemetry
+//! into, plus re-exports of the sample statistics that moved to
+//! [`phi_trace::stats`] (kept here so `phi_rt::stats::Summary` callers
+//! keep compiling).
 
 use crate::service::FlushReason;
 
-/// A summary of a set of latency samples (seconds).
-#[derive(Debug, Clone, PartialEq)]
-pub struct Summary {
-    /// Sample count.
-    pub count: usize,
-    /// Arithmetic mean.
-    pub mean: f64,
-    /// Minimum.
-    pub min: f64,
-    /// Median (50th percentile).
-    pub p50: f64,
-    /// 95th percentile.
-    pub p95: f64,
-    /// Maximum.
-    pub max: f64,
-}
-
-impl Summary {
-    /// Summarize a non-empty sample set.
-    pub fn of(samples: &[f64]) -> Summary {
-        assert!(!samples.is_empty(), "no samples");
-        let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
-        let count = sorted.len();
-        let mean = sorted.iter().sum::<f64>() / count as f64;
-        Summary {
-            count,
-            mean,
-            min: sorted[0],
-            p50: percentile(&sorted, 0.50),
-            p95: percentile(&sorted, 0.95),
-            max: sorted[count - 1],
-        }
-    }
-}
-
-/// Nearest-rank percentile over a sorted slice.
-pub fn percentile(sorted: &[f64], p: f64) -> f64 {
-    assert!(!sorted.is_empty());
-    assert!((0.0..=1.0).contains(&p));
-    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
-}
-
-/// Geometric mean of positive values (the usual way to aggregate speedups).
-pub fn geomean(values: &[f64]) -> f64 {
-    assert!(!values.is_empty());
-    assert!(values.iter().all(|&v| v > 0.0), "geomean needs positives");
-    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
-    (log_sum / values.len() as f64).exp()
-}
+pub use phi_trace::stats::{geomean, percentile, Summary};
 
 /// Telemetry of one batch pass through the service collector.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -186,50 +138,13 @@ mod tests {
     }
 
     #[test]
-    fn summary_of_known_set() {
-        let s = Summary::of(&[5.0, 1.0, 3.0, 2.0, 4.0]);
-        assert_eq!(s.count, 5);
+    fn reexported_summary_still_reachable_through_rt() {
+        // The statistics machinery lives in phi-trace now; this pins the
+        // compatibility path `phi_rt::stats::Summary`.
+        let s = Summary::of(&[2.0, 4.0]);
+        assert_eq!(s.count, 2);
         assert_eq!(s.mean, 3.0);
-        assert_eq!(s.min, 1.0);
-        assert_eq!(s.p50, 3.0);
-        assert_eq!(s.max, 5.0);
-    }
-
-    #[test]
-    fn percentile_nearest_rank() {
-        let sorted = [10.0, 20.0, 30.0, 40.0];
-        assert_eq!(percentile(&sorted, 0.0), 10.0);
-        assert_eq!(percentile(&sorted, 0.25), 10.0);
-        assert_eq!(percentile(&sorted, 0.26), 20.0);
-        assert_eq!(percentile(&sorted, 0.95), 40.0);
-        assert_eq!(percentile(&sorted, 1.0), 40.0);
-    }
-
-    #[test]
-    fn p95_of_uniform_run() {
-        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
-        let s = Summary::of(&samples);
-        assert_eq!(s.p95, 95.0);
-        assert_eq!(s.p50, 50.0);
-    }
-
-    #[test]
-    fn single_sample() {
-        let s = Summary::of(&[7.5]);
-        assert_eq!(s.mean, 7.5);
-        assert_eq!(s.p50, 7.5);
-        assert_eq!(s.p95, 7.5);
-    }
-
-    #[test]
-    fn geomean_of_speedups() {
         assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
-        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
-    }
-
-    #[test]
-    #[should_panic(expected = "no samples")]
-    fn empty_summary_panics() {
-        Summary::of(&[]);
+        assert_eq!(percentile(&[1.0, 2.0], 1.0), 2.0);
     }
 }

@@ -13,10 +13,7 @@ const MAC_LEN: usize = 32;
 
 /// CBC encrypt in place-ish: returns iv || ciphertext.
 fn cbc_encrypt(aes: &Aes, iv: [u8; BLOCK], plaintext: &[u8]) -> Vec<u8> {
-    assert!(
-        plaintext.len().is_multiple_of(BLOCK),
-        "CBC needs padded input"
-    );
+    assert!(plaintext.len() % BLOCK == 0, "CBC needs padded input");
     let mut out = Vec::with_capacity(BLOCK + plaintext.len());
     out.extend_from_slice(&iv);
     let mut prev = iv;
@@ -34,7 +31,7 @@ fn cbc_encrypt(aes: &Aes, iv: [u8; BLOCK], plaintext: &[u8]) -> Vec<u8> {
 
 /// CBC decrypt `iv || ciphertext` into the plaintext.
 fn cbc_decrypt(aes: &Aes, data: &[u8]) -> Result<Vec<u8>, SslError> {
-    if data.len() < 2 * BLOCK || !data.len().is_multiple_of(BLOCK) {
+    if data.len() < 2 * BLOCK || data.len() % BLOCK != 0 {
         return Err(SslError::Decode {
             offset: 0,
             reason: "bad CBC length",

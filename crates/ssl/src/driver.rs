@@ -40,6 +40,7 @@ pub fn drive_handshake<R: Rng + ?Sized>(
     server: &mut Server,
     client: &mut Client,
 ) -> Result<HandshakeOutcome, SslError> {
+    let _span = phi_trace::span(phi_trace::Scope::Handshake);
     let mut to_server: Vec<Record> = vec![client.start()?];
     let mut to_client: Vec<Record> = Vec::new();
     let mut flights = 0;
@@ -59,6 +60,11 @@ pub fn drive_handshake<R: Rng + ?Sized>(
         }
     }
     debug_assert_eq!(server.master_secret(), client.master_secret());
+    if phi_trace::is_enabled() {
+        let reg = phi_trace::registry();
+        reg.counter_add("ssl.handshakes", 1);
+        reg.counter_add("ssl.flights", flights as u64);
+    }
     Ok(HandshakeOutcome {
         master_secret: server.master_secret().to_vec(),
         flights,

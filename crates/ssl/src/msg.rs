@@ -169,7 +169,7 @@ impl HandshakeMsg {
                 let session_id = get(body, 33, sid_len)?.to_vec();
                 let at = 33 + sid_len;
                 let clen = u16::from_be_bytes(get(body, at, 2)?.try_into().unwrap()) as usize;
-                if !clen.is_multiple_of(2) {
+                if clen % 2 != 0 {
                     return Err(SslError::Decode {
                         offset: at,
                         reason: "odd cipher list",
