@@ -64,7 +64,7 @@ fn parse(args: &[String]) -> Options {
             id => match registry::find(id) {
                 Some(e) => experiments.push(e),
                 None => {
-                    eprintln!("unknown experiment id: {id} (expected e1..e14 or all)");
+                    eprintln!("unknown experiment id: {id} (expected e1..e15 or all)");
                     usage(2);
                 }
             },

@@ -6,11 +6,17 @@
 //!
 //! # regression gate: fresh run vs committed baseline
 //! perfgate --baseline bench/baseline.json BENCH_PR2.json
+//!
+//! # both in one invocation: integrity-check the fresh report AND hold
+//! # it to the regression tolerance against the baseline
+//! perfgate --check BENCH_PR2.json --baseline bench/baseline.json
 //! ```
 //!
 //! Exit status 0 = pass, 1 = gate failure (regression, bad coverage, or
 //! schema-invalid report), 2 = usage error. The modeled channel is
-//! deterministic, so a failing gate is a code change, never noise.
+//! deterministic, so a failing gate is a code change, never noise — in
+//! particular, a fault-disabled run must land inside the tolerance, which
+//! is how CI proves the resilience layer costs nothing when off.
 
 use phi_bench::gate;
 use phi_trace::Report;
@@ -18,7 +24,8 @@ use phi_trace::Report;
 fn usage(code: i32) -> ! {
     eprintln!(
         "usage: perfgate --check REPORT.json\n\
-         \u{20}      perfgate --baseline BASELINE.json REPORT.json"
+         \u{20}      perfgate --baseline BASELINE.json REPORT.json\n\
+         \u{20}      perfgate --check REPORT.json --baseline BASELINE.json"
     );
     std::process::exit(code);
 }
@@ -90,7 +97,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("--check") if args.len() == 2 => run_check(&args[1]),
+        Some("--check") if args.len() == 4 && args[2] == "--baseline" => {
+            run_check(&args[1]).max(run_gate(&args[3], &args[1]))
+        }
         Some("--baseline") if args.len() == 3 => run_gate(&args[1], &args[2]),
+        Some("--baseline") if args.len() == 4 && args[2] == "--check" => {
+            run_check(&args[3]).max(run_gate(&args[1], &args[3]))
+        }
         Some("--help") | Some("-h") => usage(0),
         _ => usage(2),
     };

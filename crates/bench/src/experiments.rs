@@ -9,10 +9,12 @@
 use crate::measure::{modeled, Modeled};
 use crate::table::{fmt_rate, fmt_us, fmt_x, Table};
 use crate::workload;
+use phi_faults::{FaultInjector, FaultRates, FaultSource};
 use phi_mont::exp::mont_exp;
 use phi_mont::{Libcrypto, MontEngine, MpssBaseline, OpensslBaseline};
-use phi_rsa::RsaOps;
+use phi_rsa::{RsaBatchService, RsaOps};
 use phi_rt::service::{Collector, FlushReason, ServiceConfig};
+use phi_rt::ResilienceConfig;
 use phi_simd::CostModel;
 use phiopenssl::batch::{Batch16, BatchMont, BATCH_WIDTH};
 use phiopenssl::vexp::{mod_exp_vec, TableLookup};
@@ -767,6 +769,92 @@ pub fn e14_service(key_bits: u32, load_factors: &[f64], ops_per_point: usize) ->
     t
 }
 
+/// E15 — Table: offload resilience under injected card faults.
+///
+/// Runs the fault-tolerant batch RSA service against a seeded fault
+/// schedule at each rate in `rates` (`rates[0]` should be `0.0`: its
+/// throughput is the "vs clean" baseline). Requests go in as one burst so
+/// the collector flushes full-width batches; the first plaintext of every
+/// run is checked against the reference exponentiation. Throughput is
+/// resolved operations per modeled virtual second — card passes, fault
+/// penalties, backoff waits and host-fallback work all advance the same
+/// clock, so the column shows what injected faults cost the client.
+pub fn e15_fault_resilience(key_bits: u32, rates: &[f64], ops: usize) -> Table {
+    let mut t = Table::new(
+        format!("E15 (Table): fault-injected offload resilience, {key_bits}-bit key"),
+        &[
+            "fault rate",
+            "resolved",
+            "card",
+            "host",
+            "faults",
+            "retries",
+            "trips",
+            "modeled op/s",
+            "vs clean",
+        ],
+    );
+    t.note(format!(
+        "{} ops per point, width {}, seeded injector per rate; every request \
+         must resolve correctly — faults cost modeled time, never answers",
+        ops, BATCH_WIDTH
+    ));
+    let key = workload::rsa_key(key_bits);
+    let cts: Vec<phi_bigint::BigUint> = (0..ops as u64)
+        .map(|j| &workload::operand(key_bits, 700 + j) % key.public().n())
+        .collect();
+    let expected0 = cts[0].mod_exp(key.d(), key.public().n());
+    let mut clean = None::<f64>;
+    for (ri, &rate) in rates.iter().enumerate() {
+        let faults: Option<std::sync::Arc<dyn FaultSource>> = if rate > 0.0 {
+            Some(std::sync::Arc::new(FaultInjector::new(
+                0xE15 + ri as u64,
+                FaultRates::uniform(rate),
+            )))
+        } else {
+            None
+        };
+        let config = ResilienceConfig {
+            service: ServiceConfig {
+                width: BATCH_WIDTH,
+                max_wait: ServiceConfig::default().max_wait,
+                queue_cap: ops.max(BATCH_WIDTH),
+            },
+            ..ResilienceConfig::default()
+        };
+        let service = RsaBatchService::new_resilient(&key, config, faults).unwrap();
+        let handles: Vec<_> = cts
+            .iter()
+            .map(|c| {
+                service
+                    .submit(c.clone())
+                    .expect("queue sized for the burst")
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let m = h.wait().expect("host fallback resolves every lane");
+            if i == 0 {
+                assert_eq!(m, expected0, "resilient service answered wrong");
+            }
+        }
+        let report = service.shutdown_resilient();
+        let thr = report.effective_throughput();
+        let baseline = *clean.get_or_insert(thr);
+        t.row(vec![
+            format!("{:.0}%", rate * 100.0),
+            report.resolved_ops().to_string(),
+            report.service.ops().to_string(),
+            report.host_fallback_ops.to_string(),
+            report.faults_seen.to_string(),
+            report.retries.to_string(),
+            report.breaker_trips.to_string(),
+            fmt_rate(thr),
+            fmt_x(thr / baseline),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -907,5 +995,22 @@ mod tests {
         let point = simulate_service(&arrivals, config, |k| k as f64 * 1e-5);
         assert!(point.throughput > 0.0);
         assert!(point.mean_occupancy >= 1.0 && point.mean_occupancy <= 8.0);
+    }
+
+    #[test]
+    fn e15_smoke_faults_cost_throughput_not_answers() {
+        let t = e15_fault_resilience(512, &[0.0, 0.5], 48);
+        assert_eq!(t.rows.len(), 2);
+        for row in &t.rows {
+            // Conservation at every rate: all 48 requests resolved.
+            assert_eq!(row[1], "48", "lost requests: {row:?}");
+        }
+        // The clean row saw no faults and is its own baseline.
+        assert_eq!(t.rows[0][4], "0");
+        assert_eq!(t.rows[0][8], "1.00x");
+        // The faulted row saw faults and paid for them in throughput.
+        assert!(t.rows[1][4].parse::<u64>().unwrap() > 0, "{:?}", t.rows[1]);
+        let x: f64 = t.rows[1][8].trim_end_matches('x').parse().unwrap();
+        assert!(x < 1.0, "faults must cost modeled time: {:?}", t.rows[1]);
     }
 }

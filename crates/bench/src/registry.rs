@@ -1,6 +1,6 @@
 //! The experiment registry: one descriptor per evaluation experiment, so
 //! the harness, the CI smoke job, and the perf gate all enumerate the
-//! same list instead of each hardcoding `e1..e14`.
+//! same list instead of each hardcoding `e1..e15`.
 //!
 //! Every experiment runs at one of two [`Profile`]s: `Full` is the
 //! paper-scale sweep the tables in DESIGN.md §4 quote; `Smoke` is a
@@ -32,7 +32,7 @@ impl Profile {
 
 /// One registered experiment.
 pub struct Experiment {
-    /// Stable id (`"e1"`..`"e14"`), the key the perf gate compares by.
+    /// Stable id (`"e1"`..`"e15"`), the key the perf gate compares by.
     pub id: &'static str,
     /// Short human title for reports.
     pub title: &'static str,
@@ -53,7 +53,7 @@ macro_rules! profile_run {
 }
 
 /// Every experiment of the evaluation, in id order.
-pub static EXPERIMENTS: [Experiment; 14] = [
+pub static EXPERIMENTS: [Experiment; 15] = [
     Experiment {
         id: "e1",
         title: "big-integer multiplication latency",
@@ -139,6 +139,14 @@ pub static EXPERIMENTS: [Experiment; 14] = [
             ex::e14_service(512, &[0.2, 3.0], 96)
         ),
     },
+    Experiment {
+        id: "e15",
+        title: "fault-injected offload resilience",
+        run: profile_run!(
+            ex::e15_fault_resilience(1024, &[0.0, 0.01, 0.05, 0.20, 0.50], 256),
+            ex::e15_fault_resilience(512, &[0.0, 0.20, 0.50], 48)
+        ),
+    },
 ];
 
 /// Look an experiment up by id.
@@ -161,7 +169,7 @@ mod tests {
     /// `(1..=14)` drifting out of sync with the dispatch table.
     #[test]
     fn all_covers_every_registered_experiment() {
-        let expected: Vec<String> = (1..=14).map(|i| format!("e{i}")).collect();
+        let expected: Vec<String> = (1..=15).map(|i| format!("e{i}")).collect();
         let got = ids();
         assert_eq!(got.len(), expected.len(), "registry size drifted");
         for id in &expected {
@@ -187,7 +195,8 @@ mod tests {
     #[test]
     fn find_resolves_known_and_rejects_unknown() {
         assert_eq!(find("e5").unwrap().id, "e5");
-        assert!(find("e15").is_none());
+        assert_eq!(find("e15").unwrap().id, "e15");
+        assert!(find("e16").is_none());
         assert!(find("all").is_none());
         assert!(find("").is_none());
     }

@@ -1,0 +1,93 @@
+//! Capped exponential retry backoff for faulted card attempts.
+
+/// Retry pacing for a faulted batch flush: attempt `k` (1-based) waits
+/// `base_s · factor^(k-1)` modeled seconds before re-submitting, capped
+/// at `cap_s`, for at most `max_retries` retries after the first
+/// attempt. Deterministic — no jitter — so chaos runs replay exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry, in modeled seconds.
+    pub base_s: f64,
+    /// Multiplier applied per further retry.
+    pub factor: f64,
+    /// Upper bound any single delay is clamped to.
+    pub cap_s: f64,
+    /// Retries allowed after the initial attempt.
+    pub max_retries: u32,
+}
+
+impl Default for BackoffPolicy {
+    /// 100 µs doubling to a 5 ms cap, three retries — sized so a
+    /// worst-case retry ladder stays inside a 50 ms flush deadline.
+    fn default() -> Self {
+        BackoffPolicy {
+            base_s: 100e-6,
+            factor: 2.0,
+            cap_s: 5e-3,
+            max_retries: 3,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// Delay before retry number `retry` (1-based), in modeled seconds.
+    /// Retry 0 (the initial attempt) waits nothing.
+    pub fn delay(&self, retry: u32) -> f64 {
+        if retry == 0 {
+            return 0.0;
+        }
+        let raw = self.base_s * self.factor.powi(retry as i32 - 1);
+        raw.min(self.cap_s)
+    }
+
+    /// Total modeled delay a full retry ladder would spend waiting.
+    pub fn total_delay(&self) -> f64 {
+        (1..=self.max_retries).map(|r| self.delay(r)).sum()
+    }
+
+    /// Panics on a nonsensical policy (negative delays, factor < 1).
+    pub fn validate(&self) {
+        assert!(self.base_s >= 0.0, "backoff base must be non-negative");
+        assert!(self.factor >= 1.0, "backoff factor must not shrink");
+        assert!(self.cap_s >= self.base_s, "backoff cap below base");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_exponentially_to_the_cap() {
+        let b = BackoffPolicy::default();
+        assert_eq!(b.delay(0), 0.0);
+        assert!((b.delay(1) - 100e-6).abs() < 1e-12);
+        assert!((b.delay(2) - 200e-6).abs() < 1e-12);
+        assert!((b.delay(3) - 400e-6).abs() < 1e-12);
+        // Far past the cap: clamped.
+        assert_eq!(b.delay(20), b.cap_s);
+    }
+
+    #[test]
+    fn total_delay_sums_the_ladder() {
+        let b = BackoffPolicy::default();
+        assert!((b.total_delay() - (100e-6 + 200e-6 + 400e-6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_ladder_fits_a_flush_deadline() {
+        // The resilient layer's default flush deadline is 50 ms; the
+        // full backoff ladder must fit with room for the attempts.
+        assert!(BackoffPolicy::default().total_delay() < 25e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor")]
+    fn shrinking_factor_rejected() {
+        BackoffPolicy {
+            factor: 0.5,
+            ..BackoffPolicy::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,162 @@
+//! The closed taxonomy of modeled KNC failure modes.
+
+use std::fmt;
+
+/// One modeled card fault, observed at a batch-flush boundary.
+///
+/// The taxonomy follows the failure surface of a PCIe coprocessor:
+/// transfer-level faults (corruption, timeout), compute-level faults
+/// (a hung in-order core, a transient ECC event on one SIMD lane), and
+/// the card-level catastrophe (full reset). Batch-wide faults fail every
+/// lane of the flush they hit; lane-granular faults poison only the
+/// affected lanes, so their batch-mates' results survive the attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The DMA completed but the payload failed its integrity check.
+    /// Batch-wide: the whole transfer is untrustworthy.
+    PcieCorruption,
+    /// The DMA never completed inside the transfer window. Batch-wide.
+    PcieTimeout,
+    /// One in-order core hung mid-batch, taking its four hardware
+    /// contexts (one group of four adjacent lanes) with it.
+    /// Lane-granular: other cores' lanes complete.
+    CoreHang {
+        /// Which group of four adjacent lanes the hung core carried.
+        group: usize,
+    },
+    /// The whole card reset; every in-flight lane is lost and the card
+    /// needs re-initialization. Batch-wide and *hard*: a single reset
+    /// trips the circuit breaker regardless of its consecutive-fault
+    /// count.
+    CardReset,
+    /// A transient ECC event invalidated one lane's result.
+    /// Lane-granular: the other fifteen lanes are fine.
+    EccLaneFault {
+        /// The poisoned lane index within the flush.
+        lane: usize,
+    },
+}
+
+impl FaultKind {
+    /// Whether this fault fails every lane of the flush it hits (as
+    /// opposed to a recoverable subset).
+    pub fn is_batch_wide(self) -> bool {
+        matches!(
+            self,
+            FaultKind::PcieCorruption | FaultKind::PcieTimeout | FaultKind::CardReset
+        )
+    }
+
+    /// Whether a single occurrence trips the circuit breaker outright
+    /// (card reset), as opposed to counting toward the consecutive-fault
+    /// threshold.
+    pub fn is_hard(self) -> bool {
+        matches!(self, FaultKind::CardReset)
+    }
+
+    /// Stable snake-case name used in metrics counters
+    /// (`faults.injected.<name>`).
+    pub const fn name(self) -> &'static str {
+        match self {
+            FaultKind::PcieCorruption => "pcie_corruption",
+            FaultKind::PcieTimeout => "pcie_timeout",
+            FaultKind::CoreHang { .. } => "core_hang",
+            FaultKind::CardReset => "card_reset",
+            FaultKind::EccLaneFault { .. } => "ecc_lane",
+        }
+    }
+
+    /// The lanes of an `n`-lane flush this fault poisons, as indices
+    /// into the flush. Batch-wide faults poison everything; a core hang
+    /// poisons one group of four adjacent lanes; an ECC event poisons a
+    /// single lane.
+    pub fn affected_lanes(self, n: usize) -> Vec<usize> {
+        match self {
+            FaultKind::PcieCorruption | FaultKind::PcieTimeout | FaultKind::CardReset => {
+                (0..n).collect()
+            }
+            FaultKind::CoreHang { group } => {
+                let groups = n.div_ceil(4).max(1);
+                let g = group % groups;
+                (g * 4..((g + 1) * 4).min(n)).collect()
+            }
+            FaultKind::EccLaneFault { lane } => {
+                if n == 0 {
+                    Vec::new()
+                } else {
+                    vec![lane % n]
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::PcieCorruption => write!(f, "PCIe transfer corruption"),
+            FaultKind::PcieTimeout => write!(f, "PCIe transfer timeout"),
+            FaultKind::CoreHang { group } => write!(f, "core hang (lane group {group})"),
+            FaultKind::CardReset => write!(f, "card reset"),
+            FaultKind::EccLaneFault { lane } => write!(f, "transient ECC fault on lane {lane}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_wide_classification() {
+        assert!(FaultKind::PcieCorruption.is_batch_wide());
+        assert!(FaultKind::PcieTimeout.is_batch_wide());
+        assert!(FaultKind::CardReset.is_batch_wide());
+        assert!(!FaultKind::CoreHang { group: 0 }.is_batch_wide());
+        assert!(!FaultKind::EccLaneFault { lane: 3 }.is_batch_wide());
+    }
+
+    #[test]
+    fn only_reset_is_hard() {
+        assert!(FaultKind::CardReset.is_hard());
+        assert!(!FaultKind::PcieTimeout.is_hard());
+        assert!(!FaultKind::EccLaneFault { lane: 0 }.is_hard());
+    }
+
+    #[test]
+    fn batch_wide_faults_poison_every_lane() {
+        for k in [FaultKind::PcieCorruption, FaultKind::CardReset] {
+            assert_eq!(k.affected_lanes(16), (0..16).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn core_hang_poisons_one_group_of_four() {
+        let lanes = FaultKind::CoreHang { group: 1 }.affected_lanes(16);
+        assert_eq!(lanes, vec![4, 5, 6, 7]);
+        // Group index wraps to the groups the flush actually has.
+        let wrapped = FaultKind::CoreHang { group: 4 }.affected_lanes(16);
+        assert_eq!(wrapped, vec![0, 1, 2, 3]);
+        // A narrow flush truncates the group at the flush width.
+        let narrow = FaultKind::CoreHang { group: 0 }.affected_lanes(3);
+        assert_eq!(narrow, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ecc_fault_poisons_one_lane_and_wraps() {
+        assert_eq!(FaultKind::EccLaneFault { lane: 5 }.affected_lanes(16), [5]);
+        assert_eq!(FaultKind::EccLaneFault { lane: 17 }.affected_lanes(16), [1]);
+        assert!(FaultKind::EccLaneFault { lane: 0 }
+            .affected_lanes(0)
+            .is_empty());
+    }
+
+    #[test]
+    fn names_and_display_are_informative() {
+        assert_eq!(FaultKind::CardReset.name(), "card_reset");
+        assert!(FaultKind::CoreHang { group: 2 }.to_string().contains('2'));
+        assert!(FaultKind::EccLaneFault { lane: 7 }
+            .to_string()
+            .contains('7'));
+    }
+}

@@ -5,7 +5,7 @@
 //! [`mod@crate::span`]'s global table.
 
 /// Number of scopes in [`Scope::ALL`].
-pub const NUM_SCOPES: usize = 14;
+pub const NUM_SCOPES: usize = 16;
 
 /// A named accounting scope for modeled-cycle and wall-time spans.
 ///
@@ -44,6 +44,10 @@ pub enum Scope {
     PoolTask,
     /// One full TLS handshake drive.
     Handshake,
+    /// A retried card attempt after an injected fault (resilient path).
+    FlushRetry,
+    /// A request degraded to the host-scalar fallback path.
+    HostFallback,
 }
 
 impl Scope {
@@ -63,6 +67,8 @@ impl Scope {
         Scope::ServiceFlush,
         Scope::PoolTask,
         Scope::Handshake,
+        Scope::FlushRetry,
+        Scope::HostFallback,
     ];
 
     /// Dense index of this scope into per-scope tables.
@@ -82,6 +88,8 @@ impl Scope {
             Scope::ServiceFlush => 11,
             Scope::PoolTask => 12,
             Scope::Handshake => 13,
+            Scope::FlushRetry => 14,
+            Scope::HostFallback => 15,
         }
     }
 
@@ -102,6 +110,8 @@ impl Scope {
             Scope::ServiceFlush => "service_flush",
             Scope::PoolTask => "pool_task",
             Scope::Handshake => "handshake",
+            Scope::FlushRetry => "flush_retry",
+            Scope::HostFallback => "host_fallback",
         }
     }
 

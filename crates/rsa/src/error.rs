@@ -1,6 +1,7 @@
 //! RSA error type.
 
 use phi_bigint::BigIntError;
+use phi_rt::{OffloadError, SubmitError};
 use std::fmt;
 
 /// Errors from RSA operations.
@@ -33,6 +34,13 @@ pub enum RsaError {
         /// What was wrong.
         reason: &'static str,
     },
+    /// The batch service could not admit or answer the request
+    /// (backpressure or shutdown).
+    Service(SubmitError),
+    /// The resilient offload path gave up on the request (fault retries
+    /// exhausted, deadline budget spent, or card offline) with no host
+    /// fallback configured.
+    Offload(OffloadError),
 }
 
 impl fmt::Display for RsaError {
@@ -50,6 +58,8 @@ impl fmt::Display for RsaError {
             RsaError::DerError { offset, reason } => {
                 write!(f, "DER error at offset {offset}: {reason}")
             }
+            RsaError::Service(e) => write!(f, "batch service error: {e}"),
+            RsaError::Offload(e) => write!(f, "offload error: {e}"),
         }
     }
 }
@@ -59,6 +69,18 @@ impl std::error::Error for RsaError {}
 impl From<BigIntError> for RsaError {
     fn from(e: BigIntError) -> Self {
         RsaError::Arithmetic(e)
+    }
+}
+
+impl From<SubmitError> for RsaError {
+    fn from(e: SubmitError) -> Self {
+        RsaError::Service(e)
+    }
+}
+
+impl From<OffloadError> for RsaError {
+    fn from(e: OffloadError) -> Self {
+        RsaError::Offload(e)
     }
 }
 
@@ -83,5 +105,15 @@ mod tests {
     fn from_bigint_error() {
         let e: RsaError = BigIntError::DivisionByZero.into();
         assert!(matches!(e, RsaError::Arithmetic(_)));
+    }
+
+    #[test]
+    fn from_service_layer_errors() {
+        let e: RsaError = SubmitError::ServiceShutdown.into();
+        assert!(matches!(e, RsaError::Service(SubmitError::ServiceShutdown)));
+        assert!(e.to_string().contains("batch service"));
+        let e: RsaError = OffloadError::CardOffline.into();
+        assert!(matches!(e, RsaError::Offload(OffloadError::CardOffline)));
+        assert!(e.to_string().contains("offload"));
     }
 }

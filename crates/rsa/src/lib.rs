@@ -44,4 +44,4 @@ pub mod pem;
 
 pub use error::RsaError;
 pub use key::{RsaPrivateKey, RsaPublicKey, DEFAULT_PUBLIC_EXPONENT};
-pub use ops::{RsaBatchService, RsaOps};
+pub use ops::{RsaBatchService, RsaOps, RsaTicket};

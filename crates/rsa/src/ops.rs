@@ -16,44 +16,86 @@
 //! [`RsaOps`] with an attached service ([`RsaOps::with_service`]) routes
 //! eligible private operations through it and falls back to the
 //! sequential CRT path under backpressure.
+//!
+//! [`RsaBatchService::new_resilient`] builds the fault-tolerant variant
+//! instead: the same card engine behind `phi_rt`'s resilient service,
+//! with a host-scalar CRT closure as the degradation path, so injected
+//! card faults (or a tripped breaker) cost throughput, not answers.
 
 use crate::blinding::Blinding;
 use crate::error::RsaError;
 use crate::key::{RsaPrivateKey, RsaPublicKey};
 use crate::padding;
 use phi_bigint::BigUint;
-use phi_mont::{Libcrypto, ModulusSession};
+use phi_faults::FaultSource;
+use phi_mont::{Libcrypto, ModulusSession, OpensslBaseline};
+use phi_rt::resilient::HostFn;
 use phi_rt::service::{BatchService, ServiceConfig, SubmitError, TicketHandle};
-use phi_rt::stats::ServiceReport;
+use phi_rt::stats::{ResilienceReport, ServiceReport};
+use phi_rt::{ResilienceConfig, ResilientHandle, ResilientService};
 use phiopenssl::BatchCrtEngine;
 use rand::Rng;
 use std::sync::{Arc, Mutex};
 
+/// The two card-side executors a service can run on.
+enum Backend {
+    /// The plain deadline-driven batch service.
+    Plain(BatchService<BigUint, BigUint>),
+    /// The fault-tolerant service: retries, deadline budget, breaker,
+    /// host-scalar fallback.
+    Resilient(ResilientService<BigUint, BigUint>),
+}
+
+/// A pending plaintext from either backend of an [`RsaBatchService`].
+pub enum RsaTicket {
+    /// Handle into the plain batch service.
+    Plain(TicketHandle<BigUint>),
+    /// Handle into the resilient service.
+    Resilient(ResilientHandle<BigUint>),
+}
+
+impl RsaTicket {
+    /// Block until the batch carrying this request resolved.
+    pub fn wait(self) -> Result<BigUint, RsaError> {
+        match self {
+            RsaTicket::Plain(h) => h.wait().map_err(RsaError::from),
+            RsaTicket::Resilient(h) => h.wait().map_err(RsaError::from),
+        }
+    }
+}
+
 /// A shared deadline-driven batch executor for one private key.
 ///
-/// Wraps [`BatchService`] around a [`BatchCrtEngine`] built from the
-/// key's CRT material. Clone-free sharing: wrap it in an [`Arc`] and
-/// hand it to every [`RsaOps`] (or TLS connection) serving that key.
+/// Wraps [`BatchService`] (or, via [`RsaBatchService::new_resilient`],
+/// the fault-tolerant [`ResilientService`]) around a [`BatchCrtEngine`]
+/// built from the key's CRT material. Clone-free sharing: wrap it in an
+/// [`Arc`] and hand it to every [`RsaOps`] (or TLS connection) serving
+/// that key.
 pub struct RsaBatchService {
-    service: BatchService<BigUint, BigUint>,
+    backend: Backend,
     n: BigUint,
+}
+
+/// The 16-lane card executor for `key`, shared by both backends.
+fn card_engine(key: &RsaPrivateKey) -> Result<BatchCrtEngine, RsaError> {
+    Ok(BatchCrtEngine::from_parts(
+        key.public().n().clone(),
+        key.dp().clone(),
+        key.dq().clone(),
+        key.qinv().clone(),
+        key.p().clone(),
+        key.q().clone(),
+    )?)
 }
 
 impl RsaBatchService {
     /// Start a batch service for `key` with the given aggregation policy.
     pub fn new(key: &RsaPrivateKey, config: ServiceConfig) -> Result<Self, RsaError> {
-        let engine = BatchCrtEngine::from_parts(
-            key.public().n().clone(),
-            key.dp().clone(),
-            key.dq().clone(),
-            key.qinv().clone(),
-            key.p().clone(),
-            key.q().clone(),
-        )?;
+        let engine = card_engine(key)?;
         let service =
             BatchService::new(config, move |cts: &[BigUint]| engine.private_op_masked(cts));
         Ok(RsaBatchService {
-            service,
+            backend: Backend::Plain(service),
             n: key.public().n().clone(),
         })
     }
@@ -63,29 +105,106 @@ impl RsaBatchService {
         Self::new(key, ServiceConfig::default())
     }
 
+    /// Start a fault-tolerant batch service for `key`.
+    ///
+    /// The card path is the same [`BatchCrtEngine`] as [`Self::new`]; the
+    /// degradation path is a host-scalar CRT closure over the key's
+    /// parts, so every request resolves to the correct plaintext even
+    /// when the card faults on every attempt. `faults` is the injected
+    /// fault schedule (`None` models a healthy card and costs one
+    /// pointer check per flush).
+    pub fn new_resilient(
+        key: &RsaPrivateKey,
+        config: ResilienceConfig,
+        faults: Option<Arc<dyn FaultSource>>,
+    ) -> Result<Self, RsaError> {
+        let engine = card_engine(key)?;
+        let (p, q) = (key.p().clone(), key.q().clone());
+        let (dp, dq, qinv) = (key.dp().clone(), key.dq().clone(), key.qinv().clone());
+        // Host-scalar CRT over the host library's Montgomery sessions —
+        // the same path [`RsaOps::private_op`] takes with no service, so
+        // degraded throughput is priced as what the host can actually do,
+        // not as a free pass.
+        let sp = OpensslBaseline.with_modulus(key.p())?;
+        let sq = OpensslBaseline.with_modulus(key.q())?;
+        let host: HostFn<BigUint, BigUint> = Box::new(move |c: &BigUint| {
+            let m1 = sp.mod_exp(c, &dp);
+            let m2 = sq.mod_exp(c, &dq);
+            let h = (&qinv * &m1.mod_sub(&m2, &p))
+                .rem_ref(&p)
+                .expect("prime modulus is nonzero");
+            &m2 + &(&h * &q)
+        });
+        let service = ResilientService::new(
+            config,
+            move |cts: &[BigUint]| engine.private_op_masked(cts),
+            Some(host),
+            faults,
+        );
+        Ok(RsaBatchService {
+            backend: Backend::Resilient(service),
+            n: key.public().n().clone(),
+        })
+    }
+
     /// The public modulus this service decrypts under.
     pub fn modulus(&self) -> &BigUint {
         &self.n
     }
 
+    /// Whether the service runs the fault-tolerant backend.
+    pub fn is_resilient(&self) -> bool {
+        matches!(self.backend, Backend::Resilient(_))
+    }
+
     /// Submit one ciphertext; redeem the handle for the plaintext.
-    pub fn submit(&self, c: BigUint) -> Result<TicketHandle<BigUint>, SubmitError> {
-        self.service.submit(c)
+    pub fn submit(&self, c: BigUint) -> Result<RsaTicket, SubmitError> {
+        match &self.backend {
+            Backend::Plain(s) => Ok(RsaTicket::Plain(s.submit(c)?)),
+            Backend::Resilient(s) => Ok(RsaTicket::Resilient(s.submit(c)?)),
+        }
     }
 
     /// Submit and block until the batch containing this request ran.
-    pub fn call(&self, c: BigUint) -> Result<BigUint, SubmitError> {
-        self.service.call(c)
+    pub fn call(&self, c: BigUint) -> Result<BigUint, RsaError> {
+        self.submit(c)?.wait()
     }
 
-    /// Telemetry snapshot (flushes, occupancy, rejects so far).
+    /// Telemetry snapshot (flushes, occupancy, rejects so far). For the
+    /// resilient backend this is the card-side slice of the report.
     pub fn report(&self) -> ServiceReport {
-        self.service.report()
+        match &self.backend {
+            Backend::Plain(s) => s.report(),
+            Backend::Resilient(s) => s.report().service,
+        }
+    }
+
+    /// Full resilience telemetry; `None` on the plain backend.
+    pub fn resilience_report(&self) -> Option<ResilienceReport> {
+        match &self.backend {
+            Backend::Plain(_) => None,
+            Backend::Resilient(s) => Some(s.report()),
+        }
     }
 
     /// Drain parked requests, stop the worker, return final telemetry.
     pub fn shutdown(self) -> ServiceReport {
-        self.service.shutdown()
+        match self.backend {
+            Backend::Plain(s) => s.shutdown(),
+            Backend::Resilient(s) => s.shutdown().service,
+        }
+    }
+
+    /// Shut down and return the full resilience telemetry (the plain
+    /// backend's card report wrapped in an otherwise-empty one).
+    pub fn shutdown_resilient(self) -> ResilienceReport {
+        match self.backend {
+            Backend::Plain(s) => ResilienceReport {
+                service: s.shutdown(),
+                ..ResilienceReport::default()
+            },
+            Backend::Resilient(s) => s.shutdown(),
+        }
     }
 }
 
@@ -179,12 +298,21 @@ impl RsaOps {
                         }
                         return Ok(m);
                     }
-                    Err(SubmitError::QueueFull { .. }) => {
+                    Err(RsaError::Service(SubmitError::QueueFull { .. })) => {
                         // Shed to the sequential path below.
                         if phi_trace::is_enabled() {
                             phi_trace::registry().counter_add("rsa.private.shed", 1);
                         }
                     }
+                    Err(RsaError::Service(_) | RsaError::Offload(_)) => {
+                        // Service gone or offload gave up: this context's
+                        // own sequential CRT is the degradation of last
+                        // resort — the request still gets its answer.
+                        if phi_trace::is_enabled() {
+                            phi_trace::registry().counter_add("rsa.private.fallback", 1);
+                        }
+                    }
+                    Err(other) => return Err(other),
                 }
             }
         }
@@ -497,5 +625,79 @@ mod tests {
             0,
             "mismatched modulus must not reach the service"
         );
+    }
+
+    #[test]
+    fn resilient_service_with_a_healthy_card_matches_plain() {
+        let key = key256();
+        let service = RsaBatchService::new_resilient(&key, ResilienceConfig::default(), None)
+            .expect("resilient service");
+        assert!(service.is_resilient());
+        let ops = RsaOps::new(Box::new(MpssBaseline));
+        for i in 1u64..=4 {
+            let m = BigUint::from(i * 7_654_321);
+            let c = ops.public_op(key.public(), &m).unwrap();
+            assert_eq!(service.call(c).unwrap(), m);
+        }
+        let report = service.shutdown_resilient();
+        assert_eq!(report.service.ops(), 4, "all ops completed on the card");
+        assert_eq!(report.host_fallback_ops, 0);
+        assert_eq!(report.errored_ops, 0);
+        assert_eq!(report.faults_seen, 0);
+    }
+
+    #[test]
+    fn resilient_service_answers_through_host_under_total_fault_rate() {
+        use phi_faults::{FaultInjector, FaultRates, FaultSource};
+        let key = key256();
+        let faults: Arc<dyn FaultSource> =
+            Arc::new(FaultInjector::new(0xBADC0DE, FaultRates::uniform(1.0)));
+        let config = ResilienceConfig {
+            service: ServiceConfig {
+                width: 4,
+                max_wait: 200e-6,
+                ..ServiceConfig::default()
+            },
+            ..ResilienceConfig::default()
+        };
+        let service =
+            RsaBatchService::new_resilient(&key, config, Some(faults)).expect("resilient service");
+        let ops = RsaOps::new(Box::new(MpssBaseline));
+        for i in 1u64..=6 {
+            let m = BigUint::from(i * 1_000_003);
+            let c = ops.public_op(key.public(), &m).unwrap();
+            // Every card attempt faults, yet the answer is still correct:
+            // the host-scalar CRT closure picks up every lane.
+            assert_eq!(service.call(c).unwrap(), m);
+        }
+        let report = service.shutdown_resilient();
+        assert_eq!(report.errored_ops, 0, "host fallback leaves no errors");
+        assert_eq!(report.host_fallback_ops as usize + report.service.ops(), 6);
+        assert!(report.host_fallback_ops > 0, "total fault rate forces host");
+        assert!(report.faults_seen > 0);
+    }
+
+    #[test]
+    fn ops_with_resilient_service_stays_correct_under_faults() {
+        use phi_faults::{FaultInjector, FaultRates, FaultSource};
+        let key = key256();
+        let faults: Arc<dyn FaultSource> =
+            Arc::new(FaultInjector::new(0x5EED, FaultRates::uniform(0.5)));
+        let service = Arc::new(
+            RsaBatchService::new_resilient(&key, ResilienceConfig::default(), Some(faults))
+                .expect("resilient service"),
+        );
+        let ops = RsaOps::new(Box::new(MpssBaseline)).with_service(Arc::clone(&service));
+        for i in 1u64..=5 {
+            let m = BigUint::from(i * 31_337);
+            let c = ops.public_op(key.public(), &m).unwrap();
+            assert_eq!(ops.private_op(&key, &c).unwrap(), m);
+        }
+        drop(ops);
+        let report = Arc::try_unwrap(service)
+            .unwrap_or_else(|_| panic!("service still shared"))
+            .shutdown_resilient();
+        assert_eq!(report.errored_ops, 0);
+        assert_eq!(report.resolved_ops(), 5);
     }
 }

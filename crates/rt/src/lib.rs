@@ -2,8 +2,10 @@
 //!
 //! The execution model of the Xeon Phi card for the PhiOpenSSL
 //! reproduction: a thread pool with *simulated* core/SMT placement
-//! ([`pool`]), the host↔device offload cost model ([`offload`]), and
-//! latency/throughput aggregation ([`stats`]).
+//! ([`pool`]), the host↔device offload cost model ([`offload`]), the
+//! deadline-driven batch service ([`service`]), its fault-tolerant
+//! sibling ([`resilient`]), and latency/throughput aggregation
+//! ([`stats`]).
 //!
 //! Real KNC cards expose 240 hardware threads over 60 in-order cores and
 //! are fed over PCIe. This crate runs the work for real on host threads
@@ -18,13 +20,15 @@
 
 pub mod offload;
 pub mod pool;
+pub mod resilient;
 pub mod service;
 pub mod stats;
 
 pub use offload::{OffloadBatcher, OffloadModel};
 pub use pool::{AffinityPolicy, BatchReport, PhiPool};
+pub use resilient::{OffloadError, ResilienceConfig, ResilientHandle, ResilientService};
 pub use service::{
     Batch, BatchService, Collector, FlushReason, ServiceConfig, SubmitError, Ticket, TicketHandle,
     BATCH_WIDTH,
 };
-pub use stats::{FlushRecord, ServiceReport, Summary};
+pub use stats::{FlushRecord, ResilienceReport, ServiceReport, Summary};

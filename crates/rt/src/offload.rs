@@ -6,6 +6,15 @@
 //! larger transfers. [`OffloadModel`] prices a transfer; [`OffloadBatcher`]
 //! accumulates requests into batches and accounts for the modeled time the
 //! batched transfers would take against the one-at-a-time alternative.
+//!
+//! A batcher may carry an optional [`FaultSource`]: each flush then
+//! consults the fault schedule, and a faulted transfer is re-sent once —
+//! its `batched_seconds` doubles — with the fault recorded on the
+//! [`FlushedBatch`] for the caller's retry/health accounting. Without a
+//! fault source (the default) a flush costs one `Option` check extra.
+
+use phi_faults::{FaultKind, FaultSource};
+use std::sync::Arc;
 
 /// Modeled transfer characteristics of the host↔card link.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,10 +61,13 @@ pub struct OffloadRequest {
 pub struct FlushedBatch {
     /// The requests in the batch, in arrival order.
     pub requests: Vec<OffloadRequest>,
-    /// Modeled transfer time for the whole batch (one DMA).
+    /// Modeled transfer time for the whole batch (one DMA, doubled when
+    /// the transfer faulted and was re-sent).
     pub batched_seconds: f64,
     /// Modeled transfer time had each request been its own DMA.
     pub unbatched_seconds: f64,
+    /// The fault injected into this flush's transfer, if any.
+    pub fault: Option<FaultKind>,
 }
 
 impl FlushedBatch {
@@ -66,11 +78,22 @@ impl FlushedBatch {
 }
 
 /// Accumulates requests and flushes them in batches of up to `capacity`.
-#[derive(Debug)]
 pub struct OffloadBatcher {
     model: OffloadModel,
     capacity: usize,
     pending: Vec<OffloadRequest>,
+    faults: Option<Arc<dyn FaultSource>>,
+}
+
+impl std::fmt::Debug for OffloadBatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OffloadBatcher")
+            .field("model", &self.model)
+            .field("capacity", &self.capacity)
+            .field("pending", &self.pending)
+            .field("faulty", &self.faults.is_some())
+            .finish()
+    }
 }
 
 impl OffloadBatcher {
@@ -81,7 +104,15 @@ impl OffloadBatcher {
             model,
             capacity,
             pending: Vec::with_capacity(capacity),
+            faults: None,
         }
+    }
+
+    /// A batcher whose flushes consult a fault schedule.
+    pub fn with_faults(model: OffloadModel, capacity: usize, faults: Arc<dyn FaultSource>) -> Self {
+        let mut b = Self::new(model, capacity);
+        b.faults = Some(faults);
+        b
     }
 
     /// Queue a request; returns the flushed batch when the capacity fills.
@@ -106,13 +137,23 @@ impl OffloadBatcher {
         }
         let requests: Vec<OffloadRequest> = self.pending.drain(..).collect();
         let total: usize = requests.iter().map(|r| r.bytes).sum();
+        let fault = self
+            .faults
+            .as_ref()
+            .and_then(|f| f.next_fault(requests.len()));
         if phi_trace::is_enabled() {
             let reg = phi_trace::registry();
             reg.counter_add("offload.flushes", 1);
             reg.counter_add("offload.requests", requests.len() as u64);
             reg.counter_add("offload.bytes", total as u64);
+            if fault.is_some() {
+                reg.counter_add("offload.faulted", 1);
+            }
         }
-        let batched_seconds = self.model.transfer_seconds(total);
+        // A faulted transfer is re-sent once: the link paid for the DMA
+        // twice before the payload arrived intact.
+        let resend = if fault.is_some() { 2.0 } else { 1.0 };
+        let batched_seconds = resend * self.model.transfer_seconds(total);
         let unbatched_seconds = requests
             .iter()
             .map(|r| self.model.transfer_seconds(r.bytes))
@@ -121,6 +162,7 @@ impl OffloadBatcher {
             requests,
             batched_seconds,
             unbatched_seconds,
+            fault,
         })
     }
 }
@@ -189,6 +231,30 @@ mod tests {
         b.push(OffloadRequest { id: 9, bytes: 64 });
         let batch = b.flush().unwrap();
         assert_eq!(batch.requests.len(), 1);
+        assert!(batch.fault.is_none(), "no fault source, no faults");
         assert!(b.flush().is_none());
+    }
+
+    #[test]
+    fn faulted_flush_pays_the_transfer_twice() {
+        use phi_faults::FaultScript;
+        let script: Arc<dyn FaultSource> = Arc::new(FaultScript::new(vec![
+            Some(FaultKind::PcieCorruption),
+            None,
+        ]));
+        let mut b = OffloadBatcher::with_faults(OffloadModel::default(), 8, script);
+        for i in 0..4 {
+            b.push(OffloadRequest { id: i, bytes: 256 });
+        }
+        let faulted = b.flush().unwrap();
+        assert_eq!(faulted.fault, Some(FaultKind::PcieCorruption));
+        for i in 0..4 {
+            b.push(OffloadRequest { id: i, bytes: 256 });
+        }
+        let clean = b.flush().unwrap();
+        assert_eq!(clean.fault, None);
+        // Same payload, double the modeled transfer time.
+        assert!((faulted.batched_seconds - 2.0 * clean.batched_seconds).abs() < 1e-15);
+        assert_eq!(faulted.unbatched_seconds, clean.unbatched_seconds);
     }
 }

@@ -209,6 +209,9 @@ impl JobPool {
                         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
                         if outcome.is_err() {
                             panics.fetch_add(1, Ordering::Relaxed);
+                            if phi_trace::is_enabled() {
+                                phi_trace::registry().counter_add("pool.jobs.panicked", 1);
+                            }
                         }
                     }
                     let mine = count::snapshot();
@@ -395,6 +398,32 @@ mod failure_injection_tests {
             "non-panicking jobs all ran"
         );
         assert_eq!(counts.get(OpClass::SAlu), 30);
+    }
+
+    #[test]
+    fn panicked_jobs_counted_and_published() {
+        // Deterministic count: a 1-worker pool serializes the jobs, and
+        // drop joins the worker before the counters are read.
+        phi_trace::enable();
+        let before = phi_trace::registry().counter("pool.jobs.panicked");
+        let pool = JobPool::new(1);
+        for i in 0..6 {
+            pool.submit(move || {
+                if i % 2 == 0 {
+                    panic!("injected {i}");
+                }
+            });
+        }
+        // Fence: a 1-worker pool runs jobs in order, so once the fence
+        // job has signalled, every earlier job (and its panic) is done.
+        let (tx, rx) = crossbeam::channel::unbounded::<()>();
+        pool.submit(move || tx.send(()).unwrap());
+        rx.recv().unwrap();
+        assert_eq!(pool.panicked_jobs(), 3, "three of six jobs panicked");
+        let _ = pool.shutdown();
+        let after = phi_trace::registry().counter("pool.jobs.panicked");
+        phi_trace::disable();
+        assert_eq!(after - before, 3);
     }
 
     #[test]

@@ -1,0 +1,915 @@
+//! The resilient offload path: deadline-enforced, retrying,
+//! breaker-gated batch execution with host-fallback degradation.
+//!
+//! [`BatchService`](crate::service::BatchService) assumes the card never
+//! misbehaves; this module is the layer a deployment would actually run.
+//! A [`ResilientService`] owns the same deadline-driven
+//! [`Collector`] but executes each flush through a fault-aware loop:
+//!
+//! 1. **Breaker gate** — a [`CircuitBreaker`] tracks card health on the
+//!    service's modeled virtual clock. While it is open, flushes skip the
+//!    card entirely and degrade to the host-scalar fallback; once the
+//!    cooldown elapses, half-open probes let a recovered card earn its
+//!    traffic back.
+//! 2. **Fault consultation** — each card attempt asks the configured
+//!    [`FaultSource`] (if any) whether it faults. Batch-wide faults
+//!    (PCIe corruption/timeout, card reset) fail every lane; lane-granular
+//!    faults (core hang, ECC) poison only the affected lanes, and their
+//!    batch-mates complete on the same attempt.
+//! 3. **Retry with backoff** — poisoned lanes are retried under a capped
+//!    exponential [`BackoffPolicy`], all in modeled time, so chaos runs
+//!    replay deterministically from the injector seed.
+//! 4. **Deadline enforcement** — each flush has a modeled time budget
+//!    ([`ResilienceConfig::flush_deadline_s`]); when retrying would blow
+//!    it, the flush is cancelled and its live lanes are requeued at the
+//!    head of the queue (at most [`ResilienceConfig::max_requeues`] times
+//!    per request, never while draining — so shutdown always terminates).
+//! 5. **Exactly-once resolution** — every admitted request resolves
+//!    exactly once: on the card, on the host fallback, or with a typed
+//!    [`OffloadError`]. No hangs, no lost tickets, no double answers.
+//!
+//! With no fault source and a closed breaker the card path is the same
+//! measured `card_fn` invocation the plain service makes; the resilience
+//! machinery costs one `Option` check per flush and never records
+//! modeled operations of its own.
+
+use crate::service::{Collector, FlushReason, Pending, ServiceConfig, SubmitError, Ticket};
+use crate::stats::{FlushRecord, ResilienceReport};
+use phi_faults::{
+    BackoffPolicy, BreakerConfig, BreakerState, CircuitBreaker, FaultKind, FaultSource,
+};
+use phi_simd::cost::CostModel;
+use phi_simd::count;
+use std::fmt;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Instant;
+
+/// Tunables of the resilient service, over and above the collector's.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilienceConfig {
+    /// Collector tunables (width, max wait, queue cap).
+    pub service: ServiceConfig,
+    /// Modeled-time budget per flush: attempts, fault penalties and
+    /// backoff must fit inside it or the flush is cancelled and its live
+    /// lanes requeued.
+    pub flush_deadline_s: f64,
+    /// Modeled seconds one faulted card attempt wastes (the DMA that
+    /// timed out or delivered garbage still occupied the link).
+    pub fault_cost_s: f64,
+    /// Times one request may be requeued by deadline cancellations
+    /// before it is forcibly resolved (host fallback or typed error).
+    pub max_requeues: u32,
+    /// Retry pacing for faulted attempts.
+    pub backoff: BackoffPolicy,
+    /// Card-health breaker tunables.
+    pub breaker: BreakerConfig,
+}
+
+impl Default for ResilienceConfig {
+    /// Default collector, a 50 ms flush budget, 500 µs per faulted
+    /// attempt, two requeues, default backoff and breaker.
+    fn default() -> Self {
+        ResilienceConfig {
+            service: ServiceConfig::default(),
+            flush_deadline_s: 50e-3,
+            fault_cost_s: 500e-6,
+            max_requeues: 2,
+            backoff: BackoffPolicy::default(),
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+impl ResilienceConfig {
+    fn validate(&self) {
+        assert!(
+            self.flush_deadline_s > 0.0,
+            "flush deadline must be positive"
+        );
+        assert!(self.fault_cost_s >= 0.0, "fault cost must be non-negative");
+        self.backoff.validate();
+    }
+}
+
+/// Why a request left the resilient service without a result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OffloadError {
+    /// Every retry of the request's batch faulted and no host fallback
+    /// is configured.
+    Faulted {
+        /// The fault observed on the final attempt.
+        kind: FaultKind,
+        /// Card attempts made before giving up.
+        attempts: u32,
+    },
+    /// The request was requeued by deadline cancellations until its
+    /// requeue budget ran out, and no host fallback is configured.
+    DeadlineExceeded {
+        /// Times the request was requeued before being resolved.
+        requeues: u32,
+    },
+    /// The breaker is open (card distrusted) and no host fallback is
+    /// configured.
+    CardOffline,
+    /// The service shut down without answering this ticket.
+    ServiceShutdown,
+}
+
+impl fmt::Display for OffloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OffloadError::Faulted { kind, attempts } => {
+                write!(f, "offload faulted after {attempts} attempts: {kind}")
+            }
+            OffloadError::DeadlineExceeded { requeues } => {
+                write!(f, "offload deadline exceeded after {requeues} requeues")
+            }
+            OffloadError::CardOffline => write!(f, "card offline (breaker open), no fallback"),
+            OffloadError::ServiceShutdown => write!(f, "resilient service shut down"),
+        }
+    }
+}
+
+impl std::error::Error for OffloadError {}
+
+/// The host-scalar fallback executor: one request at a time, no card.
+pub type HostFn<T, R> = Box<dyn Fn(&T) -> R + Send>;
+
+/// A request travelling through the resilient service.
+struct RJob<T, R> {
+    payload: T,
+    reply: mpsc::Sender<Result<R, OffloadError>>,
+    /// Times a deadline cancellation has already put this job back.
+    requeues: u32,
+}
+
+struct RState<T, R> {
+    collector: Collector<RJob<T, R>>,
+    report: ResilienceReport,
+    shutdown: bool,
+}
+
+struct RShared<T, R> {
+    state: Mutex<RState<T, R>>,
+    wake: Condvar,
+    epoch: Instant,
+}
+
+impl<T, R> RShared<T, R> {
+    fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+}
+
+fn lock<'a, T, R>(m: &'a Mutex<RState<T, R>>) -> std::sync::MutexGuard<'a, RState<T, R>> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A pending resilient result: redeem with [`ResilientHandle::wait`].
+#[derive(Debug)]
+pub struct ResilientHandle<R> {
+    ticket: Ticket,
+    rx: mpsc::Receiver<Result<R, OffloadError>>,
+}
+
+impl<R> ResilientHandle<R> {
+    /// The ticket this handle redeems.
+    pub fn ticket(&self) -> Ticket {
+        self.ticket
+    }
+
+    /// Block until the request resolves — on the card, on the host
+    /// fallback, or with a typed error. A torn-down service maps to
+    /// [`OffloadError::ServiceShutdown`]; this never panics and never
+    /// hangs (shutdown drains, and drained flushes never requeue).
+    pub fn wait(self) -> Result<R, OffloadError> {
+        match self.rx.recv() {
+            Ok(resolution) => resolution,
+            Err(_) => Err(OffloadError::ServiceShutdown),
+        }
+    }
+}
+
+/// The fault-tolerant deadline-driven batch service.
+///
+/// Shaped like [`BatchService`](crate::service::BatchService) — one
+/// worker thread, submit-from-anywhere, per-ticket reply channels — but
+/// each flush runs the breaker/retry/deadline loop described in the
+/// module docs, and every request resolves to `Result<R, OffloadError>`.
+pub struct ResilientService<T: Send + Clone + 'static, R: Send + 'static> {
+    shared: Arc<RShared<T, R>>,
+    worker: Option<thread::JoinHandle<()>>,
+}
+
+impl<T: Send + Clone + 'static, R: Send + 'static> ResilientService<T, R> {
+    /// Start a resilient service.
+    ///
+    /// * `card_fn` — the batch executor (the modeled card path), same
+    ///   contract as the plain service: one result per payload, in order.
+    /// * `host_fn` — the scalar host fallback; `None` turns degradation
+    ///   into typed errors instead.
+    /// * `faults` — the fault schedule; `None` (a healthy card) costs a
+    ///   single pointer check per attempt.
+    pub fn new<F>(
+        config: ResilienceConfig,
+        card_fn: F,
+        host_fn: Option<HostFn<T, R>>,
+        faults: Option<Arc<dyn FaultSource>>,
+    ) -> Self
+    where
+        F: Fn(&[T]) -> Vec<R> + Send + 'static,
+    {
+        config.validate();
+        let shared = Arc::new(RShared {
+            state: Mutex::new(RState {
+                collector: Collector::new(config.service),
+                report: ResilienceReport::default(),
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            epoch: Instant::now(),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = thread::Builder::new()
+            .name("phi-resilient-service".into())
+            .spawn(move || resilient_worker(worker_shared, config, card_fn, host_fn, faults))
+            .expect("spawn resilient service worker");
+        ResilientService {
+            shared,
+            worker: Some(worker),
+        }
+    }
+
+    /// Submit one request; fails fast with [`SubmitError::QueueFull`]
+    /// under backpressure.
+    pub fn submit(&self, payload: T) -> Result<ResilientHandle<R>, SubmitError> {
+        let (reply, rx) = mpsc::channel();
+        let now = self.shared.now();
+        let mut state = lock(&self.shared.state);
+        if state.shutdown {
+            return Err(SubmitError::ServiceShutdown);
+        }
+        let ticket = state.collector.submit(
+            RJob {
+                payload,
+                reply,
+                requeues: 0,
+            },
+            now,
+        )?;
+        drop(state);
+        self.shared.wake.notify_one();
+        Ok(ResilientHandle { ticket, rx })
+    }
+
+    /// Submit and block. The outer error is admission (queue full), the
+    /// inner one execution (fault/deadline/offline).
+    pub fn call(&self, payload: T) -> Result<Result<R, OffloadError>, SubmitError> {
+        Ok(self.submit(payload)?.wait())
+    }
+
+    /// Snapshot of the resilience telemetry so far.
+    pub fn report(&self) -> ResilienceReport {
+        let state = lock(&self.shared.state);
+        let mut report = state.report.clone();
+        report.service.rejected = state.collector.rejected();
+        report
+    }
+
+    /// Stop accepting work, drain every parked request (drained flushes
+    /// resolve instead of requeueing, so this terminates), and return the
+    /// final telemetry.
+    pub fn shutdown(mut self) -> ResilienceReport {
+        self.stop_worker();
+        let state = lock(&self.shared.state);
+        let mut report = state.report.clone();
+        report.service.rejected = state.collector.rejected();
+        report
+    }
+
+    fn stop_worker(&mut self) {
+        if let Some(worker) = self.worker.take() {
+            lock(&self.shared.state).shutdown = true;
+            self.shared.wake.notify_all();
+            worker.join().expect("resilient service worker panicked");
+        }
+    }
+}
+
+impl<T: Send + Clone + 'static, R: Send + 'static> Drop for ResilientService<T, R> {
+    fn drop(&mut self) {
+        self.stop_worker();
+    }
+}
+
+/// Everything one flush did, merged into the report under the state lock.
+struct FlushStats<T, R> {
+    card_completed: usize,
+    card_modeled_s: f64,
+    host_completed: usize,
+    host_modeled_s: f64,
+    errored: usize,
+    faults: u64,
+    retries: u64,
+    deadline_cancelled: bool,
+    degraded: bool,
+    requeued: Vec<Pending<RJob<T, R>>>,
+}
+
+impl<T, R> FlushStats<T, R> {
+    fn new() -> Self {
+        FlushStats {
+            card_completed: 0,
+            card_modeled_s: 0.0,
+            host_completed: 0,
+            host_modeled_s: 0.0,
+            errored: 0,
+            faults: 0,
+            retries: 0,
+            deadline_cancelled: false,
+            degraded: false,
+            requeued: Vec::new(),
+        }
+    }
+}
+
+fn resilient_worker<T, R, F>(
+    shared: Arc<RShared<T, R>>,
+    config: ResilienceConfig,
+    card_fn: F,
+    host_fn: Option<HostFn<T, R>>,
+    faults: Option<Arc<dyn FaultSource>>,
+) where
+    T: Send + Clone,
+    R: Send,
+    F: Fn(&[T]) -> Vec<R>,
+{
+    let cost = CostModel::knc();
+    // The breaker and virtual clock are worker-local: flush execution
+    // happens outside the state lock, and only this thread drives them.
+    let mut breaker = CircuitBreaker::new(config.breaker);
+    let mut vnow: f64 = 0.0;
+    let mut state = lock(&shared.state);
+    loop {
+        let now = shared.now();
+        let due = state.collector.ready(now);
+        let draining = state.shutdown && !state.collector.is_empty();
+        if let Some(reason) = due.or(if draining {
+            Some(FlushReason::Drain)
+        } else {
+            None
+        }) {
+            let batch = state.collector.take_batch(reason, now);
+            drop(state);
+
+            let oldest_wait = batch.oldest_wait();
+            let depth_after = batch.depth_after;
+            let wall_start = Instant::now();
+            let stats = run_flush(
+                &config,
+                &cost,
+                &card_fn,
+                host_fn.as_deref(),
+                faults.as_deref(),
+                &mut breaker,
+                &mut vnow,
+                batch.entries,
+                draining,
+            );
+            let wall_seconds = wall_start.elapsed().as_secs_f64();
+
+            state = lock(&shared.state);
+            let width = state.collector.config().width;
+            if stats.card_completed > 0 {
+                state.report.service.flushes.push(FlushRecord {
+                    reason,
+                    occupancy: stats.card_completed,
+                    width,
+                    queue_depth_after: depth_after,
+                    oldest_wait,
+                    modeled_seconds: stats.card_modeled_s,
+                    wall_seconds,
+                });
+            }
+            let report = &mut state.report;
+            report.faults_seen += stats.faults;
+            report.retries += stats.retries;
+            report.host_fallback_ops += stats.host_completed as u64;
+            report.host_modeled_seconds += stats.host_modeled_s;
+            report.errored_ops += stats.errored as u64;
+            if stats.deadline_cancelled {
+                report.deadline_cancellations += 1;
+            }
+            if stats.degraded {
+                report.degraded_flushes += 1;
+            }
+            report.breaker_trips = breaker.trips();
+            report.breaker_recoveries = breaker.recoveries();
+            report.breaker_state = breaker.state(vnow);
+            report.modeled_virtual_seconds = vnow;
+            if !stats.requeued.is_empty() {
+                report.requeues += stats.requeued.len() as u64;
+                state.collector.requeue_front(stats.requeued);
+            }
+            continue;
+        }
+        if state.shutdown {
+            return;
+        }
+        state = match state.collector.next_deadline() {
+            Some(deadline) => {
+                let timeout = (deadline - shared.now()).max(0.0);
+                shared
+                    .wake
+                    .wait_timeout(state, std::time::Duration::from_secs_f64(timeout))
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0
+            }
+            None => shared.wake.wait(state).unwrap_or_else(|e| e.into_inner()),
+        };
+    }
+}
+
+/// Resolve `indices` (into `entries`) on the host fallback, or with
+/// `error` when no fallback exists.
+#[allow(clippy::too_many_arguments)]
+fn resolve_off_card<T, R>(
+    entries: &mut [Option<Pending<RJob<T, R>>>],
+    indices: &[usize],
+    host_fn: Option<&(dyn Fn(&T) -> R + Send)>,
+    error: OffloadError,
+    cost: &CostModel,
+    vnow: &mut f64,
+    stats: &mut FlushStats<T, R>,
+) {
+    for &i in indices {
+        let job = entries[i].as_ref().expect("lane resolved twice");
+        match host_fn {
+            Some(host) => {
+                let (r, ops) = count::measure(|| {
+                    let _span = phi_trace::span(phi_trace::Scope::HostFallback);
+                    host(&job.payload.payload)
+                });
+                let modeled = cost.single_thread_seconds(&ops);
+                *vnow += modeled;
+                stats.host_modeled_s += modeled;
+                stats.host_completed += 1;
+                let _ = job.payload.reply.send(Ok(r));
+            }
+            None => {
+                stats.errored += 1;
+                let _ = job.payload.reply.send(Err(error));
+            }
+        }
+        entries[i] = None;
+    }
+    if phi_trace::is_enabled() && !indices.is_empty() {
+        let reg = phi_trace::registry();
+        if host_fn.is_some() {
+            reg.counter_add("resilient.host_fallback.ops", indices.len() as u64);
+        } else {
+            reg.counter_add("resilient.errors", indices.len() as u64);
+        }
+    }
+}
+
+/// Execute one flush through the breaker/fault/retry/deadline loop.
+/// Consumes `entries`; every entry is either resolved through its reply
+/// channel or returned in `FlushStats::requeued`.
+#[allow(clippy::too_many_arguments)]
+fn run_flush<T, R, F>(
+    config: &ResilienceConfig,
+    cost: &CostModel,
+    card_fn: &F,
+    host_fn: Option<&(dyn Fn(&T) -> R + Send)>,
+    faults: Option<&dyn FaultSource>,
+    breaker: &mut CircuitBreaker,
+    vnow: &mut f64,
+    entries: Vec<Pending<RJob<T, R>>>,
+    draining: bool,
+) -> FlushStats<T, R>
+where
+    T: Send + Clone,
+    R: Send,
+    F: Fn(&[T]) -> Vec<R>,
+{
+    let mut stats = FlushStats::new();
+    let mut entries: Vec<Option<Pending<RJob<T, R>>>> = entries.into_iter().map(Some).collect();
+    let mut pending: Vec<usize> = (0..entries.len()).collect();
+
+    // Breaker gate: an open breaker sends the whole flush to the host.
+    if !breaker.allow(*vnow) {
+        stats.degraded = true;
+        if phi_trace::is_enabled() {
+            phi_trace::registry().counter_add("resilient.flush.degraded", 1);
+        }
+        resolve_off_card(
+            &mut entries,
+            &pending,
+            host_fn,
+            OffloadError::CardOffline,
+            cost,
+            vnow,
+            &mut stats,
+        );
+        return stats;
+    }
+
+    let vstart = *vnow;
+    let mut attempts: u32 = 0;
+    loop {
+        attempts += 1;
+        let fault = faults.and_then(|f| f.next_fault(pending.len()));
+        match fault {
+            None => {
+                // Clean card attempt over the still-pending lanes.
+                let payloads: Vec<T> = pending
+                    .iter()
+                    .map(|&i| {
+                        entries[i]
+                            .as_ref()
+                            .expect("pending lane live")
+                            .payload
+                            .payload
+                            .clone()
+                    })
+                    .collect();
+                let scope = if attempts == 1 {
+                    phi_trace::Scope::ServiceFlush
+                } else {
+                    phi_trace::Scope::FlushRetry
+                };
+                let (results, ops) = count::measure(|| {
+                    let _span = phi_trace::span(scope);
+                    card_fn(&payloads)
+                });
+                assert_eq!(
+                    results.len(),
+                    payloads.len(),
+                    "card closure must return one result per payload"
+                );
+                let modeled = cost.single_thread_seconds(&ops);
+                *vnow += modeled;
+                stats.card_modeled_s += modeled;
+                for (i, r) in pending.drain(..).zip(results) {
+                    let job = entries[i].take().expect("pending lane live");
+                    let _ = job.payload.reply.send(Ok(r));
+                    stats.card_completed += 1;
+                }
+                breaker.record_success(*vnow);
+                return stats;
+            }
+            Some(kind) => {
+                stats.faults += 1;
+                *vnow += config.fault_cost_s;
+                if kind.is_hard() {
+                    breaker.record_hard_fault(*vnow);
+                } else {
+                    breaker.record_fault(*vnow);
+                }
+                if phi_trace::is_enabled() {
+                    phi_trace::registry().counter_add("resilient.flush.faulted", 1);
+                }
+                if !kind.is_batch_wide() {
+                    // Lane-granular fault: the unaffected batch-mates
+                    // complete on this very attempt; only the poisoned
+                    // lanes go around again.
+                    let affected = kind.affected_lanes(pending.len());
+                    let survivors: Vec<usize> = (0..pending.len())
+                        .filter(|p| !affected.contains(p))
+                        .map(|p| pending[p])
+                        .collect();
+                    if !survivors.is_empty() {
+                        let payloads: Vec<T> = survivors
+                            .iter()
+                            .map(|&i| {
+                                entries[i]
+                                    .as_ref()
+                                    .expect("survivor live")
+                                    .payload
+                                    .payload
+                                    .clone()
+                            })
+                            .collect();
+                        let (results, ops) = count::measure(|| {
+                            let _span = phi_trace::span(phi_trace::Scope::ServiceFlush);
+                            card_fn(&payloads)
+                        });
+                        assert_eq!(results.len(), payloads.len());
+                        let modeled = cost.single_thread_seconds(&ops);
+                        *vnow += modeled;
+                        stats.card_modeled_s += modeled;
+                        for (&i, r) in survivors.iter().zip(results) {
+                            let job = entries[i].take().expect("survivor live");
+                            let _ = job.payload.reply.send(Ok(r));
+                            stats.card_completed += 1;
+                        }
+                    }
+                    pending = affected.into_iter().map(|p| pending[p]).collect();
+                }
+                if pending.is_empty() {
+                    return stats;
+                }
+                // A tripped breaker (reset, or this fault crossing the
+                // threshold; a faulted probe re-opens too) degrades the
+                // remaining lanes immediately.
+                if breaker.state(*vnow) == BreakerState::Open {
+                    stats.degraded = true;
+                    if phi_trace::is_enabled() {
+                        phi_trace::registry().counter_add("resilient.flush.degraded", 1);
+                    }
+                    resolve_off_card(
+                        &mut entries,
+                        &pending,
+                        host_fn,
+                        OffloadError::CardOffline,
+                        cost,
+                        vnow,
+                        &mut stats,
+                    );
+                    return stats;
+                }
+                if attempts > config.backoff.max_retries {
+                    // Retry ladder exhausted inside one flush.
+                    resolve_off_card(
+                        &mut entries,
+                        &pending,
+                        host_fn,
+                        OffloadError::Faulted { kind, attempts },
+                        cost,
+                        vnow,
+                        &mut stats,
+                    );
+                    return stats;
+                }
+                let delay = config.backoff.delay(attempts);
+                if *vnow - vstart + delay > config.flush_deadline_s {
+                    // Deadline: cancel the flush. Live lanes requeue
+                    // (keeping their tickets and arrival stamps) unless
+                    // we are draining or their requeue budget is spent.
+                    stats.deadline_cancelled = true;
+                    if phi_trace::is_enabled() {
+                        phi_trace::registry().counter_add("resilient.deadline.cancelled", 1);
+                    }
+                    let mut forced: Vec<usize> = Vec::new();
+                    for &i in &pending {
+                        let job = entries[i].as_mut().expect("pending lane live");
+                        if draining || job.payload.requeues >= config.max_requeues {
+                            forced.push(i);
+                        } else {
+                            job.payload.requeues += 1;
+                            let entry = entries[i].take().expect("pending lane live");
+                            stats.requeued.push(entry);
+                        }
+                    }
+                    let requeues = config.max_requeues;
+                    resolve_off_card(
+                        &mut entries,
+                        &forced,
+                        host_fn,
+                        OffloadError::DeadlineExceeded { requeues },
+                        cost,
+                        vnow,
+                        &mut stats,
+                    );
+                    if phi_trace::is_enabled() && !stats.requeued.is_empty() {
+                        phi_trace::registry()
+                            .counter_add("resilient.requeues", stats.requeued.len() as u64);
+                    }
+                    return stats;
+                }
+                *vnow += delay;
+                stats.retries += 1;
+                if phi_trace::is_enabled() {
+                    phi_trace::registry().counter_add("resilient.retries", 1);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phi_faults::{FaultInjector, FaultRates, FaultScript};
+
+    fn config(width: usize, max_wait: f64, queue_cap: usize) -> ResilienceConfig {
+        ResilienceConfig {
+            service: ServiceConfig {
+                width,
+                max_wait,
+                queue_cap,
+            },
+            ..ResilienceConfig::default()
+        }
+    }
+
+    fn doubler(xs: &[u64]) -> Vec<u64> {
+        xs.iter().map(|x| x * 2).collect()
+    }
+
+    fn host() -> Option<HostFn<u64, u64>> {
+        Some(Box::new(|x: &u64| x * 2))
+    }
+
+    #[test]
+    fn clean_card_behaves_like_the_plain_service() {
+        let service = ResilientService::new(config(4, 10.0, 64), doubler, host(), None);
+        let handles: Vec<_> = (0..8).map(|i| service.submit(i).unwrap()).collect();
+        let results: Vec<u64> = handles.into_iter().map(|h| h.wait().unwrap()).collect();
+        assert_eq!(results, (0..8).map(|i| i * 2).collect::<Vec<_>>());
+        let report = service.shutdown();
+        assert_eq!(report.service.ops(), 8);
+        assert_eq!(report.faults_seen, 0);
+        assert_eq!(report.host_fallback_ops, 0);
+        assert_eq!(report.breaker_state, BreakerState::Closed);
+    }
+
+    #[test]
+    fn soft_fault_retries_and_completes_on_card() {
+        // One timeout, then a healthy card: the batch must complete on
+        // the card after a single retry.
+        let script: Arc<dyn FaultSource> =
+            Arc::new(FaultScript::new(vec![Some(FaultKind::PcieTimeout)]));
+        let service = ResilientService::new(config(4, 10.0, 64), doubler, host(), Some(script));
+        let handles: Vec<_> = (0..4).map(|i| service.submit(i).unwrap()).collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.wait(), Ok(i as u64 * 2));
+        }
+        let report = service.shutdown();
+        assert_eq!(report.faults_seen, 1);
+        assert_eq!(report.retries, 1);
+        assert_eq!(report.service.ops(), 4, "all lanes completed on card");
+        assert_eq!(report.host_fallback_ops, 0);
+    }
+
+    #[test]
+    fn lane_fault_spares_the_batch_mates() {
+        // An ECC fault on one lane: the other lanes complete on the
+        // faulted attempt; the poisoned lane completes on the retry.
+        let script: Arc<dyn FaultSource> =
+            Arc::new(FaultScript::new(vec![Some(FaultKind::EccLaneFault {
+                lane: 2,
+            })]));
+        let service = ResilientService::new(config(4, 10.0, 64), doubler, host(), Some(script));
+        let handles: Vec<_> = (0..4).map(|i| service.submit(i).unwrap()).collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.wait(), Ok(i as u64 * 2));
+        }
+        let report = service.shutdown();
+        assert_eq!(report.faults_seen, 1);
+        assert_eq!(report.service.ops(), 4);
+        // Two card passes happened (3 survivors + 1 retried lane), but
+        // exactly one fault and one retry were recorded.
+        assert_eq!(report.retries, 1);
+    }
+
+    #[test]
+    fn card_reset_trips_the_breaker_and_degrades() {
+        // A card reset on every attempt: batch 1 trips the breaker (hard
+        // fault) and degrades to the host; later batches skip the card
+        // outright while the breaker is open.
+        let script: Arc<dyn FaultSource> = Arc::new(FaultScript::repeat(FaultKind::CardReset, 64));
+        let mut cfg = config(4, 10.0, 64);
+        cfg.breaker.cooldown_s = 1e9; // never recovers inside the test
+        let service = ResilientService::new(cfg, doubler, host(), Some(script));
+        let handles: Vec<_> = (0..8).map(|i| service.submit(i).unwrap()).collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.wait(), Ok(i as u64 * 2), "host fallback is correct");
+        }
+        let report = service.shutdown();
+        assert_eq!(report.breaker_trips, 1);
+        assert_eq!(report.breaker_state, BreakerState::Open);
+        assert_eq!(report.host_fallback_ops, 8);
+        assert_eq!(report.service.ops(), 0, "nothing completed on card");
+        assert!(report.degraded_flushes >= 1);
+    }
+
+    #[test]
+    fn breaker_recovers_through_half_open_probes() {
+        // Reset on the first attempt, then a healthy card. Zero cooldown
+        // means the very next flush probes; after `probe_successes`
+        // clean probes the breaker closes again.
+        let script: Arc<dyn FaultSource> =
+            Arc::new(FaultScript::new(vec![Some(FaultKind::CardReset)]));
+        let mut cfg = config(1, 10.0, 64);
+        cfg.breaker.cooldown_s = 0.0;
+        cfg.breaker.probe_successes = 2;
+        let service = ResilientService::new(cfg, doubler, host(), Some(script));
+        for i in 0..4u64 {
+            assert_eq!(service.call(i).unwrap(), Ok(i * 2));
+        }
+        let report = service.shutdown();
+        assert_eq!(report.breaker_trips, 1);
+        assert_eq!(report.breaker_recoveries, 1);
+        assert_eq!(report.breaker_state, BreakerState::Closed);
+        // Every request completed (card retry or probe), none errored.
+        assert_eq!(report.host_fallback_ops + report.service.ops() as u64, 4);
+        assert_eq!(report.errored_ops, 0);
+    }
+
+    #[test]
+    fn no_fallback_yields_typed_errors() {
+        let script: Arc<dyn FaultSource> =
+            Arc::new(FaultScript::repeat(FaultKind::PcieTimeout, 64));
+        let mut cfg = config(2, 10.0, 64);
+        cfg.breaker.trip_threshold = u32::MAX; // isolate the retry-exhaustion path
+        let service: ResilientService<u64, u64> =
+            ResilientService::new(cfg, doubler, None, Some(script));
+        let a = service.submit(1).unwrap();
+        let b = service.submit(2).unwrap();
+        match a.wait() {
+            Err(OffloadError::Faulted { kind, attempts }) => {
+                assert_eq!(kind, FaultKind::PcieTimeout);
+                assert!(attempts > 1);
+            }
+            other => panic!("expected Faulted, got {other:?}"),
+        }
+        assert!(b.wait().is_err());
+        let report = service.shutdown();
+        assert_eq!(report.errored_ops, 2);
+        assert_eq!(report.resolved_ops(), 2);
+    }
+
+    #[test]
+    fn every_request_resolves_exactly_once_under_random_faults() {
+        // The conservation property, end to end: under a 30% seeded
+        // fault schedule every submitted request resolves exactly once,
+        // correctly, with no hangs.
+        let inj: Arc<dyn FaultSource> =
+            Arc::new(FaultInjector::new(0xfa117, FaultRates::uniform(0.3)));
+        let mut cfg = config(4, 1e-3, 256);
+        cfg.breaker.cooldown_s = 0.0;
+        let service = ResilientService::new(cfg, doubler, host(), Some(inj));
+        let handles: Vec<_> = (0..200).map(|i| service.submit(i).unwrap()).collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.wait(), Ok(i as u64 * 2), "request {i}");
+        }
+        let report = service.shutdown();
+        assert_eq!(report.resolved_ops(), 200);
+        assert_eq!(report.errored_ops, 0, "host fallback absorbs all faults");
+        assert!(report.faults_seen > 0, "a 30% schedule must fault");
+    }
+
+    #[test]
+    fn shutdown_drain_terminates_under_total_fault_rate() {
+        // 100% batch-wide faults and an hour-long max_wait: everything
+        // resolves via the drain path, which must not requeue (else
+        // shutdown would never terminate).
+        let inj: Arc<dyn FaultSource> = Arc::new(FaultInjector::new(
+            9,
+            FaultRates {
+                pcie_timeout: 1.0,
+                ..FaultRates::none()
+            },
+        ));
+        let mut cfg = config(16, 3600.0, 64);
+        cfg.breaker.cooldown_s = 0.0;
+        let service = ResilientService::new(cfg, doubler, host(), Some(inj));
+        let handles: Vec<_> = (0..32).map(|i| service.submit(i).unwrap()).collect();
+        let report = service.shutdown();
+        assert_eq!(report.resolved_ops(), 32);
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.wait(), Ok(i as u64 * 2));
+        }
+    }
+
+    #[test]
+    fn submit_after_shutdown_flag_is_rejected() {
+        let service = ResilientService::new(config(4, 10.0, 64), doubler, host(), None);
+        lock(&service.shared.state).shutdown = true;
+        assert_eq!(
+            service.submit(1).map(|_| ()),
+            Err(SubmitError::ServiceShutdown)
+        );
+        // Clear the flag so Drop's stop_worker path joins cleanly.
+        lock(&service.shared.state).shutdown = false;
+    }
+
+    #[test]
+    fn deadline_cancellation_requeues_then_resolves() {
+        // Zero flush budget and permanent faults: the first attempt of
+        // every flush blows the deadline, lanes requeue up to the cap,
+        // then resolve on the host. The request must still complete.
+        let inj: Arc<dyn FaultSource> = Arc::new(FaultInjector::new(
+            5,
+            FaultRates {
+                pcie_corruption: 1.0,
+                ..FaultRates::none()
+            },
+        ));
+        let mut cfg = config(2, 1e-3, 64);
+        cfg.flush_deadline_s = 1e-9; // any fault penalty blows it
+        cfg.max_requeues = 2;
+        cfg.breaker.trip_threshold = u32::MAX; // isolate the deadline path
+        let service = ResilientService::new(cfg, doubler, host(), Some(inj));
+        let h = service.submit(21).unwrap();
+        assert_eq!(h.wait(), Ok(42));
+        let report = service.shutdown();
+        assert!(report.deadline_cancellations >= 1);
+        assert_eq!(report.requeues, 2, "requeued to the cap, then forced");
+        assert_eq!(report.host_fallback_ops, 1);
+    }
+}

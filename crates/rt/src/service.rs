@@ -82,7 +82,7 @@ impl fmt::Display for Ticket {
     }
 }
 
-/// Why [`Collector::submit`] refused a request.
+/// Why a request could not be (or was not) served.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SubmitError {
     /// The queue is at its high-water mark; retry after a flush drains it.
@@ -90,6 +90,10 @@ pub enum SubmitError {
         /// Parked requests at the time of rejection.
         depth: usize,
     },
+    /// The service worker is gone without answering this ticket — either
+    /// the service shut down, or the batch containing the request was
+    /// poisoned by a panicking batch closure.
+    ServiceShutdown,
 }
 
 impl fmt::Display for SubmitError {
@@ -97,6 +101,9 @@ impl fmt::Display for SubmitError {
         match self {
             SubmitError::QueueFull { depth } => {
                 write!(f, "service queue full ({depth} requests parked)")
+            }
+            SubmitError::ServiceShutdown => {
+                write!(f, "batch service shut down before answering")
             }
         }
     }
@@ -242,6 +249,20 @@ impl<T> Collector<T> {
         }
     }
 
+    /// Put already-admitted requests back at the head of the queue, in
+    /// their original order — the cancellation path of a flush whose
+    /// deadline expired mid-retry. Requeued entries keep their original
+    /// `submitted_at`, so they stay first in deadline order, and they
+    /// bypass the high-water mark: admission was already granted once.
+    pub fn requeue_front(&mut self, entries: Vec<Pending<T>>) {
+        if phi_trace::is_enabled() && !entries.is_empty() {
+            phi_trace::registry().counter_add("service.requeued", entries.len() as u64);
+        }
+        for p in entries.into_iter().rev() {
+            self.queue.push_front(p);
+        }
+    }
+
     /// Remove and return the oldest `width`-or-fewer requests as a batch.
     /// Panics if nothing is parked — callers gate on [`Collector::ready`]
     /// or [`Collector::is_empty`].
@@ -313,13 +334,13 @@ impl<R> TicketHandle<R> {
 
     /// Block until the batch containing this request has executed.
     ///
-    /// Panics if the service worker died without answering (a bug or a
-    /// panicking batch closure), never on the normal shutdown path —
-    /// shutdown drains the queue before the worker exits.
-    pub fn wait(self) -> R {
-        self.rx
-            .recv()
-            .unwrap_or_else(|_| panic!("batch service dropped ticket {}", self.ticket))
+    /// Returns [`SubmitError::ServiceShutdown`] if the worker will never
+    /// answer — the batch holding this request was poisoned by a
+    /// panicking batch closure, or the service was torn down before the
+    /// request was drained. The normal shutdown path drains the queue
+    /// first, so accepted requests are answered.
+    pub fn wait(self) -> Result<R, SubmitError> {
+        self.rx.recv().map_err(|_| SubmitError::ServiceShutdown)
     }
 }
 
@@ -384,7 +405,7 @@ impl<T: Send + 'static, R: Send + 'static> BatchService<T, R> {
 
     /// Convenience: submit and block until the result is ready.
     pub fn call(&self, payload: T) -> Result<R, SubmitError> {
-        Ok(self.submit(payload)?.wait())
+        self.submit(payload)?.wait()
     }
 
     /// Snapshot of the telemetry so far (flushes completed, rejects).
@@ -453,34 +474,51 @@ where
                 .map(|p| (p.payload.payload, p.payload.reply))
                 .unzip();
             let wall_start = Instant::now();
-            let (results, ops) = count::measure(|| {
-                let _span = phi_trace::span(phi_trace::Scope::ServiceFlush);
-                batch_fn(&payloads)
-            });
+            // A panicking batch closure poisons this batch only: its
+            // tickets are dropped (waiters see ServiceShutdown) and the
+            // worker lives on to serve the next flush.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                count::measure(|| {
+                    let _span = phi_trace::span(phi_trace::Scope::ServiceFlush);
+                    batch_fn(&payloads)
+                })
+            }));
             let wall_seconds = wall_start.elapsed().as_secs_f64();
             payloads.clear();
-            assert_eq!(
-                results.len(),
-                occupancy,
-                "batch closure must return one result per payload"
-            );
-            for (reply, result) in replies.into_iter().zip(results) {
-                // A caller that dropped its handle just forfeits the
-                // result; the batch ran regardless.
-                let _ = reply.send(result);
+            match outcome {
+                Ok((results, ops)) => {
+                    assert_eq!(
+                        results.len(),
+                        occupancy,
+                        "batch closure must return one result per payload"
+                    );
+                    for (reply, result) in replies.into_iter().zip(results) {
+                        // A caller that dropped its handle just forfeits
+                        // the result; the batch ran regardless.
+                        let _ = reply.send(result);
+                    }
+                    state = lock(&shared.state);
+                    let width = state.collector.config().width;
+                    state.report.flushes.push(FlushRecord {
+                        reason,
+                        occupancy,
+                        width,
+                        queue_depth_after: depth_after,
+                        oldest_wait,
+                        modeled_seconds: cost.single_thread_seconds(&ops),
+                        wall_seconds,
+                    });
+                }
+                Err(_) => {
+                    drop(replies);
+                    if phi_trace::is_enabled() {
+                        phi_trace::registry()
+                            .counter_add("service.poisoned_jobs", occupancy as u64);
+                    }
+                    state = lock(&shared.state);
+                    state.report.poisoned_jobs += occupancy as u64;
+                }
             }
-
-            state = lock(&shared.state);
-            let width = state.collector.config().width;
-            state.report.flushes.push(FlushRecord {
-                reason,
-                occupancy,
-                width,
-                queue_depth_after: depth_after,
-                oldest_wait,
-                modeled_seconds: cost.single_thread_seconds(&ops),
-                wall_seconds,
-            });
             continue;
         }
         if state.shutdown {
@@ -599,7 +637,7 @@ mod tests {
         let service: BatchService<u64, u64> =
             BatchService::new(config(4, 10.0, 16), |xs| xs.iter().map(|x| x * 2).collect());
         let handles: Vec<_> = (0..8).map(|i| service.submit(i).unwrap()).collect();
-        let results: Vec<u64> = handles.into_iter().map(TicketHandle::wait).collect();
+        let results: Vec<u64> = handles.into_iter().map(|h| h.wait().unwrap()).collect();
         assert_eq!(results, (0..8).map(|i| i * 2).collect::<Vec<_>>());
         let report = service.shutdown();
         assert_eq!(report.ops(), 8);
@@ -631,7 +669,7 @@ mod tests {
         assert_eq!(report.ops(), 5);
         assert_eq!(report.flushes_by(FlushReason::Drain), 1);
         // Every ticket answered even though no flush condition ever fired.
-        let results: Vec<u32> = handles.into_iter().map(TicketHandle::wait).collect();
+        let results: Vec<u32> = handles.into_iter().map(|h| h.wait().unwrap()).collect();
         assert_eq!(results, vec![0, 1, 2, 3, 4]);
     }
 
@@ -644,8 +682,8 @@ mod tests {
         // already; the pair below adds at least one more.
         let a = service.submit(1).unwrap();
         let b = service.submit(2).unwrap();
-        a.wait();
-        b.wait();
+        a.wait().unwrap();
+        b.wait().unwrap();
         let report = service.report();
         assert!(report.flush_count() >= 1);
         for f in &report.flushes {
@@ -676,14 +714,14 @@ mod tests {
         }
         match service.submit(99) {
             Err(SubmitError::QueueFull { depth }) => assert_eq!(depth, 4),
-            Ok(_) => panic!("expected backpressure at the high-water mark"),
+            other => panic!("expected backpressure at the high-water mark, got {other:?}"),
         }
         // Unblock both batches (the in-flight one and the parked one),
         // then verify every accepted request completes and the reject
         // made it into the telemetry.
         release_tx.send(()).unwrap();
         release_tx.send(()).unwrap();
-        let results: Vec<u8> = held.into_iter().map(TicketHandle::wait).collect();
+        let results: Vec<u8> = held.into_iter().map(|h| h.wait().unwrap()).collect();
         assert_eq!(results, (0..8).collect::<Vec<u8>>());
         let report = service.shutdown();
         assert_eq!(report.rejected, 1);
@@ -698,7 +736,75 @@ mod tests {
         for i in 0..32 {
             let h = service.submit(i).unwrap();
             assert!(seen.insert(h.ticket()), "duplicate ticket {}", h.ticket());
-            h.wait();
+            h.wait().unwrap();
         }
+    }
+
+    #[test]
+    fn collector_requeue_front_restores_order() {
+        let mut c = Collector::new(config(4, 1.0, 4));
+        for i in 0..4 {
+            c.submit(i, 0.0).unwrap();
+        }
+        let batch = c.take_batch(FlushReason::Full, 0.5);
+        assert!(c.is_empty());
+        // Requeue bypasses the high-water mark and restores arrival order.
+        c.requeue_front(batch.entries);
+        assert_eq!(c.depth(), 4);
+        let again = c.take_batch(FlushReason::Full, 1.0);
+        let payloads: Vec<i32> = again.entries.iter().map(|p| p.payload).collect();
+        assert_eq!(payloads, vec![0, 1, 2, 3]);
+        // Tickets and submission stamps survive the round trip.
+        assert_eq!(again.entries[0].ticket, Ticket(0));
+        assert_eq!(again.entries[0].submitted_at, 0.0);
+    }
+
+    #[test]
+    fn collector_requeue_interleaves_before_new_arrivals() {
+        let mut c = Collector::new(config(4, 1.0, 16));
+        c.submit("old", 0.0).unwrap();
+        let batch = c.take_batch(FlushReason::Deadline, 2.0);
+        c.submit("new", 3.0).unwrap();
+        c.requeue_front(batch.entries);
+        let drained = c.take_batch(FlushReason::Drain, 4.0);
+        let order: Vec<&str> = drained.entries.iter().map(|p| p.payload).collect();
+        assert_eq!(order, vec!["old", "new"], "requeued work goes first");
+    }
+
+    #[test]
+    fn poisoned_batch_does_not_kill_the_service() {
+        let service: BatchService<u32, u32> = BatchService::new(config(2, 10.0, 16), |xs| {
+            if xs.contains(&13) {
+                panic!("injected poison");
+            }
+            xs.to_vec()
+        });
+        // This pair flushes together and poisons its batch.
+        let a = service.submit(13).unwrap();
+        let b = service.submit(1).unwrap();
+        assert_eq!(a.wait(), Err(SubmitError::ServiceShutdown));
+        assert_eq!(b.wait(), Err(SubmitError::ServiceShutdown));
+        // The worker survived: a clean batch still completes.
+        let c = service.submit(2).unwrap();
+        let d = service.submit(3).unwrap();
+        assert_eq!(c.wait(), Ok(2));
+        assert_eq!(d.wait(), Ok(3));
+        let report = service.shutdown();
+        assert_eq!(report.poisoned_jobs, 2);
+        assert_eq!(report.ops(), 2, "only the clean batch counts as flushed");
+    }
+
+    #[test]
+    fn dropped_service_yields_typed_shutdown_not_panic() {
+        // A ticket that outlives its service must resolve to a typed
+        // error (the old behavior was a panic in wait()).
+        let service: BatchService<u8, u8> =
+            BatchService::new(config(16, 3600.0, 64), |xs| xs.to_vec());
+        let h = service.submit(9).unwrap();
+        // Shutdown drains, so this one IS answered...
+        drop(service);
+        assert_eq!(h.wait(), Ok(9));
+        // ...but a poisoned batch genuinely drops tickets (covered by
+        // poisoned_batch_does_not_kill_the_service above).
     }
 }

@@ -41,6 +41,10 @@ pub struct ServiceReport {
     pub flushes: Vec<FlushRecord>,
     /// Submissions bounced for backpressure (queue at high-water mark).
     pub rejected: u64,
+    /// Requests whose batch was poisoned by a panicking batch closure:
+    /// their tickets were dropped (waiters see `ServiceShutdown`) and no
+    /// flush record exists for them.
+    pub poisoned_jobs: u64,
 }
 
 impl ServiceReport {
@@ -93,6 +97,96 @@ impl ServiceReport {
     }
 }
 
+/// Aggregated telemetry of a resilient (fault-tolerant) batch service's
+/// lifetime: the card-path flush records plus the degradation ledger —
+/// faults survived, retries and requeues spent, and where each request
+/// ultimately resolved (card, host fallback, or a typed error).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceReport {
+    /// Card-path telemetry: one record per flush that completed at least
+    /// one lane on the card (occupancy counts card-completed lanes only).
+    pub service: ServiceReport,
+    /// Injected faults observed at the flush boundary.
+    pub faults_seen: u64,
+    /// Card attempts retried after a fault (backoff ladder steps taken).
+    pub retries: u64,
+    /// Jobs put back on the queue by a deadline-cancelled flush.
+    pub requeues: u64,
+    /// Flushes cancelled because their modeled deadline budget ran out.
+    pub deadline_cancellations: u64,
+    /// Flushes sent straight to the host because the breaker was open.
+    pub degraded_flushes: u64,
+    /// Requests resolved on the host-scalar fallback path.
+    pub host_fallback_ops: u64,
+    /// Modeled single-thread seconds spent on the host fallback path.
+    pub host_modeled_seconds: f64,
+    /// Requests resolved with a typed offload error.
+    pub errored_ops: u64,
+    /// Times the circuit breaker tripped open.
+    pub breaker_trips: u64,
+    /// Times the breaker closed again after half-open probing.
+    pub breaker_recoveries: u64,
+    /// Breaker state observed after the most recent flush.
+    pub breaker_state: phi_faults::BreakerState,
+    /// The service's modeled virtual clock after the most recent flush
+    /// (card attempts + fault penalties + backoff + host fallback time).
+    pub modeled_virtual_seconds: f64,
+}
+
+impl Default for ResilienceReport {
+    fn default() -> Self {
+        ResilienceReport {
+            service: ServiceReport::default(),
+            faults_seen: 0,
+            retries: 0,
+            requeues: 0,
+            deadline_cancellations: 0,
+            degraded_flushes: 0,
+            host_fallback_ops: 0,
+            host_modeled_seconds: 0.0,
+            errored_ops: 0,
+            breaker_trips: 0,
+            breaker_recoveries: 0,
+            breaker_state: phi_faults::BreakerState::Closed,
+            modeled_virtual_seconds: 0.0,
+        }
+    }
+}
+
+impl ResilienceReport {
+    /// Requests resolved anywhere: card lanes + host fallback + errors.
+    pub fn resolved_ops(&self) -> u64 {
+        self.service.ops() as u64 + self.host_fallback_ops + self.errored_ops
+    }
+
+    /// Total modeled single-thread seconds across card and host paths.
+    pub fn total_modeled_seconds(&self) -> f64 {
+        self.service.total_modeled_seconds() + self.host_modeled_seconds
+    }
+
+    /// Completed (non-errored) operations per modeled virtual second —
+    /// the throughput a deadline-driven client actually observes,
+    /// including time lost to faults, backoff and degraded batches.
+    pub fn effective_throughput(&self) -> f64 {
+        let done = self.service.ops() as u64 + self.host_fallback_ops;
+        if self.modeled_virtual_seconds == 0.0 {
+            0.0
+        } else {
+            done as f64 / self.modeled_virtual_seconds
+        }
+    }
+
+    /// Fraction of resolved requests that had to leave the card path.
+    pub fn degradation_fraction(&self) -> f64 {
+        let total = self.resolved_ops();
+        if total == 0 {
+            0.0
+        } else {
+            (self.host_fallback_ops + self.errored_ops) as f64 / total as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +212,7 @@ mod tests {
                 record(FlushReason::Drain, 2, 2e-3),
             ],
             rejected: 3,
+            poisoned_jobs: 0,
         };
         assert_eq!(report.ops(), 22);
         assert_eq!(report.flush_count(), 3);
@@ -135,6 +230,35 @@ mod tests {
         assert_eq!(report.ops(), 0);
         assert_eq!(report.mean_occupancy(), 0.0);
         assert_eq!(report.modeled_throughput(), 0.0);
+    }
+
+    #[test]
+    fn resilience_report_accounting() {
+        let mut r = ResilienceReport {
+            service: ServiceReport {
+                flushes: vec![record(FlushReason::Full, 14, 4e-3)],
+                rejected: 0,
+                poisoned_jobs: 0,
+            },
+            ..ResilienceReport::default()
+        };
+        r.host_fallback_ops = 2;
+        r.host_modeled_seconds = 1e-3;
+        r.errored_ops = 1;
+        r.modeled_virtual_seconds = 8e-3;
+        assert_eq!(r.resolved_ops(), 17);
+        assert!((r.total_modeled_seconds() - 5e-3).abs() < 1e-15);
+        assert!((r.effective_throughput() - 16.0 / 8e-3).abs() < 1e-9);
+        assert!((r.degradation_fraction() - 3.0 / 17.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_resilience_report_is_well_defined() {
+        let r = ResilienceReport::default();
+        assert_eq!(r.resolved_ops(), 0);
+        assert_eq!(r.effective_throughput(), 0.0);
+        assert_eq!(r.degradation_fraction(), 0.0);
+        assert_eq!(r.breaker_state, phi_faults::BreakerState::Closed);
     }
 
     #[test]

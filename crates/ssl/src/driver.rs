@@ -3,11 +3,12 @@
 use crate::error::SslError;
 use crate::handshake::{Client, Server};
 use crate::record::Record;
+use phi_faults::FaultSource;
 use phi_rsa::key::RsaPrivateKey;
 use phi_rsa::{RsaBatchService, RsaOps};
 use phi_rt::service::ServiceConfig;
-use phi_rt::stats::ServiceReport;
-use phi_rt::{AffinityPolicy, BatchReport, PhiPool};
+use phi_rt::stats::{ResilienceReport, ServiceReport};
+use phi_rt::{AffinityPolicy, BatchReport, PhiPool, ResilienceConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -137,6 +138,43 @@ where
     Ok((successes, report, service_report))
 }
 
+/// Run `count` concurrent handshakes like [`drive_concurrent_batched`],
+/// but through the fault-tolerant service: the card path retries under
+/// `faults`, a breaker trips on consecutive card faults, and degraded
+/// lanes complete on the host-scalar CRT fallback — so every handshake
+/// still succeeds, only slower.
+///
+/// Returns `(successes, pool_report, resilience_report)`; the resilience
+/// report breaks out faults seen, retries, requeues, breaker activity
+/// and how much of the load the host absorbed.
+pub fn drive_concurrent_resilient<F>(
+    key: &RsaPrivateKey,
+    make_ops: F,
+    count: usize,
+    threads: u32,
+    policy: AffinityPolicy,
+    config: ResilienceConfig,
+    faults: Option<Arc<dyn FaultSource>>,
+) -> Result<(usize, BatchReport, ResilienceReport), SslError>
+where
+    F: Fn() -> RsaOps + Sync,
+{
+    let service = Arc::new(RsaBatchService::new_resilient(key, config, faults)?);
+    let pool = PhiPool::new(threads, policy);
+    let (oks, report) = pool.run_batch(count, |i| {
+        let mut rng = StdRng::seed_from_u64(0xFA17 + i as u64);
+        let server_ops = make_ops().with_service(Arc::clone(&service));
+        let mut server = Server::new(&mut rng, key.clone(), server_ops);
+        let mut client = Client::new(&mut rng, make_ops());
+        drive_handshake(&mut rng, &mut server, &mut client).is_ok()
+    });
+    let successes = oks.iter().filter(|&&ok| ok).count();
+    let resilience_report = Arc::try_unwrap(service)
+        .unwrap_or_else(|_| unreachable!("pool tasks joined, no other holders"))
+        .shutdown_resilient();
+    Ok((successes, report, resilience_report))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,6 +254,66 @@ mod tests {
         for flush in &service_report.flushes {
             assert!(flush.occupancy >= 1 && flush.occupancy <= 4);
         }
+    }
+
+    #[test]
+    fn resilient_driver_with_healthy_card_matches_batched() {
+        let k = key();
+        let config = ResilienceConfig {
+            service: ServiceConfig {
+                width: 4,
+                max_wait: 500e-6,
+                queue_cap: 16,
+            },
+            ..ResilienceConfig::default()
+        };
+        let (ok, _pool_report, report) = drive_concurrent_resilient(
+            &k,
+            || RsaOps::new(Box::new(MpssBaseline)),
+            6,
+            4,
+            AffinityPolicy::Compact,
+            config,
+            None,
+        )
+        .unwrap();
+        assert_eq!(ok, 6);
+        assert_eq!(report.service.ops(), 6, "healthy card serves every op");
+        assert_eq!(report.faults_seen, 0);
+        assert_eq!(report.host_fallback_ops, 0);
+        assert_eq!(report.errored_ops, 0);
+    }
+
+    #[test]
+    fn resilient_driver_completes_every_handshake_under_faults() {
+        use phi_faults::{FaultInjector, FaultRates};
+        let k = key();
+        let config = ResilienceConfig {
+            service: ServiceConfig {
+                width: 4,
+                max_wait: 500e-6,
+                queue_cap: 16,
+            },
+            ..ResilienceConfig::default()
+        };
+        let faults: Arc<dyn FaultSource> =
+            Arc::new(FaultInjector::new(0xC4A05, FaultRates::uniform(0.6)));
+        let (ok, _pool_report, report) = drive_concurrent_resilient(
+            &k,
+            || RsaOps::new(Box::new(MpssBaseline)),
+            8,
+            4,
+            AffinityPolicy::Compact,
+            config,
+            Some(faults),
+        )
+        .unwrap();
+        // Faults cost retries, requeues or host fallback — never a
+        // failed handshake and never a wrong master secret.
+        assert_eq!(ok, 8);
+        assert_eq!(report.errored_ops, 0);
+        assert_eq!(report.resolved_ops(), 8);
+        assert!(report.faults_seen > 0, "injector must have fired");
     }
 }
 

@@ -47,6 +47,21 @@ impl fmt::Display for SslError {
     }
 }
 
+impl SslError {
+    /// Whether retrying the handshake could plausibly succeed: the error
+    /// came from load or card health (backpressure, injected faults,
+    /// deadline cancellation, an open breaker) rather than from the
+    /// protocol or the key material.
+    pub fn is_transient(&self) -> bool {
+        use phi_rt::{OffloadError, SubmitError};
+        match self {
+            SslError::Rsa(RsaError::Service(SubmitError::QueueFull { .. })) => true,
+            SslError::Rsa(RsaError::Offload(e)) => !matches!(e, OffloadError::ServiceShutdown),
+            _ => false,
+        }
+    }
+}
+
 impl std::error::Error for SslError {}
 
 impl From<RsaError> for SslError {
@@ -90,5 +105,24 @@ mod tests {
     fn from_bigint_error() {
         let e: SslError = phi_bigint::BigIntError::DivisionByZero.into();
         assert!(matches!(e, SslError::Rsa(RsaError::Arithmetic(_))));
+    }
+
+    #[test]
+    fn transient_errors_are_load_and_card_health() {
+        use phi_rt::{OffloadError, SubmitError};
+        let queue_full: SslError = RsaError::Service(SubmitError::QueueFull { depth: 16 }).into();
+        assert!(queue_full.is_transient());
+        let offline: SslError = RsaError::Offload(OffloadError::CardOffline).into();
+        assert!(offline.is_transient());
+        let deadline: SslError =
+            RsaError::Offload(OffloadError::DeadlineExceeded { requeues: 2 }).into();
+        assert!(deadline.is_transient());
+        // Shutdown, protocol, and padding failures are permanent.
+        let shutdown: SslError = RsaError::Service(SubmitError::ServiceShutdown).into();
+        assert!(!shutdown.is_transient());
+        let gone: SslError = RsaError::Offload(OffloadError::ServiceShutdown).into();
+        assert!(!gone.is_transient());
+        assert!(!SslError::FinishedMismatch.is_transient());
+        assert!(!SslError::Rsa(RsaError::PaddingError).is_transient());
     }
 }

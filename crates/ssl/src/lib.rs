@@ -37,7 +37,10 @@ pub mod session;
 
 pub use alert::{Alert, AlertDescription, AlertLevel};
 pub use cipher::{ConnectionKeys, RecordCipher};
-pub use driver::{drive_handshake, HandshakeOutcome};
+pub use driver::{
+    drive_concurrent_batched, drive_concurrent_resilient, drive_handshake, handshake_throughput,
+    HandshakeOutcome,
+};
 pub use error::SslError;
 pub use handshake::{Client, Server};
 pub use session::{Session, SessionCache};

@@ -16,6 +16,7 @@
 #![forbid(unsafe_code)]
 
 pub use phi_bigint as bigint;
+pub use phi_faults as faults;
 pub use phi_hash as hash;
 pub use phi_mont as mont;
 pub use phi_rsa as rsa;

@@ -1,0 +1,244 @@
+//! Chaos suite for the fault-injected offload path: under scripted and
+//! randomized card-fault schedules, every request must complete
+//! correctly or fail with a typed error — no hangs, no lost tickets, no
+//! wrong plaintexts — and the breaker must trip to host fallback and
+//! earn its way back through half-open probes.
+//!
+//! The randomized schedules honour `CHAOS_SEED` (decimal or 0x-hex) so a
+//! CI failure is reproducible from the seed printed on stderr.
+
+use phi_mont::MpssBaseline;
+use phiopenssl_suite::faults::{
+    BreakerConfig, BreakerState, FaultInjector, FaultKind, FaultRates, FaultScript, FaultSource,
+};
+use phiopenssl_suite::rsa::key::RsaPrivateKey;
+use phiopenssl_suite::rsa::{RsaBatchService, RsaOps};
+use phiopenssl_suite::rt::service::ServiceConfig;
+use phiopenssl_suite::rt::{AffinityPolicy, OffloadError, ResilienceConfig, ResilientService};
+use phiopenssl_suite::ssl::drive_concurrent_resilient;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn test_key() -> RsaPrivateKey {
+    RsaPrivateKey::generate(&mut StdRng::seed_from_u64(0xC8A05), 256).unwrap()
+}
+
+/// The fault schedule seed: `CHAOS_SEED` from the environment when set
+/// (the CI chaos-smoke job passes a random one), a fixed default
+/// otherwise. Printed so a failing run can be replayed.
+fn chaos_seed(default: u64) -> u64 {
+    let seed = std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| {
+            let s = s.trim();
+            match s.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => s.parse().ok(),
+            }
+        })
+        .unwrap_or(default);
+    eprintln!("chaos seed: {seed} (replay with CHAOS_SEED={seed})");
+    seed
+}
+
+fn quick_config() -> ResilienceConfig {
+    ResilienceConfig {
+        service: ServiceConfig {
+            width: 4,
+            max_wait: 200e-6,
+            queue_cap: 64,
+        },
+        ..ResilienceConfig::default()
+    }
+}
+
+/// A card reset mid-stream must trip the breaker immediately, push the
+/// affected batch to the host fallback, and — once the cooldown elapses
+/// on the modeled clock — recover through half-open probes so later
+/// batches run on the card again.
+#[test]
+fn card_reset_mid_batch_trips_breaker_then_recovers() {
+    let key = test_key();
+    // Second flush eats a hard fault; everything after is clean. A zero
+    // cooldown opens the probe window on the modeled clock right away,
+    // and one good probe closes the breaker.
+    let script: Arc<dyn FaultSource> = Arc::new(FaultScript::new(vec![
+        None,
+        Some(FaultKind::CardReset),
+        None,
+        None,
+        None,
+    ]));
+    let config = ResilienceConfig {
+        breaker: BreakerConfig {
+            trip_threshold: 3,
+            cooldown_s: 0.0,
+            probe_successes: 1,
+        },
+        ..quick_config()
+    };
+    let service = RsaBatchService::new_resilient(&key, config, Some(script)).unwrap();
+    let ops = RsaOps::new(Box::new(MpssBaseline));
+    for i in 1u64..=5 {
+        let m = phiopenssl_suite::bigint::BigUint::from(i * 1_000_003);
+        let c = ops.public_op(key.public(), &m).unwrap();
+        assert_eq!(service.call(c).unwrap(), m, "request {i} answered wrong");
+    }
+    let report = service.shutdown_resilient();
+    assert_eq!(report.errored_ops, 0, "fallback leaves no errors");
+    assert_eq!(report.resolved_ops(), 5, "every request resolved");
+    assert!(
+        report.breaker_trips >= 1,
+        "card reset must trip the breaker"
+    );
+    assert!(
+        report.breaker_recoveries >= 1,
+        "clean probes must close the breaker again"
+    );
+    assert_eq!(report.breaker_state, BreakerState::Closed);
+    assert!(
+        report.service.ops() >= 1,
+        "post-recovery batches run on the card"
+    );
+}
+
+/// With the breaker locked open (huge cooldown), every batch after the
+/// trip degrades to the host: answers stay correct, the card sees no
+/// further flushes, and the degradation is visible in the report.
+#[test]
+fn open_breaker_degrades_whole_batches_to_host() {
+    let key = test_key();
+    let script: Arc<dyn FaultSource> = Arc::new(FaultScript::new(vec![Some(FaultKind::CardReset)]));
+    let config = ResilienceConfig {
+        breaker: BreakerConfig {
+            trip_threshold: 1,
+            cooldown_s: 1e9,
+            probe_successes: 1,
+        },
+        ..quick_config()
+    };
+    let service = RsaBatchService::new_resilient(&key, config, Some(script)).unwrap();
+    let ops = RsaOps::new(Box::new(MpssBaseline));
+    for i in 1u64..=6 {
+        let m = phiopenssl_suite::bigint::BigUint::from(i * 31_337);
+        let c = ops.public_op(key.public(), &m).unwrap();
+        assert_eq!(service.call(c).unwrap(), m);
+    }
+    let report = service.shutdown_resilient();
+    assert_eq!(report.errored_ops, 0);
+    assert_eq!(report.resolved_ops(), 6);
+    assert_eq!(report.breaker_state, BreakerState::Open);
+    assert!(report.degraded_flushes >= 1, "open breaker sheds batches");
+    assert!(report.host_fallback_ops >= 5, "host absorbs the load");
+}
+
+/// The conservation invariant under a randomized schedule: many threads,
+/// many requests, a seeded fault injector — every submitted request
+/// comes back exactly once with the correct plaintext.
+#[test]
+fn randomized_fault_schedule_resolves_every_request_exactly_once() {
+    let seed = chaos_seed(0xFA17_5EED);
+    let key = test_key();
+    let faults: Arc<dyn FaultSource> =
+        Arc::new(FaultInjector::new(seed, FaultRates::uniform(0.25)));
+    let service =
+        Arc::new(RsaBatchService::new_resilient(&key, quick_config(), Some(faults)).unwrap());
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 10;
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            let key = key.clone();
+            std::thread::spawn(move || {
+                let plain = RsaOps::new(Box::new(MpssBaseline));
+                for i in 0..PER_THREAD {
+                    let m = phiopenssl_suite::bigint::BigUint::from(t * 1_000_003 + i + 1);
+                    let c = plain.public_op(key.public(), &m).unwrap();
+                    match service.call(c) {
+                        Ok(got) => assert_eq!(got, m, "seed {seed}: wrong plaintext"),
+                        Err(e) => panic!("seed {seed}: request errored: {e}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker panicked");
+    }
+    let report = Arc::try_unwrap(service)
+        .unwrap_or_else(|_| panic!("service still shared"))
+        .shutdown_resilient();
+    assert_eq!(
+        report.resolved_ops(),
+        THREADS * PER_THREAD,
+        "seed {seed}: conservation violated"
+    );
+    assert_eq!(
+        report.errored_ops, 0,
+        "seed {seed}: host fallback covers all"
+    );
+}
+
+/// Full-stack chaos: concurrent TLS handshakes with a faulty card. Every
+/// handshake must still succeed — faults cost retries and host work,
+/// never a failed connection.
+#[test]
+fn handshakes_survive_card_chaos_end_to_end() {
+    let seed = chaos_seed(0xD00_C8A0);
+    let key = RsaPrivateKey::generate(&mut StdRng::seed_from_u64(0x55C8), 512).unwrap();
+    let faults: Arc<dyn FaultSource> = Arc::new(FaultInjector::new(seed, FaultRates::uniform(0.4)));
+    let (ok, _pool, report) = drive_concurrent_resilient(
+        &key,
+        || RsaOps::new(Box::new(MpssBaseline)),
+        8,
+        4,
+        AffinityPolicy::Compact,
+        quick_config(),
+        Some(faults),
+    )
+    .unwrap();
+    assert_eq!(ok, 8, "seed {seed}: a handshake failed under chaos");
+    assert_eq!(report.errored_ops, 0, "seed {seed}");
+    assert_eq!(report.resolved_ops(), 8, "seed {seed}");
+}
+
+/// Without a host fallback the service must not hang or lose tickets:
+/// a card that faults on every attempt yields a typed error per request,
+/// promptly.
+#[test]
+fn faulted_card_without_fallback_errors_rather_than_hangs() {
+    let config = ResilienceConfig {
+        service: ServiceConfig {
+            width: 4,
+            max_wait: 100e-6,
+            queue_cap: 64,
+        },
+        ..ResilienceConfig::default()
+    };
+    let script: Arc<dyn FaultSource> =
+        Arc::new(FaultScript::repeat(FaultKind::PcieTimeout, 10_000));
+    let service: ResilientService<u64, u64> = ResilientService::new(
+        config,
+        |xs: &[u64]| xs.iter().map(|x| x + 1).collect(),
+        None,
+        Some(script),
+    );
+    let handles: Vec<_> = (0..12u64)
+        .map(|i| service.submit(i).expect("queue has room"))
+        .collect();
+    for h in handles {
+        match h.wait() {
+            Ok(v) => panic!("no lane can succeed on an always-faulting card, got {v}"),
+            Err(
+                OffloadError::Faulted { .. }
+                | OffloadError::DeadlineExceeded { .. }
+                | OffloadError::CardOffline,
+            ) => {}
+            Err(other) => panic!("unexpected error class: {other}"),
+        }
+    }
+    let report = service.shutdown();
+    assert_eq!(report.errored_ops, 12, "all twelve requests errored");
+    assert_eq!(report.resolved_ops(), 12, "…and none were lost");
+}
