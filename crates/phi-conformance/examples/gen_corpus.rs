@@ -1,0 +1,226 @@
+//! Regenerate `src/corpus/rsa_data.rs` on stdout.
+//!
+//! ```text
+//! cargo run --release -p phi-conformance --example gen_corpus \
+//!     > crates/phi-conformance/src/corpus/rsa_data.rs
+//! ```
+//!
+//! Keys are drawn from fixed `StdRng` seeds, so the output is
+//! reproducible byte-for-byte. Every frozen answer is computed by the
+//! scalar oracle (plain `BigUint` exponentiation or the MPSS baseline
+//! profile) and cross-checked against the other two library profiles
+//! before it is emitted — a corpus entry that the libraries already
+//! disagree on would be useless as a referee.
+
+use phi_bigint::BigUint;
+use phi_conformance::corpus::ReplayRng;
+use phi_hash::to_hex;
+use phi_mont::{Libcrypto, MpssBaseline, OpensslBaseline};
+use phi_rsa::key::RsaPrivateKey;
+use phi_rsa::ops::RsaOps;
+use phiopenssl::PhiLibrary;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// One deterministic corpus key: (bits, seed for `StdRng`).
+const FUZZ_SPECS: &[(u32, u64)] = &[(256, 0xC0DE_0256), (512, 0xC0DE_0512)];
+const KAT_SPECS: &[(u32, u64)] = &[
+    (1024, 0xC0DE_1024),
+    (2048, 0xC0DE_2048),
+    (4096, 0xC0DE_4096),
+];
+
+const SIGN_MSGS: &[&[u8]] = &[b"PhiOpenSSL differential conformance corpus", b"abc"];
+const OAEP_MSG: &[u8] = b"phi-conformance oaep corpus message";
+const OAEP_LABELS: &[&[u8]] = &[b"", b"phi-conformance"];
+const PKCS1_MSG: &[u8] = b"attack at dawn";
+
+fn gen_key(bits: u32, seed: u64) -> RsaPrivateKey {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let key = RsaPrivateKey::generate(&mut rng, bits).expect("keygen");
+    assert_eq!(key.public().bits(), bits, "generate() drifted off-width");
+    key
+}
+
+fn oracle() -> RsaOps {
+    RsaOps::new(Box::new(MpssBaseline))
+}
+
+/// Draw `n` nonzero bytes (a PKCS#1 v1.5 padding string).
+fn nonzero_bytes(rng: &mut StdRng, n: usize) -> Vec<u8> {
+    (0..n)
+        .map(|_| loop {
+            let b: u8 = rng.gen();
+            if b != 0 {
+                break b;
+            }
+        })
+        .collect()
+}
+
+/// Assert all three library profiles agree on a frozen ciphertext or
+/// signature before it goes into the corpus.
+fn cross_check(describe: &str, f: impl Fn(&RsaOps) -> Vec<u8>) -> Vec<u8> {
+    let libs: [Box<dyn Libcrypto>; 3] = [
+        Box::new(MpssBaseline),
+        Box::new(OpensslBaseline),
+        Box::new(PhiLibrary::default()),
+    ];
+    let mut answers = libs.into_iter().map(|lib| f(&RsaOps::new(lib)));
+    let first = answers.next().expect("three profiles");
+    for other in answers {
+        assert_eq!(first, other, "library profiles disagree on {describe}");
+    }
+    first
+}
+
+fn main() {
+    let mut entropy = StdRng::seed_from_u64(0xC0DE_F00D);
+
+    println!("//! Deterministic RSA corpus data. GENERATED — do not edit by hand;");
+    println!("//! regenerate with");
+    println!("//! `cargo run --release -p phi-conformance --example gen_corpus > crates/phi-conformance/src/corpus/rsa_data.rs`.");
+    println!();
+    println!("use super::{{OaepKat, Pkcs1EncKat, RawKat, RsaKatKey, SignKat}};");
+    println!();
+
+    println!("/// Embedded fuzzing keys (small, for the differential CRT checks).");
+    println!("pub const FUZZ_KEYS: &[RsaKatKey] = &[");
+    for &(bits, seed) in FUZZ_SPECS {
+        let key = gen_key(bits, seed);
+        println!(
+            "    RsaKatKey {{ bits: {bits}, p: \"{}\", q: \"{}\" }},",
+            key.p().to_hex(),
+            key.q().to_hex()
+        );
+    }
+    println!("];");
+    println!();
+
+    let kat_keys: Vec<(u32, RsaPrivateKey)> = KAT_SPECS
+        .iter()
+        .map(|&(bits, seed)| {
+            eprintln!("generating {bits}-bit corpus key...");
+            (bits, gen_key(bits, seed))
+        })
+        .collect();
+
+    println!("/// Embedded KAT keys (1024 / 2048 / 4096 bits).");
+    println!("pub const KAT_KEYS: &[RsaKatKey] = &[");
+    for (bits, key) in &kat_keys {
+        println!(
+            "    RsaKatKey {{ bits: {bits}, p: \"{}\", q: \"{}\" }},",
+            key.p().to_hex(),
+            key.q().to_hex()
+        );
+    }
+    println!("];");
+    println!();
+
+    println!("/// Frozen PKCS#1 v1.5 / SHA-256 signatures.");
+    println!("pub const SIGN_KATS: &[SignKat] = &[");
+    for (bits, key) in &kat_keys {
+        for msg in SIGN_MSGS {
+            let sig = cross_check("a signature", |ops| {
+                ops.sign_pkcs1v15_sha256(key, msg).expect("sign")
+            });
+            oracle()
+                .verify_pkcs1v15_sha256(key.public(), msg, &sig)
+                .expect("fresh signature verifies");
+            println!(
+                "    SignKat {{ bits: {bits}, msg: b\"{}\", sig: \"{}\" }},",
+                String::from_utf8_lossy(msg),
+                to_hex(&sig)
+            );
+        }
+    }
+    println!("];");
+    println!();
+
+    println!("/// Frozen OAEP encryptions (seed embedded).");
+    println!("pub const OAEP_KATS: &[OaepKat] = &[");
+    for (bits, key) in &kat_keys {
+        for label in OAEP_LABELS {
+            let mut seed = [0u8; 32];
+            entropy.fill_bytes(&mut seed);
+            let ct = cross_check("an OAEP ciphertext", |ops| {
+                let mut rng = ReplayRng::new(seed.to_vec());
+                ops.encrypt_oaep(&mut rng, key.public(), OAEP_MSG, label)
+                    .expect("encrypt")
+            });
+            assert_eq!(
+                oracle().decrypt_oaep(key, &ct, label).expect("decrypt"),
+                OAEP_MSG,
+                "fresh OAEP ciphertext round-trips"
+            );
+            println!(
+                "    OaepKat {{ bits: {bits}, msg: b\"{}\", label: b\"{}\", seed: \"{}\", ct: \"{}\" }},",
+                String::from_utf8_lossy(OAEP_MSG),
+                String::from_utf8_lossy(label),
+                to_hex(&seed),
+                to_hex(&ct)
+            );
+        }
+    }
+    println!("];");
+    println!();
+
+    println!("/// Frozen PKCS#1 v1.5 encryptions (padding string embedded).");
+    println!("pub const PKCS1_ENC_KATS: &[Pkcs1EncKat] = &[");
+    for (bits, key) in &kat_keys {
+        let ps = nonzero_bytes(
+            &mut entropy,
+            key.public().size_bytes() - 3 - PKCS1_MSG.len(),
+        );
+        let ct = cross_check("a PKCS#1 v1.5 ciphertext", |ops| {
+            let mut rng = ReplayRng::new(ps.clone());
+            ops.encrypt_pkcs1v15(&mut rng, key.public(), PKCS1_MSG)
+                .expect("encrypt")
+        });
+        assert_eq!(
+            oracle().decrypt_pkcs1v15(key, &ct).expect("decrypt"),
+            PKCS1_MSG,
+            "fresh v1.5 ciphertext round-trips"
+        );
+        println!(
+            "    Pkcs1EncKat {{ bits: {bits}, msg: b\"{}\", ps: \"{}\", ct: \"{}\" }},",
+            String::from_utf8_lossy(PKCS1_MSG),
+            to_hex(&ps),
+            to_hex(&ct)
+        );
+    }
+    println!("];");
+    println!();
+
+    println!("/// Frozen raw RSAEP/RSADP pairs.");
+    println!("pub const RAW_KATS: &[RawKat] = &[");
+    for (bits, key) in &kat_keys {
+        let n = key.public().n();
+        let patterned = BigUint::from_bytes_be(&vec![0x42u8; key.public().size_bytes()])
+            .rem_ref(n)
+            .expect("n > 0");
+        // n-1 ≡ -1: its e-th power is itself for odd e, a sign-flip
+        // corner worth freezing.
+        let minus_one = n - &BigUint::one();
+        for m in [patterned, minus_one] {
+            let c = cross_check("a raw RSAEP answer", |ops| {
+                ops.public_op(key.public(), &m)
+                    .expect("RSAEP")
+                    .to_bytes_be_padded(key.public().size_bytes())
+            });
+            let c = BigUint::from_bytes_be(&c);
+            assert_eq!(c, m.mod_exp(key.public().e(), n), "RSAEP is m^e mod n");
+            assert_eq!(
+                oracle().private_op(key, &c).expect("RSADP"),
+                m,
+                "RSADP inverts RSAEP"
+            );
+            println!(
+                "    RawKat {{ bits: {bits}, m: \"{}\", c: \"{}\" }},",
+                m.to_hex(),
+                c.to_hex()
+            );
+        }
+    }
+    println!("];");
+}

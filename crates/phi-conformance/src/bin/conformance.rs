@@ -1,0 +1,115 @@
+//! The conformance harness driver.
+//!
+//! ```text
+//! conformance [--smoke | --full] [--replay <seed>] [--inject <family>]
+//! ```
+//!
+//! * `--smoke` (default): CI budget — small differential case counts,
+//!   RSA KATs to 2048 bits.
+//! * `--full`: nightly budget — 4× the cases, RSA KATs to 4096 bits.
+//! * `--replay <seed>`: rerun the differential families under a seed a
+//!   previous run printed (decimal or `0x`-hex). `CONF_SEED` in the
+//!   environment does the same thing.
+//! * `--inject <family>`: deliberately corrupt one seed-chosen case of
+//!   the named family — the meta-test that a reported divergence
+//!   replays. Exit code 1 *is* the expected outcome.
+//!
+//! Exit codes: 0 clean, 1 divergence(s) found, 2 usage error.
+
+use phi_conformance::{conf_seed, Profile, FAMILIES};
+use std::process::ExitCode;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: conformance [--smoke | --full] [--replay <seed>] [--inject <family>]");
+    eprintln!("families for --inject: {}", FAMILIES.join(", "));
+    ExitCode::from(2)
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn main() -> ExitCode {
+    let mut profile = Profile::Smoke;
+    let mut replay: Option<u64> = None;
+    let mut inject: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => profile = Profile::Smoke,
+            "--full" => profile = Profile::Full,
+            "--replay" => {
+                let Some(seed) = args.next().as_deref().and_then(parse_seed) else {
+                    eprintln!("--replay needs a decimal or 0x-hex seed");
+                    return usage();
+                };
+                replay = Some(seed);
+            }
+            "--inject" => {
+                let Some(family) = args.next() else {
+                    eprintln!("--inject needs a family name");
+                    return usage();
+                };
+                if !FAMILIES.contains(&family.as_str()) {
+                    eprintln!("unknown family `{family}`");
+                    return usage();
+                }
+                inject = Some(family);
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+
+    let seed = match replay {
+        Some(seed) => {
+            eprintln!("conf seed: {seed} (replaying)");
+            seed
+        }
+        None => {
+            // Fresh entropy unless CONF_SEED pins the run.
+            let wallclock = SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0x5EED);
+            conf_seed(wallclock)
+        }
+    };
+
+    let label = match profile {
+        Profile::Smoke => "smoke",
+        Profile::Full => "full",
+    };
+    if let Some(f) = &inject {
+        eprintln!("injecting a fault into family `{f}` — a divergence below is EXPECTED");
+    }
+    let report = phi_conformance::run(profile, seed, inject);
+
+    println!(
+        "conformance [{label}]: {} KAT vectors, {} differential families, {} fuzz cases",
+        report.kat_vectors, report.diff.families, report.diff.cases
+    );
+    if report.is_clean() {
+        println!("all checks agree: vector path is bit-identical to the scalar oracle");
+        return ExitCode::SUCCESS;
+    }
+    let total = report.divergences().count();
+    eprintln!("{total} divergence(s):");
+    for d in report.divergences() {
+        eprintln!("{d}");
+    }
+    ExitCode::from(1)
+}

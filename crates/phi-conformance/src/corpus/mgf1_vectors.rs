@@ -1,0 +1,41 @@
+//! Published MGF1 vectors (the pyca/cryptography MGF1 test set used
+//! across OAEP implementations): masks over the seeds `"foo"` and
+//! `"bar"` for MGF1-SHA1 and MGF1-SHA256. The short vectors are
+//! prefixes of the long ones, which additionally pins the counter
+//! handling at block boundaries.
+
+use super::{Mgf1Kat, MgfHash};
+
+/// The MGF1 known-answer vectors.
+pub const MGF1_VECTORS: &[Mgf1Kat] = &[
+    Mgf1Kat {
+        hash: MgfHash::Sha1,
+        seed: b"foo",
+        len: 3,
+        out: "1ac907",
+    },
+    Mgf1Kat {
+        hash: MgfHash::Sha1,
+        seed: b"foo",
+        len: 5,
+        out: "1ac9075cd4",
+    },
+    Mgf1Kat {
+        hash: MgfHash::Sha1,
+        seed: b"bar",
+        len: 5,
+        out: "bc0c655e01",
+    },
+    Mgf1Kat {
+        hash: MgfHash::Sha1,
+        seed: b"bar",
+        len: 50,
+        out: "bc0c655e016bc2931d85a2e675181adcef7f581f76df2739da74faac41627be2f7f415c89e983fd0ce80ced9878641cb4876",
+    },
+    Mgf1Kat {
+        hash: MgfHash::Sha256,
+        seed: b"bar",
+        len: 50,
+        out: "382576a7841021cc28fc4c0948753fb8312090cea942ea4c4e735d10dc724b155f9f6069f289d61daca0cb814502ef04eae1",
+    },
+];

@@ -1,0 +1,41 @@
+//! Published SHA-1 vectors: the FIPS 180-2 appendix A examples (one
+//! block, two block, million-`a`), the NIST two-block 896-bit message,
+//! and the classic RFC-era quick-brown-fox pair that differs in a
+//! single bit of input.
+
+use super::{KatMsg, Sha1Kat};
+
+/// The SHA-1 known-answer vectors.
+pub const SHA1_VECTORS: &[Sha1Kat] = &[
+    Sha1Kat {
+        msg: KatMsg::Bytes(b""),
+        digest: "da39a3ee5e6b4b0d3255bfef95601890afd80709",
+    },
+    Sha1Kat {
+        msg: KatMsg::Bytes(b"abc"),
+        digest: "a9993e364706816aba3e25717850c26c9cd0d89d",
+    },
+    Sha1Kat {
+        msg: KatMsg::Bytes(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+        digest: "84983e441c3bd26ebaae4aa1f95129e5e54670f1",
+    },
+    Sha1Kat {
+        msg: KatMsg::Bytes(
+            b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn\
+              hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+        ),
+        digest: "a49b2446a02c645bf419f995b67091253a04a259",
+    },
+    Sha1Kat {
+        msg: KatMsg::Repeat(b'a', 1_000_000),
+        digest: "34aa973cd4c4daa4f61eeb2bdbad27316534016f",
+    },
+    Sha1Kat {
+        msg: KatMsg::Bytes(b"The quick brown fox jumps over the lazy dog"),
+        digest: "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12",
+    },
+    Sha1Kat {
+        msg: KatMsg::Bytes(b"The quick brown fox jumps over the lazy cog"),
+        digest: "de9f2c7fd25e1b3afad3e85a0bd17d9b100db4b3",
+    },
+];

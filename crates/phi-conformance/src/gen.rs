@@ -1,0 +1,253 @@
+//! Deterministic adversarial input generation.
+//!
+//! Every differential check draws its operands from a [`CaseGen`]: a
+//! SplitMix64 stream seeded from `CONF_SEED` (or the family's fixed
+//! default), so a CI failure replays locally from the seed printed on
+//! stderr — the same discipline as `CHAOS_SEED` in the chaos suite.
+//!
+//! The generator is deliberately *not* uniform. Carry and masking bugs
+//! in lane-sliced Montgomery code hide on random inputs and surface on
+//! structured ones, so each draw cycles through adversarial shapes:
+//! all-ones values that maximize every radix-2^27 digit, moduli just
+//! below a power of two, sparse values, residues pinned to the
+//! `0 / 1 / n-1 / n-2` corners where reductions go conditional.
+
+use phi_bigint::BigUint;
+
+/// Deterministic case generator over a SplitMix64 stream.
+#[derive(Debug, Clone)]
+pub struct CaseGen {
+    state: u64,
+}
+
+impl CaseGen {
+    /// A generator whose whole output is a function of `seed`.
+    pub fn new(seed: u64) -> Self {
+        CaseGen { state: seed }
+    }
+
+    /// Next 64 uniform bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw in `0..bound` (`bound` must be nonzero).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// `len` deterministic bytes.
+    pub fn bytes(&mut self, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        while out.len() < len {
+            let w = self.next_u64().to_le_bytes();
+            let take = (len - out.len()).min(8);
+            out.extend_from_slice(&w[..take]);
+        }
+        out
+    }
+
+    /// A uniform value of exactly `bits` bits (top bit set).
+    pub fn uniform_bits(&mut self, bits: u32) -> BigUint {
+        assert!(bits > 0, "cannot draw a 0-bit value");
+        let nbytes = (bits as usize).div_ceil(8);
+        let mut v = BigUint::from_bytes_be(&self.bytes(nbytes));
+        v.mask_low_bits(bits);
+        v.set_bit(bits - 1, true);
+        v
+    }
+
+    /// An adversarial operand of at most `bits` bits. Cycles through
+    /// uniform values, the all-ones digit maximizer `2^bits - 1`, values
+    /// hugging a power of two, sparse values, an alternating bit
+    /// pattern, and small words.
+    pub fn operand(&mut self, bits: u32) -> BigUint {
+        match self.below(6) {
+            0 => self.uniform_bits(bits),
+            // Every radix-2^27 digit at its maximum: the carry-chain
+            // maximizer for the vectorized schoolbook rows.
+            1 => all_ones(bits),
+            2 => {
+                // Just above the top power of two: a long run of zero
+                // digits under a lone high digit.
+                let mut v = BigUint::power_of_two(bits - 1);
+                v.add_limb(self.next_u64());
+                v
+            }
+            3 => {
+                // Sparse: the top bit plus a handful of random bits.
+                let mut v = BigUint::power_of_two(bits - 1);
+                for _ in 0..4 {
+                    let i = self.below(bits as u64) as u32;
+                    v.set_bit(i, true);
+                }
+                v
+            }
+            4 => {
+                // Alternating 10101... pattern truncated to `bits`.
+                let nbytes = (bits as usize).div_ceil(8);
+                let mut v = BigUint::from_bytes_be(&vec![0xAA; nbytes]);
+                v.mask_low_bits(bits);
+                v
+            }
+            _ => BigUint::from(self.next_u64()),
+        }
+    }
+
+    /// An adversarial residue in `0..n`, biased toward the corners where
+    /// modular code goes conditional: `0`, `1`, `n-1`, `n-2`, values
+    /// with every digit dense, and uniform draws.
+    pub fn residue(&mut self, n: &BigUint) -> BigUint {
+        let shape = self.below(8);
+        let v = match shape {
+            0 => BigUint::zero(),
+            1 => BigUint::one(),
+            2 => n.checked_sub(&BigUint::one()).unwrap_or_default(),
+            3 => n.checked_sub(&BigUint::from(2u64)).unwrap_or_default(),
+            4 => {
+                // All bits set one position short of the modulus width.
+                let bl = n.bit_length();
+                if bl >= 2 {
+                    all_ones(bl - 1)
+                } else {
+                    BigUint::zero()
+                }
+            }
+            5 => {
+                let nbytes = n.bit_length().div_ceil(8) as usize;
+                BigUint::from_bytes_be(&vec![0xFF; nbytes])
+            }
+            6 => BigUint::from(self.next_u64()),
+            _ => {
+                let bl = n.bit_length().max(1);
+                self.uniform_bits(bl)
+            }
+        };
+        v.rem_ref(n).unwrap_or_default()
+    }
+
+    /// An adversarial odd modulus of exactly `bits` bits. Cycles through
+    /// uniform odd values, `2^bits - 1` (all digits maximal), moduli a
+    /// small odd step below `2^bits` (the near-power-of-two family where
+    /// the final conditional subtraction fires constantly), and dense
+    /// byte patterns with random holes.
+    pub fn odd_modulus(&mut self, bits: u32) -> BigUint {
+        assert!(bits >= 8, "modulus too small to be interesting");
+        let mut n = match self.below(4) {
+            0 => self.uniform_bits(bits),
+            1 => all_ones(bits),
+            2 => {
+                // 2^bits - d for a small odd d: still `bits` bits long.
+                let d = BigUint::from(self.below(1 << 16) * 2 + 1);
+                &BigUint::power_of_two(bits) - &d
+            }
+            _ => {
+                let nbytes = (bits as usize).div_ceil(8);
+                let mut v = BigUint::from_bytes_be(&vec![0xFF; nbytes]);
+                for _ in 0..8 {
+                    let i = self.below(bits as u64) as u32;
+                    v.set_bit(i, false);
+                }
+                v.mask_low_bits(bits);
+                v
+            }
+        };
+        n.set_bit(bits - 1, true);
+        n.set_bit(0, true);
+        n
+    }
+
+    /// An adversarial exponent of at most `bits` bits, biased toward the
+    /// window-ladder corners: `0`, `1`, `2`, a lone power of two (all-zero
+    /// windows after the top), all-ones (every window maximal), uniform.
+    pub fn exponent(&mut self, bits: u32) -> BigUint {
+        match self.below(6) {
+            0 => BigUint::zero(),
+            1 => BigUint::one(),
+            2 => BigUint::from(2u64),
+            3 => BigUint::power_of_two(bits - 1),
+            4 => all_ones(bits),
+            _ => self.uniform_bits(bits),
+        }
+    }
+}
+
+/// `2^bits - 1`: every bit — and therefore every radix-2^27 digit — at
+/// its maximum.
+pub fn all_ones(bits: u32) -> BigUint {
+    &BigUint::power_of_two(bits) - &BigUint::one()
+}
+
+/// The run seed: `CONF_SEED` from the environment when set (decimal or
+/// `0x`-prefixed hex; the CI conformance-smoke job passes a random one),
+/// the given default otherwise. Printed so a failing run can be
+/// replayed with `conformance --replay <seed>`.
+pub fn conf_seed(default: u64) -> u64 {
+    let seed = std::env::var("CONF_SEED")
+        .ok()
+        .and_then(|s| {
+            let s = s.trim();
+            match s.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => s.parse().ok(),
+            }
+        })
+        .unwrap_or(default);
+    eprintln!("conf seed: {seed} (replay with: conformance --replay {seed})");
+    seed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = CaseGen::new(42);
+        let mut b = CaseGen::new(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_eq!(
+            CaseGen::new(7).uniform_bits(257),
+            CaseGen::new(7).uniform_bits(257)
+        );
+    }
+
+    #[test]
+    fn uniform_bits_has_exact_length() {
+        let mut g = CaseGen::new(1);
+        for bits in [1u32, 8, 27, 64, 100, 256, 521] {
+            assert_eq!(g.uniform_bits(bits).bit_length(), bits);
+        }
+    }
+
+    #[test]
+    fn odd_modulus_is_odd_and_full_width() {
+        let mut g = CaseGen::new(99);
+        for _ in 0..32 {
+            let n = g.odd_modulus(128);
+            assert!(n.is_odd());
+            assert_eq!(n.bit_length(), 128);
+        }
+    }
+
+    #[test]
+    fn residue_stays_below_modulus() {
+        let mut g = CaseGen::new(3);
+        let n = g.odd_modulus(96);
+        for _ in 0..64 {
+            assert!(g.residue(&n) < n);
+        }
+    }
+
+    #[test]
+    fn all_ones_matches_definition() {
+        assert_eq!(all_ones(8), BigUint::from(255u64));
+        assert_eq!(all_ones(27).to_hex(), "7ffffff");
+    }
+}

@@ -1,0 +1,69 @@
+//! Divergence reporting: when a vector kernel disagrees with the scalar
+//! oracle, the report carries everything needed to reproduce and debug
+//! the case offline — the kernel name, the replay seed, the case index
+//! within that kernel's stream, and a dump of the operands involved.
+
+use std::fmt;
+
+/// One observed disagreement between a kernel under test and the oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// The kernel family that diverged (e.g. `vmul`, `vexp`, `crt`).
+    pub kernel: &'static str,
+    /// The run seed; `conformance --replay <seed>` regenerates the case.
+    pub seed: u64,
+    /// Case index within the kernel family's deterministic stream.
+    pub case: u64,
+    /// Operand dump: inputs, the kernel's answer, the oracle's answer.
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "divergence in `{}` (case {}): {}\n  replay with: conformance --replay {}",
+            self.kernel, self.case, self.detail, self.seed
+        )
+    }
+}
+
+/// Format an operand dump out of labeled hex values.
+///
+/// ```
+/// use phi_bigint::BigUint;
+/// let dump = phi_conformance::report::dump(&[
+///     ("a", &BigUint::from(10u64)),
+///     ("got", &BigUint::from(101u64)),
+///     ("want", &BigUint::from(100u64)),
+/// ]);
+/// assert_eq!(dump, "a=0xa got=0x65 want=0x64");
+/// ```
+pub fn dump(fields: &[(&str, &phi_bigint::BigUint)]) -> String {
+    fields
+        .iter()
+        .map(|(label, v)| format!("{label}=0x{}", v.to_hex()))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phi_bigint::BigUint;
+
+    #[test]
+    fn display_names_kernel_case_and_replay_seed() {
+        let d = Divergence {
+            kernel: "vmul",
+            seed: 0xABCD,
+            case: 7,
+            detail: dump(&[("a", &BigUint::from(3u64))]),
+        };
+        let text = d.to_string();
+        assert!(text.contains("`vmul`"));
+        assert!(text.contains("case 7"));
+        assert!(text.contains("a=0x3"));
+        assert!(text.contains(&format!("--replay {}", 0xABCD)));
+    }
+}

@@ -1,0 +1,79 @@
+//! The embedded known-answer corpus must verify clean: published hash
+//! and MGF1 vectors, PKCS#1 v1.5 structure vectors, and the frozen RSA
+//! answers across every library profile.
+//!
+//! Debug-mode budget: the always-on test stops at the 1024-bit key;
+//! the 2048-bit tier is `#[ignore]`d here (the release-mode `--smoke`
+//! run covers it in CI) and 4096 belongs to the nightly `--full` run.
+
+use phi_conformance::corpus;
+
+fn assert_clean(divergences: Vec<phi_conformance::Divergence>) {
+    assert!(
+        divergences.is_empty(),
+        "corpus divergences:\n{}",
+        divergences
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn sha1_vectors_verify() {
+    assert_clean(corpus::verify_sha1());
+}
+
+#[test]
+fn mgf1_vectors_verify() {
+    assert_clean(corpus::verify_mgf1());
+}
+
+#[test]
+fn pkcs1v15_structure_vectors_verify() {
+    assert_clean(corpus::verify_pkcs1v15_encoding());
+}
+
+#[test]
+fn rsa_kats_verify_at_1024() {
+    assert_clean(corpus::verify_rsa(1024));
+}
+
+#[test]
+#[ignore = "debug-mode 2048-bit RSA is slow; CI covers it via `conformance --smoke`"]
+fn rsa_kats_verify_at_2048() {
+    assert_clean(corpus::verify_rsa(2048));
+}
+
+#[test]
+fn corpus_is_populated() {
+    // The corpus module counts hash, padding and RSA families; an empty
+    // generated data file would silently skip the RSA tiers.
+    assert!(corpus::corpus_len() >= 30, "corpus shrank unexpectedly");
+    assert_eq!(corpus::rsa_data::KAT_KEYS.len(), 3, "1024/2048/4096 keys");
+    for bits in [1024u32, 2048, 4096] {
+        assert!(
+            corpus::rsa_data::KAT_KEYS.iter().any(|k| k.bits == bits),
+            "missing {bits}-bit KAT key"
+        );
+        assert!(
+            corpus::rsa_data::SIGN_KATS.iter().any(|k| k.bits == bits),
+            "missing {bits}-bit sign KAT"
+        );
+        assert!(
+            corpus::rsa_data::OAEP_KATS.iter().any(|k| k.bits == bits),
+            "missing {bits}-bit OAEP KAT"
+        );
+        assert!(
+            corpus::rsa_data::PKCS1_ENC_KATS
+                .iter()
+                .any(|k| k.bits == bits),
+            "missing {bits}-bit PKCS#1 v1.5 KAT"
+        );
+        assert!(
+            corpus::rsa_data::RAW_KATS.iter().any(|k| k.bits == bits),
+            "missing {bits}-bit raw KAT"
+        );
+    }
+}

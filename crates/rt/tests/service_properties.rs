@@ -6,9 +6,11 @@
 //! injected faults, deadline budget and fallback configuration, every
 //! submitted request resolves exactly once.
 
+use phi_bigint::BigUint;
 use phi_faults::{FaultKind, FaultScript, FaultSource};
 use phi_rt::service::{Collector, FlushReason, ServiceConfig, SubmitError, Ticket};
 use phi_rt::{ResilienceConfig, ResilientService};
+use phiopenssl::{BatchCrtEngine, CrtKey};
 use proptest::prelude::*;
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -231,5 +233,81 @@ proptest! {
             ok,
             "successes split between card and host"
         );
+    }
+}
+
+/// A small deterministic RSA key for the masked-batch property: the
+/// 128-bit corpus primes (p, q) with `e = 65537`; `d` is recomputed so
+/// the test does not embed it.
+fn test_crt_key() -> CrtKey {
+    let p = BigUint::from_hex("dfd0d464475f8fd90798e39eeb031769").unwrap();
+    let q = BigUint::from_hex("d9e1019d1dd98169e3d2c9eaa25655e3").unwrap();
+    let one = BigUint::one();
+    let phi = (&p - &one).mul_ref(&(&q - &one));
+    let d = BigUint::from(65537u64).mod_inverse(&phi).unwrap();
+    CrtKey::new(&p, &q, &d).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Masked-partial-batch equivalence end to end through the service
+    /// machinery: a width-16 service whose batch function is the masked
+    /// CRT engine, flushed with only `k` active lanes (the drain after
+    /// `k < 16` submissions), must answer each request exactly as `k`
+    /// independent single-lane calls of the same engine do. The dead
+    /// lanes the mask pads in must be invisible in every answer.
+    #[test]
+    fn masked_partial_flush_matches_single_submissions(
+        ms in proptest::collection::vec(1u64..u64::MAX, 1..=16),
+    ) {
+        let crt = test_crt_key();
+        let engine = BatchCrtEngine::new(&crt).unwrap();
+        let single = BatchCrtEngine::new(&crt).unwrap();
+        let n = crt.modulus().clone();
+        let e = BigUint::from(65537u64);
+        let config = ResilienceConfig {
+            service: ServiceConfig {
+                width: 16,
+                // Far beyond the test's real runtime: the flush that
+                // carries k < 16 requests is the shutdown drain, so the
+                // batch genuinely runs with dead lanes masked in.
+                max_wait: 10.0,
+                queue_cap: 64,
+            },
+            ..ResilienceConfig::default()
+        };
+        let service: ResilientService<BigUint, BigUint> = ResilientService::new(
+            config,
+            move |cts: &[BigUint]| engine.private_op_masked(cts),
+            None,
+            None,
+        );
+        let cts: Vec<BigUint> = ms
+            .iter()
+            .map(|&m| BigUint::from(m).mod_exp(&e, &n))
+            .collect();
+        let handles: Vec<_> = cts
+            .iter()
+            .map(|c| service.submit(c.clone()).expect("queue has room"))
+            .collect();
+        // Shutdown first: the drain is the flush that runs the partial
+        // batch (the 10 s deadline never fires), and it resolves every
+        // handle before returning.
+        let k = ms.len();
+        let report = service.shutdown();
+        prop_assert_eq!(report.resolved_ops(), k as u64);
+        prop_assert_eq!(report.errored_ops, 0);
+        for (i, (h, c)) in handles.into_iter().zip(&cts).enumerate() {
+            let got = h.wait().expect("healthy card resolves every lane");
+            prop_assert_eq!(
+                &got,
+                &single.private_op_single(c),
+                "lane {} of a {}-lane flush diverged from the single path",
+                i,
+                k
+            );
+            prop_assert_eq!(got, BigUint::from(ms[i]), "lane {} wrong plaintext", i);
+        }
     }
 }

@@ -203,6 +203,42 @@ fn handshakes_survive_card_chaos_end_to_end() {
     assert_eq!(report.resolved_ops(), 8, "seed {seed}");
 }
 
+/// The degradation path must be invisible in the answers: a service
+/// whose card faults on every attempt (pure host-fallback operation)
+/// returns plaintexts bit-identical to a healthy card-path service and
+/// to the sequential scalar oracle, for the same ciphertext stream.
+#[test]
+fn host_fallback_answers_are_bit_identical_to_the_card_path() {
+    let seed = chaos_seed(0xB17_1DE4);
+    let key = test_key();
+    let card = RsaBatchService::new_resilient(&key, quick_config(), None).unwrap();
+    let faults: Arc<dyn FaultSource> = Arc::new(FaultInjector::new(seed, FaultRates::uniform(1.0)));
+    let host = RsaBatchService::new_resilient(&key, quick_config(), Some(faults)).unwrap();
+    let ops = RsaOps::new(Box::new(MpssBaseline));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0FF_10AD);
+    for i in 0..24u64 {
+        let m = phiopenssl_suite::bigint::BigUint::random_below(&mut rng, key.public().n());
+        let c = ops.public_op(key.public(), &m).unwrap();
+        let via_card = card.call(c.clone()).unwrap();
+        let via_host = host.call(c.clone()).unwrap();
+        let via_oracle = ops.private_op(&key, &c).unwrap();
+        assert_eq!(via_card, via_host, "seed {seed}: request {i} split paths");
+        assert_eq!(via_card, via_oracle, "seed {seed}: request {i} vs oracle");
+        assert_eq!(via_card, m, "seed {seed}: request {i} wrong plaintext");
+    }
+    let card_report = card.shutdown_resilient();
+    let host_report = host.shutdown_resilient();
+    assert_eq!(
+        card_report.host_fallback_ops, 0,
+        "healthy card never falls back"
+    );
+    assert_eq!(
+        host_report.host_fallback_ops, 24,
+        "a card faulting on every attempt resolves everything on the host"
+    );
+    assert_eq!(host_report.errored_ops, 0);
+}
+
 /// Without a host fallback the service must not hang or lose tickets:
 /// a card that faults on every attempt yields a typed error per request,
 /// promptly.
