@@ -855,6 +855,76 @@ pub fn e15_fault_resilience(key_bits: u32, rates: &[f64], ops: usize) -> Table {
     t
 }
 
+/// E17 — native-backend validation: the same Montgomery-multiply kernel
+/// on the modeled-KNC backend (interpreter + cycle accounting) and the
+/// native AVX-512/AVX2 backend, checked bit-for-bit and compared on host
+/// wall-clock. The modeled channel only prices the modeled backend; the
+/// native column is real host time, so the ratio answers "what does the
+/// modeling overhead cost, and does the native tier actually pay off?".
+pub fn e17_backend_validation(sizes: &[u32], iters: u32) -> Table {
+    use phiopenssl::ResolvedBackend;
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    let mut t = Table::new(
+        "E17: modeled vs native backend, Montgomery multiplication",
+        &[
+            "bits",
+            "modeled µs (KNC)",
+            "modeled wall µs",
+            "native wall µs",
+            "wall speedup",
+            "agree",
+        ],
+    );
+    t.note("wall-clock is host-dependent; the KNC column prices the modeled backend only");
+    if !phiopenssl::CpuFeatures::detect().avx2 {
+        t.note("host has no AVX2 — native tier unavailable, sweep skipped");
+        return t;
+    }
+    t.note(format!(
+        "native tier: {}",
+        phi_backend::native_tier().name()
+    ));
+    for &bits in sizes {
+        let n = workload::modulus(bits);
+        let a = &workload::operand(bits, 17) % &n;
+        let b = &workload::operand(bits, 18) % &n;
+        let ctx_m = VMontCtx::with_backend(&n, ResolvedBackend::ModeledKnc).expect("odd modulus");
+        let ctx_n = VMontCtx::with_backend(&n, ResolvedBackend::NativeX86).expect("odd modulus");
+        let (am, bm) = (ctx_m.to_mont_vec(&a), ctx_m.to_mont_vec(&b));
+        let (an, bn) = (ctx_n.to_mont_vec(&a), ctx_n.to_mont_vec(&b));
+
+        // One accounted run for the modeled price, and the parity check.
+        let (r_modeled, m) = modeled(|| ctx_m.mont_mul_vec(&am, &bm));
+        let r_native = ctx_n.mont_mul_vec(&an, &bn);
+        let agree = ctx_m.from_mont_vec(&r_modeled) == ctx_n.from_mont_vec(&r_native)
+            && ctx_m.from_mont_vec(&r_modeled) == a.mod_mul(&b, &n);
+
+        // Wall-clock loops, warm (the accounted run above was the warm-up).
+        let started = Instant::now();
+        for _ in 0..iters {
+            black_box(ctx_m.mont_mul_vec(black_box(&am), black_box(&bm)));
+        }
+        let wall_m = started.elapsed().as_secs_f64() / iters as f64;
+        let started = Instant::now();
+        for _ in 0..iters {
+            black_box(ctx_n.mont_mul_vec(black_box(&an), black_box(&bn)));
+        }
+        let wall_n = started.elapsed().as_secs_f64() / iters as f64;
+
+        t.row(vec![
+            bits.to_string(),
+            fmt_us(m.us()),
+            fmt_us(wall_m * 1e6),
+            fmt_us(wall_n * 1e6),
+            fmt_x(wall_m / wall_n),
+            if agree { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -995,6 +1065,20 @@ mod tests {
         let point = simulate_service(&arrivals, config, |k| k as f64 * 1e-5);
         assert!(point.throughput > 0.0);
         assert!(point.mean_occupancy >= 1.0 && point.mean_occupancy <= 8.0);
+    }
+
+    #[test]
+    fn e17_smoke_backends_agree() {
+        let t = e17_backend_validation(&[512], 4);
+        if !phiopenssl::CpuFeatures::detect().avx2 {
+            assert!(t.rows.is_empty(), "no AVX2: sweep must be skipped");
+            return;
+        }
+        assert_eq!(t.rows.len(), 1);
+        let row = &t.rows[0];
+        assert_eq!(row[5], "yes", "backends disagree: {row:?}");
+        let x: f64 = row[4].trim_end_matches('x').parse().unwrap();
+        assert!(x > 0.0, "speedup must be finite positive: {row:?}");
     }
 
     #[test]

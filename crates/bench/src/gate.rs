@@ -77,6 +77,14 @@ pub fn compare(baseline: &Report, fresh: &Report) -> Result<Vec<GateLine>, Strin
             baseline.profile, fresh.profile
         ));
     }
+    if baseline.backend != fresh.backend {
+        return Err(format!(
+            "backend mismatch: baseline ran on '{}', fresh run on '{}' — \
+             modeled cycle counts only gate the modeled backend; rerun the \
+             harness without --backend (or regenerate the baseline)",
+            baseline.backend, fresh.backend
+        ));
+    }
     let mut lines = Vec::new();
     for id in GATED {
         let base = baseline.experiment(id).ok_or_else(|| {
@@ -200,6 +208,10 @@ mod tests {
         let mut fresh = base.clone();
         fresh.profile = "full".into();
         assert!(compare(&base, &fresh).unwrap_err().contains("profile"));
+
+        let mut fresh = base.clone();
+        fresh.backend = "native-x86".into();
+        assert!(compare(&base, &fresh).unwrap_err().contains("backend"));
 
         let mut fresh = base.clone();
         fresh.experiments.retain(|e| e.id != "e14");

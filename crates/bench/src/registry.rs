@@ -32,7 +32,7 @@ impl Profile {
 
 /// One registered experiment.
 pub struct Experiment {
-    /// Stable id (`"e1"`..`"e15"`), the key the perf gate compares by.
+    /// Stable id (`"e1"`..`"e17"`), the key the perf gate compares by.
     pub id: &'static str,
     /// Short human title for reports.
     pub title: &'static str,
@@ -53,7 +53,7 @@ macro_rules! profile_run {
 }
 
 /// Every experiment of the evaluation, in id order.
-pub static EXPERIMENTS: [Experiment; 15] = [
+pub static EXPERIMENTS: [Experiment; 16] = [
     Experiment {
         id: "e1",
         title: "big-integer multiplication latency",
@@ -147,6 +147,14 @@ pub static EXPERIMENTS: [Experiment; 15] = [
             ex::e15_fault_resilience(512, &[0.0, 0.20, 0.50], 48)
         ),
     },
+    Experiment {
+        id: "e17",
+        title: "native backend validation",
+        run: profile_run!(
+            ex::e17_backend_validation(&[512, 1024, 2048], 64),
+            ex::e17_backend_validation(&[512], 8)
+        ),
+    },
 ];
 
 /// Look an experiment up by id.
@@ -169,7 +177,8 @@ mod tests {
     /// `(1..=14)` drifting out of sync with the dispatch table.
     #[test]
     fn all_covers_every_registered_experiment() {
-        let expected: Vec<String> = (1..=15).map(|i| format!("e{i}")).collect();
+        let mut expected: Vec<String> = (1..=15).map(|i| format!("e{i}")).collect();
+        expected.push("e17".into()); // e16 was never assigned
         let got = ids();
         assert_eq!(got.len(), expected.len(), "registry size drifted");
         for id in &expected {

@@ -18,10 +18,11 @@
 
 use crate::radix::{VecNum, DIGIT_BITS, DIGIT_MASK, LANES};
 use crate::vmont::VMontCtx;
+use phi_backend::{with_backend, Vector32, Vector64, VectorBackend};
 use phi_bigint::BigUint;
 use phi_mont::MontEngine;
-use phi_simd::count::{record, OpClass};
-use phi_simd::{U32x16, U64x8};
+use phi_simd::count::OpClass;
+use phi_simd::U32x16;
 
 /// Operations per batch (one per 32-bit lane of a 512-bit register).
 pub const BATCH_WIDTH: usize = 16;
@@ -39,6 +40,11 @@ impl Batch16 {
     /// Charged as the in-register 16×16 transpose networks the real kernel
     /// runs at batch boundaries (~4 swizzles per produced vector).
     pub fn transpose_from(values: &[VecNum]) -> Self {
+        with_backend!(phi_backend::process_default().resolve(),
+            B => Self::transpose_from_impl::<B>(values))
+    }
+
+    pub(crate) fn transpose_from_impl<B: VectorBackend>(values: &[VecNum]) -> Self {
         assert_eq!(values.len(), BATCH_WIDTH, "need exactly 16 values");
         let len = values[0].len();
         assert!(
@@ -53,17 +59,22 @@ impl Batch16 {
                 lanes[j] = v.digit(d) as u32;
             }
             cols.push(U32x16::from_lanes(lanes));
-            record(OpClass::VPerm, 4);
+            B::record(OpClass::VPerm, 4);
         }
         Batch16 { cols }
     }
 
     /// Transpose back to sixteen individual values.
     pub fn transpose_out(&self) -> Vec<VecNum> {
+        with_backend!(phi_backend::process_default().resolve(),
+            B => self.transpose_out_impl::<B>())
+    }
+
+    pub(crate) fn transpose_out_impl<B: VectorBackend>(&self) -> Vec<VecNum> {
         let len = self.cols.len();
         let mut out = vec![VecNum::zero(len); BATCH_WIDTH];
         for (d, col) in self.cols.iter().enumerate() {
-            record(OpClass::VPerm, 4);
+            B::record(OpClass::VPerm, 4);
             for (j, v) in out.iter_mut().enumerate() {
                 v.digits_mut()[d] = col.lane(j) as u64;
             }
@@ -113,6 +124,14 @@ impl<'c> BatchMont<'c> {
     ///
     /// All operands must be context-shaped and `< n`.
     pub fn mont_mul_16(&self, a: &Batch16, b: &Batch16) -> Batch16 {
+        with_backend!(self.ctx.backend(), B => self.mont_mul_16_generic::<B>(a, b))
+    }
+
+    pub(crate) fn mont_mul_16_generic<B: VectorBackend>(
+        &self,
+        a: &Batch16,
+        b: &Batch16,
+    ) -> Batch16 {
         let _span = phi_trace::span(phi_trace::Scope::BatchMont);
         let kk = self.ctx.padded_digits();
         let k = self.ctx.digits();
@@ -120,23 +139,27 @@ impl<'c> BatchMont<'c> {
         debug_assert_eq!(b.len(), kk);
 
         // Memory-resident accumulator: per column, two u64x8 halves.
-        let mut acc: Vec<(U64x8, U64x8)> = vec![(U64x8::zero(), U64x8::zero()); kk];
+        let mut acc: Vec<(B::V64, B::V64)> = vec![(B::V64::zero(), B::V64::zero()); kk];
         let n0_inv = self.ctx.n0_inv();
 
-        let b_halves: Vec<(U64x8, U64x8)> = b
+        let b_halves: Vec<(B::V64, B::V64)> = b
             .cols
             .iter()
-            .map(|c| (c.widen_lo(), c.widen_hi()))
+            .map(|c| {
+                let col = B::V32::from_lanes(c.to_lanes());
+                (col.widen_lo(), col.widen_hi())
+            })
             .collect();
-        let n_splats: Vec<U64x8> = self.n_cols.iter().map(|&d| U64x8::splat(d)).collect();
+        let n_splats: Vec<B::V64> = self.n_cols.iter().map(|&d| B::V64::splat(d)).collect();
 
-        let n0v = U64x8::splat(n0_inv);
-        let maskv = U64x8::splat(DIGIT_MASK);
+        let n0v = B::V64::splat(n0_inv);
+        let maskv = B::V64::splat(DIGIT_MASK);
 
         for i in 0..k {
             // Per-lane digit i of a (two widened halves; loads folded).
-            let av0 = a.cols[i].widen_lo();
-            let av1 = a.cols[i].widen_hi();
+            let a_col = B::V32::from_lanes(a.cols[i].to_lanes());
+            let av0 = a_col.widen_lo();
+            let av1 = a_col.widen_hi();
 
             // Phase 1 on column 0 only, so q can be computed before
             // streaming the rest of the row.
@@ -146,8 +169,8 @@ impl<'c> BatchMont<'c> {
 
             // q = (t0 mod 2^27)·n0' mod 2^27, lane-wise and fully vectorized
             // (no scalar glue — the batched kernel's advantage).
-            let q0 = U64x8::zero().fma32(t00.and(maskv), n0v).and(maskv);
-            let q1 = U64x8::zero().fma32(t01.and(maskv), n0v).and(maskv);
+            let q0 = B::V64::zero().fma32(t00.and(maskv), n0v).and(maskv);
+            let q1 = B::V64::zero().fma32(t01.and(maskv), n0v).and(maskv);
 
             // Column 0 phase 2.
             let t00 = t00.fma32(q0, n_splats[0]);
@@ -168,9 +191,9 @@ impl<'c> BatchMont<'c> {
                 // Shift integrated into the store address: column d lands
                 // in accumulator slot d-1.
                 acc[d - 1] = (nd0, nd1);
-                record(OpClass::VMem, 2);
+                B::record(OpClass::VMem, 2);
             }
-            acc[kk - 1] = (U64x8::zero(), U64x8::zero());
+            acc[kk - 1] = (B::V64::zero(), B::V64::zero());
         }
 
         // Normalize and conditionally subtract per lane (scalar epilogue,
@@ -192,20 +215,29 @@ impl<'c> BatchMont<'c> {
                 carry = s >> DIGIT_BITS;
             }
             debug_assert_eq!(carry, 0);
-            record(OpClass::SAlu, 3 * kk as u64);
-            record(OpClass::SMem, kk as u64);
+            B::record(OpClass::SAlu, 3 * kk as u64);
+            B::record(OpClass::SMem, kk as u64);
             if v.cmp_digits(&n_vecnum) != std::cmp::Ordering::Less {
                 v.sub_assign_digits(&n_vecnum);
             }
             outs.push(v);
         }
-        Batch16::transpose_from(&outs)
+        Batch16::transpose_from_impl::<B>(&outs)
     }
 
     /// Sixteen exponentiations `base[j]^exp mod n` with one shared exponent
     /// (the RSA-server shape: one private key, many ciphertexts), using the
     /// fixed-window ladder.
     pub fn mod_exp_16(&self, bases: &[BigUint], exp: &BigUint, window: u32) -> Vec<BigUint> {
+        with_backend!(self.ctx.backend(), B => self.mod_exp_16_generic::<B>(bases, exp, window))
+    }
+
+    fn mod_exp_16_generic<B: VectorBackend>(
+        &self,
+        bases: &[BigUint],
+        exp: &BigUint,
+        window: u32,
+    ) -> Vec<BigUint> {
         let _span = phi_trace::span(phi_trace::Scope::BatchExp);
         assert_eq!(bases.len(), BATCH_WIDTH);
         assert!((1..=7).contains(&window));
@@ -217,16 +249,16 @@ impl<'c> BatchMont<'c> {
         }
 
         let base_m: Vec<VecNum> = bases.iter().map(|b| self.ctx.to_mont_vec(b)).collect();
-        let base_b = Batch16::transpose_from(&base_m);
+        let base_b = Batch16::transpose_from_impl::<B>(&base_m);
 
         // table[v] = batch of base^v.
-        let one_b = Batch16::transpose_from(&vec![self.ctx.one_mont_vec(); BATCH_WIDTH]);
+        let one_b = Batch16::transpose_from_impl::<B>(&vec![self.ctx.one_mont_vec(); BATCH_WIDTH]);
         let table_len = 1usize << window;
         let mut table = Vec::with_capacity(table_len);
         table.push(one_b);
         for v in 1..table_len {
             let prev: &Batch16 = &table[v - 1];
-            table.push(self.mont_mul_16(prev, &base_b));
+            table.push(self.mont_mul_16_generic::<B>(prev, &base_b));
         }
 
         let bits = exp.bit_length();
@@ -234,17 +266,17 @@ impl<'c> BatchMont<'c> {
         let mut acc = table[0].clone();
         for win in (0..windows).rev() {
             for _ in 0..window {
-                acc = self.mont_mul_16(&acc, &acc);
+                acc = self.mont_mul_16_generic::<B>(&acc, &acc);
             }
             let lo = win * window;
             let width = window.min(bits - lo);
             let val = exp.extract_bits(lo, width) as usize;
-            record(OpClass::SAlu, 4);
-            record(OpClass::VMem, 2 * (self.ctx.padded_digits() / LANES) as u64);
-            acc = self.mont_mul_16(&acc, &table[val]);
+            B::record(OpClass::SAlu, 4);
+            B::record(OpClass::VMem, 2 * (self.ctx.padded_digits() / LANES) as u64);
+            acc = self.mont_mul_16_generic::<B>(&acc, &table[val]);
         }
 
-        acc.transpose_out()
+        acc.transpose_out_impl::<B>()
             .iter()
             .map(|v| {
                 let one = {
@@ -252,7 +284,7 @@ impl<'c> BatchMont<'c> {
                     o.digits_mut()[0] = 1;
                     o
                 };
-                self.ctx.mont_mul_vec(v, &one).to_biguint()
+                self.ctx.mont_mul_generic::<B>(v, &one).to_biguint()
             })
             .collect()
     }
@@ -369,6 +401,21 @@ mod tests {
         assert!(zeros.iter().all(|v| v.is_one()));
         let ones = bm.mod_exp_16(&plain, &BigUint::one(), 5);
         assert_eq!(ones, plain);
+    }
+
+    #[test]
+    fn batched_exp_native_matches_modeled() {
+        let ctx = ctx256();
+        let nctx =
+            VMontCtx::with_backend(ctx.modulus(), phi_backend::ResolvedBackend::NativeX86).unwrap();
+        let bm = BatchMont::new(&ctx);
+        let bn = BatchMont::new(&nctx);
+        let (plain, _) = sixteen_values(&ctx, 21);
+        let exp = BigUint::from_hex("deadbeefcafebabe").unwrap();
+        assert_eq!(
+            bm.mod_exp_16(&plain, &exp, 5),
+            bn.mod_exp_16(&plain, &exp, 5)
+        );
     }
 
     #[test]

@@ -14,9 +14,9 @@
 
 use crate::batch::{Batch16, BATCH_WIDTH};
 use crate::radix::{pad_to_lanes, VecNum, DIGIT_BITS, DIGIT_MASK, LANES};
+use phi_backend::{with_backend, ResolvedBackend, Vector32, Vector64, VectorBackend};
 use phi_bigint::{BigIntError, BigUint};
-use phi_simd::count::{record, OpClass};
-use phi_simd::U64x8;
+use phi_simd::count::OpClass;
 
 fn inv_mod_digit(x: u64) -> u64 {
     debug_assert!(x & 1 == 1);
@@ -34,19 +34,27 @@ pub struct MultiBatchMont {
     k: usize,
     /// Shared padded digit width.
     kk: usize,
-    /// Per-digit, per-lane modulus digits (transposed halves).
-    n_halves: Vec<(U64x8, U64x8)>,
+    /// Per-digit, per-lane modulus digits (transposed halves, lane arrays
+    /// so the same data feeds either backend's registers).
+    n_halves: Vec<([u64; 8], [u64; 8])>,
     /// Per-lane `-nᵢ⁻¹ mod 2^27` (halves).
-    n0_halves: (U64x8, U64x8),
+    n0_halves: ([u64; 8], [u64; 8]),
     /// Per-lane `R² mod nᵢ` for entering the domain.
     rr: Vec<BigUint>,
     /// Per-lane modulus in digit form (for the conditional subtract).
     n_vecs: Vec<VecNum>,
+    /// Which vector backend the kernels run on.
+    backend: ResolvedBackend,
 }
 
 impl MultiBatchMont {
-    /// Build for sixteen odd moduli.
+    /// Build for sixteen odd moduli on the process-default backend.
     pub fn new(moduli: &[BigUint]) -> Result<Self, BigIntError> {
+        Self::with_backend(moduli, phi_backend::process_default().resolve())
+    }
+
+    /// Build for sixteen odd moduli on an explicit backend.
+    pub fn with_backend(moduli: &[BigUint], backend: ResolvedBackend) -> Result<Self, BigIntError> {
         assert_eq!(moduli.len(), BATCH_WIDTH, "need exactly 16 moduli");
         for n in moduli {
             if n.is_zero() || n.is_even() {
@@ -74,8 +82,8 @@ impl MultiBatchMont {
                     hi[j - 8] = v;
                 }
             }
-            record(OpClass::VPerm, 4);
-            n_halves.push((U64x8::from_lanes(lo), U64x8::from_lanes(hi)));
+            with_backend!(backend, B => B::record(OpClass::VPerm, 4));
+            n_halves.push((lo, hi));
         }
 
         let mut lo = [0u64; 8];
@@ -97,10 +105,16 @@ impl MultiBatchMont {
             k,
             kk,
             n_halves,
-            n0_halves: (U64x8::from_lanes(lo), U64x8::from_lanes(hi)),
+            n0_halves: (lo, hi),
             rr,
             n_vecs,
+            backend,
         })
+    }
+
+    /// The backend this engine's kernels run on.
+    pub fn backend(&self) -> ResolvedBackend {
+        self.backend
     }
 
     /// Shared padded digit width.
@@ -115,6 +129,10 @@ impl MultiBatchMont {
 
     /// Lift per-lane residues into the Montgomery domain (digit form).
     pub fn to_mont_lanes(&self, values: &[BigUint]) -> Batch16 {
+        with_backend!(self.backend, B => self.to_mont_lanes_generic::<B>(values))
+    }
+
+    fn to_mont_lanes_generic<B: VectorBackend>(&self, values: &[BigUint]) -> Batch16 {
         assert_eq!(values.len(), BATCH_WIDTH);
         let plain: Vec<VecNum> = values
             .iter()
@@ -126,19 +144,24 @@ impl MultiBatchMont {
             .iter()
             .map(|r| VecNum::from_biguint(r, self.kk))
             .collect();
-        self.mont_mul_16(
-            &Batch16::transpose_from(&plain),
-            &Batch16::transpose_from(&rrs),
+        self.mont_mul_16_generic::<B>(
+            &Batch16::transpose_from_impl::<B>(&plain),
+            &Batch16::transpose_from_impl::<B>(&rrs),
         )
     }
 
     /// Map out of the Montgomery domain to plain residues.
     pub fn from_mont_lanes(&self, batch: &Batch16) -> Vec<BigUint> {
+        with_backend!(self.backend, B => self.from_mont_lanes_generic::<B>(batch))
+    }
+
+    #[allow(clippy::wrong_self_convention)] // mirrors the public from_mont_lanes it backs
+    fn from_mont_lanes_generic<B: VectorBackend>(&self, batch: &Batch16) -> Vec<BigUint> {
         let mut one = VecNum::zero(self.kk);
         one.digits_mut()[0] = 1;
         let ones = vec![one; BATCH_WIDTH];
-        self.mont_mul_16(batch, &Batch16::transpose_from(&ones))
-            .transpose_out()
+        self.mont_mul_16_generic::<B>(batch, &Batch16::transpose_from_impl::<B>(&ones))
+            .transpose_out_impl::<B>()
             .iter()
             .map(|v| v.to_biguint())
             .collect()
@@ -146,33 +169,47 @@ impl MultiBatchMont {
 
     /// Sixteen Montgomery products, lane `j` modulo `moduli[j]`.
     pub fn mont_mul_16(&self, a: &Batch16, b: &Batch16) -> Batch16 {
+        with_backend!(self.backend, B => self.mont_mul_16_generic::<B>(a, b))
+    }
+
+    fn mont_mul_16_generic<B: VectorBackend>(&self, a: &Batch16, b: &Batch16) -> Batch16 {
         let _span = phi_trace::span(phi_trace::Scope::BatchMont);
         let kk = self.kk;
         debug_assert_eq!(a.len(), kk);
         debug_assert_eq!(b.len(), kk);
 
-        let mut acc: Vec<(U64x8, U64x8)> = vec![(U64x8::zero(), U64x8::zero()); kk];
-        let b_halves: Vec<(U64x8, U64x8)> = b
+        let mut acc: Vec<(B::V64, B::V64)> = vec![(B::V64::zero(), B::V64::zero()); kk];
+        let b_halves: Vec<(B::V64, B::V64)> = b
             .cols()
             .iter()
-            .map(|c| (c.widen_lo(), c.widen_hi()))
+            .map(|c| {
+                let col = B::V32::from_lanes(c.to_lanes());
+                (col.widen_lo(), col.widen_hi())
+            })
             .collect();
-        let maskv = U64x8::splat(DIGIT_MASK);
-        let (n0_lo, n0_hi) = self.n0_halves;
+        let n_halves: Vec<(B::V64, B::V64)> = self
+            .n_halves
+            .iter()
+            .map(|&(lo, hi)| (B::V64::from_lanes(lo), B::V64::from_lanes(hi)))
+            .collect();
+        let maskv = B::V64::splat(DIGIT_MASK);
+        let n0_lo = B::V64::from_lanes(self.n0_halves.0);
+        let n0_hi = B::V64::from_lanes(self.n0_halves.1);
 
         for i in 0..self.k {
-            let av0 = a.cols()[i].widen_lo();
-            let av1 = a.cols()[i].widen_hi();
+            let a_col = B::V32::from_lanes(a.cols()[i].to_lanes());
+            let av0 = a_col.widen_lo();
+            let av1 = a_col.widen_hi();
 
             let (c00, c01) = acc[0];
             let t00 = c00.fma32(av0, b_halves[0].0);
             let t01 = c01.fma32(av1, b_halves[0].1);
 
-            let q0 = U64x8::zero().fma32(t00.and(maskv), n0_lo).and(maskv);
-            let q1 = U64x8::zero().fma32(t01.and(maskv), n0_hi).and(maskv);
+            let q0 = B::V64::zero().fma32(t00.and(maskv), n0_lo).and(maskv);
+            let q1 = B::V64::zero().fma32(t01.and(maskv), n0_hi).and(maskv);
 
-            let t00 = t00.fma32(q0, self.n_halves[0].0);
-            let t01 = t01.fma32(q1, self.n_halves[0].1);
+            let t00 = t00.fma32(q0, n_halves[0].0);
+            let t01 = t01.fma32(q1, n_halves[0].1);
             debug_assert!(t00.to_lanes().iter().all(|&l| l & DIGIT_MASK == 0));
             debug_assert!(t01.to_lanes().iter().all(|&l| l & DIGIT_MASK == 0));
             let carry0 = t00.shr(DIGIT_BITS);
@@ -180,16 +217,16 @@ impl MultiBatchMont {
 
             for d in 1..kk {
                 let (cd0, cd1) = acc[d];
-                let mut nd0 = cd0.fma32(av0, b_halves[d].0).fma32(q0, self.n_halves[d].0);
-                let mut nd1 = cd1.fma32(av1, b_halves[d].1).fma32(q1, self.n_halves[d].1);
+                let mut nd0 = cd0.fma32(av0, b_halves[d].0).fma32(q0, n_halves[d].0);
+                let mut nd1 = cd1.fma32(av1, b_halves[d].1).fma32(q1, n_halves[d].1);
                 if d == 1 {
                     nd0 = nd0.add(carry0);
                     nd1 = nd1.add(carry1);
                 }
                 acc[d - 1] = (nd0, nd1);
-                record(OpClass::VMem, 2);
+                B::record(OpClass::VMem, 2);
             }
-            acc[kk - 1] = (U64x8::zero(), U64x8::zero());
+            acc[kk - 1] = (B::V64::zero(), B::V64::zero());
         }
 
         // Per-lane normalization + conditional subtract (each lane against
@@ -210,27 +247,36 @@ impl MultiBatchMont {
                 carry = s >> DIGIT_BITS;
             }
             debug_assert_eq!(carry, 0);
-            record(OpClass::SAlu, 3 * kk as u64);
-            record(OpClass::SMem, kk as u64);
+            B::record(OpClass::SAlu, 3 * kk as u64);
+            B::record(OpClass::SMem, kk as u64);
             if v.cmp_digits(&self.n_vecs[lane]) != std::cmp::Ordering::Less {
                 v.sub_assign_digits(&self.n_vecs[lane]);
             }
             outs.push(v);
         }
-        Batch16::transpose_from(&outs)
+        Batch16::transpose_from_impl::<B>(&outs)
     }
 
     /// Sixteen exponentiations with one **shared** exponent but per-lane
     /// moduli — the batched signature-verification shape (`e = 65537`
     /// across different keys).
     pub fn mod_exp_16(&self, bases: &[BigUint], exp: &BigUint, window: u32) -> Vec<BigUint> {
+        with_backend!(self.backend, B => self.mod_exp_16_generic::<B>(bases, exp, window))
+    }
+
+    fn mod_exp_16_generic<B: VectorBackend>(
+        &self,
+        bases: &[BigUint],
+        exp: &BigUint,
+        window: u32,
+    ) -> Vec<BigUint> {
         let _span = phi_trace::span(phi_trace::Scope::BatchExp);
         assert_eq!(bases.len(), BATCH_WIDTH);
         assert!((1..=7).contains(&window));
         if exp.is_zero() {
             return vec![BigUint::one(); BATCH_WIDTH];
         }
-        let base_b = self.to_mont_lanes(bases);
+        let base_b = self.to_mont_lanes_generic::<B>(bases);
 
         // table[v] = base^v per lane; table[0] = per-lane R mod n.
         let ones: Vec<VecNum> = self
@@ -241,13 +287,13 @@ impl MultiBatchMont {
                 VecNum::from_biguint(&r, self.kk)
             })
             .collect();
-        let one_b = Batch16::transpose_from(&ones);
+        let one_b = Batch16::transpose_from_impl::<B>(&ones);
         let table_len = 1usize << window;
         let mut table = Vec::with_capacity(table_len);
         table.push(one_b);
         for v in 1..table_len {
             let prev: &Batch16 = &table[v - 1];
-            table.push(self.mont_mul_16(prev, &base_b));
+            table.push(self.mont_mul_16_generic::<B>(prev, &base_b));
         }
 
         let bits = exp.bit_length();
@@ -255,16 +301,16 @@ impl MultiBatchMont {
         let mut acc = table[0].clone();
         for win in (0..windows).rev() {
             for _ in 0..window {
-                acc = self.mont_mul_16(&acc, &acc);
+                acc = self.mont_mul_16_generic::<B>(&acc, &acc);
             }
             let lo = win * window;
             let width = window.min(bits - lo);
             let val = exp.extract_bits(lo, width) as usize;
-            record(OpClass::SAlu, 4);
-            record(OpClass::VMem, 2 * (self.kk / LANES) as u64);
-            acc = self.mont_mul_16(&acc, &table[val]);
+            B::record(OpClass::SAlu, 4);
+            B::record(OpClass::VMem, 2 * (self.kk / LANES) as u64);
+            acc = self.mont_mul_16_generic::<B>(&acc, &table[val]);
         }
-        self.from_mont_lanes(&acc)
+        self.from_mont_lanes_generic::<B>(&acc)
     }
 }
 
@@ -355,6 +401,19 @@ mod tests {
         for j in 0..BATCH_WIDTH {
             assert_eq!(ones[j], &bases[j] % &moduli[j], "lane {j}");
         }
+    }
+
+    #[test]
+    fn native_backend_matches_modeled_per_lane() {
+        let moduli = sixteen_moduli(96);
+        let mb = MultiBatchMont::new(&moduli).unwrap();
+        let nb = MultiBatchMont::with_backend(&moduli, ResolvedBackend::NativeX86).unwrap();
+        assert_eq!(nb.backend(), ResolvedBackend::NativeX86);
+        let bases: Vec<BigUint> = (0..16u64)
+            .map(|j| &BigUint::from(j * 7919 + 11) % &moduli[j as usize])
+            .collect();
+        let e = BigUint::from(65537u64);
+        assert_eq!(mb.mod_exp_16(&bases, &e, 5), nb.mod_exp_16(&bases, &e, 5));
     }
 
     #[test]

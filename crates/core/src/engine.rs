@@ -9,9 +9,11 @@
 
 use crate::batch::{BatchMont, BATCH_WIDTH};
 use crate::crt::CrtKey;
+use crate::library::PhiConfig;
 use crate::vexp::DEFAULT_WINDOW;
 use crate::vmont::VMontCtx;
-use crate::vmul::big_mul_vectorized;
+use crate::vmul::big_mul_with_backend;
+use phi_backend::ResolvedBackend;
 use phi_bigint::{BigIntError, BigUint};
 
 /// A reusable engine executing RSA private operations sixteen at a time.
@@ -28,7 +30,28 @@ pub struct BatchCrtEngine {
 }
 
 impl BatchCrtEngine {
-    /// Build from CRT key material.
+    /// Build from CRT key material and a validated [`PhiConfig`] — the
+    /// blessed construction path: window width and vector backend both
+    /// flow from the config (build one with `PhiConfig::builder()`).
+    pub fn with_config(key: &CrtKey, config: &PhiConfig) -> Result<Self, BigIntError> {
+        let engine = Self::from_parts_with_backend(
+            key.modulus().clone(),
+            key.dp().clone(),
+            key.dq().clone(),
+            key.qinv().clone(),
+            key.p_modulus().clone(),
+            key.q_modulus().clone(),
+            config.backend.resolve(),
+        )?;
+        Ok(engine.with_window(config.window))
+    }
+
+    /// Build from CRT key material on the process-default backend.
+    ///
+    /// Migration note: prefer [`with_config`](Self::with_config), which
+    /// routes the window width and backend selection through the
+    /// validated `PhiConfig::builder()` path instead of per-call setters.
+    #[doc(hidden)]
     pub fn new(key: &CrtKey) -> Result<Self, BigIntError> {
         Self::from_parts(
             key.modulus().clone(),
@@ -41,6 +64,10 @@ impl BatchCrtEngine {
     }
 
     /// Build from raw components (`n = p·q` is trusted, not recomputed).
+    ///
+    /// Migration note: prefer [`with_config`](Self::with_config) with a
+    /// [`CrtKey`]; raw-component construction bypasses config validation.
+    #[doc(hidden)]
     pub fn from_parts(
         n: BigUint,
         dp: BigUint,
@@ -49,9 +76,33 @@ impl BatchCrtEngine {
         p: BigUint,
         q: BigUint,
     ) -> Result<Self, BigIntError> {
+        Self::from_parts_with_backend(
+            n,
+            dp,
+            dq,
+            qinv,
+            p,
+            q,
+            phi_backend::process_default().resolve(),
+        )
+    }
+
+    /// Raw-component construction on an explicit backend (service-layer
+    /// plumbing; end users should go through [`with_config`](Self::with_config)).
+    #[doc(hidden)]
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts_with_backend(
+        n: BigUint,
+        dp: BigUint,
+        dq: BigUint,
+        qinv: BigUint,
+        p: BigUint,
+        q: BigUint,
+        backend: ResolvedBackend,
+    ) -> Result<Self, BigIntError> {
         Ok(BatchCrtEngine {
-            ctx_p: VMontCtx::new(&p)?,
-            ctx_q: VMontCtx::new(&q)?,
+            ctx_p: VMontCtx::with_backend(&p, backend)?,
+            ctx_q: VMontCtx::with_backend(&q, backend)?,
             p,
             q,
             dp,
@@ -67,6 +118,11 @@ impl BatchCrtEngine {
         assert!((1..=7).contains(&window));
         self.window = window;
         self
+    }
+
+    /// The backend this engine's kernels run on.
+    pub fn backend(&self) -> ResolvedBackend {
+        self.ctx_p.backend()
     }
 
     /// The public modulus.
@@ -93,7 +149,7 @@ impl BatchCrtEngine {
                     .ctx_p
                     .mont_mul_vec(&qinv_mont, &self.ctx_p.to_vec_form(&diff))
                     .to_biguint();
-                m2 + &big_mul_vectorized(&h, &self.q)
+                m2 + &big_mul_with_backend(&h, &self.q, self.backend())
             })
             .collect()
     }
@@ -159,7 +215,7 @@ impl BatchCrtEngine {
             .ctx_p
             .mont_mul_vec(&qinv_mont, &self.ctx_p.to_vec_form(&diff))
             .to_biguint();
-        &m2 + &big_mul_vectorized(&h, &self.q)
+        &m2 + &big_mul_with_backend(&h, &self.q, self.backend())
     }
 }
 
@@ -280,5 +336,43 @@ mod tests {
         let engine = engine.with_window(3);
         let (msgs, cts) = ciphertexts(engine.modulus(), &e, BATCH_WIDTH);
         assert_eq!(engine.private_op_16(&cts), msgs);
+    }
+
+    #[test]
+    fn with_config_honors_window_and_backend() {
+        let (engine, key, e, _) = demo();
+        let config = crate::library::PhiConfig::builder()
+            .window(3)
+            .unwrap()
+            .build();
+        let cfg_engine = BatchCrtEngine::with_config(&key, &config).unwrap();
+        assert_eq!(cfg_engine.backend(), ResolvedBackend::ModeledKnc);
+        let (msgs, cts) = ciphertexts(engine.modulus(), &e, BATCH_WIDTH);
+        assert_eq!(cfg_engine.private_op_16(&cts), msgs);
+    }
+
+    #[test]
+    fn native_engine_matches_modeled_bit_for_bit() {
+        if !phi_backend::CpuFeatures::detect().avx2 {
+            return; // no native tier on this host
+        }
+        let (engine, key, e, _) = demo();
+        let native = BatchCrtEngine::from_parts_with_backend(
+            key.modulus().clone(),
+            key.dp().clone(),
+            key.dq().clone(),
+            key.qinv().clone(),
+            key.p_modulus().clone(),
+            key.q_modulus().clone(),
+            ResolvedBackend::NativeX86,
+        )
+        .unwrap();
+        assert_eq!(native.backend(), ResolvedBackend::NativeX86);
+        let (_, cts) = ciphertexts(engine.modulus(), &e, BATCH_WIDTH);
+        assert_eq!(native.private_op_16(&cts), engine.private_op_16(&cts));
+        assert_eq!(
+            native.private_op_single(&cts[0]),
+            engine.private_op_single(&cts[0])
+        );
     }
 }

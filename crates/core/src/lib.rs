@@ -25,6 +25,12 @@
 //! * [`library`] — [`PhiLibrary`], packaging everything behind the same
 //!   [`Libcrypto`](phi_mont::Libcrypto) facade as the two baselines.
 //!
+//! Every kernel is generic over a [`VectorBackend`] (from `phi-backend`):
+//! [`ModeledKnc`] replays the paper's KNC cost model with exact operation
+//! counting, while [`NativeX86`] executes the same lane semantics with
+//! real AVX-512/AVX2 instructions. Select one via
+//! `PhiConfig::builder().backend(Backend::Auto)`.
+//!
 //! ## Example
 //!
 //! ```
@@ -66,6 +72,9 @@ pub use batch_multi::MultiBatchMont;
 pub use crt::CrtKey;
 pub use engine::BatchCrtEngine;
 pub use library::{ConfigError, PhiConfig, PhiConfigBuilder, PhiLibrary};
+pub use phi_backend::{
+    Backend, BackendUnavailable, CpuFeatures, ModeledKnc, NativeX86, ResolvedBackend, VectorBackend,
+};
 pub use radix::{VecNum, DIGIT_BITS, DIGIT_MASK};
 pub use vexp::TableLookup;
 pub use vmont::VMontCtx;

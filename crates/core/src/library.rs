@@ -4,7 +4,8 @@
 
 use crate::vexp::{mod_exp_vec, TableLookup, DEFAULT_WINDOW};
 use crate::vmont::VMontCtx;
-use crate::vmul::big_mul_vectorized;
+use crate::vmul::big_mul_with_backend;
+use phi_backend::{Backend, BackendUnavailable, CpuFeatures};
 use phi_bigint::{BigIntError, BigUint};
 use phi_mont::session::{ExpPolicy, ModulusSession};
 use phi_mont::{ExpStrategy, Libcrypto, MontEngine};
@@ -15,6 +16,8 @@ use std::fmt;
 pub enum ConfigError {
     /// Fixed-window width outside the supported `1..=7` range.
     WindowOutOfRange(u32),
+    /// The requested vector backend cannot run on this host.
+    BackendUnavailable(BackendUnavailable),
 }
 
 impl fmt::Display for ConfigError {
@@ -23,11 +26,18 @@ impl fmt::Display for ConfigError {
             ConfigError::WindowOutOfRange(w) => {
                 write!(f, "fixed-window width {w} outside supported range 1..=7")
             }
+            ConfigError::BackendUnavailable(e) => e.fmt(f),
         }
     }
 }
 
 impl std::error::Error for ConfigError {}
+
+impl From<BackendUnavailable> for ConfigError {
+    fn from(e: BackendUnavailable) -> Self {
+        ConfigError::BackendUnavailable(e)
+    }
+}
 
 /// Tunables of the vectorized library.
 ///
@@ -35,13 +45,17 @@ impl std::error::Error for ConfigError {}
 /// tunable. The fields remain public for pattern matching and reading,
 /// but filling them in by hand is a deprecated pattern — a struct
 /// literal can smuggle in a window width the exponentiation kernel will
-/// reject much later, at `assert!` distance from the mistake.
+/// reject much later, at `assert!` distance from the mistake (and a
+/// native backend request the host can't serve, which the builder turns
+/// into a typed [`ConfigError::BackendUnavailable`] instead).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PhiConfig {
     /// Fixed-window width for exponentiation (the paper uses 5).
     pub window: u32,
     /// Window-table lookup policy.
     pub lookup: TableLookup,
+    /// Which vector backend the kernels execute on.
+    pub backend: Backend,
 }
 
 impl Default for PhiConfig {
@@ -49,6 +63,10 @@ impl Default for PhiConfig {
         PhiConfig {
             window: DEFAULT_WINDOW,
             lookup: TableLookup::Direct,
+            // The process default is ModeledKnc unless overridden via
+            // PHI_BACKEND or phi_backend::set_process_default (the bench
+            // harness's --backend flag).
+            backend: phi_backend::process_default(),
         }
     }
 }
@@ -104,6 +122,28 @@ impl PhiConfigBuilder {
         self
     }
 
+    /// Select the vector backend. An explicit [`Backend::NativeX86`]
+    /// request is validated against the running host's CPU features and
+    /// rejected with [`ConfigError::BackendUnavailable`] when the host
+    /// lacks AVX2; [`Backend::Auto`] and [`Backend::ModeledKnc`] always
+    /// succeed.
+    pub fn backend(self, backend: Backend) -> Result<Self, ConfigError> {
+        self.backend_with_features(backend, &CpuFeatures::detect())
+    }
+
+    /// [`backend`](Self::backend) against explicit host features — for
+    /// deterministic tests of the unavailable-backend error path.
+    #[doc(hidden)]
+    pub fn backend_with_features(
+        mut self,
+        backend: Backend,
+        features: &CpuFeatures,
+    ) -> Result<Self, ConfigError> {
+        backend.ensure_available(features)?;
+        self.config.backend = backend;
+        Ok(self)
+    }
+
     /// Finish, yielding the validated configuration.
     pub fn build(self) -> PhiConfig {
         self.config
@@ -141,11 +181,14 @@ impl Libcrypto for PhiLibrary {
     }
 
     fn big_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
-        big_mul_vectorized(a, b)
+        big_mul_with_backend(a, b, self.config.backend.resolve())
     }
 
     fn make_engine(&self, n: &BigUint) -> Result<Box<dyn MontEngine + Send + Sync>, BigIntError> {
-        Ok(Box::new(VMontCtx::new(n)?))
+        Ok(Box::new(VMontCtx::with_backend(
+            n,
+            self.config.backend.resolve(),
+        )?))
     }
 
     fn strategy_for(&self, _bits: u32) -> ExpStrategy {
@@ -156,9 +199,9 @@ impl Libcrypto for PhiLibrary {
         // One context build for both roles: the cloned handle shares the
         // precomputed n'/R² tables, so the session still counts as a
         // single setup.
-        let ctx = VMontCtx::new(n)?;
+        let ctx = VMontCtx::with_backend(n, self.config.backend.resolve())?;
         let exp_ctx = ctx.clone();
-        let PhiConfig { window, lookup } = self.config;
+        let PhiConfig { window, lookup, .. } = self.config;
         Ok(ModulusSession::new(
             self.name(),
             Box::new(ctx),
@@ -280,6 +323,54 @@ mod tests {
         assert!(ConfigError::WindowOutOfRange(9)
             .to_string()
             .contains("1..=7"));
+    }
+
+    #[test]
+    fn builder_selects_and_validates_backend() {
+        let config = PhiConfig::builder()
+            .backend(Backend::ModeledKnc)
+            .unwrap()
+            .build();
+        assert_eq!(config.backend, Backend::ModeledKnc);
+        // Auto always validates (it falls back to modeled when needed).
+        assert!(PhiConfig::builder().backend(Backend::Auto).is_ok());
+
+        // An explicit native request on a host without AVX2 is a typed
+        // error, not a panic.
+        let err = PhiConfig::builder()
+            .backend_with_features(Backend::NativeX86, &CpuFeatures::NONE)
+            .unwrap_err();
+        match err {
+            ConfigError::BackendUnavailable(e) => {
+                assert_eq!(e.requested, Backend::NativeX86);
+            }
+            other => panic!("expected BackendUnavailable, got {other:?}"),
+        }
+        assert!(err.to_string().contains("unavailable"));
+    }
+
+    #[test]
+    fn native_config_produces_matching_results() {
+        let features = CpuFeatures::detect();
+        if !(features.x86_64 && features.avx2) {
+            return; // nothing to compare on this host
+        }
+        let native = PhiLibrary::with_config(
+            PhiConfig::builder()
+                .backend(Backend::NativeX86)
+                .unwrap()
+                .build(),
+        );
+        let modeled = PhiLibrary::default();
+        let n = n256();
+        let base = BigUint::from_hex("123456789abcdef0").unwrap();
+        let exp = BigUint::from_hex("fedcba98765432101234").unwrap();
+        assert_eq!(
+            native.mod_exp(&base, &exp, &n).unwrap(),
+            modeled.mod_exp(&base, &exp, &n).unwrap()
+        );
+        let a = BigUint::from_hex("ffffffffffffffffffffffff").unwrap();
+        assert_eq!(native.big_mul(&a, &a), modeled.big_mul(&a, &a));
     }
 
     #[test]

@@ -9,10 +9,10 @@
 
 use crate::radix::{VecNum, LANES};
 use crate::vmont::VMontCtx;
+use phi_backend::{with_backend, LaneMask8, Vector64, VectorBackend};
 use phi_bigint::BigUint;
 use phi_mont::MontEngine;
-use phi_simd::count::{record, OpClass};
-use phi_simd::{Mask8, U64x8};
+use phi_simd::count::OpClass;
 
 /// How the window table is read.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -57,6 +57,16 @@ pub fn exp_fixed_window_vec(
     window: u32,
     lookup: TableLookup,
 ) -> VecNum {
+    with_backend!(ctx.backend(), B => exp_fixed_window_generic::<B>(ctx, base_m, exp, window, lookup))
+}
+
+pub(crate) fn exp_fixed_window_generic<B: VectorBackend>(
+    ctx: &VMontCtx,
+    base_m: &VecNum,
+    exp: &BigUint,
+    window: u32,
+    lookup: TableLookup,
+) -> VecNum {
     let _span = phi_trace::span(phi_trace::Scope::VExpWindow);
     assert!((1..=7).contains(&window), "window width out of range");
     let bits = exp.bit_length();
@@ -68,21 +78,21 @@ pub fn exp_fixed_window_vec(
     table.push(ctx.one_mont_vec());
     for i in 1..table_len {
         let prev: &VecNum = &table[i - 1];
-        table.push(ctx.mont_mul_vec(prev, base_m));
+        table.push(ctx.mont_mul_generic::<B>(prev, base_m));
     }
 
     let windows = bits.div_ceil(window);
     let mut acc = ctx.one_mont_vec();
     for win in (0..windows).rev() {
         for _ in 0..window {
-            acc = ctx.mont_sqr_vec(&acc);
+            acc = ctx.mont_mul_generic::<B>(&acc, &acc);
         }
         let lo = win * window;
         let width = window.min(bits - lo);
         let val = exp.extract_bits(lo, width) as usize;
-        record(OpClass::SAlu, 4); // window extraction glue
-        let entry = fetch_entry(&table, val, lookup);
-        acc = ctx.mont_mul_vec(&acc, &entry);
+        B::record(OpClass::SAlu, 4); // window extraction glue
+        let entry = fetch_entry::<B>(&table, val, lookup);
+        acc = ctx.mont_mul_generic::<B>(&acc, &entry);
     }
     acc
 }
@@ -98,6 +108,15 @@ pub fn exp_sliding_window_vec(
     exp: &BigUint,
     window: u32,
 ) -> VecNum {
+    with_backend!(ctx.backend(), B => exp_sliding_window_generic::<B>(ctx, base_m, exp, window))
+}
+
+pub(crate) fn exp_sliding_window_generic<B: VectorBackend>(
+    ctx: &VMontCtx,
+    base_m: &VecNum,
+    exp: &BigUint,
+    window: u32,
+) -> VecNum {
     let _span = phi_trace::span(phi_trace::Scope::VExpWindow);
     assert!((1..=7).contains(&window), "window width out of range");
     let bits = exp.bit_length();
@@ -108,10 +127,10 @@ pub fn exp_sliding_window_vec(
     let mut table = Vec::with_capacity(table_len);
     table.push(base_m.clone());
     if table_len > 1 {
-        let b2 = ctx.mont_sqr_vec(base_m);
+        let b2 = ctx.mont_mul_generic::<B>(base_m, base_m);
         for i in 1..table_len {
             let prev: &VecNum = &table[i - 1];
-            table.push(ctx.mont_mul_vec(prev, &b2));
+            table.push(ctx.mont_mul_generic::<B>(prev, &b2));
         }
     }
 
@@ -120,7 +139,7 @@ pub fn exp_sliding_window_vec(
     while i >= 0 {
         if !exp.bit(i as u32) {
             if let Some(a) = acc.take() {
-                acc = Some(ctx.mont_sqr_vec(&a));
+                acc = Some(ctx.mont_mul_generic::<B>(&a, &a));
             }
             i -= 1;
             continue;
@@ -131,16 +150,16 @@ pub fn exp_sliding_window_vec(
         }
         let width = (i - l + 1) as u32;
         let val = exp.extract_bits(l as u32, width);
-        record(OpClass::SAlu, 4);
+        B::record(OpClass::SAlu, 4);
         debug_assert!(val & 1 == 1);
-        let entry = fetch_entry(&table, ((val - 1) / 2) as usize, TableLookup::Direct);
+        let entry = fetch_entry::<B>(&table, ((val - 1) / 2) as usize, TableLookup::Direct);
         acc = Some(match acc.take() {
             None => entry,
             Some(mut a) => {
                 for _ in 0..width {
-                    a = ctx.mont_sqr_vec(&a);
+                    a = ctx.mont_mul_generic::<B>(&a, &a);
                 }
-                ctx.mont_mul_vec(&a, &entry)
+                ctx.mont_mul_generic::<B>(&a, &entry)
             }
         });
         i = l - 1;
@@ -149,34 +168,34 @@ pub fn exp_sliding_window_vec(
 }
 
 /// Read `table[val]` with the chosen lookup policy.
-fn fetch_entry(table: &[VecNum], val: usize, lookup: TableLookup) -> VecNum {
+fn fetch_entry<B: VectorBackend>(table: &[VecNum], val: usize, lookup: TableLookup) -> VecNum {
     match lookup {
         TableLookup::Direct => {
             // One vector load per chunk of the selected entry.
-            record(OpClass::VMem, (table[val].len() / LANES) as u64);
+            B::record(OpClass::VMem, (table[val].len() / LANES) as u64);
             table[val].clone()
         }
-        TableLookup::ConstantTime => gather_constant_time(table, val),
+        TableLookup::ConstantTime => gather_constant_time::<B>(table, val),
     }
 }
 
 /// Touch every table entry, blending the wanted one under a mask — the
 /// memory access pattern is independent of `val`.
-fn gather_constant_time(table: &[VecNum], val: usize) -> VecNum {
+fn gather_constant_time<B: VectorBackend>(table: &[VecNum], val: usize) -> VecNum {
     let len = table[0].len();
     let chunks = len / LANES;
     let mut out = VecNum::zero(len);
     for (idx, entry) in table.iter().enumerate() {
         // One mask set per entry…
         let mask = if idx == val {
-            Mask8::all()
+            B::M8::all()
         } else {
-            Mask8::none()
+            B::M8::none()
         };
         for c in 0..chunks {
             // …then per chunk: load the entry and blend under the mask.
-            let cur = U64x8::from_slice_folded(&out.digits()[c * LANES..]);
-            let ent = U64x8::load(&entry.digits()[c * LANES..]);
+            let cur = B::V64::from_slice_folded(&out.digits()[c * LANES..]);
+            let ent = B::V64::load(&entry.digits()[c * LANES..]);
             let sel = cur.blend(mask, ent);
             let lanes = sel.to_lanes();
             out.digits_mut()[c * LANES..c * LANES + LANES].copy_from_slice(&lanes);
@@ -188,6 +207,7 @@ fn gather_constant_time(table: &[VecNum], val: usize) -> VecNum {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use phi_backend::{ModeledKnc, ResolvedBackend};
     use phi_simd::count;
 
     fn ctx256() -> VMontCtx {
@@ -252,8 +272,10 @@ mod tests {
             .collect();
         let chunks = (base_m.len() / LANES) as u64;
         count::reset();
-        let (_, d_direct) = count::measure(|| fetch_entry(&table, 3, TableLookup::Direct));
-        let (_, d_ct) = count::measure(|| fetch_entry(&table, 3, TableLookup::ConstantTime));
+        let (_, d_direct) =
+            count::measure(|| fetch_entry::<ModeledKnc>(&table, 3, TableLookup::Direct));
+        let (_, d_ct) =
+            count::measure(|| fetch_entry::<ModeledKnc>(&table, 3, TableLookup::ConstantTime));
         assert_eq!(d_direct.get(OpClass::VMem), chunks);
         // CT pays one load per chunk per entry.
         assert_eq!(d_ct.get(OpClass::VMem), 8 * chunks);
@@ -267,7 +289,7 @@ mod tests {
             .map(|i| ctx.to_mont_vec(&BigUint::from(i as u64 + 10)))
             .collect();
         for want in 0..4 {
-            let got = gather_constant_time(&table, want);
+            let got = gather_constant_time::<ModeledKnc>(&table, want);
             assert_eq!(got, table[want], "entry {want}");
         }
     }
@@ -328,6 +350,26 @@ mod tests {
             "sliding {} !< fixed {}",
             sliding.get(OpClass::VMul),
             fixed.get(OpClass::VMul)
+        );
+    }
+
+    #[test]
+    fn native_backend_exponentiation_matches_modeled() {
+        let ctx = ctx256();
+        let nctx = VMontCtx::with_backend(ctx.modulus(), ResolvedBackend::NativeX86).unwrap();
+        let base = BigUint::from_hex("123456789abcdef00fedcba987654321").unwrap();
+        let exp = BigUint::from_hex("deadbeefcafebabe0123456789abcdef").unwrap();
+        for lookup in [TableLookup::Direct, TableLookup::ConstantTime] {
+            assert_eq!(
+                mod_exp_vec(&ctx, &base, &exp, 5, lookup),
+                mod_exp_vec(&nctx, &base, &exp, 5, lookup),
+                "{lookup:?}"
+            );
+        }
+        let bm = nctx.to_mont_vec(&base);
+        assert_eq!(
+            nctx.from_mont_vec(&exp_sliding_window_vec(&nctx, &bm, &exp, 5)),
+            base.mod_exp(&exp, ctx.modulus())
         );
     }
 

@@ -13,10 +13,10 @@
 //! structural advantage the paper's speedups come from.
 
 use crate::radix::{pad_to_lanes, VecNum, DIGIT_BITS, DIGIT_MASK, LANES};
+use phi_backend::{with_backend, ResolvedBackend, Vector64, VectorBackend};
 use phi_bigint::{BigIntError, BigUint};
 use phi_mont::MontEngine;
-use phi_simd::count::{record, OpClass};
-use phi_simd::U64x8;
+use phi_simd::count::OpClass;
 
 /// Scalar glue charged per CIOS row: extracting the low accumulator lane,
 /// forming `q`, the carry shift and carry add, and loop bookkeeping. These
@@ -57,11 +57,20 @@ pub struct VMontCtx {
     /// `R² mod n` in vector form, for entering the domain.
     rr_vec: VecNum,
     r_bits: u32,
+    /// Which vector backend the kernels run on.
+    backend: ResolvedBackend,
 }
 
 impl VMontCtx {
-    /// Build a context for the odd modulus `n`.
+    /// Build a context for the odd modulus `n` on the process-default
+    /// backend (the modeled-KNC backend unless overridden; see
+    /// [`phi_backend::process_default`]).
     pub fn new(n: &BigUint) -> Result<Self, BigIntError> {
+        Self::with_backend(n, phi_backend::process_default().resolve())
+    }
+
+    /// Build a context for the odd modulus `n` on an explicit backend.
+    pub fn with_backend(n: &BigUint, backend: ResolvedBackend) -> Result<Self, BigIntError> {
         if n.is_zero() || n.is_even() {
             return Err(BigIntError::EvenModulus);
         }
@@ -85,7 +94,13 @@ impl VMontCtx {
             n0_inv,
             rr_vec,
             r_bits,
+            backend,
         })
+    }
+
+    /// The backend this context's kernels run on.
+    pub fn backend(&self) -> ResolvedBackend {
+        self.backend
     }
 
     /// Significant digits of the modulus (reduction rows per multiply).
@@ -143,34 +158,41 @@ impl VMontCtx {
     /// Inputs must be context-shaped and numerically `< n`; the output is
     /// reduced to `[0, n)`.
     pub fn mont_mul_vec(&self, a: &VecNum, b: &VecNum) -> VecNum {
+        with_backend!(self.backend, B => self.mont_mul_generic::<B>(a, b))
+    }
+
+    /// Backend-generic body of [`mont_mul_vec`](Self::mont_mul_vec) —
+    /// generic callers (exponentiation, batching) use this directly so a
+    /// single dispatch covers a whole exponentiation.
+    pub(crate) fn mont_mul_generic<B: VectorBackend>(&self, a: &VecNum, b: &VecNum) -> VecNum {
         let _span = phi_trace::span(phi_trace::Scope::MontReduce);
         debug_assert_eq!(a.len(), self.kk);
         debug_assert_eq!(b.len(), self.kk);
         let chunks = self.chunks;
 
         // Column accumulators, held in vector registers for the whole pass.
-        let mut acc = vec![U64x8::zero(); chunks];
+        let mut acc = vec![B::V64::zero(); chunks];
 
         for i in 0..self.k {
             let ai = a.digit(i);
 
             // acc += a_i * B : one broadcast + `chunks` FMAs (the B operand
             // folds into the FMA as a memory source, KNC-style).
-            let av = U64x8::splat(ai);
+            let av = B::V64::splat(ai);
             for (c, slot) in acc.iter_mut().enumerate() {
-                let b_chunk = U64x8::from_slice_folded(&b.digits[c * LANES..]);
+                let b_chunk = B::V64::from_slice_folded(&b.digits[c * LANES..]);
                 *slot = slot.fma32(av, b_chunk);
             }
 
             // q = (t₀ · n₀') mod 2^27 — scalar, on the critical path.
             let t0 = acc[0].lane(0);
             let q = ((t0 & DIGIT_MASK).wrapping_mul(self.n0_inv)) & DIGIT_MASK;
-            record(OpClass::SMul32, 1);
+            B::record(OpClass::SMul32, 1);
 
             // acc += q * N : clears the low digit.
-            let qv = U64x8::splat(q);
+            let qv = B::V64::splat(q);
             for (c, slot) in acc.iter_mut().enumerate() {
-                let n_chunk = U64x8::from_slice_folded(&self.n_digits[c * LANES..]);
+                let n_chunk = B::V64::from_slice_folded(&self.n_digits[c * LANES..]);
                 *slot = slot.fma32(qv, n_chunk);
             }
             debug_assert_eq!(acc[0].lane(0) & DIGIT_MASK, 0, "row {i} not reduced");
@@ -189,7 +211,7 @@ impl VMontCtx {
             let l0 = acc[0].lane(0);
             acc[0] = acc[0].with_lane(0, l0 + carry);
 
-            record(OpClass::SAlu, ROW_GLUE_SALU);
+            B::record(OpClass::SAlu, ROW_GLUE_SALU);
         }
 
         // Normalize the redundant columns into proper 27-bit digits.
@@ -201,8 +223,8 @@ impl VMontCtx {
             carry = v >> DIGIT_BITS;
         }
         debug_assert_eq!(carry, 0, "result exceeded the padded width");
-        record(OpClass::SAlu, 3 * self.kk as u64);
-        record(OpClass::SMem, self.kk as u64);
+        B::record(OpClass::SAlu, 3 * self.kk as u64);
+        B::record(OpClass::SMem, self.kk as u64);
 
         // t < 2n: one conditional subtraction reaches [0, n).
         if out.cmp_digits(&self.n_vec) != std::cmp::Ordering::Less {
@@ -367,6 +389,29 @@ mod tests {
         assert_eq!(d.get(OpClass::VPerm), k * (2 + chunks));
         assert_eq!(d.get(OpClass::SMul64), 0);
         assert_eq!(d.get(OpClass::SMul32), k);
+    }
+
+    #[test]
+    fn native_backend_matches_modeled_bit_for_bit() {
+        let n = n256();
+        let modeled = VMontCtx::new(&n).unwrap();
+        let native = VMontCtx::with_backend(&n, ResolvedBackend::NativeX86).unwrap();
+        assert_eq!(native.backend(), ResolvedBackend::NativeX86);
+        let a = BigUint::from_hex("123456789abcdef0123456789abcdef0123456789abcdef").unwrap();
+        let b = &n - &BigUint::one();
+        let rm = modeled.from_mont_vec(
+            &modeled.mont_mul_vec(&modeled.to_mont_vec(&a), &modeled.to_mont_vec(&b)),
+        );
+        let rn = native
+            .from_mont_vec(&native.mont_mul_vec(&native.to_mont_vec(&a), &native.to_mont_vec(&b)));
+        assert_eq!(rm, rn);
+
+        // The native kernel records nothing into the modeled counters.
+        count::reset();
+        let am = native.to_mont_vec(&a);
+        let (_, d) = count::measure(|| native.mont_mul_vec(&am, &am));
+        assert_eq!(d.get(OpClass::VMul), 0);
+        assert_eq!(d.get(OpClass::SMul32), 0);
     }
 
     #[test]

@@ -9,13 +9,17 @@
 //! memory-resident column accumulator at offset `i`. Because the digits
 //! carry only 27 bits, a column can absorb one full row sweep per lane
 //! without carrying; a final scalar pass normalizes.
+//!
+//! The kernels are generic over [`VectorBackend`]; the public entry
+//! points dispatch on the process-default backend (see
+//! [`phi_backend::process_default`]) or an explicit [`ResolvedBackend`].
 
 #![allow(clippy::needless_range_loop)] // explicit lane/column indices read as kernel semantics
 
 use crate::radix::{pad_to_lanes, VecNum, DIGIT_BITS, DIGIT_MASK, LANES};
+use phi_backend::{with_backend, ResolvedBackend, Vector64, VectorBackend};
 use phi_bigint::BigUint;
-use phi_simd::count::{record, OpClass};
-use phi_simd::U64x8;
+use phi_simd::count::OpClass;
 
 /// Vectorized product of two digit-form numbers. The result has
 /// `a.len() + b.len()` digit slots.
@@ -25,6 +29,15 @@ use phi_simd::U64x8;
 /// load and store around the FMA (the `B` operand still folds into the
 /// FMA).
 pub fn vec_mul(a: &VecNum, b: &VecNum) -> VecNum {
+    vec_mul_backend(a, b, phi_backend::process_default().resolve())
+}
+
+/// [`vec_mul`] on an explicitly chosen backend.
+pub fn vec_mul_backend(a: &VecNum, b: &VecNum, backend: ResolvedBackend) -> VecNum {
+    with_backend!(backend, B => vec_mul_generic::<B>(a, b))
+}
+
+pub(crate) fn vec_mul_generic<B: VectorBackend>(a: &VecNum, b: &VecNum) -> VecNum {
     let _span = phi_trace::span(phi_trace::Scope::VMul);
     let out_len = pad_to_lanes(a.len() + b.len());
     let mut acc = vec![0u64; out_len + LANES]; // slack so offset chunks never clip
@@ -34,18 +47,18 @@ pub fn vec_mul(a: &VecNum, b: &VecNum) -> VecNum {
         let ai = a.digit(i);
         if ai == 0 {
             // The hardware still walks the row; charge the row overhead only.
-            record(OpClass::SAlu, 2);
+            B::record(OpClass::SAlu, 2);
             continue;
         }
-        let av = U64x8::splat(ai);
+        let av = B::V64::splat(ai);
         for c in 0..b_chunks {
             let off = i + c * LANES;
-            let cur = U64x8::load(&acc[off..off + LANES]);
-            let b_chunk = U64x8::from_slice_folded(&b.digits()[c * LANES..]);
+            let cur = B::V64::load(&acc[off..off + LANES]);
+            let b_chunk = B::V64::from_slice_folded(&b.digits()[c * LANES..]);
             let sum = cur.fma32(av, b_chunk);
             sum.store(&mut acc[off..off + LANES]);
         }
-        record(OpClass::SAlu, 2);
+        B::record(OpClass::SAlu, 2);
     }
 
     // Normalize columns (each < a.len()·2^54 + carries < 2^63) into digits.
@@ -57,14 +70,23 @@ pub fn vec_mul(a: &VecNum, b: &VecNum) -> VecNum {
         carry = v >> DIGIT_BITS;
     }
     debug_assert_eq!(carry, 0);
-    record(OpClass::SAlu, 3 * out_len as u64);
-    record(OpClass::SMem, out_len as u64);
+    B::record(OpClass::SAlu, 3 * out_len as u64);
+    B::record(OpClass::SMem, out_len as u64);
     out
 }
 
 /// Vectorized squaring. Computes the off-diagonal strip once and doubles it
 /// (the classic half-product trick), then adds the diagonal terms.
 pub fn vec_sqr(a: &VecNum) -> VecNum {
+    vec_sqr_backend(a, phi_backend::process_default().resolve())
+}
+
+/// [`vec_sqr`] on an explicitly chosen backend.
+pub fn vec_sqr_backend(a: &VecNum, backend: ResolvedBackend) -> VecNum {
+    with_backend!(backend, B => vec_sqr_generic::<B>(a))
+}
+
+pub(crate) fn vec_sqr_generic<B: VectorBackend>(a: &VecNum) -> VecNum {
     let _span = phi_trace::span(phi_trace::Scope::VSqr);
     let out_len = pad_to_lanes(2 * a.len());
     let mut acc = vec![0u64; out_len + LANES];
@@ -74,10 +96,10 @@ pub fn vec_sqr(a: &VecNum) -> VecNum {
     for i in 0..a.len() {
         let ai = a.digit(i);
         if ai == 0 {
-            record(OpClass::SAlu, 2);
+            B::record(OpClass::SAlu, 2);
             continue;
         }
-        let av = U64x8::splat(ai);
+        let av = B::V64::splat(ai);
         // Start at the chunk containing digit i+1; lanes below are masked
         // out by zeroing (modeled as part of the same FMA via write-mask).
         let start_chunk = (i + 1) / LANES;
@@ -91,11 +113,11 @@ pub fn vec_sqr(a: &VecNum) -> VecNum {
                 }
             }
             let off = i + lo;
-            let cur = U64x8::load(&acc[off..off + LANES]);
-            let sum = cur.fma32(av, U64x8::from_lanes(lanes));
+            let cur = B::V64::load(&acc[off..off + LANES]);
+            let sum = cur.fma32(av, B::V64::from_lanes(lanes));
             sum.store(&mut acc[off..off + LANES]);
         }
-        record(OpClass::SAlu, 2);
+        B::record(OpClass::SAlu, 2);
     }
 
     // Double the cross products: a vector shift-left-by-one over the
@@ -103,7 +125,7 @@ pub fn vec_sqr(a: &VecNum) -> VecNum {
     let mut c = 0usize;
     while c * LANES < out_len {
         let off = c * LANES;
-        let v = U64x8::load(&acc[off..off + LANES]);
+        let v = B::V64::load(&acc[off..off + LANES]);
         v.shl(1).store(&mut acc[off..off + LANES]);
         c += 1;
     }
@@ -113,8 +135,8 @@ pub fn vec_sqr(a: &VecNum) -> VecNum {
         let ai = a.digit(i);
         acc[2 * i] += ai * ai;
     }
-    record(OpClass::SMul32, a.len() as u64);
-    record(OpClass::SAlu, 2 * a.len() as u64);
+    B::record(OpClass::SMul32, a.len() as u64);
+    B::record(OpClass::SAlu, 2 * a.len() as u64);
 
     let mut out = VecNum::zero(out_len);
     let mut carry = 0u64;
@@ -124,13 +146,18 @@ pub fn vec_sqr(a: &VecNum) -> VecNum {
         carry = v >> DIGIT_BITS;
     }
     debug_assert_eq!(carry, 0);
-    record(OpClass::SAlu, 3 * out_len as u64);
-    record(OpClass::SMem, out_len as u64);
+    B::record(OpClass::SAlu, 3 * out_len as u64);
+    B::record(OpClass::SMem, out_len as u64);
     out
 }
 
 /// Convenience: vectorized product of two big integers.
 pub fn big_mul_vectorized(a: &BigUint, b: &BigUint) -> BigUint {
+    big_mul_with_backend(a, b, phi_backend::process_default().resolve())
+}
+
+/// [`big_mul_vectorized`] on an explicitly chosen backend.
+pub fn big_mul_with_backend(a: &BigUint, b: &BigUint, backend: ResolvedBackend) -> BigUint {
     let _span = phi_trace::span(phi_trace::Scope::BigMul);
     if a.is_zero() || b.is_zero() {
         return BigUint::zero();
@@ -139,7 +166,7 @@ pub fn big_mul_vectorized(a: &BigUint, b: &BigUint) -> BigUint {
     let kb = b.bit_length().div_ceil(DIGIT_BITS) as usize;
     let av = VecNum::from_biguint(a, ka);
     let bv = VecNum::from_biguint(b, kb);
-    vec_mul(&av, &bv).to_biguint()
+    with_backend!(backend, B => vec_mul_generic::<B>(&av, &bv)).to_biguint()
 }
 
 impl VecNum {
@@ -152,6 +179,7 @@ impl VecNum {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use phi_backend::NativeX86;
     use phi_simd::count;
 
     fn vn(hex: &str) -> VecNum {
@@ -249,5 +277,35 @@ mod tests {
             ds.get(OpClass::VMul),
             dm.get(OpClass::VMul)
         );
+    }
+
+    #[test]
+    fn native_backend_matches_modeled_bit_for_bit() {
+        for (x, y) in [
+            ("deadbeef", "cafebabe"),
+            (
+                "ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff",
+                "123456789abcdef0123456789abcdef0fedcba9876543210",
+            ),
+        ] {
+            let a = vn(x);
+            let b = vn(y);
+            let modeled = vec_mul(&a, &b);
+            let native = vec_mul_backend(&a, &b, ResolvedBackend::NativeX86);
+            assert_eq!(modeled.to_biguint(), native.to_biguint(), "{x} * {y}");
+            let sq_m = vec_sqr(&a);
+            let sq_n = vec_sqr_backend(&a, ResolvedBackend::NativeX86);
+            assert_eq!(sq_m.to_biguint(), sq_n.to_biguint(), "{x}^2");
+        }
+    }
+
+    #[test]
+    fn native_backend_records_no_vector_ops() {
+        let a = vn("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff");
+        count::reset();
+        let (_, d) = count::measure(|| vec_mul_generic::<NativeX86>(&a, &a));
+        assert_eq!(d.get(OpClass::VMul), 0);
+        assert_eq!(d.get(OpClass::VMem), 0);
+        assert_eq!(d.get(OpClass::SAlu), 0);
     }
 }

@@ -15,21 +15,26 @@
 
 use crate::radix::{VecNum, DIGIT_BITS, DIGIT_MASK, LANES};
 use crate::vmont::{VMontCtx, ROW_GLUE_SALU};
-use crate::vmul::vec_sqr;
-use phi_simd::count::{record, OpClass};
-use phi_simd::U64x8;
+use crate::vmul::vec_sqr_generic;
+use phi_backend::{with_backend, Vector64, VectorBackend};
+use phi_simd::count::OpClass;
 
 /// Montgomery squaring via half-product squaring + SOS reduction.
 ///
-/// Produces exactly the same value as `ctx.mont_sqr_vec(a)`.
+/// Produces exactly the same value as `ctx.mont_sqr_vec(a)`, on the
+/// context's backend.
 pub fn mont_sqr_sos(ctx: &VMontCtx, a: &VecNum) -> VecNum {
+    with_backend!(ctx.backend(), B => mont_sqr_sos_generic::<B>(ctx, a))
+}
+
+pub(crate) fn mont_sqr_sos_generic<B: VectorBackend>(ctx: &VMontCtx, a: &VecNum) -> VecNum {
     let _span = phi_trace::span(phi_trace::Scope::VSqr);
     let k = ctx.digits();
     let kk = ctx.padded_digits();
     debug_assert_eq!(a.len(), kk);
 
     // t = a², proper 27-bit digits, 2·kk wide.
-    let t = vec_sqr(a);
+    let t = vec_sqr_generic::<B>(a);
     let mut acc: Vec<u64> = t.digits().to_vec();
     acc.resize(2 * kk + LANES, 0); // slack for the offset vector rows
 
@@ -44,21 +49,21 @@ pub fn mont_sqr_sos(ctx: &VMontCtx, a: &VecNum) -> VecNum {
         // i is only correct modulo 2^27 once its lower neighbour settled.
         acc[i] += carry;
         let m = ((acc[i] & DIGIT_MASK).wrapping_mul(n0_inv)) & DIGIT_MASK;
-        record(OpClass::SMul32, 1);
+        B::record(OpClass::SMul32, 1);
 
         // acc[i..] += m * N — vectorized row at digit offset i, through
         // the memory accumulator (load + FMA + store per chunk).
-        let mv = U64x8::splat(m);
+        let mv = B::V64::splat(m);
         for c in 0..chunks {
             let off = i + c * LANES;
-            let cur = U64x8::load(&acc[off..off + LANES]);
-            let n_chunk = U64x8::from_slice_folded(&n_digits[c * LANES..]);
+            let cur = B::V64::load(&acc[off..off + LANES]);
+            let n_chunk = B::V64::from_slice_folded(&n_digits[c * LANES..]);
             let sum = cur.fma32(mv, n_chunk);
             sum.store(&mut acc[off..off + LANES]);
         }
         debug_assert_eq!(acc[i] & DIGIT_MASK, 0, "row {i} not cleared");
         carry = acc[i] >> DIGIT_BITS;
-        record(OpClass::SAlu, ROW_GLUE_SALU);
+        B::record(OpClass::SAlu, ROW_GLUE_SALU);
     }
 
     // Result = acc[k..] (division by R = dropping k digits), normalized.
@@ -70,8 +75,8 @@ pub fn mont_sqr_sos(ctx: &VMontCtx, a: &VecNum) -> VecNum {
         c = v >> DIGIT_BITS;
     }
     debug_assert_eq!(c, 0, "result exceeded padded width");
-    record(OpClass::SAlu, 3 * kk as u64);
-    record(OpClass::SMem, kk as u64);
+    B::record(OpClass::SAlu, 3 * kk as u64);
+    B::record(OpClass::SMem, kk as u64);
 
     let n_vec = VecNum::from_digits_unchecked(n_digits.to_vec());
     if out.cmp_digits(&n_vec) != std::cmp::Ordering::Less {
@@ -126,6 +131,18 @@ mod tests {
         let max = &n - &BigUint::one();
         let am = c.to_mont_vec(&max);
         assert_eq!(mont_sqr_sos(&c, &am), c.mont_sqr_vec(&am));
+    }
+
+    #[test]
+    fn sos_native_backend_matches_modeled() {
+        use phi_backend::ResolvedBackend;
+        use phi_mont::MontEngine;
+        let c = ctx(512);
+        let cn = VMontCtx::with_backend(c.modulus(), ResolvedBackend::NativeX86).unwrap();
+        for seed in [3u64, 0xdeadbeef] {
+            let a = c.to_mont_vec(&BigUint::from(seed));
+            assert_eq!(mont_sqr_sos(&c, &a), mont_sqr_sos(&cn, &a), "seed {seed}");
+        }
     }
 
     #[test]

@@ -1,0 +1,30 @@
+//! Probes the active rustc version: the AVX-512 intrinsics in
+//! `core::arch::x86_64` are stable only since 1.89, while the workspace
+//! MSRV is 1.82. On a new-enough compiler we emit `phi_avx512_intrinsics`
+//! so the IFMA/AVX-512F tiers compile in; at MSRV the native backend
+//! still builds with its AVX2 and scalar tiers.
+
+use std::process::Command;
+
+fn rustc_minor() -> Option<u32> {
+    let rustc = std::env::var_os("RUSTC")?;
+    let out = Command::new(rustc).arg("--version").output().ok()?;
+    let text = String::from_utf8(out.stdout).ok()?;
+    // "rustc 1.95.0 (…)" — second whitespace-separated token.
+    let version = text.split_whitespace().nth(1)?;
+    let mut parts = version.split(['.', '-', '+']);
+    let major: u32 = parts.next()?.parse().ok()?;
+    if major != 1 {
+        // Future major versions have everything we probe for.
+        return Some(u32::MAX);
+    }
+    parts.next()?.parse().ok()
+}
+
+fn main() {
+    println!("cargo:rustc-check-cfg=cfg(phi_avx512_intrinsics)");
+    if rustc_minor().is_some_and(|minor| minor >= 89) {
+        println!("cargo:rustc-cfg=phi_avx512_intrinsics");
+    }
+    println!("cargo:rerun-if-changed=build.rs");
+}

@@ -30,11 +30,11 @@ use phi_rt::service::ServiceConfig;
 use phi_rt::ResilienceConfig;
 use phiopenssl::radix::VecNum;
 use phiopenssl::vexp::{exp_sliding_window_vec, mod_exp_vec};
-use phiopenssl::vmul::{big_mul_vectorized, vec_mul, vec_sqr};
+use phiopenssl::vmul::{big_mul_vectorized, vec_mul, vec_mul_backend, vec_sqr, vec_sqr_backend};
 use phiopenssl::vsqr::mont_sqr_sos;
 use phiopenssl::{
-    BatchCrtEngine, BatchMont, CrtKey, MultiBatchMont, PhiLibrary, TableLookup, VMontCtx,
-    DIGIT_BITS,
+    BatchCrtEngine, BatchMont, CpuFeatures, CrtKey, MultiBatchMont, PhiLibrary, ResolvedBackend,
+    TableLookup, VMontCtx, DIGIT_BITS,
 };
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -909,6 +909,157 @@ fn check_resilient(cfg: &DiffConfig, out: &mut Vec<Divergence>) -> u64 {
     cases
 }
 
+/// The native x86 backend vs the modeled-KNC backend vs the word-level
+/// oracle, bit-for-bit on adversarial operands, across all four vector
+/// kernels (multiply, square, Montgomery multiply, mod-exp).
+///
+/// Skipped with a notice when the host has no AVX2 — there is no native
+/// tier to differ from, and the modeled backend is already covered by
+/// the other families.
+fn check_backend_parity(cfg: &DiffConfig, out: &mut Vec<Divergence>) -> u64 {
+    const NAME: &str = "backend-parity";
+    if !CpuFeatures::detect().avx2 {
+        eprintln!("notice: {NAME} skipped — host has no AVX2, no native backend tier to check");
+        return 0;
+    }
+    let cases = (cfg.cases * 2) as u64;
+    let inj = cfg.injected_case(NAME, cases);
+    let mut g = cfg.gen_for(NAME);
+    let ladder = cfg.bits_ladder();
+    for case in 0..cases {
+        let bits = ladder[case as usize % ladder.len()];
+
+        // Kernel 1+2: raw multiply and square, native vs modeled vs oracle.
+        let a = g.operand(bits);
+        let b = if case % 5 == 0 {
+            // All-ones operand maximizes carries across the 2^27 radix.
+            &(&BigUint::one() << bits) - &BigUint::one()
+        } else {
+            g.operand(bits)
+        };
+        let (va, vb) = (vecnum_of(&a), vecnum_of(&b));
+        let want_mul = a.mul_ref(&b);
+        let modeled_mul = vec_mul_backend(&va, &vb, ResolvedBackend::ModeledKnc).to_biguint();
+        let native_mul = corrupt(
+            vec_mul_backend(&va, &vb, ResolvedBackend::NativeX86).to_biguint(),
+            case,
+            inj,
+        );
+        if native_mul != want_mul || modeled_mul != want_mul {
+            out.push(Divergence {
+                kernel: NAME,
+                seed: cfg.seed,
+                case,
+                detail: format!(
+                    "vec_mul split: {}",
+                    dump(&[
+                        ("a", &a),
+                        ("b", &b),
+                        ("native", &native_mul),
+                        ("modeled", &modeled_mul),
+                        ("want", &want_mul)
+                    ])
+                ),
+            });
+            continue;
+        }
+        let want_sqr = a.square();
+        let native_sqr = vec_sqr_backend(&va, ResolvedBackend::NativeX86).to_biguint();
+        if native_sqr != want_sqr
+            || vec_sqr_backend(&va, ResolvedBackend::ModeledKnc).to_biguint() != want_sqr
+        {
+            out.push(Divergence {
+                kernel: NAME,
+                seed: cfg.seed,
+                case,
+                detail: format!(
+                    "vec_sqr split: {}",
+                    dump(&[("a", &a), ("native", &native_sqr), ("want", &want_sqr)])
+                ),
+            });
+        }
+
+        // Kernel 3+4: Montgomery multiply (CIOS and SOS) and the
+        // windowed ladder, each context pinned to its own backend.
+        let n = g.odd_modulus(bits);
+        let ctx_m = VMontCtx::with_backend(&n, ResolvedBackend::ModeledKnc).expect("odd modulus");
+        let ctx_n = VMontCtx::with_backend(&n, ResolvedBackend::NativeX86).expect("odd modulus");
+        let x = g.residue(&n);
+        let y = g.residue(&n);
+        let want = x.mod_mul(&y, &n);
+        let modeled = ctx_m
+            .from_mont_vec(&ctx_m.mont_mul_vec(&ctx_m.to_mont_vec(&x), &ctx_m.to_mont_vec(&y)));
+        let xm_n = ctx_n.to_mont_vec(&x);
+        let native = ctx_n.from_mont_vec(&ctx_n.mont_mul_vec(&xm_n, &ctx_n.to_mont_vec(&y)));
+        if native != want || modeled != want {
+            out.push(Divergence {
+                kernel: NAME,
+                seed: cfg.seed,
+                case,
+                detail: format!(
+                    "mont_mul split: {}",
+                    dump(&[
+                        ("n", &n),
+                        ("a", &x),
+                        ("b", &y),
+                        ("native", &native),
+                        ("modeled", &modeled),
+                        ("want", &want)
+                    ])
+                ),
+            });
+            continue;
+        }
+        let want_sos = x.mod_square(&n);
+        let native_sos = ctx_n.from_mont_vec(&mont_sqr_sos(&ctx_n, &xm_n));
+        if native_sos != want_sos {
+            out.push(Divergence {
+                kernel: NAME,
+                seed: cfg.seed,
+                case,
+                detail: format!(
+                    "native mont_sqr_sos: {}",
+                    dump(&[
+                        ("n", &n),
+                        ("a", &x),
+                        ("got", &native_sos),
+                        ("want", &want_sos)
+                    ])
+                ),
+            });
+        }
+        let exp = g.exponent(bits);
+        let window = 1 + (case % 7) as u32;
+        let lookup = if case % 2 == 0 {
+            TableLookup::Direct
+        } else {
+            TableLookup::ConstantTime
+        };
+        let want_exp = x.mod_exp(&exp, &n);
+        let native_exp = mod_exp_vec(&ctx_n, &x, &exp, window, lookup);
+        let modeled_exp = mod_exp_vec(&ctx_m, &x, &exp, window, lookup);
+        if native_exp != want_exp || modeled_exp != want_exp {
+            out.push(Divergence {
+                kernel: NAME,
+                seed: cfg.seed,
+                case,
+                detail: format!(
+                    "mod_exp split, window={window} lookup={lookup:?}: {}",
+                    dump(&[
+                        ("n", &n),
+                        ("base", &x),
+                        ("exp", &exp),
+                        ("native", &native_exp),
+                        ("modeled", &modeled_exp),
+                        ("want", &want_exp)
+                    ])
+                ),
+            });
+        }
+    }
+    cases
+}
+
 /// The family names [`DiffConfig::inject`] accepts.
 pub const FAMILIES: &[&str] = &[
     "vmul",
@@ -923,6 +1074,7 @@ pub const FAMILIES: &[&str] = &[
     "engine-masked",
     "rsa-ops",
     "resilient",
+    "backend-parity",
 ];
 
 /// Run every differential family under the given configuration.
@@ -941,6 +1093,7 @@ pub fn run_all(cfg: &DiffConfig) -> DiffOutcome {
         check_engine_masked,
         check_rsa_ops,
         check_resilient,
+        check_backend_parity,
     ];
     debug_assert_eq!(checks.len(), FAMILIES.len());
     let mut cases = 0;

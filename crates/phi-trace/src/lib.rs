@@ -31,7 +31,7 @@ pub mod span;
 pub mod stats;
 
 pub use metrics::{registry, MetricsSnapshot, Registry};
-pub use report::{ExperimentReport, FlushTelemetry, Report, SpanReport, SCHEMA};
+pub use report::{ExperimentReport, FlushTelemetry, Report, SpanReport, SCHEMA, SCHEMA_V1};
 pub use scope::Scope;
 pub use span::{
     disable, enable, is_enabled, reset, snapshot, span, SpanGuard, SpanStats, TraceSnapshot,

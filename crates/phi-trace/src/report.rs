@@ -12,8 +12,14 @@
 use crate::json::Value;
 use crate::span::TraceSnapshot;
 
-/// Schema identifier written to and required from every report.
-pub const SCHEMA: &str = "phi-bench-report/v1";
+/// Schema identifier written to every report. v2 added the `backend`
+/// field (which vector backend the kernels ran on); v1 reports are
+/// still accepted on read and default to `modeled-knc`.
+pub const SCHEMA: &str = "phi-bench-report/v2";
+
+/// The previous schema version, accepted on read for committed
+/// baselines recorded before the `backend` field existed.
+pub const SCHEMA_V1: &str = "phi-bench-report/v1";
 
 /// Per-scope numbers inside one experiment.
 #[derive(Debug, Clone, PartialEq)]
@@ -111,16 +117,20 @@ pub struct Report {
     pub schema: String,
     /// `"full"` or `"smoke"`.
     pub profile: String,
+    /// Vector backend the kernels ran on (`modeled-knc`, `native-x86`).
+    /// Wall-clock columns are only host-comparable within one backend.
+    pub backend: String,
     /// One entry per experiment run, in execution order.
     pub experiments: Vec<ExperimentReport>,
 }
 
 impl Report {
-    /// A report for the current schema version.
+    /// A report for the current schema version, on the modeled backend.
     pub fn new(profile: &str) -> Report {
         Report {
             schema: SCHEMA.to_owned(),
             profile: profile.to_owned(),
+            backend: "modeled-knc".to_owned(),
             experiments: Vec::new(),
         }
     }
@@ -130,6 +140,7 @@ impl Report {
         Value::Object(vec![
             ("schema".into(), Value::Str(self.schema.clone())),
             ("profile".into(), Value::Str(self.profile.clone())),
+            ("backend".into(), Value::Str(self.backend.clone())),
             (
                 "experiments".into(),
                 Value::Array(self.experiments.iter().map(experiment_to_json).collect()),
@@ -146,6 +157,8 @@ impl Report {
     pub fn from_json(v: &Value) -> Result<Report, String> {
         let schema = req_str(v, "schema")?;
         let profile = req_str(v, "profile")?;
+        // v1 predates the field; every v1 run was modeled.
+        let backend = req_str(v, "backend").unwrap_or_else(|_| "modeled-knc".to_owned());
         let experiments = v
             .get("experiments")
             .and_then(Value::as_array)
@@ -156,6 +169,7 @@ impl Report {
         Ok(Report {
             schema,
             profile,
+            backend,
             experiments,
         })
     }
@@ -174,9 +188,9 @@ impl Report {
     /// Structural validation: schema version, at least one experiment,
     /// unique ids, and finite non-negative numbers throughout.
     pub fn validate(&self) -> Result<(), String> {
-        if self.schema != SCHEMA {
+        if self.schema != SCHEMA && self.schema != SCHEMA_V1 {
             return Err(format!(
-                "schema mismatch: got '{}', expected '{SCHEMA}'",
+                "schema mismatch: got '{}', expected '{SCHEMA}' (or legacy '{SCHEMA_V1}')",
                 self.schema
             ));
         }
@@ -412,6 +426,21 @@ mod tests {
         assert!((cov - 123456.789 / 123456.789).abs() < 1e-9, "{cov}");
         assert_eq!(r.experiment("e14").unwrap().span_coverage(), 0.0);
         assert!(r.experiment("e99").is_none());
+    }
+
+    #[test]
+    fn legacy_v1_reports_parse_and_validate_with_default_backend() {
+        let mut v1 = sample();
+        v1.schema = SCHEMA_V1.to_owned();
+        // Serialize, then strip the backend field as a real v1 file has none.
+        let text = v1
+            .to_json_string()
+            .replace("\n  \"backend\": \"modeled-knc\",", "");
+        assert!(!text.contains("backend"));
+        let back = Report::from_json_str(&text).unwrap();
+        assert_eq!(back.schema, SCHEMA_V1);
+        assert_eq!(back.backend, "modeled-knc");
+        back.validate().unwrap();
     }
 
     #[test]

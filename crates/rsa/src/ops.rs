@@ -76,22 +76,43 @@ pub struct RsaBatchService {
     n: BigUint,
 }
 
-/// The 16-lane card executor for `key`, shared by both backends.
-fn card_engine(key: &RsaPrivateKey) -> Result<BatchCrtEngine, RsaError> {
-    Ok(BatchCrtEngine::from_parts(
+/// The 16-lane card executor for `key`, shared by both backends. The
+/// engine's vector backend and window width come from `phi`.
+fn card_engine(
+    key: &RsaPrivateKey,
+    phi: &phiopenssl::PhiConfig,
+) -> Result<BatchCrtEngine, RsaError> {
+    Ok(BatchCrtEngine::from_parts_with_backend(
         key.public().n().clone(),
         key.dp().clone(),
         key.dq().clone(),
         key.qinv().clone(),
         key.p().clone(),
         key.q().clone(),
-    )?)
+        phi.backend.resolve(),
+    )?
+    .with_window(phi.window))
 }
 
 impl RsaBatchService {
-    /// Start a batch service for `key` with the given aggregation policy.
+    /// Start a batch service for `key` with the given aggregation policy,
+    /// on the process-default vector backend.
     pub fn new(key: &RsaPrivateKey, config: ServiceConfig) -> Result<Self, RsaError> {
-        let engine = card_engine(key)?;
+        Self::with_phi_config(key, config, &phiopenssl::PhiConfig::default())
+    }
+
+    /// Start a batch service for `key` with an explicit [`PhiConfig`]
+    /// (vector backend + window) — build one with
+    /// `PhiConfig::builder().backend(Backend::Auto)` to run the card
+    /// kernels on the host's real AVX-512/AVX2 units.
+    ///
+    /// [`PhiConfig`]: phiopenssl::PhiConfig
+    pub fn with_phi_config(
+        key: &RsaPrivateKey,
+        config: ServiceConfig,
+        phi: &phiopenssl::PhiConfig,
+    ) -> Result<Self, RsaError> {
+        let engine = card_engine(key, phi)?;
         let service =
             BatchService::new(config, move |cts: &[BigUint]| engine.private_op_masked(cts));
         Ok(RsaBatchService {
@@ -118,7 +139,7 @@ impl RsaBatchService {
         config: ResilienceConfig,
         faults: Option<Arc<dyn FaultSource>>,
     ) -> Result<Self, RsaError> {
-        let engine = card_engine(key)?;
+        let engine = card_engine(key, &phiopenssl::PhiConfig::default())?;
         let (p, q) = (key.p().clone(), key.q().clone());
         let (dp, dq, qinv) = (key.dp().clone(), key.dq().clone(), key.qinv().clone());
         // Host-scalar CRT over the host library's Montgomery sessions —
@@ -603,6 +624,28 @@ mod tests {
             5,
             "all five private ops went through the service"
         );
+    }
+
+    /// An explicit PhiConfig flows through to the card engine: a
+    /// native-backend service decrypts identically to the modeled default
+    /// (skipped on hosts without AVX2, where native is unavailable).
+    #[test]
+    fn service_with_native_phi_config_matches_modeled() {
+        if !phiopenssl::CpuFeatures::detect().avx2 {
+            return;
+        }
+        let key = key256();
+        let phi = phiopenssl::PhiConfig::builder()
+            .backend(phiopenssl::Backend::NativeX86)
+            .expect("AVX2 detected")
+            .build();
+        let service = Arc::new(
+            RsaBatchService::with_phi_config(&key, ServiceConfig::default(), &phi).unwrap(),
+        );
+        let ops = RsaOps::new(Box::new(MpssBaseline)).with_service(Arc::clone(&service));
+        let m = BigUint::from(0xFEED_F00Du64);
+        let c = ops.public_op(key.public(), &m).unwrap();
+        assert_eq!(ops.private_op(&key, &c).unwrap(), m);
     }
 
     /// A service for a *different* key must never capture the operation:

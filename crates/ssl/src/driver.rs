@@ -122,7 +122,38 @@ pub fn drive_concurrent_batched<F>(
 where
     F: Fn() -> RsaOps + Sync,
 {
-    let service = Arc::new(RsaBatchService::new(key, config)?);
+    drive_concurrent_batched_with_config(
+        key,
+        make_ops,
+        count,
+        threads,
+        policy,
+        config,
+        &phiopenssl::PhiConfig::default(),
+    )
+}
+
+/// [`drive_concurrent_batched`] with an explicit [`PhiConfig`]: the
+/// shared card engine's vector backend (and window width) follow the
+/// config, so a server can run its batched RSA decryptions on the host's
+/// real AVX-512/AVX2 units via
+/// `PhiConfig::builder().backend(Backend::Auto)`.
+///
+/// [`PhiConfig`]: phiopenssl::PhiConfig
+#[allow(clippy::too_many_arguments)]
+pub fn drive_concurrent_batched_with_config<F>(
+    key: &RsaPrivateKey,
+    make_ops: F,
+    count: usize,
+    threads: u32,
+    policy: AffinityPolicy,
+    config: ServiceConfig,
+    phi: &phiopenssl::PhiConfig,
+) -> Result<(usize, BatchReport, ServiceReport), SslError>
+where
+    F: Fn() -> RsaOps + Sync,
+{
+    let service = Arc::new(RsaBatchService::with_phi_config(key, config, phi)?);
     let pool = PhiPool::new(threads, policy);
     let (oks, report) = pool.run_batch(count, |i| {
         let mut rng = StdRng::seed_from_u64(0xBA7C + i as u64);
@@ -227,6 +258,37 @@ mod tests {
         assert_eq!(report.tasks, 8);
         // Handshakes burn scalar multiplies on this backend.
         assert!(report.total_counts.get(phi_simd::OpClass::SMul64) > 0);
+    }
+
+    /// The config-aware driver runs the shared card engine on the
+    /// requested backend; handshakes must succeed identically on the
+    /// native tier (skipped where the host has no AVX2).
+    #[test]
+    fn batched_driver_honors_phi_config_backend() {
+        if !phiopenssl::CpuFeatures::detect().avx2 {
+            return;
+        }
+        let k = key();
+        let phi = phiopenssl::PhiConfig::builder()
+            .backend(phiopenssl::Backend::NativeX86)
+            .expect("AVX2 detected")
+            .build();
+        let (ok, _pool, service_report) = drive_concurrent_batched_with_config(
+            &k,
+            || RsaOps::new(Box::new(MpssBaseline)),
+            6,
+            4,
+            AffinityPolicy::Compact,
+            ServiceConfig {
+                width: 4,
+                max_wait: 500e-6,
+                queue_cap: 16,
+            },
+            &phi,
+        )
+        .unwrap();
+        assert_eq!(ok, 6);
+        assert_eq!(service_report.ops(), 6);
     }
 
     #[test]

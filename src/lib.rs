@@ -15,6 +15,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use phi_backend as backend;
 pub use phi_bigint as bigint;
 pub use phi_faults as faults;
 pub use phi_hash as hash;
@@ -25,6 +26,8 @@ pub use phi_simd as simd;
 pub use phi_ssl as ssl;
 pub use phiopenssl as core_lib;
 
+pub use phi_backend::{Backend, BackendUnavailable, CpuFeatures, ResolvedBackend, VectorBackend};
+
 use std::fmt;
 
 /// The unified error of the suite: every layer's error converts into it
@@ -32,6 +35,8 @@ use std::fmt;
 /// [`Result`] alias end to end.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Error {
+    /// Requested vector backend unsupported on this host (`phi_backend`).
+    Backend(BackendUnavailable),
     /// Big-number arithmetic failure (`phi_bigint`).
     BigInt(bigint::BigIntError),
     /// Library configuration rejected (`phiopenssl`).
@@ -45,6 +50,7 @@ pub enum Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            Error::Backend(e) => write!(f, "backend: {e}"),
             Error::BigInt(e) => write!(f, "bigint: {e}"),
             Error::Config(e) => write!(f, "config: {e}"),
             Error::Rsa(e) => write!(f, "rsa: {e}"),
@@ -56,11 +62,18 @@ impl fmt::Display for Error {
 impl std::error::Error for Error {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            Error::Backend(e) => Some(e),
             Error::BigInt(e) => Some(e),
             Error::Config(e) => Some(e),
             Error::Rsa(e) => Some(e),
             Error::Ssl(e) => Some(e),
         }
+    }
+}
+
+impl From<BackendUnavailable> for Error {
+    fn from(e: BackendUnavailable) -> Self {
+        Error::Backend(e)
     }
 }
 
@@ -72,7 +85,12 @@ impl From<bigint::BigIntError> for Error {
 
 impl From<core_lib::ConfigError> for Error {
     fn from(e: core_lib::ConfigError) -> Self {
-        Error::Config(e)
+        match e {
+            // Surface host-capability failures as their own variant so
+            // callers can match on them without digging through ConfigError.
+            core_lib::ConfigError::BackendUnavailable(inner) => Error::Backend(inner),
+            other => Error::Config(other),
+        }
     }
 }
 
@@ -109,6 +127,11 @@ mod tests {
         assert!(matches!(r, Error::Rsa(_)));
         let s: Error = ssl::SslError::FinishedMismatch.into();
         assert!(matches!(s, Error::Ssl(_)));
+        let b: Error = Backend::NativeX86
+            .ensure_available(&CpuFeatures::NONE)
+            .unwrap_err()
+            .into();
+        assert!(matches!(b, Error::Backend(_)));
     }
 
     #[test]
@@ -116,5 +139,30 @@ mod tests {
         let e: Error = rsa::RsaError::PaddingError.into();
         assert!(e.to_string().starts_with("rsa: "));
         assert!(std::error::Error::source(&e).is_some());
+        let b: Error = Backend::NativeX86
+            .ensure_available(&CpuFeatures::NONE)
+            .unwrap_err()
+            .into();
+        assert!(b.to_string().starts_with("backend: "));
+        assert!(std::error::Error::source(&b).is_some());
+    }
+
+    #[test]
+    fn backend_unavailable_surfaces_as_typed_error_not_panic() {
+        // An explicit native request on a host without AVX2 must come back
+        // as Error::Backend through the blessed builder path — `?` on the
+        // builder's ConfigError routes it to the dedicated variant.
+        fn build() -> Result<core_lib::PhiConfig> {
+            Ok(core_lib::PhiConfig::builder()
+                .backend_with_features(Backend::NativeX86, &CpuFeatures::NONE)?
+                .build())
+        }
+        match build() {
+            Err(Error::Backend(e)) => {
+                assert_eq!(e.requested, Backend::NativeX86);
+                assert!(!e.detected.avx2);
+            }
+            other => panic!("expected Error::Backend, got {other:?}"),
+        }
     }
 }
