@@ -10,6 +10,11 @@
 //! # both in one invocation: integrity-check the fresh report AND hold
 //! # it to the regression tolerance against the baseline
 //! perfgate --check BENCH_PR2.json --baseline bench/baseline.json
+//!
+//! # truncated-reduction gate: run the deterministic classic-vs-truncated
+//! # comparison in-process and fail unless the truncated variant cuts
+//! # modeled cycles by at least the given fraction at every key size
+//! perfgate --min-improvement 0.10
 //! ```
 //!
 //! Exit status 0 = pass, 1 = gate failure (regression, bad coverage, or
@@ -25,7 +30,8 @@ fn usage(code: i32) -> ! {
     eprintln!(
         "usage: perfgate --check REPORT.json\n\
          \u{20}      perfgate --baseline BASELINE.json REPORT.json\n\
-         \u{20}      perfgate --check REPORT.json --baseline BASELINE.json"
+         \u{20}      perfgate --check REPORT.json --baseline BASELINE.json\n\
+         \u{20}      perfgate --min-improvement FRACTION"
     );
     std::process::exit(code);
 }
@@ -93,10 +99,51 @@ fn run_gate(baseline_path: &str, fresh_path: &str) -> i32 {
     }
 }
 
+fn run_min_improvement(arg: &str) -> i32 {
+    let min: f64 = arg.parse().unwrap_or_else(|_| {
+        eprintln!("perfgate: --min-improvement wants a fraction (e.g. 0.10), got '{arg}'");
+        std::process::exit(2);
+    });
+    if !(0.0..1.0).contains(&min) {
+        eprintln!("perfgate: --min-improvement fraction must be in [0, 1), got {min}");
+        std::process::exit(2);
+    }
+    let lines = gate::measure_truncated_improvement(&gate::IMPROVEMENT_SIZES);
+    let mut failed = false;
+    println!(
+        "perfgate: truncated vs classic Montgomery reduction, modeled cycles \
+         (required cut >= {:.0}%)",
+        min * 100.0
+    );
+    for l in &lines {
+        let ok = l.improvement >= min;
+        println!(
+            "  {:>5} bits  classic {:>14.0}  truncated {:>14.0}  cut {:>6.2}%  {}",
+            l.bits,
+            l.classic_cycles,
+            l.truncated_cycles,
+            l.improvement * 100.0,
+            if ok { "ok" } else { "TOO SMALL" }
+        );
+        failed |= !ok;
+    }
+    if failed {
+        eprintln!(
+            "perfgate: truncated reduction no longer cuts modeled cycles by {:.0}% \
+             at every gated key size",
+            min * 100.0
+        );
+        1
+    } else {
+        0
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("--check") if args.len() == 2 => run_check(&args[1]),
+        Some("--min-improvement") if args.len() == 2 => run_min_improvement(&args[1]),
         Some("--check") if args.len() == 4 && args[2] == "--baseline" => {
             run_check(&args[1]).max(run_gate(&args[3], &args[1]))
         }

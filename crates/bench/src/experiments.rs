@@ -925,6 +925,69 @@ pub fn e17_backend_validation(sizes: &[u32], iters: u32) -> Table {
     t
 }
 
+/// E18 — Table: classic CIOS vs truncated-separated Montgomery reduction
+/// (DESIGN.md §3.12), 16-lane batch exponentiation per key size.
+///
+/// Both variants run the same ladder over the same operands; the
+/// truncated kernel elides the low partial products of `m·n`, squares
+/// through a half-triangle, and keeps its comba accumulators
+/// register-resident, so the modeled `mont_reduce` bill drops while the
+/// results stay bit-identical. The `agree` column checks classic,
+/// truncated, and (when the host has AVX2) the native-backend truncated
+/// kernel against the scalar `mod_exp` oracle.
+pub fn e18_truncated(sizes: &[u32]) -> Table {
+    use phiopenssl::{MontVariant, ResolvedBackend};
+    let mut t = Table::new(
+        "E18: classic vs truncated Montgomery reduction, 16-lane batch ladder",
+        &["bits", "classic µs", "truncated µs", "speedup", "agree"],
+    );
+    t.note("same 16-lane batch exponentiation (w=5); truncated = §3.12 separated reduction");
+    t.note("bit-identical by construction; `agree` checks both variants vs the scalar oracle");
+    let native = phiopenssl::CpuFeatures::detect().avx2;
+    if native {
+        t.note(format!(
+            "native parity included in `agree` (tier: {})",
+            phi_backend::native_tier().name()
+        ));
+    } else {
+        t.note("host has no AVX2 — native parity not checked");
+    }
+    for &bits in sizes {
+        let n = workload::modulus(bits);
+        let ctx = VMontCtx::new(&n).expect("odd modulus");
+        // A short exponent keeps the full-profile 4096-bit sweep fast;
+        // the per-multiplication speedup is exponent-independent.
+        let e = workload::exponent(bits.min(512));
+        let bases: Vec<phi_bigint::BigUint> = (0..BATCH_WIDTH as u64)
+            .map(|j| &workload::operand(bits, 400 + j) % &n)
+            .collect();
+
+        let classic = BatchMont::with_variant(&ctx, MontVariant::Classic);
+        let truncated = BatchMont::with_variant(&ctx, MontVariant::Truncated);
+        let (r_c, mc) = modeled(|| classic.mod_exp_16(&bases, &e, 5));
+        let (r_t, mt) = modeled(|| truncated.mod_exp_16(&bases, &e, 5));
+
+        let expected: Vec<phi_bigint::BigUint> = bases.iter().map(|b| b.mod_exp(&e, &n)).collect();
+        let mut agree = r_c == expected && r_t == expected;
+        if native {
+            let ctx_n =
+                VMontCtx::with_backend(&n, ResolvedBackend::NativeX86).expect("odd modulus");
+            let r_n =
+                BatchMont::with_variant(&ctx_n, MontVariant::Truncated).mod_exp_16(&bases, &e, 5);
+            agree &= r_n == expected;
+        }
+
+        t.row(vec![
+            bits.to_string(),
+            fmt_us(mc.us()),
+            fmt_us(mt.us()),
+            fmt_x(mt.speedup_over(&mc)),
+            if agree { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1079,6 +1142,16 @@ mod tests {
         assert_eq!(row[5], "yes", "backends disagree: {row:?}");
         let x: f64 = row[4].trim_end_matches('x').parse().unwrap();
         assert!(x > 0.0, "speedup must be finite positive: {row:?}");
+    }
+
+    #[test]
+    fn e18_smoke_truncated_wins_and_agrees() {
+        let t = e18_truncated(&[512]);
+        assert_eq!(t.rows.len(), 1);
+        let row = &t.rows[0];
+        assert_eq!(row[4], "yes", "variants disagree: {row:?}");
+        let x: f64 = row[3].trim_end_matches('x').parse().unwrap();
+        assert!(x > 1.0, "truncated should beat classic, got {x}");
     }
 
     #[test]

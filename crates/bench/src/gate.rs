@@ -49,6 +49,59 @@ pub fn check(report: &Report) -> Vec<String> {
     problems
 }
 
+/// Key sizes `perfgate --min-improvement` sweeps. A slice of the E18
+/// sweep kept small enough for a CI smoke job.
+pub const IMPROVEMENT_SIZES: [u32; 3] = [512, 1024, 2048];
+
+/// One key size's classic-vs-truncated comparison on the modeled channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImprovementLine {
+    /// Modulus width in bits.
+    pub bits: u32,
+    /// Modeled issue cycles of the classic CIOS batch ladder.
+    pub classic_cycles: f64,
+    /// Modeled issue cycles of the truncated-reduction batch ladder.
+    pub truncated_cycles: f64,
+    /// Fractional cycle reduction: `1 - truncated / classic`.
+    pub improvement: f64,
+}
+
+/// Run the deterministic classic-vs-truncated comparison in-process: one
+/// 16-lane batch exponentiation per variant per key size, priced on the
+/// modeled KNC channel. Panics if the two variants ever disagree — the
+/// truncated path is only admissible while it stays bit-identical.
+///
+/// This is what `perfgate --min-improvement` gates on: the modeled
+/// channel is deterministic, so "the truncated variant stopped beating
+/// classic" is a code change, never noise.
+pub fn measure_truncated_improvement(sizes: &[u32]) -> Vec<ImprovementLine> {
+    use phiopenssl::{BatchMont, MontVariant, VMontCtx};
+    sizes
+        .iter()
+        .map(|&bits| {
+            let n = crate::workload::modulus(bits);
+            let ctx = VMontCtx::new(&n).expect("odd modulus");
+            let e = crate::workload::exponent(64);
+            let bases: Vec<phi_bigint::BigUint> = (0..phiopenssl::batch::BATCH_WIDTH as u64)
+                .map(|j| &crate::workload::operand(bits, 400 + j) % &n)
+                .collect();
+            let (r_c, classic) = crate::measure::modeled(|| {
+                BatchMont::with_variant(&ctx, MontVariant::Classic).mod_exp_16(&bases, &e, 5)
+            });
+            let (r_t, truncated) = crate::measure::modeled(|| {
+                BatchMont::with_variant(&ctx, MontVariant::Truncated).mod_exp_16(&bases, &e, 5)
+            });
+            assert_eq!(r_c, r_t, "variants disagree at {bits} bits");
+            ImprovementLine {
+                bits,
+                classic_cycles: classic.knc.issue_cycles,
+                truncated_cycles: truncated.knc.issue_cycles,
+                improvement: 1.0 - truncated.knc.issue_cycles / classic.knc.issue_cycles,
+            }
+        })
+        .collect()
+}
+
 /// One gated experiment's comparison against the baseline.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GateLine {
@@ -200,6 +253,22 @@ mod tests {
             e.modeled_throughput *= 10.0;
         }
         assert!(compare(&base, &fresh).unwrap().iter().all(|l| l.ok));
+    }
+
+    #[test]
+    fn truncated_improvement_is_positive_and_deterministic() {
+        let first = measure_truncated_improvement(&[256]);
+        assert_eq!(first.len(), 1);
+        let line = &first[0];
+        assert_eq!(line.bits, 256);
+        assert!(
+            line.improvement > 0.10,
+            "truncated must clearly beat classic: {line:?}"
+        );
+        assert!(line.truncated_cycles < line.classic_cycles, "{line:?}");
+        // Deterministic channel: a second run reproduces the cycles.
+        let second = measure_truncated_improvement(&[256]);
+        assert_eq!(first, second, "modeled channel must be deterministic");
     }
 
     #[test]

@@ -32,7 +32,7 @@ impl Profile {
 
 /// One registered experiment.
 pub struct Experiment {
-    /// Stable id (`"e1"`..`"e17"`), the key the perf gate compares by.
+    /// Stable id (`"e1"`..`"e18"`), the key the perf gate compares by.
     pub id: &'static str,
     /// Short human title for reports.
     pub title: &'static str,
@@ -53,7 +53,7 @@ macro_rules! profile_run {
 }
 
 /// Every experiment of the evaluation, in id order.
-pub static EXPERIMENTS: [Experiment; 16] = [
+pub static EXPERIMENTS: [Experiment; 17] = [
     Experiment {
         id: "e1",
         title: "big-integer multiplication latency",
@@ -155,6 +155,14 @@ pub static EXPERIMENTS: [Experiment; 16] = [
             ex::e17_backend_validation(&[512], 8)
         ),
     },
+    Experiment {
+        id: "e18",
+        title: "truncated Montgomery reduction",
+        run: profile_run!(
+            ex::e18_truncated(&[1024, 2048, 4096]),
+            ex::e18_truncated(&[512, 1024])
+        ),
+    },
 ];
 
 /// Look an experiment up by id.
@@ -179,6 +187,7 @@ mod tests {
     fn all_covers_every_registered_experiment() {
         let mut expected: Vec<String> = (1..=15).map(|i| format!("e{i}")).collect();
         expected.push("e17".into()); // e16 was never assigned
+        expected.push("e18".into());
         let got = ids();
         assert_eq!(got.len(), expected.len(), "registry size drifted");
         for id in &expected {

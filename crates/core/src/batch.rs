@@ -16,6 +16,7 @@
 
 #![allow(clippy::needless_range_loop)] // explicit lane/column indices read as kernel semantics
 
+use crate::library::MontVariant;
 use crate::radix::{VecNum, DIGIT_BITS, DIGIT_MASK, LANES};
 use crate::vmont::VMontCtx;
 use phi_backend::{with_backend, Vector32, Vector64, VectorBackend};
@@ -92,6 +93,12 @@ impl Batch16 {
         &self.cols
     }
 
+    /// Assemble a batch directly from transposed columns (kernel internal;
+    /// the truncated kernel packs its vectorized epilogue output here).
+    pub(crate) fn from_cols(cols: Vec<U32x16>) -> Self {
+        Batch16 { cols }
+    }
+
     /// True if the batch has no digit slots.
     pub fn is_empty(&self) -> bool {
         self.cols.is_empty()
@@ -104,20 +111,42 @@ pub struct BatchMont<'c> {
     ctx: &'c VMontCtx,
     /// Modulus digits, broadcast per column (shared by all lanes).
     n_cols: Vec<u64>,
+    /// Which reduction kernel the 16-lane multiplies run.
+    variant: MontVariant,
 }
 
 impl<'c> BatchMont<'c> {
-    /// Wrap a vector context for batched use.
+    /// Wrap a vector context for batched use with the classic interleaved
+    /// CIOS kernel (the historical default; E8 and the conformance batch
+    /// family measure this path explicitly).
     pub fn new(ctx: &'c VMontCtx) -> Self {
+        Self::with_variant(ctx, MontVariant::Classic)
+    }
+
+    /// Wrap a vector context with an explicit reduction variant.
+    /// `Truncated` and `Auto` route batch multiplies through the
+    /// truncated-separated kernel (bit-identical results); moduli of a
+    /// single digit always fall back to classic.
+    pub fn with_variant(ctx: &'c VMontCtx, variant: MontVariant) -> Self {
         BatchMont {
             ctx,
             n_cols: ctx.n_digits().to_vec(),
+            variant,
         }
     }
 
     /// The underlying context.
     pub fn ctx(&self) -> &VMontCtx {
         self.ctx
+    }
+
+    /// The reduction variant batch multiplies dispatch on.
+    pub fn variant(&self) -> MontVariant {
+        self.variant
+    }
+
+    fn use_truncated(&self) -> bool {
+        self.variant.batch_truncated(self.ctx.digits())
     }
 
     /// Sixteen Montgomery products at once: `out[j] = a[j]·b[j]·R⁻¹ mod n`.
@@ -127,11 +156,33 @@ impl<'c> BatchMont<'c> {
         with_backend!(self.ctx.backend(), B => self.mont_mul_16_generic::<B>(a, b))
     }
 
+    /// Sixteen Montgomery squarings; under the truncated variant the
+    /// product triangle is halved via the `2·aᵢ·aⱼ` symmetry.
+    pub fn mont_sqr_16(&self, a: &Batch16) -> Batch16 {
+        with_backend!(self.ctx.backend(), B => self.mont_sqr_16_generic::<B>(a))
+    }
+
     pub(crate) fn mont_mul_16_generic<B: VectorBackend>(
         &self,
         a: &Batch16,
         b: &Batch16,
     ) -> Batch16 {
+        if self.use_truncated() {
+            crate::truncated::mont_mul_16_truncated::<B>(self.ctx, a, b)
+        } else {
+            self.mont_mul_16_classic::<B>(a, b)
+        }
+    }
+
+    pub(crate) fn mont_sqr_16_generic<B: VectorBackend>(&self, a: &Batch16) -> Batch16 {
+        if self.use_truncated() {
+            crate::truncated::mont_sqr_16_truncated::<B>(self.ctx, a)
+        } else {
+            self.mont_mul_16_classic::<B>(a, a)
+        }
+    }
+
+    fn mont_mul_16_classic<B: VectorBackend>(&self, a: &Batch16, b: &Batch16) -> Batch16 {
         let _span = phi_trace::span(phi_trace::Scope::BatchMont);
         let kk = self.ctx.padded_digits();
         let k = self.ctx.digits();
@@ -266,7 +317,7 @@ impl<'c> BatchMont<'c> {
         let mut acc = table[0].clone();
         for win in (0..windows).rev() {
             for _ in 0..window {
-                acc = self.mont_mul_16_generic::<B>(&acc, &acc);
+                acc = self.mont_sqr_16_generic::<B>(&acc);
             }
             let lo = win * window;
             let width = window.min(bits - lo);

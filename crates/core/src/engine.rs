@@ -9,7 +9,7 @@
 
 use crate::batch::{BatchMont, BATCH_WIDTH};
 use crate::crt::CrtKey;
-use crate::library::PhiConfig;
+use crate::library::{MontVariant, PhiConfig};
 use crate::vexp::DEFAULT_WINDOW;
 use crate::vmont::VMontCtx;
 use crate::vmul::big_mul_with_backend;
@@ -27,6 +27,7 @@ pub struct BatchCrtEngine {
     qinv: BigUint,
     n: BigUint,
     window: u32,
+    variant: MontVariant,
 }
 
 impl BatchCrtEngine {
@@ -43,7 +44,9 @@ impl BatchCrtEngine {
             key.q_modulus().clone(),
             config.backend.resolve(),
         )?;
-        Ok(engine.with_window(config.window))
+        Ok(engine
+            .with_window(config.window)
+            .with_variant(config.mont_variant))
     }
 
     /// Build from CRT key material on the process-default backend.
@@ -110,6 +113,7 @@ impl BatchCrtEngine {
             qinv,
             n,
             window: DEFAULT_WINDOW,
+            variant: MontVariant::Auto,
         })
     }
 
@@ -118,6 +122,18 @@ impl BatchCrtEngine {
         assert!((1..=7).contains(&window));
         self.window = window;
         self
+    }
+
+    /// Override the Montgomery reduction variant (default `Auto`:
+    /// truncated kernels on the batch ladders, classic single-op path).
+    pub fn with_variant(mut self, variant: MontVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// The reduction variant the batch ladders dispatch on.
+    pub fn variant(&self) -> MontVariant {
+        self.variant
     }
 
     /// The backend this engine's kernels run on.
@@ -133,8 +149,8 @@ impl BatchCrtEngine {
     /// Execute `c^d mod n` for exactly [`BATCH_WIDTH`] ciphertexts.
     pub fn private_op_16(&self, cts: &[BigUint]) -> Vec<BigUint> {
         assert_eq!(cts.len(), BATCH_WIDTH, "need exactly {BATCH_WIDTH} inputs");
-        let bp = BatchMont::new(&self.ctx_p);
-        let bq = BatchMont::new(&self.ctx_q);
+        let bp = BatchMont::with_variant(&self.ctx_p, self.variant);
+        let bq = BatchMont::with_variant(&self.ctx_q, self.variant);
         // Two shared-exponent batched ladders…
         let m1 = bp.mod_exp_16(cts, &self.dp, self.window);
         let m2 = bq.mod_exp_16(cts, &self.dq, self.window);
@@ -193,20 +209,40 @@ impl BatchCrtEngine {
         out
     }
 
-    /// One operation through the intra-operand (non-batched) path.
+    /// One operation through the single-op path: the intra-operand kernel
+    /// under `Classic`/`Auto`, or the SoA 16-lane layout at occupancy 1
+    /// under `Truncated` (scalar-shaped calls reuse the batch engine).
     pub fn private_op_single(&self, c: &BigUint) -> BigUint {
         use crate::vexp::{exp_fixed_window_vec, TableLookup};
-        let m1 = {
-            let cm = self.ctx_p.to_mont_vec(c);
-            let r =
-                exp_fixed_window_vec(&self.ctx_p, &cm, &self.dp, self.window, TableLookup::Direct);
-            self.ctx_p.from_mont_vec(&r)
-        };
-        let m2 = {
-            let cm = self.ctx_q.to_mont_vec(c);
-            let r =
-                exp_fixed_window_vec(&self.ctx_q, &cm, &self.dq, self.window, TableLookup::Direct);
-            self.ctx_q.from_mont_vec(&r)
+        let (m1, m2) = if self.variant.single_soa() {
+            (
+                crate::truncated::mod_exp_soa(&self.ctx_p, c, &self.dp, self.window),
+                crate::truncated::mod_exp_soa(&self.ctx_q, c, &self.dq, self.window),
+            )
+        } else {
+            let m1 = {
+                let cm = self.ctx_p.to_mont_vec(c);
+                let r = exp_fixed_window_vec(
+                    &self.ctx_p,
+                    &cm,
+                    &self.dp,
+                    self.window,
+                    TableLookup::Direct,
+                );
+                self.ctx_p.from_mont_vec(&r)
+            };
+            let m2 = {
+                let cm = self.ctx_q.to_mont_vec(c);
+                let r = exp_fixed_window_vec(
+                    &self.ctx_q,
+                    &cm,
+                    &self.dq,
+                    self.window,
+                    TableLookup::Direct,
+                );
+                self.ctx_q.from_mont_vec(&r)
+            };
+            (m1, m2)
         };
         let _span = phi_trace::span(phi_trace::Scope::CrtRecombine);
         let diff = m1.mod_sub(&m2, &self.p);

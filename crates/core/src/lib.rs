@@ -21,6 +21,10 @@
 //! * [`batch`] — the second vectorization axis: sixteen *independent*
 //!   Montgomery multiplications, one per 32-bit lane (for batch-shaped
 //!   server loads).
+//! * [`truncated`] — the truncated-separated Montgomery reduction over
+//!   the same 16-lane SoA layout (elided low partial products plus an
+//!   exact correction; bit-identical, fewer modeled cycles), selected via
+//!   [`PhiConfig`]'s [`MontVariant`].
 //! * [`crt`] — CRT decomposition/recombination for private-key operations.
 //! * [`library`] — [`PhiLibrary`], packaging everything behind the same
 //!   [`Libcrypto`](phi_mont::Libcrypto) facade as the two baselines.
@@ -62,6 +66,7 @@ pub mod crt;
 pub mod engine;
 pub mod library;
 pub mod radix;
+pub mod truncated;
 pub mod vexp;
 pub mod vmont;
 pub mod vmul;
@@ -71,10 +76,11 @@ pub use batch::BatchMont;
 pub use batch_multi::MultiBatchMont;
 pub use crt::CrtKey;
 pub use engine::BatchCrtEngine;
-pub use library::{ConfigError, PhiConfig, PhiConfigBuilder, PhiLibrary};
+pub use library::{ConfigError, MontVariant, PhiConfig, PhiConfigBuilder, PhiLibrary};
 pub use phi_backend::{
     Backend, BackendUnavailable, CpuFeatures, ModeledKnc, NativeX86, ResolvedBackend, VectorBackend,
 };
 pub use radix::{VecNum, DIGIT_BITS, DIGIT_MASK};
+pub use truncated::{mod_exp_soa, mont_mul_soa, SoaMontEngine};
 pub use vexp::TableLookup;
 pub use vmont::VMontCtx;

@@ -2,6 +2,7 @@
 //! two scalar baselines, so benchmarks and RSA code treat all three
 //! uniformly.
 
+use crate::truncated::{mod_exp_soa, SoaMontEngine};
 use crate::vexp::{mod_exp_vec, TableLookup, DEFAULT_WINDOW};
 use crate::vmont::VMontCtx;
 use crate::vmul::big_mul_with_backend;
@@ -39,6 +40,44 @@ impl From<BackendUnavailable> for ConfigError {
     }
 }
 
+/// Which Montgomery reduction kernel the 16-lane engines run.
+///
+/// Every variant produces **bit-identical** results (the phi-conformance
+/// `mont-truncated` family proves it continuously); the choice is purely
+/// a cost trade documented in DESIGN.md §3.12 and measured by E18.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MontVariant {
+    /// The classic interleaved-CIOS batch kernel everywhere.
+    Classic,
+    /// The truncated-separated kernel everywhere it applies — including
+    /// scalar-shaped single operations, which are routed through the
+    /// 16-lane SoA layout at occupancy 1.
+    Truncated,
+    /// Truncated kernels on the batch/exponentiation paths (where they
+    /// win), classic kernels for scalar-shaped single multiplies (where
+    /// occupancy-1 SoA padding would waste 15 lanes). The default.
+    #[default]
+    Auto,
+}
+
+impl MontVariant {
+    /// Whether 16-lane batch multiplies take the truncated kernel for a
+    /// `k`-digit modulus. Single-digit moduli always run classic: the
+    /// truncation boundary column `s_{k-2}` does not exist for `k < 2`.
+    pub(crate) fn batch_truncated(self, k: usize) -> bool {
+        match self {
+            MontVariant::Classic => false,
+            MontVariant::Truncated | MontVariant::Auto => k >= 2,
+        }
+    }
+
+    /// Whether scalar-shaped single operations reroute through the SoA
+    /// occupancy-1 path.
+    pub(crate) fn single_soa(self) -> bool {
+        self == MontVariant::Truncated
+    }
+}
+
 /// Tunables of the vectorized library.
 ///
 /// Construct through [`PhiConfig::builder`], which validates every
@@ -56,6 +95,8 @@ pub struct PhiConfig {
     pub lookup: TableLookup,
     /// Which vector backend the kernels execute on.
     pub backend: Backend,
+    /// Which Montgomery reduction variant the engines run.
+    pub mont_variant: MontVariant,
 }
 
 impl Default for PhiConfig {
@@ -67,6 +108,7 @@ impl Default for PhiConfig {
             // PHI_BACKEND or phi_backend::set_process_default (the bench
             // harness's --backend flag).
             backend: phi_backend::process_default(),
+            mont_variant: MontVariant::Auto,
         }
     }
 }
@@ -119,6 +161,14 @@ impl PhiConfigBuilder {
     /// Set the window-table lookup policy explicitly.
     pub fn lookup(mut self, lookup: TableLookup) -> Self {
         self.config.lookup = lookup;
+        self
+    }
+
+    /// Select the Montgomery reduction variant (default
+    /// [`MontVariant::Auto`]). All variants are bit-identical; see
+    /// DESIGN.md §3.12 for the cost trade.
+    pub fn mont_variant(mut self, variant: MontVariant) -> Self {
+        self.config.mont_variant = variant;
         self
     }
 
@@ -185,10 +235,12 @@ impl Libcrypto for PhiLibrary {
     }
 
     fn make_engine(&self, n: &BigUint) -> Result<Box<dyn MontEngine + Send + Sync>, BigIntError> {
-        Ok(Box::new(VMontCtx::with_backend(
-            n,
-            self.config.backend.resolve(),
-        )?))
+        let backend = self.config.backend.resolve();
+        if self.config.mont_variant.single_soa() {
+            Ok(Box::new(SoaMontEngine::with_backend(n, backend)?))
+        } else {
+            Ok(Box::new(VMontCtx::with_backend(n, backend)?))
+        }
     }
 
     fn strategy_for(&self, _bits: u32) -> ExpStrategy {
@@ -199,9 +251,24 @@ impl Libcrypto for PhiLibrary {
         // One context build for both roles: the cloned handle shares the
         // precomputed n'/R² tables, so the session still counts as a
         // single setup.
+        let PhiConfig { window, lookup, .. } = self.config;
+        if self.config.mont_variant.single_soa() {
+            // Scalar-shaped calls reuse the 16-lane SoA engine at
+            // occupancy 1. The batch ladder indexes its window table
+            // directly (no constant-time gather), so `lookup` does not
+            // apply on this path.
+            let engine = SoaMontEngine::with_backend(n, self.config.backend.resolve())?;
+            let exp_ctx = engine.ctx().clone();
+            return Ok(ModulusSession::new(
+                self.name(),
+                Box::new(engine),
+                ExpPolicy::Custom(Box::new(move |base, exp| {
+                    mod_exp_soa(&exp_ctx, base, exp, window)
+                })),
+            ));
+        }
         let ctx = VMontCtx::with_backend(n, self.config.backend.resolve())?;
         let exp_ctx = ctx.clone();
-        let PhiConfig { window, lookup, .. } = self.config;
         Ok(ModulusSession::new(
             self.name(),
             Box::new(ctx),

@@ -54,6 +54,9 @@ pub struct VMontCtx {
     n_vec: VecNum,
     /// `-n⁻¹ mod 2^27`.
     n0_inv: u64,
+    /// `N' = -n⁻¹ mod R` in padded digit form (the truncated kernel
+    /// multiplies by the full-width inverse instead of digit-by-digit).
+    nprime_digits: Vec<u64>,
     /// `R² mod n` in vector form, for entering the domain.
     rr_vec: VecNum,
     r_bits: u32,
@@ -84,6 +87,14 @@ impl VMontCtx {
         let n0_inv = (1u64 << DIGIT_BITS) - inv_mod_digit(n.limbs()[0] & DIGIT_MASK);
         let rr = &BigUint::power_of_two(2 * r_bits) % n;
         let rr_vec = VecNum::from_biguint(&rr, kk);
+        // N' = -n⁻¹ mod R for the truncated-reduction variant. n < R (it
+        // has exactly k digits) and is odd, so the inverse exists and is
+        // odd; R - inv never wraps.
+        let r = BigUint::power_of_two(r_bits);
+        let inv = n
+            .mod_inverse(&r)
+            .expect("odd modulus is invertible mod a power of two");
+        let nprime_digits = VecNum::from_biguint(&(&r - &inv), kk).digits().to_vec();
         Ok(VMontCtx {
             n: n.clone(),
             k,
@@ -92,6 +103,7 @@ impl VMontCtx {
             n_digits: n_vec.digits().to_vec(),
             n_vec,
             n0_inv,
+            nprime_digits,
             rr_vec,
             r_bits,
             backend,
@@ -121,6 +133,16 @@ impl VMontCtx {
     /// The modulus in padded digit form (shared with the batched kernel).
     pub fn n_digits(&self) -> &[u64] {
         &self.n_digits
+    }
+
+    /// `N' = -n⁻¹ mod R` in padded digit form (truncated kernel input).
+    pub(crate) fn nprime_digits(&self) -> &[u64] {
+        &self.nprime_digits
+    }
+
+    /// `R² mod n` in vector form (shared with the SoA single-op engine).
+    pub(crate) fn rr_vec(&self) -> &VecNum {
+        &self.rr_vec
     }
 
     /// The zero value shaped for this context.

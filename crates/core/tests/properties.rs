@@ -31,6 +31,15 @@ fn value() -> impl Strategy<Value = BigUint> {
     proptest::collection::vec(any::<u64>(), 0..7).prop_map(BigUint::from_limbs)
 }
 
+/// Odd moduli with every high limb saturated: `2^(64·limbs) − delta`
+/// (delta odd) — the dense-top shape that maxes out the boundary columns
+/// `s_{k-2}`, `s_{k-1}` of the truncated reduction's correction step.
+fn dense_high_modulus() -> impl Strategy<Value = BigUint> {
+    (1usize..9, 0u64..(1 << 20)).prop_map(|(limbs, delta)| {
+        &(&BigUint::one() << (64 * limbs as u32)) - &BigUint::from(2 * delta + 1)
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -143,6 +152,68 @@ proptest! {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // The truncated-reduction sweep: classic vs truncated must stay
+    // bit-identical over every limb count the strategies reach (k from 1,
+    // where truncated falls back to classic, up through 19 digits) and
+    // over dense-high-limb moduli, the correction step's worst case.
+
+    #[test]
+    fn truncated_batch_matches_classic_across_limb_counts(
+        n in odd_modulus(),
+        seeds in proptest::collection::vec(any::<u64>(), BATCH_WIDTH),
+        exp in any::<u64>(),
+        w in 1u32..=6,
+    ) {
+        use phiopenssl::MontVariant;
+        let ctx = VMontCtx::new(&n).unwrap();
+        let bases: Vec<BigUint> = seeds.iter().map(|&s| &BigUint::from(s) % &n).collect();
+        let exp = BigUint::from(exp);
+        let classic =
+            BatchMont::with_variant(&ctx, MontVariant::Classic).mod_exp_16(&bases, &exp, w);
+        let truncated =
+            BatchMont::with_variant(&ctx, MontVariant::Truncated).mod_exp_16(&bases, &exp, w);
+        prop_assert_eq!(&classic, &truncated);
+        for j in 0..BATCH_WIDTH {
+            prop_assert_eq!(&truncated[j], &bases[j].mod_exp(&exp, &n), "lane {}", j);
+        }
+    }
+
+    #[test]
+    fn truncated_handles_dense_high_limb_moduli(
+        n in dense_high_modulus(),
+        seeds in proptest::collection::vec(any::<u64>(), BATCH_WIDTH),
+    ) {
+        use phiopenssl::MontVariant;
+        let ctx = VMontCtx::new(&n).unwrap();
+        // Correction-boundary lanes first (0, 1, n-1), then random residues.
+        let mut vals: Vec<BigUint> =
+            vec![BigUint::zero(), BigUint::one(), &n - &BigUint::one()];
+        vals.extend(seeds[3..].iter().map(|&s| &BigUint::from(s) % &n));
+        let vecs: Vec<VecNum> = vals.iter().map(|v| ctx.to_vec_form(v)).collect();
+        let batch = Batch16::transpose_from(&vecs);
+        let classic = BatchMont::with_variant(&ctx, MontVariant::Classic);
+        let truncated = BatchMont::with_variant(&ctx, MontVariant::Truncated);
+        let got_c = classic.mont_mul_16(&batch, &batch).transpose_out();
+        let got_t = truncated.mont_mul_16(&batch, &batch).transpose_out();
+        prop_assert_eq!(&got_c, &got_t);
+        // The dedicated squaring path answers the same question.
+        let got_sq = truncated.mont_sqr_16(&batch).transpose_out();
+        prop_assert_eq!(&got_t, &got_sq);
+    }
+
+    #[test]
+    fn soa_single_op_matches_positional_kernel(
+        n in odd_modulus(),
+        a in value(),
+        b in value(),
+    ) {
+        let ctx = VMontCtx::new(&n).unwrap();
+        let av = ctx.to_mont_vec(&(&a % &n));
+        let bv = ctx.to_mont_vec(&(&b % &n));
+        let soa = phiopenssl::mont_mul_soa(&ctx, &av, &bv);
+        prop_assert_eq!(soa.to_biguint(), ctx.mont_mul_vec(&av, &bv).to_biguint());
+    }
 
     #[test]
     fn masked_engine_matches_sequential_crt(

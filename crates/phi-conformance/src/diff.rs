@@ -909,6 +909,166 @@ fn check_resilient(cfg: &DiffConfig, out: &mut Vec<Divergence>) -> u64 {
     cases
 }
 
+/// The truncated-separated Montgomery reduction (DESIGN.md §3.12) vs
+/// the classic CIOS kernels, scalar and vector, on adversarial inputs.
+///
+/// The truncated variant elides low partial products and repairs the
+/// carry-out with an exact correction, so its admissibility claim is
+/// strict bit-identity. This family stresses exactly where that claim
+/// could crack: top-limb-dense moduli `2^bits - d` (the boundary columns
+/// of the elided triangle saturate), correction-boundary operands (0, 1,
+/// n-1: the shapes that pin `D̂ mod R` to zero or the conditional
+/// subtract to its edge), every window width, the scalar truncated
+/// kernel in `phi_mont`, the single-op SoA path, and — when the host has
+/// AVX2 — the native-backend truncated kernel lane for lane.
+fn check_mont_truncated(cfg: &DiffConfig, out: &mut Vec<Divergence>) -> u64 {
+    const NAME: &str = "mont-truncated";
+    use phiopenssl::MontVariant;
+    let cases = (cfg.cases / 2).max(2) as u64;
+    let inj = cfg.injected_case(NAME, cases);
+    let mut g = cfg.gen_for(NAME);
+    let ladder = cfg.bits_ladder();
+    let native = CpuFeatures::detect().avx2;
+    for case in 0..cases {
+        let bits = ladder[case as usize % ladder.len()].min(512);
+        // Every third case pins the modulus to the dense-top-limb corner
+        // 2^bits - d: every high digit saturated, the shape that maxes
+        // out the boundary columns s_{k-2}, s_{k-1} of the correction.
+        let n = if case % 3 == 0 {
+            let d = 2 * g.below(1 << 20) + 1;
+            &(&BigUint::one() << bits) - &BigUint::from(d)
+        } else {
+            g.odd_modulus(bits)
+        };
+        let ctx = VMontCtx::new(&n).expect("odd modulus");
+        let classic = BatchMont::with_variant(&ctx, MontVariant::Classic);
+        let truncated = BatchMont::with_variant(&ctx, MontVariant::Truncated);
+
+        // Correction-boundary lanes (0, 1, n-1) alongside random residues.
+        let mut bases: Vec<BigUint> = vec![BigUint::zero(), BigUint::one(), &n - &BigUint::one()];
+        while bases.len() < 16 {
+            bases.push(g.residue(&n));
+        }
+        let exp = g.exponent(bits);
+        let window = 1 + (case % 7) as u32;
+        let got_c = classic.mod_exp_16(&bases, &exp, window);
+        let mut got_t = truncated.mod_exp_16(&bases, &exp, window);
+        if let Some(i) = inj.filter(|&i| i == case) {
+            let lane = (i % 16) as usize;
+            got_t[lane] = &got_t[lane] + &BigUint::one();
+        }
+        let mut bad = false;
+        for lane in 0..16usize {
+            let want = bases[lane].mod_exp(&exp, &n);
+            if got_t[lane] != want || got_c[lane] != want {
+                bad = true;
+                out.push(Divergence {
+                    kernel: NAME,
+                    seed: cfg.seed,
+                    case,
+                    detail: format!(
+                        "lane={lane} window={window}: {}",
+                        dump(&[
+                            ("n", &n),
+                            ("base", &bases[lane]),
+                            ("exp", &exp),
+                            ("truncated", &got_t[lane]),
+                            ("classic", &got_c[lane]),
+                            ("want", &want)
+                        ])
+                    ),
+                });
+            }
+        }
+        if bad {
+            continue;
+        }
+
+        // The scalar truncated kernel vs classic CIOS on the same ring,
+        // including the raw reduction of an un-multiplied product.
+        let m64 = MontCtx64::new(&n).expect("odd modulus");
+        let a = g.residue(&n);
+        let b = g.residue(&n);
+        let (am, bm) = (m64.to_mont(&a), m64.to_mont(&b));
+        let want = a.mod_mul(&b, &n);
+        let trunc_scalar = m64.from_mont(&m64.mont_mul_truncated(&am, &bm));
+        let cios_scalar = m64.from_mont(&m64.mont_mul(&am, &bm));
+        if trunc_scalar != want || cios_scalar != want {
+            out.push(Divergence {
+                kernel: NAME,
+                seed: cfg.seed,
+                case,
+                detail: format!(
+                    "scalar truncated split: {}",
+                    dump(&[
+                        ("n", &n),
+                        ("a", &a),
+                        ("b", &b),
+                        ("truncated", &trunc_scalar),
+                        ("cios", &cios_scalar),
+                        ("want", &want)
+                    ])
+                ),
+            });
+            continue;
+        }
+        let raw = am.mul_ref(&bm);
+        if m64.mont_reduce_truncated(&raw) != m64.mont_mul(&am, &bm) {
+            out.push(Divergence {
+                kernel: NAME,
+                seed: cfg.seed,
+                case,
+                detail: format!(
+                    "mont_reduce_truncated != cios reduce: {}",
+                    dump(&[("n", &n), ("t", &raw)])
+                ),
+            });
+        }
+
+        // The single-op SoA path (scalar-shaped call through the 16-lane
+        // engine) vs the ladder oracle.
+        let soa = phiopenssl::mod_exp_soa(&ctx, &a, &exp, window);
+        let want_exp = a.mod_exp(&exp, &n);
+        if soa != want_exp {
+            out.push(Divergence {
+                kernel: NAME,
+                seed: cfg.seed,
+                case,
+                detail: format!(
+                    "mod_exp_soa window={window}: {}",
+                    dump(&[
+                        ("n", &n),
+                        ("base", &a),
+                        ("exp", &exp),
+                        ("got", &soa),
+                        ("want", &want_exp)
+                    ])
+                ),
+            });
+        }
+
+        // Native tier, lane for lane, when the host offers one.
+        if native {
+            let ctx_n =
+                VMontCtx::with_backend(&n, ResolvedBackend::NativeX86).expect("odd modulus");
+            let got_n = BatchMont::with_variant(&ctx_n, MontVariant::Truncated)
+                .mod_exp_16(&bases, &exp, window);
+            if got_n != got_c {
+                out.push(Divergence {
+                    kernel: NAME,
+                    seed: cfg.seed,
+                    case,
+                    detail: format!(
+                        "native truncated batch disagrees, window={window}: {}",
+                        dump(&[("n", &n), ("exp", &exp)])
+                    ),
+                });
+            }
+        }
+    }
+    cases
+}
+
 /// The native x86 backend vs the modeled-KNC backend vs the word-level
 /// oracle, bit-for-bit on adversarial operands, across all four vector
 /// kernels (multiply, square, Montgomery multiply, mod-exp).
@@ -1074,6 +1234,7 @@ pub const FAMILIES: &[&str] = &[
     "engine-masked",
     "rsa-ops",
     "resilient",
+    "mont-truncated",
     "backend-parity",
 ];
 
@@ -1093,6 +1254,7 @@ pub fn run_all(cfg: &DiffConfig) -> DiffOutcome {
         check_engine_masked,
         check_rsa_ops,
         check_resilient,
+        check_mont_truncated,
         check_backend_parity,
     ];
     debug_assert_eq!(checks.len(), FAMILIES.len());
