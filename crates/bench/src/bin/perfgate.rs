@@ -15,6 +15,11 @@
 //! # comparison in-process and fail unless the truncated variant cuts
 //! # modeled cycles by at least the given fraction at every key size
 //! perfgate --min-improvement 0.10
+//!
+//! # fleet-scaling gate: run E19's saturated keyless workload on one
+//! # card and on two, and fail unless the two-card fleet's modeled
+//! # throughput is at least RATIO times the single card's
+//! perfgate --fleet-speedup 1.6
 //! ```
 //!
 //! Exit status 0 = pass, 1 = gate failure (regression, bad coverage, or
@@ -31,7 +36,8 @@ fn usage(code: i32) -> ! {
         "usage: perfgate --check REPORT.json\n\
          \u{20}      perfgate --baseline BASELINE.json REPORT.json\n\
          \u{20}      perfgate --check REPORT.json --baseline BASELINE.json\n\
-         \u{20}      perfgate --min-improvement FRACTION"
+         \u{20}      perfgate --min-improvement FRACTION\n\
+         \u{20}      perfgate --fleet-speedup RATIO"
     );
     std::process::exit(code);
 }
@@ -139,11 +145,47 @@ fn run_min_improvement(arg: &str) -> i32 {
     }
 }
 
+fn run_fleet_speedup(arg: &str) -> i32 {
+    let min: f64 = arg.parse().unwrap_or_else(|_| {
+        eprintln!("perfgate: --fleet-speedup wants a ratio (e.g. 1.6), got '{arg}'");
+        std::process::exit(2);
+    });
+    if min < 1.0 {
+        eprintln!("perfgate: --fleet-speedup ratio must be >= 1.0, got {min}");
+        std::process::exit(2);
+    }
+    let m = gate::measure_fleet_speedup();
+    let (bits, small, large, ops) = gate::FLEET_GATE;
+    let ok = m.speedup >= min;
+    println!(
+        "perfgate: fleet scaling, {bits}-bit key, {ops} ops per card \
+         (required >= {min:.2}x)"
+    );
+    println!(
+        "  {small} card  {:>12.3} op/s   {large} cards  {:>12.3} op/s   \
+         speedup {:.4}x  {}",
+        m.one_card,
+        m.two_cards,
+        m.speedup,
+        if ok { "ok" } else { "TOO SMALL" }
+    );
+    if ok {
+        0
+    } else {
+        eprintln!(
+            "perfgate: the two-card fleet no longer beats one card by {min:.2}x \
+             on the saturated workload"
+        );
+        1
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("--check") if args.len() == 2 => run_check(&args[1]),
         Some("--min-improvement") if args.len() == 2 => run_min_improvement(&args[1]),
+        Some("--fleet-speedup") if args.len() == 2 => run_fleet_speedup(&args[1]),
         Some("--check") if args.len() == 4 && args[2] == "--baseline" => {
             run_check(&args[1]).max(run_gate(&args[3], &args[1]))
         }

@@ -9,12 +9,12 @@
 use crate::measure::{modeled, Modeled};
 use crate::table::{fmt_rate, fmt_us, fmt_x, Table};
 use crate::workload;
-use phi_faults::{FaultInjector, FaultRates, FaultSource};
+use phi_faults::{correlated_reset_scripts, FaultInjector, FaultRates, FaultSource};
 use phi_mont::exp::mont_exp;
 use phi_mont::{Libcrypto, MontEngine, MpssBaseline, OpensslBaseline};
 use phi_rsa::{RsaBatchService, RsaOps};
 use phi_rt::service::{Collector, FlushReason, ServiceConfig};
-use phi_rt::ResilienceConfig;
+use phi_rt::{FleetConfig, FleetRouter, ResilienceConfig, RoutingPolicy};
 use phi_simd::CostModel;
 use phiopenssl::batch::{Batch16, BatchMont, BATCH_WIDTH};
 use phiopenssl::vexp::{mod_exp_vec, TableLookup};
@@ -988,6 +988,378 @@ pub fn e18_truncated(sizes: &[u32]) -> Table {
     t
 }
 
+/// Montgomery sessions a simulated card keeps resident at once (LRU).
+/// Card memory is finite: a fleet serving more distinct moduli than this
+/// per card keeps paying the session-setup bill, which is exactly the
+/// thrash key-affinity routing exists to avoid.
+const SESSION_SLOTS: usize = 4;
+
+/// One simulated fleet operating point (virtual clock).
+#[derive(Debug)]
+pub struct FleetSimPoint {
+    /// Resolved operations per modeled-virtual second (makespan-based).
+    pub throughput: f64,
+    /// Keyed requests that found their key's Montgomery session already
+    /// resident on the executing card, as a fraction of all keyed
+    /// requests (reported as 1.0 for a keyless workload).
+    pub session_hit_rate: f64,
+    /// Steal raids idle cards made on overloaded peers.
+    pub steals: u64,
+}
+
+/// Drive the real [`FleetRouter`] plus one [`Collector`] per card
+/// through an arrival schedule on a virtual clock — the fleet analogue
+/// of [`simulate_service`]. A vector Montgomery pass shares one modulus
+/// across all lanes ([`BatchCrtEngine`] is built per key), so a flushed
+/// batch covering `d` distinct keys executes as `d` masked full-cost
+/// passes of `batch_cost` seconds each — mixed-key batches are exactly
+/// what key-affinity routing exists to avoid. On top of that, every
+/// key whose Montgomery session is not resident in the card's
+/// [`SESSION_SLOTS`]-deep LRU cache pays `setup_cost` to (re)build it.
+/// Starved cards raid the deepest queue through the production
+/// [`FleetRouter::steal_victim`] rule, taking the newest half, exactly
+/// as the fleet workers do.
+fn simulate_fleet(
+    arrivals: &[(f64, Option<u64>)],
+    fleet: FleetConfig,
+    config: ServiceConfig,
+    batch_cost: f64,
+    setup_cost: f64,
+) -> FleetSimPoint {
+    let cards = fleet.cards;
+    let mut router = FleetRouter::new(fleet);
+    let mut collectors: Vec<Collector<Option<u64>>> =
+        (0..cards).map(|_| Collector::new(config)).collect();
+    let mut free_at = vec![0.0f64; cards];
+    // Per-card resident sessions, LRU order (most recent last).
+    let mut sessions: Vec<Vec<u64>> = vec![Vec::new(); cards];
+    let online = vec![true; cards];
+    let mut next = 0usize;
+    let mut done_at = 0.0f64;
+    let mut steals = 0u64;
+    let (mut keyed_hits, mut keyed_total) = (0u64, 0u64);
+    while next < arrivals.len() || collectors.iter().any(|c| !c.is_empty()) {
+        // Starved cards steal before the next event is chosen: a card
+        // raids only when its queue is dry AND it will finish its
+        // current batch before new work arrives — a busy card stealing
+        // early would split a peer's filling batch into two partial
+        // (full-cost, masked) passes and lose throughput.
+        let next_arrival = arrivals.get(next).map_or(f64::INFINITY, |&(t, _)| t);
+        loop {
+            let depths: Vec<usize> = collectors.iter().map(Collector::depth).collect();
+            let raid = (0..cards).find_map(|thief| {
+                if collectors[thief].is_empty() && free_at[thief] <= next_arrival {
+                    router.steal_victim(thief, &depths).map(|v| (thief, v))
+                } else {
+                    None
+                }
+            });
+            let Some((thief, victim)) = raid else { break };
+            let take = (collectors[victim].depth() / 2).max(1);
+            let stolen = collectors[victim].steal_back(take);
+            collectors[thief].adopt(stolen);
+            steals += 1;
+        }
+        let depths: Vec<usize> = collectors.iter().map(Collector::depth).collect();
+        // Earliest instant each card could start a flush: immediately
+        // once full, at the oldest deadline otherwise — but never while
+        // that card is still chewing its previous batch.
+        let start_of = |c: usize| {
+            if collectors[c].depth() >= config.width {
+                free_at[c]
+            } else if let Some(deadline) = collectors[c].next_deadline() {
+                deadline.max(free_at[c])
+            } else {
+                f64::INFINITY
+            }
+        };
+        let (card, start) = (0..cards)
+            .map(|c| (c, start_of(c)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .expect("a fleet has at least one card");
+        if next_arrival <= start {
+            let (t, key) = arrivals[next];
+            let c = router.route(key, &depths, &online);
+            collectors[c]
+                .submit(key, t)
+                .expect("simulation queue_cap is effectively unbounded");
+            next += 1;
+        } else {
+            let reason = collectors[card].ready(start).unwrap_or(FlushReason::Drain);
+            let batch = collectors[card].take_batch(reason, start);
+            // One masked vector pass per distinct modulus in the batch.
+            let mut moduli: Vec<Option<u64>> = Vec::new();
+            let mut cost = 0.0;
+            for entry in &batch.entries {
+                if !moduli.contains(&entry.payload) {
+                    moduli.push(entry.payload);
+                    cost += batch_cost;
+                }
+                let Some(k) = entry.payload else { continue };
+                keyed_total += 1;
+                if let Some(pos) = sessions[card].iter().position(|&s| s == k) {
+                    keyed_hits += 1;
+                    sessions[card].remove(pos);
+                } else {
+                    cost += setup_cost;
+                    if sessions[card].len() == SESSION_SLOTS {
+                        sessions[card].remove(0);
+                    }
+                }
+                sessions[card].push(k);
+            }
+            free_at[card] = start + cost;
+            done_at = done_at.max(free_at[card]);
+        }
+    }
+    FleetSimPoint {
+        throughput: arrivals.len() as f64 / done_at,
+        session_hit_rate: if keyed_total == 0 {
+            1.0
+        } else {
+            keyed_hits as f64 / keyed_total as f64
+        },
+        steals,
+    }
+}
+
+/// Modeled unit costs the fleet simulations price batches with for a
+/// `key_bits`-bit key: one full-width masked CRT batch pass, and one
+/// cold Montgomery-session setup (building the modulus context a card
+/// must hold before it can run that key's batches).
+fn fleet_costs(key_bits: u32) -> (f64, f64) {
+    let key = workload::rsa_key(key_bits);
+    let engine = BatchCrtEngine::from_parts(
+        key.public().n().clone(),
+        key.dp().clone(),
+        key.dq().clone(),
+        key.qinv().clone(),
+        key.p().clone(),
+        key.q().clone(),
+    )
+    .expect("workload key is valid");
+    let cts: Vec<phi_bigint::BigUint> = (0..BATCH_WIDTH as u64)
+        .map(|j| &workload::operand(key_bits, 500 + j) % key.public().n())
+        .collect();
+    let (_, batch) = modeled(|| engine.private_op_16(&cts));
+    let (_, setup) = modeled(|| {
+        BatchCrtEngine::from_parts(
+            key.public().n().clone(),
+            key.dp().clone(),
+            key.dq().clone(),
+            key.qinv().clone(),
+            key.p().clone(),
+            key.q().clone(),
+        )
+        .expect("workload key is valid")
+    });
+    (batch.us() * 1e-6, setup.us() * 1e-6)
+}
+
+/// Modeled operating point of an N-card fleet on a saturated keyless
+/// workload: `ops` Poisson arrivals **per card** at twice the fleet's
+/// aggregate batch capacity (the per-card work is held constant so the
+/// ramp-up and drain tails weigh every fleet size equally), driven
+/// through the fleet simulator under the default (affinity) routing.
+/// Shared by E19's scaling panel and `perfgate --fleet-speedup`, so the
+/// CI gate and the published table can never drift apart.
+pub fn fleet_scaling(key_bits: u32, cards: usize, ops: usize) -> FleetSimPoint {
+    let (t16, _) = fleet_costs(key_bits);
+    let capacity_one = BATCH_WIDTH as f64 / t16;
+    let offered = 2.0 * cards as f64 * capacity_one;
+    let arrivals: Vec<(f64, Option<u64>)> = poisson_arrivals(offered, ops * cards, 0xE19)
+        .into_iter()
+        .map(|t| (t, None))
+        .collect();
+    let fleet = FleetConfig {
+        cards,
+        ..FleetConfig::default()
+    };
+    let config = ServiceConfig {
+        width: BATCH_WIDTH,
+        max_wait: ServiceConfig::default().max_wait,
+        queue_cap: (ops * cards).max(BATCH_WIDTH),
+    };
+    simulate_fleet(&arrivals, fleet, config, t16, 0.0)
+}
+
+/// Distinct moduli the routing panel spreads over the fleet. More keys
+/// than one card's [`SESSION_SLOTS`] but fewer than the fleet's total,
+/// so affinity can keep every key resident while random routing
+/// thrashes every cache.
+const ROUTE_KEYS: u64 = 6;
+
+/// E19 — Table: multi-card fleet scheduler (DESIGN.md §3.13).
+///
+/// Three panels in one table:
+///
+/// * `scale` — keyless saturated load on each fleet size in
+///   `cards_sweep`, driven through the real router and per-card
+///   collectors on a virtual clock; `gain` is modeled throughput vs the
+///   first size (CI gates two cards >= 1.6x one card).
+/// * `route` — `ROUTE_KEYS` distinct moduli on the largest fleet,
+///   random vs affinity routing under the same arrival schedule;
+///   `hit rate` is the fraction of keyed requests whose Montgomery
+///   session was already resident on the executing card, and the
+///   affinity row's `gain` is its throughput edge over random.
+/// * `drill` — the real [`RsaBatchService`] fleet under a seeded
+///   correlated whole-card reset burst: every request must resolve
+///   exactly once (checked against the reference exponentiation),
+///   survivors and the host fallback absorb the work, and the injected
+///   resets cost modeled time only.
+pub fn e19_fleet(key_bits: u32, cards_sweep: &[usize], ops: usize) -> Table {
+    let mut t = Table::new(
+        format!("E19 (Table): multi-card fleet scheduler, {key_bits}-bit key"),
+        &[
+            "part",
+            "cards",
+            "policy",
+            "resolved",
+            "hit rate",
+            "steals",
+            "faults",
+            "host",
+            "modeled op/s",
+            "gain",
+        ],
+    );
+    let (t16, setup) = fleet_costs(key_bits);
+    let capacity_one = BATCH_WIDTH as f64 / t16;
+    t.note(format!(
+        "{} ops per panel point, width {}; scale = keyless load at 2x aggregate \
+         capacity, gain vs the smallest fleet; route = {} keys on the largest \
+         fleet ({}-session card caches), gain vs the random row; drill = real \
+         fleet service under a seeded correlated reset burst",
+        ops, BATCH_WIDTH, ROUTE_KEYS, SESSION_SLOTS
+    ));
+    t.note(format!(
+        "modeled batch pass {:.1} µs, cold session setup {:.1} µs",
+        t16 * 1e6,
+        setup * 1e6
+    ));
+
+    // Panel 1 — fleet-size scaling on the saturated keyless workload.
+    let mut base = None::<f64>;
+    for &cards in cards_sweep {
+        let point = fleet_scaling(key_bits, cards, ops);
+        let baseline = *base.get_or_insert(point.throughput);
+        t.row(vec![
+            "scale".into(),
+            cards.to_string(),
+            "affinity".into(),
+            ops.to_string(),
+            "-".into(),
+            point.steals.to_string(),
+            "0".into(),
+            "0".into(),
+            fmt_rate(point.throughput),
+            fmt_x(point.throughput / baseline),
+        ]);
+    }
+
+    // Panel 2 — affinity vs random routing, many keys, same arrivals.
+    let big = *cards_sweep.iter().max().expect("non-empty sweep");
+    let offered = 1.5 * big as f64 * capacity_one;
+    let keyed: Vec<(f64, Option<u64>)> = poisson_arrivals(offered, ops, 0xE19B)
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| (t, Some(i as u64 % ROUTE_KEYS)))
+        .collect();
+    let config = ServiceConfig {
+        width: BATCH_WIDTH,
+        max_wait: ServiceConfig::default().max_wait,
+        queue_cap: ops.max(BATCH_WIDTH),
+    };
+    let mut random_thr = None::<f64>;
+    for routing in [RoutingPolicy::Random, RoutingPolicy::Affinity] {
+        let fleet = FleetConfig {
+            cards: big,
+            routing,
+            ..FleetConfig::default()
+        };
+        let point = simulate_fleet(&keyed, fleet, config, t16, setup);
+        let baseline = *random_thr.get_or_insert(point.throughput);
+        t.row(vec![
+            "route".into(),
+            big.to_string(),
+            match routing {
+                RoutingPolicy::Affinity => "affinity".into(),
+                RoutingPolicy::RoundRobin => "round-robin".into(),
+                RoutingPolicy::Random => "random".into(),
+            },
+            ops.to_string(),
+            format!("{:.1}%", point.session_hit_rate * 100.0),
+            point.steals.to_string(),
+            "0".into(),
+            "0".into(),
+            fmt_rate(point.throughput),
+            fmt_x(point.throughput / baseline),
+        ]);
+    }
+
+    // Panel 3 — the real fleet service under correlated whole-card
+    // resets. Round-robin routing spreads the single key's stream over
+    // both cards so the seeded burst is guaranteed to see work.
+    const DRILL_CARDS: usize = 2;
+    let scripts = correlated_reset_scripts(0xE19C, DRILL_CARDS, 1, 1, 3);
+    let faults: Vec<Option<std::sync::Arc<dyn FaultSource>>> = scripts
+        .into_iter()
+        .map(|s| Some(std::sync::Arc::new(s) as std::sync::Arc<dyn FaultSource>))
+        .collect();
+    let phi = phiopenssl::PhiConfig::builder()
+        .fleet(FleetConfig {
+            cards: DRILL_CARDS,
+            routing: RoutingPolicy::RoundRobin,
+            ..FleetConfig::default()
+        })
+        .expect("two cards is a valid fleet shape")
+        .build();
+    let resilience = ResilienceConfig {
+        service: ServiceConfig {
+            width: BATCH_WIDTH,
+            max_wait: ServiceConfig::default().max_wait,
+            queue_cap: ops.max(BATCH_WIDTH),
+        },
+        ..ResilienceConfig::default()
+    };
+    let key = workload::rsa_key(key_bits);
+    let cts: Vec<phi_bigint::BigUint> = (0..ops as u64)
+        .map(|j| &workload::operand(key_bits, 900 + j) % key.public().n())
+        .collect();
+    let expected0 = cts[0].mod_exp(key.d(), key.public().n());
+    let service =
+        RsaBatchService::new_fleet(&key, &phi, resilience, faults).expect("fleet service builds");
+    let handles: Vec<_> = cts
+        .iter()
+        .map(|c| {
+            service
+                .submit(c.clone())
+                .expect("queue sized for the burst")
+        })
+        .collect();
+    for (i, h) in handles.into_iter().enumerate() {
+        let m = h.wait().expect("survivors resolve every lane");
+        if i == 0 {
+            assert_eq!(m, expected0, "fleet answered wrong under resets");
+        }
+    }
+    let report = service.shutdown_fleet();
+    let merged = report.merged();
+    t.row(vec![
+        "drill".into(),
+        DRILL_CARDS.to_string(),
+        "round-robin".into(),
+        report.resolved_ops().to_string(),
+        "-".into(),
+        report.steals.to_string(),
+        merged.faults_seen.to_string(),
+        merged.host_fallback_ops.to_string(),
+        fmt_rate(merged.effective_throughput()),
+        "-".into(),
+    ]);
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1152,6 +1524,47 @@ mod tests {
         assert_eq!(row[4], "yes", "variants disagree: {row:?}");
         let x: f64 = row[3].trim_end_matches('x').parse().unwrap();
         assert!(x > 1.0, "truncated should beat classic, got {x}");
+    }
+
+    #[test]
+    fn e19_smoke_fleet_scales_and_affinity_wins() {
+        let t = e19_fleet(512, &[1, 2], 96);
+        assert_eq!(t.rows.len(), 5, "2 scale + 2 route + 1 drill rows");
+        // Scale panel: two cards beat one by >= 1.6x on the saturated
+        // workload — the same bar `perfgate --fleet-speedup` holds CI to.
+        let gain2: f64 = t.rows[1][9].trim_end_matches('x').parse().unwrap();
+        assert!(gain2 >= 1.6, "two cards must scale: {:?}", t.rows[1]);
+        // Route panel: affinity keeps sessions resident, random thrashes.
+        let rand_hit: f64 = t.rows[2][4].trim_end_matches('%').parse().unwrap();
+        let aff_hit: f64 = t.rows[3][4].trim_end_matches('%').parse().unwrap();
+        assert!(
+            aff_hit > rand_hit,
+            "affinity hit rate {aff_hit}% must beat random {rand_hit}%"
+        );
+        let aff_gain: f64 = t.rows[3][9].trim_end_matches('x').parse().unwrap();
+        assert!(
+            aff_gain > 1.0,
+            "affinity must out-throughput random: {:?}",
+            t.rows[3]
+        );
+        // Drill panel: conservation under correlated whole-card resets.
+        assert_eq!(t.rows[4][3], "96", "lost requests: {:?}", t.rows[4]);
+        assert!(
+            t.rows[4][6].parse::<u64>().unwrap() >= 1,
+            "the reset burst must fire: {:?}",
+            t.rows[4]
+        );
+    }
+
+    #[test]
+    fn e19_fleet_scaling_is_deterministic() {
+        let first = fleet_scaling(512, 2, 48);
+        let second = fleet_scaling(512, 2, 48);
+        assert_eq!(
+            first.throughput, second.throughput,
+            "modeled channel must be deterministic"
+        );
+        assert_eq!(first.steals, second.steals);
     }
 
     #[test]

@@ -102,6 +102,40 @@ pub fn measure_truncated_improvement(sizes: &[u32]) -> Vec<ImprovementLine> {
         .collect()
 }
 
+/// Parameters of the `perfgate --fleet-speedup` measurement: key size,
+/// fleet sizes compared, and modeled ops per card. Small enough for a
+/// CI smoke job, saturated enough that the two-card fleet's scaling is
+/// limited by the scheduler, not by idle capacity.
+pub const FLEET_GATE: (u32, usize, usize, usize) = (512, 1, 2, 96);
+
+/// The two fleet sizes' modeled operating points the fleet gate compares.
+#[derive(Debug, Clone)]
+pub struct FleetSpeedup {
+    /// Modeled throughput of the single-card fleet (ops per second).
+    pub one_card: f64,
+    /// Modeled throughput of the two-card fleet (ops per second).
+    pub two_cards: f64,
+    /// `two_cards / one_card`.
+    pub speedup: f64,
+}
+
+/// Run the deterministic fleet-scaling comparison in-process: the
+/// saturated keyless workload of E19's scale panel on one card and on
+/// two, through the real router and per-card collectors on a virtual
+/// clock. This is what `perfgate --fleet-speedup` gates on: the modeled
+/// channel is deterministic, so "two cards stopped beating one" is a
+/// scheduler change, never noise.
+pub fn measure_fleet_speedup() -> FleetSpeedup {
+    let (bits, small, large, ops) = FLEET_GATE;
+    let one = crate::experiments::fleet_scaling(bits, small, ops).throughput;
+    let two = crate::experiments::fleet_scaling(bits, large, ops).throughput;
+    FleetSpeedup {
+        one_card: one,
+        two_cards: two,
+        speedup: two / one,
+    }
+}
+
 /// One gated experiment's comparison against the baseline.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GateLine {
@@ -269,6 +303,19 @@ mod tests {
         // Deterministic channel: a second run reproduces the cycles.
         let second = measure_truncated_improvement(&[256]);
         assert_eq!(first, second, "modeled channel must be deterministic");
+    }
+
+    #[test]
+    fn fleet_speedup_clears_the_gate_and_is_deterministic() {
+        let first = measure_fleet_speedup();
+        assert!(
+            first.speedup >= 1.6,
+            "two cards must beat one by >= 1.6x: {first:?}"
+        );
+        assert!(first.one_card > 0.0 && first.two_cards > first.one_card);
+        // Deterministic channel: a second run reproduces the numbers.
+        let second = measure_fleet_speedup();
+        assert_eq!(first.speedup, second.speedup, "must be deterministic");
     }
 
     #[test]

@@ -32,7 +32,7 @@ impl Profile {
 
 /// One registered experiment.
 pub struct Experiment {
-    /// Stable id (`"e1"`..`"e18"`), the key the perf gate compares by.
+    /// Stable id (`"e1"`..`"e19"`), the key the perf gate compares by.
     pub id: &'static str,
     /// Short human title for reports.
     pub title: &'static str,
@@ -53,7 +53,7 @@ macro_rules! profile_run {
 }
 
 /// Every experiment of the evaluation, in id order.
-pub static EXPERIMENTS: [Experiment; 17] = [
+pub static EXPERIMENTS: [Experiment; 18] = [
     Experiment {
         id: "e1",
         title: "big-integer multiplication latency",
@@ -163,6 +163,14 @@ pub static EXPERIMENTS: [Experiment; 17] = [
             ex::e18_truncated(&[512, 1024])
         ),
     },
+    Experiment {
+        id: "e19",
+        title: "multi-card fleet scheduler",
+        run: profile_run!(
+            ex::e19_fleet(1024, &[1, 2, 3, 4], 256),
+            ex::e19_fleet(512, &[1, 2], 96)
+        ),
+    },
 ];
 
 /// Look an experiment up by id.
@@ -188,6 +196,7 @@ mod tests {
         let mut expected: Vec<String> = (1..=15).map(|i| format!("e{i}")).collect();
         expected.push("e17".into()); // e16 was never assigned
         expected.push("e18".into());
+        expected.push("e19".into());
         let got = ids();
         assert_eq!(got.len(), expected.len(), "registry size drifted");
         for id in &expected {

@@ -80,6 +80,7 @@ pub use library::{ConfigError, MontVariant, PhiConfig, PhiConfigBuilder, PhiLibr
 pub use phi_backend::{
     Backend, BackendUnavailable, CpuFeatures, ModeledKnc, NativeX86, ResolvedBackend, VectorBackend,
 };
+pub use phi_rt::{FleetConfig, RoutingPolicy};
 pub use radix::{VecNum, DIGIT_BITS, DIGIT_MASK};
 pub use truncated::{mod_exp_soa, mont_mul_soa, SoaMontEngine};
 pub use vexp::TableLookup;

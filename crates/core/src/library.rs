@@ -10,6 +10,7 @@ use phi_backend::{Backend, BackendUnavailable, CpuFeatures};
 use phi_bigint::{BigIntError, BigUint};
 use phi_mont::session::{ExpPolicy, ModulusSession};
 use phi_mont::{ExpStrategy, Libcrypto, MontEngine};
+use phi_rt::FleetConfig;
 use std::fmt;
 
 /// An invalid [`PhiConfig`] tunable, rejected at build time.
@@ -19,6 +20,14 @@ pub enum ConfigError {
     WindowOutOfRange(u32),
     /// The requested vector backend cannot run on this host.
     BackendUnavailable(BackendUnavailable),
+    /// Fleet shape rejected: a fleet needs at least one card and a
+    /// steal threshold of at least one request.
+    FleetInvalid {
+        /// The rejected card count.
+        cards: usize,
+        /// The rejected steal threshold.
+        steal_threshold: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -28,6 +37,15 @@ impl fmt::Display for ConfigError {
                 write!(f, "fixed-window width {w} outside supported range 1..=7")
             }
             ConfigError::BackendUnavailable(e) => e.fmt(f),
+            ConfigError::FleetInvalid {
+                cards,
+                steal_threshold,
+            } => write!(
+                f,
+                "fleet shape rejected (cards = {cards}, steal_threshold = \
+                 {steal_threshold}): need at least one card and a steal \
+                 threshold of at least one request"
+            ),
         }
     }
 }
@@ -97,6 +115,12 @@ pub struct PhiConfig {
     pub backend: Backend,
     /// Which Montgomery reduction variant the engines run.
     pub mont_variant: MontVariant,
+    /// Shape of the card fleet batch work offloads to. The default is a
+    /// single card, which reproduces the pre-fleet stack bit-for-bit;
+    /// `cards > 1` puts every fleet-built service
+    /// (`phi_rsa::RsaBatchService::new_fleet`) behind key-affinity
+    /// routing with work stealing. See DESIGN.md §3.13.
+    pub fleet: FleetConfig,
 }
 
 impl Default for PhiConfig {
@@ -109,6 +133,7 @@ impl Default for PhiConfig {
             // harness's --backend flag).
             backend: phi_backend::process_default(),
             mont_variant: MontVariant::Auto,
+            fleet: FleetConfig::default(),
         }
     }
 }
@@ -170,6 +195,22 @@ impl PhiConfigBuilder {
     pub fn mont_variant(mut self, variant: MontVariant) -> Self {
         self.config.mont_variant = variant;
         self
+    }
+
+    /// Set the card-fleet shape (card count, routing policy, steal
+    /// threshold, routing seed). Degenerate shapes — zero cards, or a
+    /// steal threshold of zero, which would make every idle card steal
+    /// constantly — are rejected as [`ConfigError::FleetInvalid`] here
+    /// rather than panicking later inside the scheduler.
+    pub fn fleet(mut self, fleet: FleetConfig) -> Result<Self, ConfigError> {
+        if fleet.cards < 1 || fleet.steal_threshold < 1 {
+            return Err(ConfigError::FleetInvalid {
+                cards: fleet.cards,
+                steal_threshold: fleet.steal_threshold,
+            });
+        }
+        self.config.fleet = fleet;
+        Ok(self)
     }
 
     /// Select the vector backend. An explicit [`Backend::NativeX86`]
@@ -390,6 +431,32 @@ mod tests {
         assert!(ConfigError::WindowOutOfRange(9)
             .to_string()
             .contains("1..=7"));
+    }
+
+    #[test]
+    fn builder_validates_fleet_shape() {
+        let three = FleetConfig {
+            cards: 3,
+            ..FleetConfig::default()
+        };
+        let config = PhiConfig::builder().fleet(three).unwrap().build();
+        assert_eq!(config.fleet.cards, 3);
+        assert_eq!(PhiConfig::builder().build().fleet, FleetConfig::default());
+
+        let no_cards = FleetConfig {
+            cards: 0,
+            ..FleetConfig::default()
+        };
+        assert!(matches!(
+            PhiConfig::builder().fleet(no_cards),
+            Err(ConfigError::FleetInvalid { cards: 0, .. })
+        ));
+        let zero_threshold = FleetConfig {
+            steal_threshold: 0,
+            ..FleetConfig::default()
+        };
+        let err = PhiConfig::builder().fleet(zero_threshold).unwrap_err();
+        assert!(err.to_string().contains("steal"));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Truncated-multiplication Montgomery reduction over the 16-lane SoA
 //! layout (Didier et al., arXiv 2410.18129).
 //!
-//! The classic batched kernel ([`BatchMont::mont_mul_16`]) interleaves
+//! The classic batched kernel ([`crate::BatchMont::mont_mul_16`]) interleaves
 //! reduction with the product CIOS-style: every row touches every column
 //! of `m·n`, including the low columns whose digits are discarded by the
 //! division by `R`. The *separated, truncated* form here computes instead:

@@ -27,7 +27,7 @@ use phi_mont::{
 use phi_rsa::key::RsaPrivateKey;
 use phi_rsa::ops::{RsaBatchService, RsaOps};
 use phi_rt::service::ServiceConfig;
-use phi_rt::ResilienceConfig;
+use phi_rt::{FleetConfig, ResilienceConfig, RoutingPolicy};
 use phiopenssl::radix::VecNum;
 use phiopenssl::vexp::{exp_sliding_window_vec, mod_exp_vec};
 use phiopenssl::vmul::{big_mul_vectorized, vec_mul, vec_mul_backend, vec_sqr, vec_sqr_backend};
@@ -909,6 +909,120 @@ fn check_resilient(cfg: &DiffConfig, out: &mut Vec<Divergence>) -> u64 {
     cases
 }
 
+/// The N-card fleet scheduler vs the single-card resilient path and the
+/// sequential oracle: answers must be bit-identical whatever the fleet
+/// size (1–4) or routing policy, and the fleet's resolution ledger must
+/// conserve the request count — including under the burst shape that
+/// triggers work stealing.
+fn check_fleet(cfg: &DiffConfig, out: &mut Vec<Divergence>) -> u64 {
+    const NAME: &str = "fleet";
+    let cases = (cfg.cases / 6).max(2) as u64;
+    let inj = cfg.injected_case(NAME, cases);
+    let mut g = cfg.gen_for(NAME);
+    let keys = fuzz_keys(cfg.max_bits.min(512));
+    let config = ResilienceConfig {
+        service: ServiceConfig {
+            width: 4,
+            max_wait: 200e-6,
+            queue_cap: 64,
+        },
+        ..ResilienceConfig::default()
+    };
+    const POLICIES: [RoutingPolicy; 3] = [
+        RoutingPolicy::Affinity,
+        RoutingPolicy::RoundRobin,
+        RoutingPolicy::Random,
+    ];
+    for case in 0..cases {
+        let key = &keys[case as usize % keys.len()];
+        let n = key.public().n();
+        let ops = RsaOps::new(Box::new(MpssBaseline));
+        let single = RsaBatchService::new_resilient(key, config, None).expect("corpus key");
+        let cards = 1 + (case as usize % 4);
+        let phi = phiopenssl::PhiConfig::builder()
+            .fleet(FleetConfig {
+                cards,
+                routing: POLICIES[case as usize % POLICIES.len()],
+                // Threshold 1 makes any queue imbalance stealable, so
+                // the burst below exercises the steal path too.
+                steal_threshold: 1,
+                seed: cfg.seed ^ case,
+            })
+            .expect("valid fleet shape")
+            .build();
+        let fleet = RsaBatchService::new_fleet(key, &phi, config, Vec::new()).expect("corpus key");
+        for i in 0..6u64 {
+            let m = g.residue(n);
+            let c = m.mod_exp(key.public().e(), n);
+            let via_fleet = fleet.call(c.clone()).expect("fleet answers");
+            let via_fleet = if i == 0 {
+                corrupt(via_fleet, case, inj)
+            } else {
+                via_fleet
+            };
+            let via_single = single.call(c.clone()).expect("single-card answers");
+            let via_seq = ops.private_op(key, &c).expect("c < n");
+            if via_fleet != m || via_single != m || via_seq != m || via_fleet != via_single {
+                out.push(Divergence {
+                    kernel: NAME,
+                    seed: cfg.seed,
+                    case,
+                    detail: format!(
+                        "request {i} ({cards} cards): {}",
+                        dump(&[
+                            ("c", &c),
+                            ("fleet", &via_fleet),
+                            ("single", &via_single),
+                            ("seq", &via_seq),
+                            ("want", &m)
+                        ])
+                    ),
+                });
+            }
+        }
+        // Burst shape: queue a batch at once so multi-card fleets see
+        // imbalance (and, at threshold 1, steal) — every handle must
+        // still resolve to the oracle answer exactly once.
+        let burst: Vec<(BigUint, _)> = (0..6u64)
+            .map(|_| {
+                let m = g.residue(n);
+                let c = m.mod_exp(key.public().e(), n);
+                let handle = fleet.submit(c).expect("fleet accepts the burst");
+                (m, handle)
+            })
+            .collect();
+        for (want, handle) in burst {
+            let got = handle.wait().expect("burst request answers");
+            if got != want {
+                out.push(Divergence {
+                    kernel: NAME,
+                    seed: cfg.seed,
+                    case,
+                    detail: format!(
+                        "burst ({cards} cards): {}",
+                        dump(&[("fleet", &got), ("want", &want)])
+                    ),
+                });
+            }
+        }
+        let report = fleet.shutdown_fleet();
+        if report.cards.len() != cards || report.resolved_ops() != 12 {
+            out.push(Divergence {
+                kernel: NAME,
+                seed: cfg.seed,
+                case,
+                detail: format!(
+                    "ledger: {} cards reported {} resolved ops (want {cards} cards, 12 ops)",
+                    report.cards.len(),
+                    report.resolved_ops(),
+                ),
+            });
+        }
+        single.shutdown_resilient();
+    }
+    cases
+}
+
 /// The truncated-separated Montgomery reduction (DESIGN.md §3.12) vs
 /// the classic CIOS kernels, scalar and vector, on adversarial inputs.
 ///
@@ -1234,6 +1348,7 @@ pub const FAMILIES: &[&str] = &[
     "engine-masked",
     "rsa-ops",
     "resilient",
+    "fleet",
     "mont-truncated",
     "backend-parity",
 ];
@@ -1254,6 +1369,7 @@ pub fn run_all(cfg: &DiffConfig) -> DiffOutcome {
         check_engine_masked,
         check_rsa_ops,
         check_resilient,
+        check_fleet,
         check_mont_truncated,
         check_backend_parity,
     ];

@@ -190,6 +190,50 @@ impl FaultScript {
     }
 }
 
+/// Per-card fault scripts for a *correlated* whole-card failure drill:
+/// a seed-chosen subset of `affected` cards all fire a burst of `burst`
+/// [`FaultKind::CardReset`]s after `delay` clean card attempts — the
+/// rack-power-dip scenario where several coprocessors reset together
+/// under load. The remaining cards stay healthy (empty scripts).
+///
+/// Deterministic: the same `(seed, cards, affected, delay, burst)`
+/// produces the same affected subset and the same schedules, so fleet
+/// chaos drills replay exactly like every other seeded schedule here.
+/// Returns one script per card, indexed by card.
+pub fn correlated_reset_scripts(
+    seed: u64,
+    cards: usize,
+    affected: usize,
+    delay: usize,
+    burst: usize,
+) -> Vec<FaultScript> {
+    assert!(cards >= 1, "a fleet needs at least one card");
+    assert!(
+        affected <= cards,
+        "cannot affect more cards than the fleet has"
+    );
+    // Seeded Fisher–Yates over the card indices; the first `affected`
+    // entries of the shuffle are the correlated-failure set.
+    let mut order: Vec<usize> = (0..cards).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..cards).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let hit: Vec<usize> = order.into_iter().take(affected).collect();
+    (0..cards)
+        .map(|card| {
+            if hit.contains(&card) {
+                let mut steps = vec![None; delay];
+                steps.extend(std::iter::repeat_n(Some(FaultKind::CardReset), burst));
+                FaultScript::new(steps)
+            } else {
+                FaultScript::new(Vec::new())
+            }
+        })
+        .collect()
+}
+
 impl FaultSource for FaultScript {
     fn next_fault(&self, _lanes: usize) -> Option<FaultKind> {
         let step = self
@@ -295,6 +339,35 @@ mod tests {
             assert_eq!(script.next_fault(8), Some(FaultKind::PcieTimeout));
         }
         assert_eq!(script.next_fault(8), None);
+    }
+
+    #[test]
+    fn correlated_resets_are_deterministic_and_sized() {
+        let a = correlated_reset_scripts(9, 4, 2, 3, 5);
+        let b = correlated_reset_scripts(9, 4, 2, 3, 5);
+        assert_eq!(a.len(), 4);
+        let shape = |scripts: &[FaultScript]| -> Vec<usize> {
+            scripts.iter().map(FaultScript::remaining).collect()
+        };
+        assert_eq!(shape(&a), shape(&b), "same seed, same affected subset");
+        // Exactly two cards carry the 3-clean + 5-reset schedule.
+        let loaded = a.iter().filter(|s| s.remaining() == 8).count();
+        let clean = a.iter().filter(|s| s.remaining() == 0).count();
+        assert_eq!((loaded, clean), (2, 2));
+        // An affected card plays delay clean attempts, then the burst.
+        let affected = a.iter().find(|s| s.remaining() > 0).unwrap();
+        for _ in 0..3 {
+            assert_eq!(affected.next_fault(16), None);
+        }
+        assert_eq!(affected.next_fault(16), Some(FaultKind::CardReset));
+        // Different seeds may pick different subsets (probe a few).
+        let subset = |seed| {
+            correlated_reset_scripts(seed, 8, 2, 0, 1)
+                .iter()
+                .map(|s| s.remaining())
+                .collect::<Vec<_>>()
+        };
+        assert!((0..16).any(|s| subset(s) != subset(0)));
     }
 
     #[test]

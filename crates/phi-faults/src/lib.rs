@@ -32,4 +32,4 @@ pub mod injector;
 pub use backoff::BackoffPolicy;
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use fault::FaultKind;
-pub use injector::{FaultInjector, FaultRates, FaultScript, FaultSource};
+pub use injector::{correlated_reset_scripts, FaultInjector, FaultRates, FaultScript, FaultSource};

@@ -55,6 +55,18 @@ impl CostModel {
         CostModel { weights, machine }
     }
 
+    /// One frozen-KNC model instance per card of an N-card fleet.
+    ///
+    /// Every card in the modeled fleet is the same 5110P part, but each
+    /// gets its *own* `CostModel` (and therefore its own [`KncMachine`])
+    /// so per-card cycle accounting never shares state — the fleet
+    /// scheduler prices each card's flushes on the card's own instance,
+    /// and a single-card fleet prices exactly like [`CostModel::knc`].
+    pub fn knc_fleet(cards: usize) -> Vec<CostModel> {
+        assert!(cards >= 1, "a fleet needs at least one card");
+        (0..cards).map(|_| CostModel::knc()).collect()
+    }
+
     /// The machine this model runs on.
     pub fn machine(&self) -> &KncMachine {
         &self.machine
@@ -189,6 +201,18 @@ mod tests {
         // One op costs 1053 cycles; full card = 60 cores * 1.053e9 / 1053 = 60e6 ops/s.
         let t = m.throughput(&c, 240, false);
         assert!((t - 60.0e6).abs() / 60.0e6 < 1e-9);
+    }
+
+    #[test]
+    fn fleet_models_are_independent_copies_of_knc() {
+        let fleet = CostModel::knc_fleet(3);
+        assert_eq!(fleet.len(), 3);
+        let base = CostModel::knc();
+        let c = counts(&[(OpClass::VMul, 100), (OpClass::SMul64, 7)]);
+        for m in &fleet {
+            assert_eq!(m.issue_cycles(&c), base.issue_cycles(&c));
+            assert_eq!(m.machine(), base.machine());
+        }
     }
 
     #[test]

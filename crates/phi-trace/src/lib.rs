@@ -30,7 +30,7 @@ pub mod scope;
 pub mod span;
 pub mod stats;
 
-pub use metrics::{registry, MetricsSnapshot, Registry};
+pub use metrics::{card, registry, set_card, MetricsSnapshot, Registry};
 pub use report::{ExperimentReport, FlushTelemetry, Report, SpanReport, SCHEMA, SCHEMA_V1};
 pub use scope::Scope;
 pub use span::{

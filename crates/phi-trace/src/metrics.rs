@@ -10,8 +10,29 @@
 //! into the bench report afterwards.
 
 use crate::stats::Summary;
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::sync::{Mutex, OnceLock};
+
+thread_local! {
+    /// The fleet card this thread publishes for, if any. Set once by each
+    /// fleet card worker; publisher threads outside a fleet never touch it.
+    static CARD: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Label every metric published from this thread with a fleet card index
+/// (`None` removes the label). While set, [`Registry::counter_add`] bumps
+/// `card{i}.<name>` *in addition to* the unlabeled aggregate, so
+/// single-card dashboards and existing counter assertions keep working
+/// while fleet telemetry stays attributable per card.
+pub fn set_card(card: Option<usize>) {
+    CARD.with(|c| c.set(card));
+}
+
+/// The fleet card label currently attached to this thread's metrics.
+pub fn card() -> Option<usize> {
+    CARD.with(|c| c.get())
+}
 
 #[derive(Default)]
 struct Inner {
@@ -41,9 +62,16 @@ impl Registry {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Add `n` to the counter `name` (creating it at zero).
+    /// Add `n` to the counter `name` (creating it at zero). When the
+    /// publishing thread carries a fleet card label ([`set_card`]), the
+    /// per-card counter `card{i}.<name>` is bumped alongside the
+    /// unlabeled aggregate.
     pub fn counter_add(&self, name: &str, n: u64) {
-        *self.lock().counters.entry(name.to_owned()).or_insert(0) += n;
+        let mut inner = self.lock();
+        *inner.counters.entry(name.to_owned()).or_insert(0) += n;
+        if let Some(c) = card() {
+            *inner.counters.entry(format!("card{c}.{name}")).or_insert(0) += n;
+        }
     }
 
     /// Set the gauge `name` to `value`.
@@ -149,6 +177,19 @@ mod tests {
         assert_eq!(snap.counter("y"), 1);
         r.reset();
         assert_eq!(r.counter("x"), 0);
+    }
+
+    #[test]
+    fn card_label_duplicates_counters_per_card() {
+        let r = Registry::new();
+        set_card(Some(2));
+        r.counter_add("service.ops", 5);
+        set_card(None);
+        r.counter_add("service.ops", 3);
+        assert_eq!(r.counter("service.ops"), 8, "aggregate sees everything");
+        assert_eq!(r.counter("card2.service.ops"), 5, "labeled slice per card");
+        assert_eq!(r.counter("card0.service.ops"), 0);
+        assert_eq!(card(), None);
     }
 
     #[test]

@@ -21,6 +21,14 @@
 //! instead: the same card engine behind `phi_rt`'s resilient service,
 //! with a host-scalar CRT closure as the degradation path, so injected
 //! card faults (or a tripped breaker) cost throughput, not answers.
+//!
+//! [`RsaBatchService::new_fleet`] generalizes both to an N-card fleet
+//! (`PhiConfig::builder().fleet(..)`): every modeled card runs the
+//! resilient loop over its own engine and Montgomery session cache,
+//! submissions are routed by the key's modulus fingerprint so a key's
+//! stream stays on its warm card, and work stealing plus whole-card
+//! migration keep answers flowing when a card lags or trips. A one-card
+//! fleet reproduces [`RsaBatchService::new_resilient`] bit-for-bit.
 
 use crate::blinding::Blinding;
 use crate::error::RsaError;
@@ -32,7 +40,10 @@ use phi_mont::{Libcrypto, ModulusSession, OpensslBaseline};
 use phi_rt::resilient::HostFn;
 use phi_rt::service::{BatchService, ServiceConfig, SubmitError, TicketHandle};
 use phi_rt::stats::{ResilienceReport, ServiceReport};
-use phi_rt::{ResilienceConfig, ResilientHandle, ResilientService};
+use phi_rt::{
+    key_fingerprint, CardSetup, FleetReport, FleetScheduler, ResilienceConfig, ResilientHandle,
+    ResilientService,
+};
 use phiopenssl::BatchCrtEngine;
 use rand::Rng;
 use std::sync::{Arc, Mutex};
@@ -44,13 +55,18 @@ enum Backend {
     /// The fault-tolerant service: retries, deadline budget, breaker,
     /// host-scalar fallback.
     Resilient(ResilientService<BigUint, BigUint>),
+    /// The N-card fleet: every card runs the resilient loop over its own
+    /// engine (and therefore its own Montgomery session cache), with
+    /// key-affinity routing and work stealing on top.
+    Fleet(FleetScheduler<BigUint, BigUint>),
 }
 
-/// A pending plaintext from either backend of an [`RsaBatchService`].
+/// A pending plaintext from any backend of an [`RsaBatchService`].
 pub enum RsaTicket {
     /// Handle into the plain batch service.
     Plain(TicketHandle<BigUint>),
-    /// Handle into the resilient service.
+    /// Handle into the resilient service, or into one fleet card's
+    /// resilient lane (both resolve with the same exactly-once contract).
     Resilient(ResilientHandle<BigUint>),
 }
 
@@ -74,6 +90,9 @@ impl RsaTicket {
 pub struct RsaBatchService {
     backend: Backend,
     n: BigUint,
+    /// [`key_fingerprint`] of `n`'s big-endian bytes — the routing key
+    /// every fleet submission carries, precomputed once per service.
+    fp: u64,
 }
 
 /// The 16-lane card executor for `key`, shared by both backends. The
@@ -94,9 +113,36 @@ fn card_engine(
     .with_window(phi.window))
 }
 
+/// Host-scalar CRT over the host library's Montgomery sessions — the
+/// same path [`RsaOps::private_op`] takes with no service, so degraded
+/// throughput is priced as what the host can actually do, not as a free
+/// pass. Each resilient backend (and each fleet card) owns one.
+fn host_crt(key: &RsaPrivateKey) -> Result<HostFn<BigUint, BigUint>, RsaError> {
+    let (p, q) = (key.p().clone(), key.q().clone());
+    let (dp, dq, qinv) = (key.dp().clone(), key.dq().clone(), key.qinv().clone());
+    let sp = OpensslBaseline.with_modulus(key.p())?;
+    let sq = OpensslBaseline.with_modulus(key.q())?;
+    Ok(Box::new(move |c: &BigUint| {
+        let m1 = sp.mod_exp(c, &dp);
+        let m2 = sq.mod_exp(c, &dq);
+        let h = (&qinv * &m1.mod_sub(&m2, &p))
+            .rem_ref(&p)
+            .expect("prime modulus is nonzero");
+        &m2 + &(&h * &q)
+    }))
+}
+
 impl RsaBatchService {
     /// Start a batch service for `key` with the given aggregation policy,
     /// on the process-default vector backend.
+    ///
+    /// Migration note: this is the single-card constructor kept for
+    /// in-tree callers and the E14 baseline. New code should build the
+    /// card-count-agnostic stack instead —
+    /// `PhiConfig::builder().fleet(FleetConfig::default())` plus
+    /// [`RsaBatchService::new_fleet`], which reproduces this backend's
+    /// behavior bit-for-bit at `cards = 1`.
+    #[doc(hidden)]
     pub fn new(key: &RsaPrivateKey, config: ServiceConfig) -> Result<Self, RsaError> {
         Self::with_phi_config(key, config, &phiopenssl::PhiConfig::default())
     }
@@ -117,11 +163,17 @@ impl RsaBatchService {
             BatchService::new(config, move |cts: &[BigUint]| engine.private_op_masked(cts));
         Ok(RsaBatchService {
             backend: Backend::Plain(service),
+            fp: key_fingerprint(&key.public().n().to_bytes_be()),
             n: key.public().n().clone(),
         })
     }
 
     /// Service with the default policy (16 lanes, 2 ms deadline).
+    ///
+    /// Migration note: single-card constructor; new code should use
+    /// `PhiConfig::builder().fleet(..)` with
+    /// [`RsaBatchService::new_fleet`] — see [`RsaBatchService::new`].
+    #[doc(hidden)]
     pub fn with_defaults(key: &RsaPrivateKey) -> Result<Self, RsaError> {
         Self::new(key, ServiceConfig::default())
     }
@@ -134,28 +186,19 @@ impl RsaBatchService {
     /// when the card faults on every attempt. `faults` is the injected
     /// fault schedule (`None` models a healthy card and costs one
     /// pointer check per flush).
+    ///
+    /// Migration note: single-card constructor; new code should use
+    /// `PhiConfig::builder().fleet(..)` with
+    /// [`RsaBatchService::new_fleet`], which runs this exact resilient
+    /// loop per card and is bit-identical to it at `cards = 1`.
+    #[doc(hidden)]
     pub fn new_resilient(
         key: &RsaPrivateKey,
         config: ResilienceConfig,
         faults: Option<Arc<dyn FaultSource>>,
     ) -> Result<Self, RsaError> {
         let engine = card_engine(key, &phiopenssl::PhiConfig::default())?;
-        let (p, q) = (key.p().clone(), key.q().clone());
-        let (dp, dq, qinv) = (key.dp().clone(), key.dq().clone(), key.qinv().clone());
-        // Host-scalar CRT over the host library's Montgomery sessions —
-        // the same path [`RsaOps::private_op`] takes with no service, so
-        // degraded throughput is priced as what the host can actually do,
-        // not as a free pass.
-        let sp = OpensslBaseline.with_modulus(key.p())?;
-        let sq = OpensslBaseline.with_modulus(key.q())?;
-        let host: HostFn<BigUint, BigUint> = Box::new(move |c: &BigUint| {
-            let m1 = sp.mod_exp(c, &dp);
-            let m2 = sq.mod_exp(c, &dq);
-            let h = (&qinv * &m1.mod_sub(&m2, &p))
-                .rem_ref(&p)
-                .expect("prime modulus is nonzero");
-            &m2 + &(&h * &q)
-        });
+        let host = host_crt(key)?;
         let service = ResilientService::new(
             config,
             move |cts: &[BigUint]| engine.private_op_masked(cts),
@@ -164,6 +207,54 @@ impl RsaBatchService {
         );
         Ok(RsaBatchService {
             backend: Backend::Resilient(service),
+            fp: key_fingerprint(&key.public().n().to_bytes_be()),
+            n: key.public().n().clone(),
+        })
+    }
+
+    /// Start an N-card fleet service for `key`.
+    ///
+    /// The fleet shape comes from `phi.fleet`
+    /// (`PhiConfig::builder().fleet(FleetConfig { cards, .. })`): each of
+    /// the `cards` modeled KNC cards runs the same resilient loop as
+    /// [`Self::new_resilient`] over its *own* [`BatchCrtEngine`] — and
+    /// therefore its own warm Montgomery session cache — with its own
+    /// circuit breaker and virtual clock. Submissions carry the key's
+    /// modulus fingerprint, so affinity routing keeps one key's stream on
+    /// the card whose sessions are warm; work stealing and whole-card
+    /// migration rebalance when a card lags or trips.
+    ///
+    /// `faults` holds one optional fault schedule per card (index =
+    /// card); a shorter vector leaves the remaining cards healthy. With
+    /// `phi.fleet.cards == 1` the service behaves bit-for-bit like
+    /// [`Self::new_resilient`].
+    pub fn new_fleet(
+        key: &RsaPrivateKey,
+        phi: &phiopenssl::PhiConfig,
+        resilience: ResilienceConfig,
+        faults: Vec<Option<Arc<dyn FaultSource>>>,
+    ) -> Result<Self, RsaError> {
+        let fleet = phi.fleet;
+        assert!(
+            faults.len() <= fleet.cards,
+            "{} fault schedules for a {}-card fleet",
+            faults.len(),
+            fleet.cards
+        );
+        let mut faults = faults;
+        faults.resize_with(fleet.cards, || None);
+        let mut setups = Vec::with_capacity(fleet.cards);
+        for card_faults in faults {
+            let engine = card_engine(key, phi)?;
+            let mut setup = CardSetup::new(move |cts: &[BigUint]| engine.private_op_masked(cts));
+            setup.host_fn = Some(host_crt(key)?);
+            setup.faults = card_faults;
+            setups.push(setup);
+        }
+        let scheduler = FleetScheduler::new(fleet, resilience, setups);
+        Ok(RsaBatchService {
+            backend: Backend::Fleet(scheduler),
+            fp: key_fingerprint(&key.public().n().to_bytes_be()),
             n: key.public().n().clone(),
         })
     }
@@ -173,16 +264,25 @@ impl RsaBatchService {
         &self.n
     }
 
-    /// Whether the service runs the fault-tolerant backend.
+    /// Whether the service runs a fault-tolerant backend (the resilient
+    /// service or the fleet, which is resilient per card).
     pub fn is_resilient(&self) -> bool {
-        matches!(self.backend, Backend::Resilient(_))
+        matches!(self.backend, Backend::Resilient(_) | Backend::Fleet(_))
     }
 
-    /// Submit one ciphertext; redeem the handle for the plaintext.
+    /// Whether the service runs the N-card fleet backend.
+    pub fn is_fleet(&self) -> bool {
+        matches!(self.backend, Backend::Fleet(_))
+    }
+
+    /// Submit one ciphertext; redeem the handle for the plaintext. Fleet
+    /// submissions carry the modulus fingerprint so affinity routing
+    /// keeps this key's stream on its warm card.
     pub fn submit(&self, c: BigUint) -> Result<RsaTicket, SubmitError> {
         match &self.backend {
             Backend::Plain(s) => Ok(RsaTicket::Plain(s.submit(c)?)),
             Backend::Resilient(s) => Ok(RsaTicket::Resilient(s.submit(c)?)),
+            Backend::Fleet(s) => Ok(RsaTicket::Resilient(s.submit_keyed(Some(self.fp), c)?)),
         }
     }
 
@@ -197,27 +297,41 @@ impl RsaBatchService {
         match &self.backend {
             Backend::Plain(s) => s.report(),
             Backend::Resilient(s) => s.report().service,
+            Backend::Fleet(s) => s.report().merged().service,
         }
     }
 
-    /// Full resilience telemetry; `None` on the plain backend.
+    /// Full resilience telemetry; `None` on the plain backend. For the
+    /// fleet this is the per-card reports merged fleet-wide.
     pub fn resilience_report(&self) -> Option<ResilienceReport> {
         match &self.backend {
             Backend::Plain(_) => None,
             Backend::Resilient(s) => Some(s.report()),
+            Backend::Fleet(s) => Some(s.report().merged()),
         }
     }
 
-    /// Drain parked requests, stop the worker, return final telemetry.
+    /// Per-card fleet telemetry (steals, migrations, affinity hit rate);
+    /// `None` unless the service runs the fleet backend.
+    pub fn fleet_report(&self) -> Option<FleetReport> {
+        match &self.backend {
+            Backend::Fleet(s) => Some(s.report()),
+            _ => None,
+        }
+    }
+
+    /// Drain parked requests, stop the worker(s), return final telemetry.
     pub fn shutdown(self) -> ServiceReport {
         match self.backend {
             Backend::Plain(s) => s.shutdown(),
             Backend::Resilient(s) => s.shutdown().service,
+            Backend::Fleet(s) => s.shutdown().merged().service,
         }
     }
 
     /// Shut down and return the full resilience telemetry (the plain
-    /// backend's card report wrapped in an otherwise-empty one).
+    /// backend's card report wrapped in an otherwise-empty one; the
+    /// fleet's per-card reports merged).
     pub fn shutdown_resilient(self) -> ResilienceReport {
         match self.backend {
             Backend::Plain(s) => ResilienceReport {
@@ -225,6 +339,30 @@ impl RsaBatchService {
                 ..ResilienceReport::default()
             },
             Backend::Resilient(s) => s.shutdown(),
+            Backend::Fleet(s) => s.shutdown().merged(),
+        }
+    }
+
+    /// Shut down and return the full fleet telemetry. Single-card
+    /// backends report as a one-card fleet with no steals or migrations,
+    /// so fleet-agnostic drivers can always harvest this shape.
+    pub fn shutdown_fleet(self) -> FleetReport {
+        match self.backend {
+            Backend::Fleet(s) => s.shutdown(),
+            other => FleetReport {
+                cards: vec![match other {
+                    Backend::Plain(s) => ResilienceReport {
+                        service: s.shutdown(),
+                        ..ResilienceReport::default()
+                    },
+                    Backend::Resilient(s) => s.shutdown(),
+                    Backend::Fleet(_) => unreachable!("matched above"),
+                }],
+                steals: 0,
+                migrations: 0,
+                affinity_hits: 0,
+                affinity_misses: 0,
+            },
         }
     }
 }
@@ -718,6 +856,90 @@ mod tests {
         assert_eq!(report.host_fallback_ops as usize + report.service.ops(), 6);
         assert!(report.host_fallback_ops > 0, "total fault rate forces host");
         assert!(report.faults_seen > 0);
+    }
+
+    #[test]
+    fn single_card_fleet_matches_resilient_answers() {
+        let key = key256();
+        let service = RsaBatchService::new_fleet(
+            &key,
+            &phiopenssl::PhiConfig::default(),
+            ResilienceConfig::default(),
+            Vec::new(),
+        )
+        .expect("fleet service");
+        assert!(service.is_fleet());
+        assert!(service.is_resilient());
+        let ops = RsaOps::new(Box::new(MpssBaseline));
+        for i in 1u64..=4 {
+            let m = BigUint::from(i * 9_999_991);
+            let c = ops.public_op(key.public(), &m).unwrap();
+            assert_eq!(service.call(c).unwrap(), m);
+        }
+        let report = service.shutdown_fleet();
+        assert_eq!(report.cards.len(), 1);
+        assert_eq!(report.resolved_ops(), 4);
+        assert_eq!(report.steals, 0, "one card has nobody to steal from");
+        assert_eq!(report.migrations, 0);
+        assert_eq!(
+            report.affinity_hits + report.affinity_misses,
+            4,
+            "every submission was keyed by the modulus fingerprint"
+        );
+    }
+
+    #[test]
+    fn multi_card_fleet_pins_one_key_to_one_card() {
+        let key = key256();
+        let phi = phiopenssl::PhiConfig::builder()
+            .fleet(phiopenssl::FleetConfig {
+                cards: 3,
+                ..phiopenssl::FleetConfig::default()
+            })
+            .unwrap()
+            .build();
+        let service =
+            RsaBatchService::new_fleet(&key, &phi, ResilienceConfig::default(), Vec::new())
+                .expect("fleet service");
+        let ops = RsaOps::new(Box::new(MpssBaseline));
+        for i in 1u64..=6 {
+            let m = BigUint::from(i * 7_777_777);
+            let c = ops.public_op(key.public(), &m).unwrap();
+            assert_eq!(service.call(c).unwrap(), m);
+        }
+        let report = service.shutdown_fleet();
+        assert_eq!(report.cards.len(), 3);
+        assert_eq!(report.resolved_ops(), 6);
+        assert_eq!(report.affinity_misses, 1, "one cold-key homing");
+        assert_eq!(report.affinity_hits, 5, "then every op hit the warm card");
+    }
+
+    #[test]
+    fn fleet_with_one_faulted_card_still_answers_everything() {
+        use phi_faults::{FaultInjector, FaultRates, FaultSource};
+        let key = key256();
+        let phi = phiopenssl::PhiConfig::builder()
+            .fleet(phiopenssl::FleetConfig {
+                cards: 2,
+                ..phiopenssl::FleetConfig::default()
+            })
+            .unwrap()
+            .build();
+        let faults: Vec<Option<Arc<dyn FaultSource>>> = vec![Some(Arc::new(FaultInjector::new(
+            0xF1EE7,
+            FaultRates::uniform(1.0),
+        )))];
+        let service = RsaBatchService::new_fleet(&key, &phi, ResilienceConfig::default(), faults)
+            .expect("fleet service");
+        let ops = RsaOps::new(Box::new(MpssBaseline));
+        for i in 1u64..=5 {
+            let m = BigUint::from(i * 31_337);
+            let c = ops.public_op(key.public(), &m).unwrap();
+            assert_eq!(service.call(c).unwrap(), m);
+        }
+        let merged = service.shutdown_resilient();
+        assert_eq!(merged.errored_ops, 0);
+        assert_eq!(merged.resolved_ops(), 5);
     }
 
     #[test]

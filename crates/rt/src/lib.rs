@@ -18,12 +18,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod offload;
 pub mod pool;
 pub mod resilient;
 pub mod service;
 pub mod stats;
 
+pub use fleet::{
+    key_fingerprint, CardSetup, FleetConfig, FleetReport, FleetRouter, FleetScheduler,
+    RoutingPolicy,
+};
 pub use offload::{OffloadBatcher, OffloadModel};
 pub use pool::{AffinityPolicy, BatchReport, PhiPool};
 pub use resilient::{OffloadError, ResilienceConfig, ResilientHandle, ResilientService};

@@ -137,12 +137,14 @@ impl std::error::Error for OffloadError {}
 /// The host-scalar fallback executor: one request at a time, no card.
 pub type HostFn<T, R> = Box<dyn Fn(&T) -> R + Send>;
 
-/// A request travelling through the resilient service.
-struct RJob<T, R> {
-    payload: T,
-    reply: mpsc::Sender<Result<R, OffloadError>>,
+/// A request travelling through the resilient service (and through the
+/// per-card flush loops of [`crate::fleet::FleetScheduler`], which reuses
+/// this exact machinery so fleet answers inherit the same guarantees).
+pub(crate) struct RJob<T, R> {
+    pub(crate) payload: T,
+    pub(crate) reply: mpsc::Sender<Result<R, OffloadError>>,
     /// Times a deadline cancellation has already put this job back.
-    requeues: u32,
+    pub(crate) requeues: u32,
 }
 
 struct RState<T, R> {
@@ -175,6 +177,12 @@ pub struct ResilientHandle<R> {
 }
 
 impl<R> ResilientHandle<R> {
+    /// Assemble a handle around an existing reply channel (the fleet
+    /// scheduler hands out the same handle type as this service).
+    pub(crate) fn from_parts(ticket: Ticket, rx: mpsc::Receiver<Result<R, OffloadError>>) -> Self {
+        ResilientHandle { ticket, rx }
+    }
+
     /// The ticket this handle redeems.
     pub fn ticket(&self) -> Ticket {
         self.ticket
@@ -305,17 +313,17 @@ impl<T: Send + Clone + 'static, R: Send + 'static> Drop for ResilientService<T, 
 }
 
 /// Everything one flush did, merged into the report under the state lock.
-struct FlushStats<T, R> {
-    card_completed: usize,
-    card_modeled_s: f64,
-    host_completed: usize,
-    host_modeled_s: f64,
-    errored: usize,
-    faults: u64,
-    retries: u64,
-    deadline_cancelled: bool,
-    degraded: bool,
-    requeued: Vec<Pending<RJob<T, R>>>,
+pub(crate) struct FlushStats<T, R> {
+    pub(crate) card_completed: usize,
+    pub(crate) card_modeled_s: f64,
+    pub(crate) host_completed: usize,
+    pub(crate) host_modeled_s: f64,
+    pub(crate) errored: usize,
+    pub(crate) faults: u64,
+    pub(crate) retries: u64,
+    pub(crate) deadline_cancelled: bool,
+    pub(crate) degraded: bool,
+    pub(crate) requeued: Vec<Pending<RJob<T, R>>>,
 }
 
 impl<T, R> FlushStats<T, R> {
@@ -478,8 +486,12 @@ fn resolve_off_card<T, R>(
 /// Execute one flush through the breaker/fault/retry/deadline loop.
 /// Consumes `entries`; every entry is either resolved through its reply
 /// channel or returned in `FlushStats::requeued`.
+///
+/// Crate-visible so the fleet scheduler's per-card workers run the
+/// *identical* loop — with `cards = 1` the fleet is bit- and
+/// cycle-identical to [`ResilientService`] by construction.
 #[allow(clippy::too_many_arguments)]
-fn run_flush<T, R, F>(
+pub(crate) fn run_flush<T, R, F>(
     config: &ResilienceConfig,
     cost: &CostModel,
     card_fn: &F,

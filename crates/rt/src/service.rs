@@ -263,6 +263,30 @@ impl<T> Collector<T> {
         }
     }
 
+    /// Remove and return up to `n` of the *newest* parked requests — the
+    /// work-stealing donor path of the fleet scheduler. The oldest
+    /// requests keep their place (and therefore their deadline); returned
+    /// entries are in arrival order, keeping their tickets and stamps.
+    pub fn steal_back(&mut self, n: usize) -> Vec<Pending<T>> {
+        let take = n.min(self.queue.len());
+        let stolen: Vec<Pending<T>> = self.queue.split_off(self.queue.len() - take).into();
+        if phi_trace::is_enabled() && !stolen.is_empty() {
+            phi_trace::registry().counter_add("service.stolen", stolen.len() as u64);
+        }
+        stolen
+    }
+
+    /// Append already-admitted requests taken from another collector
+    /// (the work-stealing/migration receiver path), keeping their tickets
+    /// and arrival stamps. Bypasses the high-water mark: admission was
+    /// granted by the donor.
+    pub fn adopt(&mut self, entries: Vec<Pending<T>>) {
+        if phi_trace::is_enabled() && !entries.is_empty() {
+            phi_trace::registry().counter_add("service.adopted", entries.len() as u64);
+        }
+        self.queue.extend(entries);
+    }
+
     /// Remove and return the oldest `width`-or-fewer requests as a batch.
     /// Panics if nothing is parked — callers gate on [`Collector::ready`]
     /// or [`Collector::is_empty`].

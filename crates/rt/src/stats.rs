@@ -95,6 +95,15 @@ impl ServiceReport {
             self.ops() as f64 / t
         }
     }
+
+    /// Fold another service's telemetry into this one — the per-card
+    /// roll-up path of the fleet scheduler. Flush records concatenate
+    /// (donor order preserved), counters add.
+    pub fn merge(&mut self, other: &ServiceReport) {
+        self.flushes.extend_from_slice(&other.flushes);
+        self.rejected += other.rejected;
+        self.poisoned_jobs += other.poisoned_jobs;
+    }
 }
 
 /// Aggregated telemetry of a resilient (fault-tolerant) batch service's
@@ -184,6 +193,43 @@ impl ResilienceReport {
         } else {
             (self.host_fallback_ops + self.errored_ops) as f64 / total as f64
         }
+    }
+
+    /// Fold a per-card report into this aggregate — the fleet roll-up.
+    ///
+    /// Counters add and flush records concatenate. Two fields need
+    /// cross-card semantics rather than a sum: `breaker_state` keeps the
+    /// *worst* state across cards (Open > HalfOpen > Closed, so a fleet
+    /// with one tripped card reads as degraded), and
+    /// `modeled_virtual_seconds` keeps the *max* — cards run in parallel,
+    /// so fleet virtual time is the slowest card's clock, which is also
+    /// what makes [`ResilienceReport::effective_throughput`] of a merged
+    /// report mean fleet ops over fleet wall time.
+    pub fn merge(&mut self, other: &ResilienceReport) {
+        fn severity(s: phi_faults::BreakerState) -> u8 {
+            match s {
+                phi_faults::BreakerState::Closed => 0,
+                phi_faults::BreakerState::HalfOpen => 1,
+                phi_faults::BreakerState::Open => 2,
+            }
+        }
+        self.service.merge(&other.service);
+        self.faults_seen += other.faults_seen;
+        self.retries += other.retries;
+        self.requeues += other.requeues;
+        self.deadline_cancellations += other.deadline_cancellations;
+        self.degraded_flushes += other.degraded_flushes;
+        self.host_fallback_ops += other.host_fallback_ops;
+        self.host_modeled_seconds += other.host_modeled_seconds;
+        self.errored_ops += other.errored_ops;
+        self.breaker_trips += other.breaker_trips;
+        self.breaker_recoveries += other.breaker_recoveries;
+        if severity(other.breaker_state) > severity(self.breaker_state) {
+            self.breaker_state = other.breaker_state;
+        }
+        self.modeled_virtual_seconds = self
+            .modeled_virtual_seconds
+            .max(other.modeled_virtual_seconds);
     }
 }
 

@@ -8,7 +8,7 @@ use phi_rsa::key::RsaPrivateKey;
 use phi_rsa::{RsaBatchService, RsaOps};
 use phi_rt::service::ServiceConfig;
 use phi_rt::stats::{ResilienceReport, ServiceReport};
-use phi_rt::{AffinityPolicy, BatchReport, PhiPool, ResilienceConfig};
+use phi_rt::{AffinityPolicy, BatchReport, FleetReport, PhiPool, ResilienceConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -206,6 +206,51 @@ where
     Ok((successes, report, resilience_report))
 }
 
+/// Run `count` concurrent handshakes like [`drive_concurrent_resilient`],
+/// but behind the N-card fleet from `phi.fleet`: server private
+/// operations are keyed by the key's modulus fingerprint and routed to
+/// the card holding its warm Montgomery sessions, with work stealing and
+/// whole-card migration rebalancing load when a card lags or trips.
+///
+/// `faults` holds one optional schedule per card (shorter vectors leave
+/// the remaining cards healthy), so correlated multi-card failure drills
+/// are one call. With `phi.fleet.cards == 1` this is
+/// [`drive_concurrent_resilient`] in fleet clothing — same answers, same
+/// modeled cycles.
+///
+/// Returns `(successes, pool_report, fleet_report)`; the fleet report
+/// carries per-card resilience telemetry plus the cross-card ledger
+/// (steals, migrations, affinity hit rate).
+#[allow(clippy::too_many_arguments)]
+pub fn drive_concurrent_fleet<F>(
+    key: &RsaPrivateKey,
+    make_ops: F,
+    count: usize,
+    threads: u32,
+    policy: AffinityPolicy,
+    phi: &phiopenssl::PhiConfig,
+    config: ResilienceConfig,
+    faults: Vec<Option<Arc<dyn FaultSource>>>,
+) -> Result<(usize, BatchReport, FleetReport), SslError>
+where
+    F: Fn() -> RsaOps + Sync,
+{
+    let service = Arc::new(RsaBatchService::new_fleet(key, phi, config, faults)?);
+    let pool = PhiPool::new(threads, policy);
+    let (oks, report) = pool.run_batch(count, |i| {
+        let mut rng = StdRng::seed_from_u64(0xF1EE + i as u64);
+        let server_ops = make_ops().with_service(Arc::clone(&service));
+        let mut server = Server::new(&mut rng, key.clone(), server_ops);
+        let mut client = Client::new(&mut rng, make_ops());
+        drive_handshake(&mut rng, &mut server, &mut client).is_ok()
+    });
+    let successes = oks.iter().filter(|&&ok| ok).count();
+    let fleet_report = Arc::try_unwrap(service)
+        .unwrap_or_else(|_| unreachable!("pool tasks joined, no other holders"))
+        .shutdown_fleet();
+    Ok((successes, report, fleet_report))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -344,6 +389,85 @@ mod tests {
         assert_eq!(report.faults_seen, 0);
         assert_eq!(report.host_fallback_ops, 0);
         assert_eq!(report.errored_ops, 0);
+    }
+
+    #[test]
+    fn fleet_driver_serves_every_handshake_across_cards() {
+        let k = key();
+        let phi = phiopenssl::PhiConfig::builder()
+            .fleet(phiopenssl::FleetConfig {
+                cards: 2,
+                ..phiopenssl::FleetConfig::default()
+            })
+            .unwrap()
+            .build();
+        let config = ResilienceConfig {
+            service: ServiceConfig {
+                width: 4,
+                max_wait: 500e-6,
+                queue_cap: 16,
+            },
+            ..ResilienceConfig::default()
+        };
+        let (ok, _pool_report, fleet) = drive_concurrent_fleet(
+            &k,
+            || RsaOps::new(Box::new(MpssBaseline)),
+            8,
+            4,
+            AffinityPolicy::Compact,
+            &phi,
+            config,
+            Vec::new(),
+        )
+        .unwrap();
+        assert_eq!(ok, 8);
+        assert_eq!(fleet.cards.len(), 2);
+        assert_eq!(fleet.resolved_ops(), 8, "one private op per handshake");
+        assert_eq!(fleet.merged().errored_ops, 0);
+        assert_eq!(
+            fleet.affinity_hits + fleet.affinity_misses,
+            8,
+            "every server op was keyed by the modulus fingerprint"
+        );
+    }
+
+    #[test]
+    fn fleet_driver_survives_a_faulted_card() {
+        use phi_faults::{FaultInjector, FaultRates};
+        let k = key();
+        let phi = phiopenssl::PhiConfig::builder()
+            .fleet(phiopenssl::FleetConfig {
+                cards: 2,
+                ..phiopenssl::FleetConfig::default()
+            })
+            .unwrap()
+            .build();
+        let config = ResilienceConfig {
+            service: ServiceConfig {
+                width: 4,
+                max_wait: 500e-6,
+                queue_cap: 16,
+            },
+            ..ResilienceConfig::default()
+        };
+        let faults: Vec<Option<Arc<dyn FaultSource>>> = vec![Some(Arc::new(FaultInjector::new(
+            0xCA4D,
+            FaultRates::uniform(0.8),
+        )))];
+        let (ok, _pool_report, fleet) = drive_concurrent_fleet(
+            &k,
+            || RsaOps::new(Box::new(MpssBaseline)),
+            8,
+            4,
+            AffinityPolicy::Compact,
+            &phi,
+            config,
+            faults,
+        )
+        .unwrap();
+        assert_eq!(ok, 8, "a faulted card never fails a handshake");
+        assert_eq!(fleet.resolved_ops(), 8);
+        assert_eq!(fleet.merged().errored_ops, 0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The service-layer surface in one sitting: validated configuration,
-//! cached Montgomery sessions, and the deadline-driven batch RSA service
-//! shared by a burst of concurrent decryptors.
+//! cached Montgomery sessions, the deadline-driven batch RSA service
+//! shared by a burst of concurrent decryptors, and the N-card fleet.
 //!
 //! ```text
 //! cargo run --release --example batch_service
@@ -11,6 +11,7 @@ use phi_mont::Libcrypto;
 use phi_rsa::key::RsaPrivateKey;
 use phi_rsa::{RsaBatchService, RsaOps};
 use phi_rt::service::{FlushReason, ServiceConfig};
+use phi_rt::{FleetConfig, ResilienceConfig};
 use phiopenssl::{PhiConfig, PhiLibrary};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -101,6 +102,40 @@ fn main() {
         1e3 * flush.oldest_wait,
         flush.occupancy,
         flush.width,
+    );
+
+    // --- the N-card fleet --------------------------------------------
+    // Same service surface, spread over two modeled cards: keyed
+    // submissions route by modulus affinity, idle cards steal work, and
+    // a tripped card migrates its lanes onto survivors. `cards = 1`
+    // reproduces the single-card stack bit for bit.
+    let phi = PhiConfig::builder()
+        .fleet(FleetConfig {
+            cards: 2,
+            ..FleetConfig::default()
+        })
+        .expect("two cards is a valid fleet shape")
+        .build();
+    let fleet = RsaBatchService::new_fleet(&key, &phi, ResilienceConfig::default(), Vec::new())
+        .expect("fleet service");
+    let handles: Vec<_> = (0..8)
+        .map(|_| fleet.submit(ct.clone()).expect("queue has room"))
+        .collect();
+    for h in handles {
+        assert_eq!(
+            h.wait().expect("fleet op"),
+            expected,
+            "fleet disagrees with sequential CRT"
+        );
+    }
+    let report = fleet.shutdown_fleet();
+    println!(
+        "fleet service: {} ops over {} cards ({} affinity hits, {} steals, {} migrations)",
+        report.resolved_ops(),
+        report.cards.len(),
+        report.affinity_hits,
+        report.steals,
+        report.migrations,
     );
 
     // --- one error type at the workspace rim -------------------------

@@ -8,8 +8,10 @@
 //! CI failure is reproducible from the seed printed on stderr.
 
 use phi_mont::MpssBaseline;
+use phiopenssl_suite::core_lib::{FleetConfig, PhiConfig, RoutingPolicy};
 use phiopenssl_suite::faults::{
-    BreakerConfig, BreakerState, FaultInjector, FaultKind, FaultRates, FaultScript, FaultSource,
+    correlated_reset_scripts, BreakerConfig, BreakerState, FaultInjector, FaultKind, FaultRates,
+    FaultScript, FaultSource,
 };
 use phiopenssl_suite::rsa::key::RsaPrivateKey;
 use phiopenssl_suite::rsa::{RsaBatchService, RsaOps};
@@ -237,6 +239,162 @@ fn host_fallback_answers_are_bit_identical_to_the_card_path() {
         "a card faulting on every attempt resolves everything on the host"
     );
     assert_eq!(host_report.errored_ops, 0);
+}
+
+/// The fleet correlated-failure drill (the CI chaos-smoke shape): a
+/// seed-chosen subset of a 3-card fleet eats a burst of whole-card
+/// resets while concurrent submitters keep the queues loaded. Tripped
+/// cards migrate their queued work to survivors; every request must
+/// still resolve exactly once with the right plaintext.
+#[test]
+fn fleet_correlated_card_resets_resolve_every_request_exactly_once() {
+    let seed = chaos_seed(0xF1EE_7D11);
+    let key = test_key();
+    const CARDS: usize = 3;
+    // Two of the three cards reset on flushes 2..=4 (one clean flush,
+    // then a burst of three hard faults), chosen by the seed.
+    let scripts = correlated_reset_scripts(seed, CARDS, 2, 1, 3);
+    let faults: Vec<Option<Arc<dyn FaultSource>>> = scripts
+        .into_iter()
+        .map(|s| Some(Arc::new(s) as Arc<dyn FaultSource>))
+        .collect();
+    let phi = PhiConfig::builder()
+        .fleet(FleetConfig {
+            cards: CARDS,
+            // Round-robin spreads the one-key load over every card, so
+            // the affected cards are guaranteed to be under load when
+            // their reset burst fires (affinity would pin the whole
+            // stream to one home card and could miss the drill).
+            routing: RoutingPolicy::RoundRobin,
+            ..FleetConfig::default()
+        })
+        .expect("valid fleet shape")
+        .build();
+    let service = Arc::new(RsaBatchService::new_fleet(&key, &phi, quick_config(), faults).unwrap());
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 10;
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            let key = key.clone();
+            std::thread::spawn(move || {
+                let plain = RsaOps::new(Box::new(MpssBaseline));
+                for i in 0..PER_THREAD {
+                    let m = phiopenssl_suite::bigint::BigUint::from(t * 7_654_321 + i + 1);
+                    let c = plain.public_op(key.public(), &m).unwrap();
+                    match service.call(c) {
+                        Ok(got) => assert_eq!(got, m, "seed {seed}: wrong plaintext"),
+                        Err(e) => panic!("seed {seed}: request errored: {e}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker panicked");
+    }
+    let report = Arc::try_unwrap(service)
+        .unwrap_or_else(|_| panic!("service still shared"))
+        .shutdown_fleet();
+    assert_eq!(report.cards.len(), CARDS);
+    assert_eq!(
+        report.resolved_ops(),
+        THREADS * PER_THREAD,
+        "seed {seed}: conservation violated"
+    );
+    assert_eq!(
+        report.merged().errored_ops,
+        0,
+        "seed {seed}: host fallback covers every degraded lane"
+    );
+    assert!(
+        report.merged().faults_seen >= 1,
+        "seed {seed}: the reset burst must have fired"
+    );
+}
+
+/// The fleet's blessed-config identity claim, checked to the bit *and*
+/// the modeled cycle: a one-card fleet fed deterministic full-width
+/// batches — including a scripted whole-card reset — produces the same
+/// plaintexts and the same `modeled_virtual_seconds` as the single-card
+/// resilient service under the identical fault script.
+#[test]
+fn single_card_fleet_is_bit_and_cycle_identical_to_resilient() {
+    let key = test_key();
+    // Full-width batches with an effectively-infinite collection window
+    // make the flush composition deterministic on both stacks: each
+    // round of 4 submissions is exactly one occupancy-4 flush.
+    let config = ResilienceConfig {
+        service: ServiceConfig {
+            width: 4,
+            max_wait: 10.0,
+            queue_cap: 64,
+        },
+        breaker: BreakerConfig {
+            trip_threshold: 3,
+            cooldown_s: 0.0,
+            probe_successes: 1,
+        },
+        ..ResilienceConfig::default()
+    };
+    let schedule = || {
+        FaultScript::new(vec![
+            None,
+            Some(FaultKind::CardReset),
+            None,
+            None,
+            None,
+            None,
+        ])
+    };
+    let resilient = RsaBatchService::new_resilient(
+        &key,
+        config,
+        Some(Arc::new(schedule()) as Arc<dyn FaultSource>),
+    )
+    .unwrap();
+    let fleet = RsaBatchService::new_fleet(
+        &key,
+        &PhiConfig::default(), // cards = 1: the identity shape
+        config,
+        vec![Some(Arc::new(schedule()) as Arc<dyn FaultSource>)],
+    )
+    .unwrap();
+    let ops = RsaOps::new(Box::new(MpssBaseline));
+    for round in 0..3u64 {
+        let batch: Vec<_> = (0..4u64)
+            .map(|lane| {
+                let m = phiopenssl_suite::bigint::BigUint::from(round * 1_000_003 + lane + 1);
+                let c = ops.public_op(key.public(), &m).unwrap();
+                (m, c)
+            })
+            .collect();
+        let via_resilient: Vec<_> = batch
+            .iter()
+            .map(|(_, c)| resilient.submit(c.clone()).unwrap())
+            .collect();
+        let via_fleet: Vec<_> = batch
+            .iter()
+            .map(|(_, c)| fleet.submit(c.clone()).unwrap())
+            .collect();
+        for (((m, _), r), f) in batch.iter().zip(via_resilient).zip(via_fleet) {
+            let r = r.wait().unwrap();
+            let f = f.wait().unwrap();
+            assert_eq!(r, f, "round {round}: paths split");
+            assert_eq!(&r, m, "round {round}: wrong plaintext");
+        }
+    }
+    let base = resilient.shutdown_resilient();
+    let one_card = fleet.shutdown_resilient();
+    assert_eq!(one_card.service.ops(), base.service.ops());
+    assert_eq!(one_card.faults_seen, base.faults_seen);
+    assert_eq!(one_card.host_fallback_ops, base.host_fallback_ops);
+    assert_eq!(one_card.breaker_trips, base.breaker_trips);
+    assert_eq!(one_card.errored_ops, 0);
+    assert_eq!(
+        one_card.modeled_virtual_seconds, base.modeled_virtual_seconds,
+        "cards = 1 must be cycle-identical, not just bit-identical"
+    );
 }
 
 /// Without a host fallback the service must not hang or lose tickets:
