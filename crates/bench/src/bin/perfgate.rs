@@ -20,6 +20,11 @@
 //! # card and on two, and fail unless the two-card fleet's modeled
 //! # throughput is at least RATIO times the single card's
 //! perfgate --fleet-speedup 1.6
+//!
+//! # verified-offload gate: run the E14-shaped full-width burst through
+//! # a verified service and fail if the batched public-exponent check
+//! # costs more than the given fraction of all modeled time
+//! perfgate --verify-overhead 0.05
 //! ```
 //!
 //! Exit status 0 = pass, 1 = gate failure (regression, bad coverage, or
@@ -37,7 +42,8 @@ fn usage(code: i32) -> ! {
          \u{20}      perfgate --baseline BASELINE.json REPORT.json\n\
          \u{20}      perfgate --check REPORT.json --baseline BASELINE.json\n\
          \u{20}      perfgate --min-improvement FRACTION\n\
-         \u{20}      perfgate --fleet-speedup RATIO"
+         \u{20}      perfgate --fleet-speedup RATIO\n\
+         \u{20}      perfgate --verify-overhead FRACTION"
     );
     std::process::exit(code);
 }
@@ -180,12 +186,49 @@ fn run_fleet_speedup(arg: &str) -> i32 {
     }
 }
 
+fn run_verify_overhead(arg: &str) -> i32 {
+    let max: f64 = arg.parse().unwrap_or_else(|_| {
+        eprintln!("perfgate: --verify-overhead wants a fraction (e.g. 0.05), got '{arg}'");
+        std::process::exit(2);
+    });
+    if !(0.0..1.0).contains(&max) || max == 0.0 {
+        eprintln!("perfgate: --verify-overhead fraction must be in (0, 1), got {max}");
+        std::process::exit(2);
+    }
+    let m = gate::measure_verify_overhead();
+    let (bits, ops) = gate::VERIFY_GATE;
+    let ok = m.overhead <= max;
+    println!(
+        "perfgate: verified offload, {bits}-bit key, {ops}-op full-width burst \
+         (verification allowed <= {:.1}% of modeled time)",
+        max * 100.0
+    );
+    println!(
+        "  card+verify {:>12.6}s   verify {:>12.6}s   share {:>5.2}%  {}",
+        m.total_seconds,
+        m.verify_seconds,
+        m.overhead * 100.0,
+        if ok { "ok" } else { "TOO EXPENSIVE" }
+    );
+    if ok {
+        0
+    } else {
+        eprintln!(
+            "perfgate: the public-exponent check costs more than {:.1}% of the \
+             verified batch path's modeled time",
+            max * 100.0
+        );
+        1
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("--check") if args.len() == 2 => run_check(&args[1]),
         Some("--min-improvement") if args.len() == 2 => run_min_improvement(&args[1]),
         Some("--fleet-speedup") if args.len() == 2 => run_fleet_speedup(&args[1]),
+        Some("--verify-overhead") if args.len() == 2 => run_verify_overhead(&args[1]),
         Some("--check") if args.len() == 4 && args[2] == "--baseline" => {
             run_check(&args[1]).max(run_gate(&args[3], &args[1]))
         }

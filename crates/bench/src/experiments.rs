@@ -1183,11 +1183,20 @@ pub fn fleet_scaling(key_bits: u32, cards: usize, ops: usize) -> FleetSimPoint {
     simulate_fleet(&arrivals, fleet, config, t16, 0.0)
 }
 
-/// Distinct moduli the routing panel spreads over the fleet. More keys
-/// than one card's [`SESSION_SLOTS`] but fewer than the fleet's total,
-/// so affinity can keep every key resident while random routing
-/// thrashes every cache.
-const ROUTE_KEYS: u64 = 6;
+/// Distinct moduli the routing panel spreads over the fleet — a
+/// server-farm key population, far beyond what the fleet's combined
+/// [`SESSION_SLOTS`] can hold resident. No routing policy can keep 2048
+/// sessions warm; what affinity *can* exploit is the temporal locality
+/// of the arrival stream (each key shows up as a burst of
+/// [`ROUTE_BURST`] back-to-back requests, the shape of one client's
+/// handshake volley): keeping a burst on one card turns it into a
+/// single-setup single-modulus pass, while random routing splits it
+/// into mixed-key batches and pays the session setup on every card it
+/// touches.
+const ROUTE_KEYS: u64 = 2048;
+
+/// Back-to-back requests per key in the routing panel's arrival stream.
+const ROUTE_BURST: usize = 4;
 
 /// E19 — Table: multi-card fleet scheduler (DESIGN.md §3.13).
 ///
@@ -1197,11 +1206,12 @@ const ROUTE_KEYS: u64 = 6;
 ///   `cards_sweep`, driven through the real router and per-card
 ///   collectors on a virtual clock; `gain` is modeled throughput vs the
 ///   first size (CI gates two cards >= 1.6x one card).
-/// * `route` — `ROUTE_KEYS` distinct moduli on the largest fleet,
-///   random vs affinity routing under the same arrival schedule;
-///   `hit rate` is the fraction of keyed requests whose Montgomery
-///   session was already resident on the executing card, and the
-///   affinity row's `gain` is its throughput edge over random.
+/// * `route` — `ROUTE_KEYS` distinct moduli on the largest fleet in
+///   bursts of `ROUTE_BURST`, random vs affinity routing under the
+///   same arrival schedule; `hit rate` is the fraction of keyed
+///   requests whose Montgomery session was already resident on the
+///   executing card, and the affinity row's `gain` is its throughput
+///   edge over random.
 /// * `drill` — the real [`RsaBatchService`] fleet under a seeded
 ///   correlated whole-card reset burst: every request must resolve
 ///   exactly once (checked against the reference exponentiation),
@@ -1227,10 +1237,10 @@ pub fn e19_fleet(key_bits: u32, cards_sweep: &[usize], ops: usize) -> Table {
     let capacity_one = BATCH_WIDTH as f64 / t16;
     t.note(format!(
         "{} ops per panel point, width {}; scale = keyless load at 2x aggregate \
-         capacity, gain vs the smallest fleet; route = {} keys on the largest \
-         fleet ({}-session card caches), gain vs the random row; drill = real \
-         fleet service under a seeded correlated reset burst",
-        ops, BATCH_WIDTH, ROUTE_KEYS, SESSION_SLOTS
+         capacity, gain vs the smallest fleet; route = {} keys in bursts of {} \
+         on the largest fleet ({}-session card caches), gain vs the random row; \
+         drill = real fleet service under a seeded correlated reset burst",
+        ops, BATCH_WIDTH, ROUTE_KEYS, ROUTE_BURST, SESSION_SLOTS
     ));
     t.note(format!(
         "modeled batch pass {:.1} µs, cold session setup {:.1} µs",
@@ -1257,18 +1267,23 @@ pub fn e19_fleet(key_bits: u32, cards_sweep: &[usize], ops: usize) -> Table {
         ]);
     }
 
-    // Panel 2 — affinity vs random routing, many keys, same arrivals.
+    // Panel 2 — affinity vs random routing, a 2048-key population in
+    // temporally-local bursts, same arrivals for both policies. The
+    // panel sizes its own arrival count so every key actually appears:
+    // the routing contrast is a pure scheduler simulation (no bignum
+    // work per event), so the larger stream costs microseconds.
     let big = *cards_sweep.iter().max().expect("non-empty sweep");
     let offered = 1.5 * big as f64 * capacity_one;
-    let keyed: Vec<(f64, Option<u64>)> = poisson_arrivals(offered, ops, 0xE19B)
+    let route_ops = ops.max(ROUTE_BURST * ROUTE_KEYS as usize);
+    let keyed: Vec<(f64, Option<u64>)> = poisson_arrivals(offered, route_ops, 0xE19B)
         .into_iter()
         .enumerate()
-        .map(|(i, t)| (t, Some(i as u64 % ROUTE_KEYS)))
+        .map(|(i, t)| (t, Some((i / ROUTE_BURST) as u64 % ROUTE_KEYS)))
         .collect();
     let config = ServiceConfig {
         width: BATCH_WIDTH,
         max_wait: ServiceConfig::default().max_wait,
-        queue_cap: ops.max(BATCH_WIDTH),
+        queue_cap: route_ops.max(BATCH_WIDTH),
     };
     let mut random_thr = None::<f64>;
     for routing in [RoutingPolicy::Random, RoutingPolicy::Affinity] {
@@ -1287,7 +1302,7 @@ pub fn e19_fleet(key_bits: u32, cards_sweep: &[usize], ops: usize) -> Table {
                 RoutingPolicy::RoundRobin => "round-robin".into(),
                 RoutingPolicy::Random => "random".into(),
             },
-            ops.to_string(),
+            route_ops.to_string(),
             format!("{:.1}%", point.session_hit_rate * 100.0),
             point.steals.to_string(),
             "0".into(),
@@ -1358,6 +1373,124 @@ pub fn e19_fleet(key_bits: u32, cards_sweep: &[usize], ops: usize) -> Table {
         "-".into(),
     ]);
     t
+}
+
+/// E20 — Table: verified offload under silent-fault chaos (DESIGN.md
+/// §3.14).
+///
+/// Runs the verify-on-release batch RSA service against a seeded
+/// *silent* corruption schedule at each rate in `rates` (`rates[0]`
+/// should be `0.0`: its throughput is the "vs clean" baseline and its
+/// `verify %` column is the pure price of the public-exponent check,
+/// the number `perfgate --verify-overhead` bounds). Silent faults flip
+/// result limbs without raising any detectable error, so the
+/// detected-fault machinery (retries, breaker) never sees them — only
+/// the `m^e ≡ c (mod n)` check on release stands between the corruption
+/// and the caller, and one escaped corruption is a Bellcore-style key
+/// leak. The harness re-derives every released plaintext's public
+/// exponentiation independently; the `leaked` column counts mismatches
+/// and the run aborts if it is ever nonzero.
+pub fn e20_verified_offload(key_bits: u32, rates: &[f64], ops: usize) -> Table {
+    let mut t = Table::new(
+        format!("E20 (Table): verified offload under silent faults, {key_bits}-bit key"),
+        &[
+            "silent rate",
+            "resolved",
+            "checked",
+            "rejected",
+            "reruns",
+            "quarantines",
+            "host",
+            "leaked",
+            "verify %",
+            "modeled op/s",
+            "vs clean",
+        ],
+    );
+    t.note(format!(
+        "{} ops per point, width {}, seeded silent-corruption injector per \
+         rate; every release is re-checked against the public exponent — \
+         'leaked' must read 0 at every rate, 'verify %' is verification's \
+         share of all modeled time",
+        ops, BATCH_WIDTH
+    ));
+    let key = workload::rsa_key(key_bits);
+    let cts: Vec<phi_bigint::BigUint> = (0..ops as u64)
+        .map(|j| &workload::operand(key_bits, 2000 + j) % key.public().n())
+        .collect();
+    let check = OpensslBaseline
+        .with_modulus(key.public().n())
+        .expect("public modulus is odd");
+    let mut clean = None::<f64>;
+    for (ri, &rate) in rates.iter().enumerate() {
+        let faults: Option<std::sync::Arc<dyn FaultSource>> = if rate > 0.0 {
+            Some(std::sync::Arc::new(FaultInjector::new(
+                0xE20 + ri as u64,
+                FaultRates::silent(rate),
+            )))
+        } else {
+            None
+        };
+        let config = ResilienceConfig {
+            service: ServiceConfig {
+                width: BATCH_WIDTH,
+                max_wait: ServiceConfig::default().max_wait,
+                queue_cap: ops.max(BATCH_WIDTH),
+            },
+            ..ResilienceConfig::default()
+        };
+        let service = RsaBatchService::new_verified(&key, config, faults).unwrap();
+        let handles: Vec<_> = cts
+            .iter()
+            .map(|c| {
+                service
+                    .submit(c.clone())
+                    .expect("queue sized for the burst")
+            })
+            .collect();
+        let mut leaked = 0u64;
+        for (c, h) in cts.iter().zip(handles) {
+            let m = h.wait().expect("the ladder resolves every lane");
+            if check.mod_exp(&m, key.public().e()) != *c {
+                leaked += 1;
+            }
+        }
+        assert_eq!(leaked, 0, "verified service released corrupted results");
+        let report = service.shutdown_resilient();
+        let thr = report.effective_throughput();
+        let baseline = *clean.get_or_insert(thr);
+        let verify_share = if report.modeled_virtual_seconds > 0.0 {
+            report.verify_modeled_seconds / report.modeled_virtual_seconds
+        } else {
+            0.0
+        };
+        t.row(vec![
+            format!("{}", fmt_fault_rate(rate)),
+            report.resolved_ops().to_string(),
+            report.verified_ops.to_string(),
+            report.verify_failures.to_string(),
+            report.verify_reruns.to_string(),
+            report.lane_quarantines.to_string(),
+            report.host_fallback_ops.to_string(),
+            leaked.to_string(),
+            format!("{:.1}%", verify_share * 100.0),
+            fmt_rate(thr),
+            fmt_x(thr / baseline),
+        ]);
+    }
+    t
+}
+
+/// Format a silent-fault probability compactly across the sweep's six
+/// orders of magnitude (`0`, `1e-4`, … up to whole percents).
+fn fmt_fault_rate(rate: f64) -> String {
+    if rate == 0.0 {
+        "0".into()
+    } else if rate >= 0.01 {
+        format!("{:.0}%", rate * 100.0)
+    } else {
+        format!("{rate:.0e}")
+    }
 }
 
 #[cfg(test)]
@@ -1565,6 +1698,38 @@ mod tests {
             "modeled channel must be deterministic"
         );
         assert_eq!(first.steals, second.steals);
+    }
+
+    #[test]
+    fn e20_smoke_verified_offload_leaks_nothing() {
+        // The injector draws once per flush and 16 ops is a single flush,
+        // so the faulted point needs a rate high enough that the one draw
+        // lands in the silent band.
+        let t = e20_verified_offload(512, &[0.0, 0.9], 16);
+        assert_eq!(t.rows.len(), 2);
+        for row in &t.rows {
+            // Conservation and zero-leak at every rate.
+            assert_eq!(row[1], "16", "lost requests: {row:?}");
+            assert_eq!(row[7], "0", "corrupted release: {row:?}");
+        }
+        // The clean row: everything checked, nothing rejected, and the
+        // verify share is a real, bounded price.
+        assert_eq!(t.rows[0][2], "16", "{:?}", t.rows[0]);
+        assert_eq!(t.rows[0][3], "0", "{:?}", t.rows[0]);
+        let share: f64 = t.rows[0][8].trim_end_matches('%').parse().unwrap();
+        assert!(
+            share > 0.0 && share < 15.0,
+            "verify share out of range: {:?}",
+            t.rows[0]
+        );
+        // The faulted row: the check caught corruption and reran it.
+        assert!(t.rows[1][3].parse::<u64>().unwrap() > 0, "{:?}", t.rows[1]);
+        let x: f64 = t.rows[1][10].trim_end_matches('x').parse().unwrap();
+        assert!(
+            x < 1.0,
+            "corruption must cost modeled time: {:?}",
+            t.rows[1]
+        );
     }
 
     #[test]

@@ -136,6 +136,70 @@ pub fn measure_fleet_speedup() -> FleetSpeedup {
     }
 }
 
+/// Parameters of the `perfgate --verify-overhead` measurement: key size
+/// and burst length. The shape of E14's production point — a 1024-bit
+/// key driven at full batch width — where the batched public-exponent
+/// check amortizes across all 16 lanes exactly like the card pass does.
+pub const VERIFY_GATE: (u32, usize) = (1024, 32);
+
+/// The verified service's modeled operating point the verify gate
+/// compares: total card-side work against the verification pass layered
+/// on top of it.
+#[derive(Debug, Clone)]
+pub struct VerifyOverhead {
+    /// All modeled virtual seconds spent by the verified run.
+    pub total_seconds: f64,
+    /// Modeled virtual seconds spent inside the verification pass.
+    pub verify_seconds: f64,
+    /// `verify_seconds / total_seconds`.
+    pub overhead: f64,
+}
+
+/// Run the deterministic verified-offload measurement in-process: the
+/// E14-shaped full-width burst of [`VERIFY_GATE`] through a verified
+/// [`RsaBatchService`](phi_rsa::RsaBatchService), fault-free, on the
+/// modeled channel. This is what `perfgate --verify-overhead` gates on:
+/// the check is fixed-size (~17 full-width Montgomery multiplications at
+/// e = 65537 shared by the whole flush) while the CRT ladder scales with
+/// the key, so "verification got expensive" is a code change, never
+/// noise.
+pub fn measure_verify_overhead() -> VerifyOverhead {
+    use phi_rsa::RsaBatchService;
+    use phi_rt::service::ServiceConfig;
+    use phi_rt::ResilienceConfig;
+    let (bits, ops) = VERIFY_GATE;
+    let key = crate::workload::rsa_key(bits);
+    let config = ResilienceConfig {
+        service: ServiceConfig {
+            width: phiopenssl::batch::BATCH_WIDTH,
+            max_wait: ServiceConfig::default().max_wait,
+            queue_cap: ops.max(phiopenssl::batch::BATCH_WIDTH),
+        },
+        ..ResilienceConfig::default()
+    };
+    let service = RsaBatchService::new_verified(&key, config, None).expect("verified service");
+    let handles: Vec<_> = (0..ops as u64)
+        .map(|j| {
+            let c = &crate::workload::operand(bits, 7000 + j) % key.public().n();
+            service.submit(c).expect("queue sized for the burst")
+        })
+        .collect();
+    for h in handles {
+        h.wait().expect("fault-free run resolves every lane");
+    }
+    let report = service.shutdown_resilient();
+    assert_eq!(
+        report.verified_ops as usize, ops,
+        "every released result must be checked"
+    );
+    assert_eq!(report.verify_failures, 0, "honest results never rejected");
+    VerifyOverhead {
+        total_seconds: report.modeled_virtual_seconds,
+        verify_seconds: report.verify_modeled_seconds,
+        overhead: report.verify_modeled_seconds / report.modeled_virtual_seconds,
+    }
+}
+
 /// One gated experiment's comparison against the baseline.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GateLine {
@@ -316,6 +380,20 @@ mod tests {
         // Deterministic channel: a second run reproduces the numbers.
         let second = measure_fleet_speedup();
         assert_eq!(first.speedup, second.speedup, "must be deterministic");
+    }
+
+    #[test]
+    fn verify_overhead_clears_the_gate_and_is_deterministic() {
+        let first = measure_verify_overhead();
+        assert!(
+            first.overhead < 0.05,
+            "batched verification must stay under 5% of modeled time: {first:?}"
+        );
+        assert!(first.verify_seconds > 0.0, "the check must be priced");
+        assert!(first.total_seconds > first.verify_seconds);
+        // Deterministic channel: a second run reproduces the numbers.
+        let second = measure_verify_overhead();
+        assert_eq!(first.overhead, second.overhead, "must be deterministic");
     }
 
     #[test]

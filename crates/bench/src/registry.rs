@@ -32,7 +32,7 @@ impl Profile {
 
 /// One registered experiment.
 pub struct Experiment {
-    /// Stable id (`"e1"`..`"e19"`), the key the perf gate compares by.
+    /// Stable id (`"e1"`..`"e20"`), the key the perf gate compares by.
     pub id: &'static str,
     /// Short human title for reports.
     pub title: &'static str,
@@ -53,7 +53,7 @@ macro_rules! profile_run {
 }
 
 /// Every experiment of the evaluation, in id order.
-pub static EXPERIMENTS: [Experiment; 18] = [
+pub static EXPERIMENTS: [Experiment; 19] = [
     Experiment {
         id: "e1",
         title: "big-integer multiplication latency",
@@ -171,6 +171,14 @@ pub static EXPERIMENTS: [Experiment; 18] = [
             ex::e19_fleet(512, &[1, 2], 96)
         ),
     },
+    Experiment {
+        id: "e20",
+        title: "verified offload under silent faults",
+        run: profile_run!(
+            ex::e20_verified_offload(1024, &[0.0, 1e-4, 1e-3, 1e-2, 0.10, 0.25], 256),
+            ex::e20_verified_offload(512, &[0.0, 1e-2, 0.25], 48)
+        ),
+    },
 ];
 
 /// Look an experiment up by id.
@@ -197,6 +205,7 @@ mod tests {
         expected.push("e17".into()); // e16 was never assigned
         expected.push("e18".into());
         expected.push("e19".into());
+        expected.push("e20".into());
         let got = ids();
         assert_eq!(got.len(), expected.len(), "registry size drifted");
         for id in &expected {

@@ -340,6 +340,64 @@ impl<'c> BatchMont<'c> {
             .collect()
     }
 
+    /// Sixteen power-equality checks at once: `out[j] = (base[j]^exp ≡
+    /// expected[j] (mod n))`, with one shared exponent.
+    ///
+    /// This is the release check of the verified offload path (DESIGN.md
+    /// §3.14): `m^e ≡ c (mod n)` over a whole flush in one batched
+    /// ladder. Three things keep it cheap where [`Self::mod_exp_16`]
+    /// would not be:
+    ///
+    /// * plain square-and-multiply over the exponent's actual bits — for
+    ///   a sparse public exponent like 65537 that is 16 squarings plus
+    ///   one multiplication, where a fixed-window ladder would multiply
+    ///   on every window;
+    /// * batched domain entry: both `base` and `expected` enter the
+    ///   Montgomery domain via one 16-lane multiplication by R² each,
+    ///   instead of sixteen single-lane conversions;
+    /// * the comparison happens *in* the Montgomery domain (x ↦ x·R is
+    ///   injective mod n), so there is no domain exit at all.
+    ///
+    /// Lanes padded with `base = expected = 0` compare equal. The caller
+    /// wraps the call in whatever trace scope fits (the resilient
+    /// runtime uses `Scope::Verify`); no span is opened here.
+    pub fn pow_eq_16(&self, bases: &[BigUint], exp: &BigUint, expected: &[BigUint]) -> Vec<bool> {
+        with_backend!(self.ctx.backend(), B => self.pow_eq_16_generic::<B>(bases, exp, expected))
+    }
+
+    fn pow_eq_16_generic<B: VectorBackend>(
+        &self,
+        bases: &[BigUint],
+        exp: &BigUint,
+        expected: &[BigUint],
+    ) -> Vec<bool> {
+        assert_eq!(bases.len(), BATCH_WIDTH);
+        assert_eq!(expected.len(), BATCH_WIDTH);
+        assert!(!exp.is_zero(), "a power check needs a nonzero exponent");
+        let rr = vec![self.ctx.rr_vec().clone(); BATCH_WIDTH];
+        let rr_b = Batch16::transpose_from_impl::<B>(&rr);
+        let raw: Vec<VecNum> = bases.iter().map(|b| self.ctx.to_vec_form(b)).collect();
+        let base_m = self.mont_mul_16_generic::<B>(&Batch16::transpose_from_impl::<B>(&raw), &rr_b);
+        let mut acc = base_m.clone();
+        let bits = exp.bit_length();
+        for i in (0..bits - 1).rev() {
+            acc = self.mont_sqr_16_generic::<B>(&acc);
+            if exp.extract_bits(i, 1) == 1 {
+                acc = self.mont_mul_16_generic::<B>(&acc, &base_m);
+            }
+        }
+        let want: Vec<VecNum> = expected.iter().map(|c| self.ctx.to_vec_form(c)).collect();
+        let want_m =
+            self.mont_mul_16_generic::<B>(&Batch16::transpose_from_impl::<B>(&want), &rr_b);
+        let got = acc.transpose_out_impl::<B>();
+        want_m
+            .transpose_out_impl::<B>()
+            .iter()
+            .zip(&got)
+            .map(|(w, g)| w.cmp_digits(g) == std::cmp::Ordering::Equal)
+            .collect()
+    }
+
     fn n_vecnum(&self) -> VecNum {
         let mut v = VecNum::zero(self.ctx.padded_digits());
         v.digits_mut().copy_from_slice(&self.n_cols);
@@ -405,6 +463,67 @@ mod tests {
             let want = ctx.mont_mul_vec(&av[j], &bv[j]);
             assert_eq!(got[j], want, "lane {j}");
         }
+    }
+
+    #[test]
+    fn pow_eq_16_accepts_true_powers_and_rejects_flips() {
+        let ctx = ctx256();
+        let bm = BatchMont::with_variant(&ctx, MontVariant::Auto);
+        let n = ctx.modulus().clone();
+        let e = BigUint::from(65537u64);
+        let (bases, _) = sixteen_values(&ctx, 7);
+        let mut expected: Vec<BigUint> = bases.iter().map(|b| b.mod_exp(&e, &n)).collect();
+        assert_eq!(
+            bm.pow_eq_16(&bases, &e, &expected),
+            vec![true; BATCH_WIDTH],
+            "honest powers accepted"
+        );
+        // Flip three lanes; only those verdicts flip with them.
+        for lane in [0usize, 7, 15] {
+            expected[lane] = &(&expected[lane] + &BigUint::one()) % &n;
+        }
+        let verdicts = bm.pow_eq_16(&bases, &e, &expected);
+        for (lane, ok) in verdicts.iter().enumerate() {
+            assert_eq!(*ok, ![0, 7, 15].contains(&lane), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn pow_eq_16_padding_lanes_compare_equal() {
+        let ctx = ctx256();
+        let bm = BatchMont::new(&ctx);
+        let n = ctx.modulus().clone();
+        let e = BigUint::from(65537u64);
+        // A partially occupied flush: three live lanes, thirteen padded
+        // with base = expected = 0 (the verified-release shape).
+        let mut bases = vec![BigUint::zero(); BATCH_WIDTH];
+        let mut expected = vec![BigUint::zero(); BATCH_WIDTH];
+        for (lane, seed) in [(0usize, 3u64), (1, 99), (2, 1234)] {
+            bases[lane] = &BigUint::from(seed) % &n;
+            expected[lane] = bases[lane].mod_exp(&e, &n);
+        }
+        assert_eq!(bm.pow_eq_16(&bases, &e, &expected), vec![true; BATCH_WIDTH]);
+    }
+
+    #[test]
+    fn pow_eq_16_is_cheaper_than_the_window_ladder() {
+        // The point of the specialized check: at a sparse public
+        // exponent it must cost well under the generic fixed-window
+        // exponentiation that the batch passes it guards are made of.
+        let ctx = ctx256();
+        let bm = BatchMont::with_variant(&ctx, MontVariant::Auto);
+        let n = ctx.modulus().clone();
+        let e = BigUint::from(65537u64);
+        let (bases, _) = sixteen_values(&ctx, 11);
+        let expected: Vec<BigUint> = bases.iter().map(|b| b.mod_exp(&e, &n)).collect();
+        let (_, check) = count::measure(|| bm.pow_eq_16(&bases, &e, &expected));
+        let (_, ladder) = count::measure(|| bm.mod_exp_16(&bases, &e, 1));
+        assert!(
+            check.total_vector_ops() < ladder.total_vector_ops(),
+            "specialized check {} vector ops vs window ladder {}",
+            check.total_vector_ops(),
+            ladder.total_vector_ops()
+        );
     }
 
     #[test]

@@ -121,6 +121,11 @@ pub struct PhiConfig {
     /// (`phi_rsa::RsaBatchService::new_fleet`) behind key-affinity
     /// routing with work stealing. See DESIGN.md §3.13.
     pub fleet: FleetConfig,
+    /// Verify every card result on the host before releasing it (the
+    /// cheap public-exponent check), closing the silent-fault /
+    /// Bellcore key-leak channel at a small modeled cost. Off by
+    /// default; see DESIGN.md §3.14.
+    pub verified: bool,
 }
 
 impl Default for PhiConfig {
@@ -134,6 +139,7 @@ impl Default for PhiConfig {
             backend: phi_backend::process_default(),
             mont_variant: MontVariant::Auto,
             fleet: FleetConfig::default(),
+            verified: false,
         }
     }
 }
@@ -233,6 +239,15 @@ impl PhiConfigBuilder {
         backend.ensure_available(features)?;
         self.config.backend = backend;
         Ok(self)
+    }
+
+    /// Verify card results on the host before release (see
+    /// [`PhiConfig::verified`]). Fault-tolerant services built from this
+    /// config walk the verified-release ladder: check → on-card re-run →
+    /// lane quarantine → breaker escalation → host fallback.
+    pub fn verified(mut self) -> Self {
+        self.config.verified = true;
+        self
     }
 
     /// Finish, yielding the validated configuration.

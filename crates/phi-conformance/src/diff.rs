@@ -1334,6 +1334,87 @@ fn check_backend_parity(cfg: &DiffConfig, out: &mut Vec<Divergence>) -> u64 {
     cases
 }
 
+/// The verified-offload service: under a *total silent*-fault schedule
+/// (every card attempt corrupts a result limb with no detectable error)
+/// each released plaintext must still match the sequential oracle —
+/// nothing corrupted is ever released — while a healthy card's results
+/// must never be rejected by the public-exponent check.
+fn check_verified(cfg: &DiffConfig, out: &mut Vec<Divergence>) -> u64 {
+    const NAME: &str = "verified";
+    let cases = (cfg.cases / 6).max(1) as u64;
+    let inj = cfg.injected_case(NAME, cases);
+    let mut g = cfg.gen_for(NAME);
+    let keys = fuzz_keys(cfg.max_bits.min(512));
+    let config = ResilienceConfig {
+        service: ServiceConfig {
+            width: 4,
+            max_wait: 200e-6,
+            queue_cap: 64,
+        },
+        ..ResilienceConfig::default()
+    };
+    for case in 0..cases {
+        let key = &keys[case as usize % keys.len()];
+        let n = key.public().n();
+        let ops = RsaOps::new(Box::new(MpssBaseline));
+        let honest = RsaBatchService::new_verified(key, config, None).expect("corpus key");
+        let faults: Arc<dyn FaultSource> =
+            Arc::new(FaultInjector::new(cfg.seed ^ case, FaultRates::silent(1.0)));
+        let faulted = RsaBatchService::new_verified(key, config, Some(faults)).expect("corpus key");
+        for i in 0..8u64 {
+            let m = g.residue(n);
+            let c = m.mod_exp(key.public().e(), n);
+            let via_honest = honest.call(c.clone()).expect("honest card answers");
+            let via_honest = if i == 0 {
+                corrupt(via_honest, case, inj)
+            } else {
+                via_honest
+            };
+            let via_faulted = faulted.call(c.clone()).expect("verified ladder answers");
+            let via_seq = ops.private_op(key, &c).expect("c < n");
+            if via_honest != m || via_faulted != m || via_seq != m {
+                out.push(Divergence {
+                    kernel: NAME,
+                    seed: cfg.seed,
+                    case,
+                    detail: format!(
+                        "request {i}: {}",
+                        dump(&[
+                            ("c", &c),
+                            ("honest", &via_honest),
+                            ("faulted", &via_faulted),
+                            ("seq", &via_seq),
+                            ("want", &m)
+                        ])
+                    ),
+                });
+            }
+        }
+        let honest_report = honest.shutdown_resilient();
+        if honest_report.verify_failures != 0 {
+            out.push(Divergence {
+                kernel: NAME,
+                seed: cfg.seed,
+                case,
+                detail: format!(
+                    "verification rejected {} honest results",
+                    honest_report.verify_failures
+                ),
+            });
+        }
+        let faulted_report = faulted.shutdown_resilient();
+        if faulted_report.verify_failures == 0 {
+            out.push(Divergence {
+                kernel: NAME,
+                seed: cfg.seed,
+                case,
+                detail: "total silent-fault rate never tripped the release check".into(),
+            });
+        }
+    }
+    cases
+}
+
 /// The family names [`DiffConfig::inject`] accepts.
 pub const FAMILIES: &[&str] = &[
     "vmul",
@@ -1351,6 +1432,7 @@ pub const FAMILIES: &[&str] = &[
     "fleet",
     "mont-truncated",
     "backend-parity",
+    "verified",
 ];
 
 /// Run every differential family under the given configuration.
@@ -1372,6 +1454,7 @@ pub fn run_all(cfg: &DiffConfig) -> DiffOutcome {
         check_fleet,
         check_mont_truncated,
         check_backend_parity,
+        check_verified,
     ];
     debug_assert_eq!(checks.len(), FAMILIES.len());
     let mut cases = 0;

@@ -10,6 +10,35 @@ use std::fmt;
 /// the card-level catastrophe (full reset). Batch-wide faults fail every
 /// lane of the flush they hit; lane-granular faults poison only the
 /// affected lanes, so their batch-mates' results survive the attempt.
+///
+/// # Classification table
+///
+/// How the resilience layer treats each kind, at a glance:
+///
+/// | Kind | Scope | Detected? | Hard? | Runtime reaction |
+/// |------|-------|-----------|-------|------------------|
+/// | [`PcieCorruption`] | batch-wide | yes | no | retry whole flush (backoff ladder) |
+/// | [`PcieTimeout`] | batch-wide | yes | no | retry whole flush (backoff ladder) |
+/// | [`CoreHang`] | 4-lane group | yes | no | survivors complete; poisoned group retries |
+/// | [`CardReset`] | batch-wide | yes | **yes** | breaker trips immediately; flush retries or degrades |
+/// | [`EccLaneFault`] | one lane | yes | no | survivors complete; poisoned lane retries |
+/// | [`SilentLaneFlip`] | one lane | **no** | no | nothing — unless verification is on (then: re-run → quarantine → escalate) |
+/// | [`SilentBatchCorruption`] | batch-wide | **no** | no | nothing — unless verification is on |
+///
+/// *Detected* faults surface as an error at the flush boundary, so the
+/// retry/breaker machinery reacts on its own. *Silent* faults
+/// ([`FaultKind::is_silent`]) corrupt result limbs while the attempt
+/// reports success — the Bellcore fault-attack scenario. Only the
+/// verified-offload layer (`phi_rt`'s verify-on-release hook) can catch
+/// them; without it the corrupted result is released to the caller.
+///
+/// [`PcieCorruption`]: FaultKind::PcieCorruption
+/// [`PcieTimeout`]: FaultKind::PcieTimeout
+/// [`CoreHang`]: FaultKind::CoreHang
+/// [`CardReset`]: FaultKind::CardReset
+/// [`EccLaneFault`]: FaultKind::EccLaneFault
+/// [`SilentLaneFlip`]: FaultKind::SilentLaneFlip
+/// [`SilentBatchCorruption`]: FaultKind::SilentBatchCorruption
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FaultKind {
     /// The DMA completed but the payload failed its integrity check.
@@ -35,6 +64,21 @@ pub enum FaultKind {
         /// The poisoned lane index within the flush.
         lane: usize,
     },
+    /// An undetected arithmetic fault flipped limbs in one lane's result:
+    /// the attempt reports success and returns a *wrong* value. The
+    /// dangerous kind — an unverified CRT signature computed over a
+    /// silently-faulted half-exponentiation leaks the private key via
+    /// `gcd(s − ŝ, n)` (Bellcore / Boneh–DeMillo–Lipton). Lane-granular
+    /// and silent: nothing in the detected-fault machinery reacts.
+    SilentLaneFlip {
+        /// The corrupted lane index within the flush.
+        lane: usize,
+    },
+    /// An undetected corruption of the whole result transfer: every
+    /// lane's payload is wrong but the DMA integrity check passed (e.g. a
+    /// fault in the staging buffer after the checksum). Batch-wide and
+    /// silent.
+    SilentBatchCorruption,
 }
 
 impl FaultKind {
@@ -43,7 +87,21 @@ impl FaultKind {
     pub fn is_batch_wide(self) -> bool {
         matches!(
             self,
-            FaultKind::PcieCorruption | FaultKind::PcieTimeout | FaultKind::CardReset
+            FaultKind::PcieCorruption
+                | FaultKind::PcieTimeout
+                | FaultKind::CardReset
+                | FaultKind::SilentBatchCorruption
+        )
+    }
+
+    /// Whether this fault corrupts results *without* raising any
+    /// detectable error: the card attempt reports success and hands back
+    /// wrong limbs. Silent faults never touch the retry/breaker
+    /// machinery on their own — only result verification can catch them.
+    pub fn is_silent(self) -> bool {
+        matches!(
+            self,
+            FaultKind::SilentLaneFlip { .. } | FaultKind::SilentBatchCorruption
         )
     }
 
@@ -63,6 +121,8 @@ impl FaultKind {
             FaultKind::CoreHang { .. } => "core_hang",
             FaultKind::CardReset => "card_reset",
             FaultKind::EccLaneFault { .. } => "ecc_lane",
+            FaultKind::SilentLaneFlip { .. } => "silent_lane_flip",
+            FaultKind::SilentBatchCorruption => "silent_batch",
         }
     }
 
@@ -72,15 +132,16 @@ impl FaultKind {
     /// single lane.
     pub fn affected_lanes(self, n: usize) -> Vec<usize> {
         match self {
-            FaultKind::PcieCorruption | FaultKind::PcieTimeout | FaultKind::CardReset => {
-                (0..n).collect()
-            }
+            FaultKind::PcieCorruption
+            | FaultKind::PcieTimeout
+            | FaultKind::CardReset
+            | FaultKind::SilentBatchCorruption => (0..n).collect(),
             FaultKind::CoreHang { group } => {
                 let groups = n.div_ceil(4).max(1);
                 let g = group % groups;
                 (g * 4..((g + 1) * 4).min(n)).collect()
             }
-            FaultKind::EccLaneFault { lane } => {
+            FaultKind::EccLaneFault { lane } | FaultKind::SilentLaneFlip { lane } => {
                 if n == 0 {
                     Vec::new()
                 } else {
@@ -99,6 +160,10 @@ impl fmt::Display for FaultKind {
             FaultKind::CoreHang { group } => write!(f, "core hang (lane group {group})"),
             FaultKind::CardReset => write!(f, "card reset"),
             FaultKind::EccLaneFault { lane } => write!(f, "transient ECC fault on lane {lane}"),
+            FaultKind::SilentLaneFlip { lane } => {
+                write!(f, "silent limb flip in lane {lane}'s result")
+            }
+            FaultKind::SilentBatchCorruption => write!(f, "silent batch-wide result corruption"),
         }
     }
 }
@@ -112,8 +177,29 @@ mod tests {
         assert!(FaultKind::PcieCorruption.is_batch_wide());
         assert!(FaultKind::PcieTimeout.is_batch_wide());
         assert!(FaultKind::CardReset.is_batch_wide());
+        assert!(FaultKind::SilentBatchCorruption.is_batch_wide());
         assert!(!FaultKind::CoreHang { group: 0 }.is_batch_wide());
         assert!(!FaultKind::EccLaneFault { lane: 3 }.is_batch_wide());
+        assert!(!FaultKind::SilentLaneFlip { lane: 3 }.is_batch_wide());
+    }
+
+    #[test]
+    fn silent_classification() {
+        assert!(FaultKind::SilentLaneFlip { lane: 0 }.is_silent());
+        assert!(FaultKind::SilentBatchCorruption.is_silent());
+        for detected in [
+            FaultKind::PcieCorruption,
+            FaultKind::PcieTimeout,
+            FaultKind::CoreHang { group: 0 },
+            FaultKind::CardReset,
+            FaultKind::EccLaneFault { lane: 0 },
+        ] {
+            assert!(!detected.is_silent(), "{detected} must be detected");
+        }
+        // Silent faults are never hard: nothing observable happened, so
+        // they cannot trip the breaker by themselves.
+        assert!(!FaultKind::SilentLaneFlip { lane: 0 }.is_hard());
+        assert!(!FaultKind::SilentBatchCorruption.is_hard());
     }
 
     #[test]
@@ -152,11 +238,35 @@ mod tests {
     }
 
     #[test]
+    fn silent_faults_target_like_their_detected_twins() {
+        assert_eq!(
+            FaultKind::SilentLaneFlip { lane: 5 }.affected_lanes(16),
+            [5]
+        );
+        assert_eq!(
+            FaultKind::SilentLaneFlip { lane: 17 }.affected_lanes(16),
+            [1]
+        );
+        assert_eq!(
+            FaultKind::SilentBatchCorruption.affected_lanes(4),
+            (0..4).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
     fn names_and_display_are_informative() {
         assert_eq!(FaultKind::CardReset.name(), "card_reset");
+        assert_eq!(
+            FaultKind::SilentLaneFlip { lane: 0 }.name(),
+            "silent_lane_flip"
+        );
+        assert_eq!(FaultKind::SilentBatchCorruption.name(), "silent_batch");
         assert!(FaultKind::CoreHang { group: 2 }.to_string().contains('2'));
         assert!(FaultKind::EccLaneFault { lane: 7 }
             .to_string()
             .contains('7'));
+        assert!(FaultKind::SilentLaneFlip { lane: 9 }
+            .to_string()
+            .contains('9'));
     }
 }

@@ -36,6 +36,12 @@ pub struct FaultRates {
     pub card_reset: f64,
     /// Probability of a transient single-lane ECC fault per attempt.
     pub ecc_lane: f64,
+    /// Probability of an undetected single-lane result flip per attempt
+    /// ([`FaultKind::SilentLaneFlip`]).
+    pub silent_lane: f64,
+    /// Probability of an undetected batch-wide result corruption per
+    /// attempt ([`FaultKind::SilentBatchCorruption`]).
+    pub silent_batch: f64,
 }
 
 impl FaultRates {
@@ -47,12 +53,16 @@ impl FaultRates {
             core_hang: 0.0,
             card_reset: 0.0,
             ecc_lane: 0.0,
+            silent_lane: 0.0,
+            silent_batch: 0.0,
         }
     }
 
-    /// A total fault probability `p` split across the taxonomy in rough
-    /// field proportions: transfer faults dominate, lane faults are
-    /// common, resets are rare.
+    /// A total fault probability `p` split across the *detected* taxonomy
+    /// in rough field proportions: transfer faults dominate, lane faults
+    /// are common, resets are rare. Silent rates stay zero — the split is
+    /// pinned so every seeded schedule built from it replays across
+    /// releases; use [`FaultRates::silent`] for the undetected classes.
     pub fn uniform(p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "fault probability out of range");
         FaultRates {
@@ -61,12 +71,32 @@ impl FaultRates {
             core_hang: p * 0.15,
             card_reset: p * 0.05,
             ecc_lane: p * 0.30,
+            ..FaultRates::none()
+        }
+    }
+
+    /// A total *silent*-fault probability `p`, split heavily toward the
+    /// single-lane flip (the classic one-faulty-multiplier scenario) with
+    /// a small batch-wide share. All detected rates stay zero, so the
+    /// resulting schedule corrupts results without ever raising an error.
+    pub fn silent(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "fault probability out of range");
+        FaultRates {
+            silent_lane: p * 0.90,
+            silent_batch: p * 0.10,
+            ..FaultRates::none()
         }
     }
 
     /// Total per-attempt fault probability.
     pub fn total(&self) -> f64 {
-        self.pcie_corruption + self.pcie_timeout + self.core_hang + self.card_reset + self.ecc_lane
+        self.pcie_corruption
+            + self.pcie_timeout
+            + self.core_hang
+            + self.card_reset
+            + self.ecc_lane
+            + self.silent_lane
+            + self.silent_batch
     }
 
     /// True when no class can ever fire.
@@ -122,13 +152,18 @@ impl FaultSource for FaultInjector {
         let u = Self::draw_unit(&mut rng);
         let r = &self.rates;
         // One uniform draw walks the cumulative rate table in taxonomy
-        // order; the class whose band contains the draw fires.
+        // order; the class whose band contains the draw fires. The silent
+        // bands sit *after* the detected ones so that any schedule with
+        // silent rates at zero reproduces the pre-silent draw sequence
+        // bit-for-bit from the same seed.
         let bands = [
             r.pcie_corruption,
             r.pcie_timeout,
             r.core_hang,
             r.card_reset,
             r.ecc_lane,
+            r.silent_lane,
+            r.silent_batch,
         ];
         let mut edge = 0.0;
         let mut hit = None;
@@ -149,6 +184,10 @@ impl FaultSource for FaultInjector {
             Some(4) => FaultKind::EccLaneFault {
                 lane: rng.gen_range(0..lanes),
             },
+            Some(5) => FaultKind::SilentLaneFlip {
+                lane: rng.gen_range(0..lanes),
+            },
+            Some(6) => FaultKind::SilentBatchCorruption,
             _ => return None,
         };
         drop(rng);
@@ -311,6 +350,60 @@ mod tests {
                 other => panic!("expected an ECC fault, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn silent_rates_draw_only_silent_kinds() {
+        let inj = FaultInjector::new(11, FaultRates::silent(1.0));
+        let mut lane_flips = 0;
+        let mut batch = 0;
+        for _ in 0..500 {
+            match inj.next_fault(16) {
+                Some(FaultKind::SilentLaneFlip { lane }) => {
+                    assert!(lane < 16);
+                    lane_flips += 1;
+                }
+                Some(FaultKind::SilentBatchCorruption) => batch += 1,
+                other => panic!("expected a silent fault, got {other:?}"),
+            }
+        }
+        assert!(lane_flips > batch, "lane flips dominate the silent split");
+        assert!(batch > 0, "the batch-wide share fires at p = 1");
+        assert_eq!(inj.injected(), 500);
+    }
+
+    /// Appending the silent bands after the detected ones preserves every
+    /// pre-silent seeded schedule: an all-detected rate table consumes
+    /// the rng identically whether or not the silent classes exist.
+    #[test]
+    fn detected_only_schedules_are_unchanged_by_silent_bands() {
+        let legacy = FaultInjector::new(42, FaultRates::uniform(0.5));
+        let explicit = FaultInjector::new(
+            42,
+            FaultRates {
+                silent_lane: 0.0,
+                silent_batch: 0.0,
+                ..FaultRates::uniform(0.5)
+            },
+        );
+        let a: Vec<_> = (0..300).map(|_| legacy.next_fault(16)).collect();
+        let b: Vec<_> = (0..300).map(|_| explicit.next_fault(16)).collect();
+        assert_eq!(a, b);
+        assert!(a.iter().flatten().all(|k| !k.is_silent()));
+    }
+
+    #[test]
+    fn mixed_detected_and_silent_rates_fire_both() {
+        let inj = FaultInjector::new(
+            13,
+            FaultRates {
+                silent_lane: 0.2,
+                ..FaultRates::uniform(0.3)
+            },
+        );
+        let kinds: Vec<_> = (0..2000).filter_map(|_| inj.next_fault(16)).collect();
+        assert!(kinds.iter().any(|k| k.is_silent()));
+        assert!(kinds.iter().any(|k| !k.is_silent()));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! [`mod@crate::span`]'s global table.
 
 /// Number of scopes in [`Scope::ALL`].
-pub const NUM_SCOPES: usize = 16;
+pub const NUM_SCOPES: usize = 17;
 
 /// A named accounting scope for modeled-cycle and wall-time spans.
 ///
@@ -48,6 +48,9 @@ pub enum Scope {
     FlushRetry,
     /// A request degraded to the host-scalar fallback path.
     HostFallback,
+    /// Host-side verification of a card result before release (the
+    /// cheap public-exponent check of the verified-offload layer).
+    Verify,
 }
 
 impl Scope {
@@ -69,6 +72,7 @@ impl Scope {
         Scope::Handshake,
         Scope::FlushRetry,
         Scope::HostFallback,
+        Scope::Verify,
     ];
 
     /// Dense index of this scope into per-scope tables.
@@ -90,6 +94,7 @@ impl Scope {
             Scope::Handshake => 13,
             Scope::FlushRetry => 14,
             Scope::HostFallback => 15,
+            Scope::Verify => 16,
         }
     }
 
@@ -112,6 +117,7 @@ impl Scope {
             Scope::Handshake => "handshake",
             Scope::FlushRetry => "flush_retry",
             Scope::HostFallback => "host_fallback",
+            Scope::Verify => "verify",
         }
     }
 

@@ -41,10 +41,11 @@ use phi_rt::resilient::HostFn;
 use phi_rt::service::{BatchService, ServiceConfig, SubmitError, TicketHandle};
 use phi_rt::stats::{ResilienceReport, ServiceReport};
 use phi_rt::{
-    key_fingerprint, CardSetup, FleetReport, FleetScheduler, ResilienceConfig, ResilientHandle,
-    ResilientService,
+    key_fingerprint, CardSetup, FleetReport, FleetScheduler, IntegrityHooks, ResilienceConfig,
+    ResilientHandle, ResilientService,
 };
-use phiopenssl::BatchCrtEngine;
+use phiopenssl::batch::{BatchMont, BATCH_WIDTH};
+use phiopenssl::{BatchCrtEngine, VMontCtx};
 use rand::Rng;
 use std::sync::{Arc, Mutex};
 
@@ -132,6 +133,43 @@ fn host_crt(key: &RsaPrivateKey) -> Result<HostFn<BigUint, BigUint>, RsaError> {
     }))
 }
 
+/// Result-integrity hooks for `key`: the corruption model a silent card
+/// fault applies to one lane's plaintext (`(m + 1) mod n` — with `e`
+/// coprime to `λ(n)` the e-th root of `c` is unique, so *any* change to
+/// `m` is guaranteed to fail the check), and the release check itself —
+/// the cheap public-exponent test `m^e ≡ c (mod n)`, batched: the whole
+/// flush is checked in masked 16-lane vector passes sharing the public
+/// exponent (~17 vector multiplications at e = 65537, amortized over
+/// every released lane). A vector pass costs the same at any occupancy,
+/// so checking sixteen results together is what keeps verification
+/// under the `perfgate --verify-overhead` bound — a scalar
+/// exponentiation per result would cost ~40% of the batched CRT work it
+/// guards, the batch check a few percent. Without this check a silently
+/// faulted CRT half leaks the private key via `gcd(s − ŝ, n)` (the
+/// Bellcore attack).
+fn integrity_hooks(key: &RsaPrivateKey) -> Result<IntegrityHooks<BigUint, BigUint>, RsaError> {
+    let n = key.public().n().clone();
+    let e = key.public().e().clone();
+    let ctx = VMontCtx::new(key.public().n()).map_err(RsaError::from)?;
+    Ok(IntegrityHooks::verified_batch(
+        move |_c: &BigUint, m: &BigUint| (m + 1u64).rem_ref(&n).expect("public modulus is nonzero"),
+        move |pairs: &[(&BigUint, &BigUint)]| {
+            let mont = BatchMont::with_variant(&ctx, phiopenssl::MontVariant::Auto);
+            let mut verdicts = Vec::with_capacity(pairs.len());
+            for chunk in pairs.chunks(BATCH_WIDTH) {
+                let mut bases = vec![BigUint::zero(); BATCH_WIDTH];
+                let mut expected = vec![BigUint::zero(); BATCH_WIDTH];
+                for (lane, (c, m)) in chunk.iter().enumerate() {
+                    bases[lane] = (*m).clone();
+                    expected[lane] = (*c).clone();
+                }
+                verdicts.extend_from_slice(&mont.pow_eq_16(&bases, &e, &expected)[..chunk.len()]);
+            }
+            verdicts
+        },
+    ))
+}
+
 impl RsaBatchService {
     /// Start a batch service for `key` with the given aggregation policy,
     /// on the process-default vector backend.
@@ -212,6 +250,35 @@ impl RsaBatchService {
         })
     }
 
+    /// Start a *verified* fault-tolerant batch service for `key`: the
+    /// resilient loop of [`Self::new_resilient`] plus verify-on-release —
+    /// every card plaintext is checked against `m^e ≡ c (mod n)` before
+    /// it resolves, and a failed check walks the graded ladder (on-card
+    /// re-run → lane quarantine → breaker escalation → host-scalar
+    /// fallback). No unverified result is ever released, which closes
+    /// the silent-fault / Bellcore key-leak channel. Equivalent to
+    /// [`Self::new_fleet`] with `phi.verified` set and one card.
+    pub fn new_verified(
+        key: &RsaPrivateKey,
+        config: ResilienceConfig,
+        faults: Option<Arc<dyn FaultSource>>,
+    ) -> Result<Self, RsaError> {
+        let engine = card_engine(key, &phiopenssl::PhiConfig::default())?;
+        let host = host_crt(key)?;
+        let service = ResilientService::with_integrity(
+            config,
+            move |cts: &[BigUint]| engine.private_op_masked(cts),
+            Some(host),
+            faults,
+            Some(integrity_hooks(key)?),
+        );
+        Ok(RsaBatchService {
+            backend: Backend::Resilient(service),
+            fp: key_fingerprint(&key.public().n().to_bytes_be()),
+            n: key.public().n().clone(),
+        })
+    }
+
     /// Start an N-card fleet service for `key`.
     ///
     /// The fleet shape comes from `phi.fleet`
@@ -227,7 +294,10 @@ impl RsaBatchService {
     /// `faults` holds one optional fault schedule per card (index =
     /// card); a shorter vector leaves the remaining cards healthy. With
     /// `phi.fleet.cards == 1` the service behaves bit-for-bit like
-    /// [`Self::new_resilient`].
+    /// [`Self::new_resilient`]. With `phi.verified` set
+    /// (`PhiConfig::builder().verified()`) every card runs
+    /// verify-on-release and the quarantine ladder — see
+    /// [`Self::new_verified`].
     pub fn new_fleet(
         key: &RsaPrivateKey,
         phi: &phiopenssl::PhiConfig,
@@ -249,6 +319,9 @@ impl RsaBatchService {
             let mut setup = CardSetup::new(move |cts: &[BigUint]| engine.private_op_masked(cts));
             setup.host_fn = Some(host_crt(key)?);
             setup.faults = card_faults;
+            if phi.verified {
+                setup.integrity = Some(integrity_hooks(key)?);
+            }
             setups.push(setup);
         }
         let scheduler = FleetScheduler::new(fleet, resilience, setups);
@@ -964,5 +1037,112 @@ mod tests {
             .shutdown_resilient();
         assert_eq!(report.errored_ops, 0);
         assert_eq!(report.resolved_ops(), 5);
+    }
+
+    #[test]
+    fn verified_service_checks_honest_results_and_prices_the_check() {
+        let key = key256();
+        // Drive one full-width flush: the verification pass is a batched
+        // vector computation, so its cost amortizes across occupied lanes
+        // exactly like the card pass does.  A 1-deep flush would pay the
+        // whole pass for a single result (~45% of card work at this key
+        // size) — the bound below is about the batch shape the service is
+        // built for.
+        let config = ResilienceConfig {
+            service: ServiceConfig {
+                width: 16,
+                max_wait: 10.0,
+                ..ServiceConfig::default()
+            },
+            ..ResilienceConfig::default()
+        };
+        let service = RsaBatchService::new_verified(&key, config, None).expect("verified service");
+        let ops = RsaOps::new(Box::new(MpssBaseline));
+        let plaintexts: Vec<BigUint> = (1u64..=16).map(|i| BigUint::from(i * 5_555_551)).collect();
+        let tickets: Vec<RsaTicket> = plaintexts
+            .iter()
+            .map(|m| {
+                let c = ops.public_op(key.public(), m).unwrap();
+                service.submit(c).unwrap()
+            })
+            .collect();
+        for (ticket, m) in tickets.into_iter().zip(&plaintexts) {
+            assert_eq!(&ticket.wait().unwrap(), m);
+        }
+        let report = service.shutdown_resilient();
+        assert_eq!(report.verified_ops, 16, "every released result checked");
+        assert_eq!(report.verify_failures, 0, "honest results never rejected");
+        assert!(
+            report.verify_modeled_seconds > 0.0,
+            "the public-exponent check is priced on the modeled channel"
+        );
+        // The batched check (one square-and-multiply ladder over e = 65537,
+        // ~17 full-width Montgomery multiplications shared by all 16 lanes)
+        // must stay a small fraction of the card's CRT work.  The check is
+        // fixed-size while the CRT ladder scales with the private exponent,
+        // so the ratio shrinks as keys grow: ~10% at this 256-bit test key,
+        // 4% at 1024-bit production size (the perfgate --verify-overhead
+        // bound on the E14 batch path).
+        let card = report.service.total_modeled_seconds();
+        assert!(
+            report.verify_modeled_seconds < 0.15 * card,
+            "verify {}s vs card {}s: overhead above 15%",
+            report.verify_modeled_seconds,
+            card
+        );
+    }
+
+    #[test]
+    fn verified_service_never_releases_silently_corrupted_plaintexts() {
+        use phi_faults::{FaultInjector, FaultRates, FaultSource};
+        let key = key256();
+        // Heavy silent-fault pressure, zero detectable faults: only the
+        // verify-on-release check stands between the corruption and the
+        // caller.
+        let faults: Arc<dyn FaultSource> =
+            Arc::new(FaultInjector::new(0xC0FFEE, FaultRates::silent(0.5)));
+        let service =
+            RsaBatchService::new_verified(&key, ResilienceConfig::default(), Some(faults))
+                .expect("verified service");
+        let ops = RsaOps::new(Box::new(MpssBaseline));
+        for i in 1u64..=8 {
+            let m = BigUint::from(i * 2_718_281);
+            let c = ops.public_op(key.public(), &m).unwrap();
+            assert_eq!(service.call(c).unwrap(), m, "no corrupted result escapes");
+        }
+        let report = service.shutdown_resilient();
+        assert_eq!(report.errored_ops, 0);
+        assert_eq!(report.faults_seen, 0, "silent faults stay invisible");
+        assert!(report.verify_failures > 0, "a 50% schedule must corrupt");
+    }
+
+    #[test]
+    fn verified_fleet_survives_a_silently_faulty_card() {
+        use phi_faults::{FaultInjector, FaultRates, FaultSource};
+        let key = key256();
+        let phi = phiopenssl::PhiConfig::builder()
+            .fleet(phiopenssl::FleetConfig {
+                cards: 2,
+                ..phiopenssl::FleetConfig::default()
+            })
+            .unwrap()
+            .verified()
+            .build();
+        let faults: Vec<Option<Arc<dyn FaultSource>>> = vec![Some(Arc::new(FaultInjector::new(
+            0xDEAD,
+            FaultRates::silent(1.0),
+        )))];
+        let service = RsaBatchService::new_fleet(&key, &phi, ResilienceConfig::default(), faults)
+            .expect("verified fleet");
+        let ops = RsaOps::new(Box::new(MpssBaseline));
+        for i in 1u64..=6 {
+            let m = BigUint::from(i * 1_234_577);
+            let c = ops.public_op(key.public(), &m).unwrap();
+            assert_eq!(service.call(c).unwrap(), m);
+        }
+        let merged = service.shutdown_resilient();
+        assert_eq!(merged.errored_ops, 0);
+        assert_eq!(merged.resolved_ops(), 6);
+        assert!(merged.verified_ops > 0, "the fleet path runs the check");
     }
 }

@@ -43,6 +43,7 @@
 use crate::resilient::{run_flush, HostFn, RJob, ResilienceConfig, ResilientHandle};
 use crate::service::{Collector, FlushReason, SubmitError};
 use crate::stats::{FlushRecord, ResilienceReport};
+use crate::verify::{IntegrityHooks, LaneQuarantine};
 use phi_faults::{BreakerState, CircuitBreaker, FaultSource};
 use phi_simd::cost::CostModel;
 use std::sync::{mpsc, Arc, Condvar, Mutex};
@@ -271,6 +272,9 @@ pub struct CardSetup<T, R> {
     pub host_fn: Option<HostFn<T, R>>,
     /// This card's fault schedule; `None` is a healthy card.
     pub faults: Option<Arc<dyn FaultSource>>,
+    /// Result-integrity hooks (corruption model + optional verify-on-
+    /// release check); `None` releases card results unchecked.
+    pub integrity: Option<IntegrityHooks<T, R>>,
 }
 
 impl<T, R> CardSetup<T, R> {
@@ -280,6 +284,7 @@ impl<T, R> CardSetup<T, R> {
             card_fn: Box::new(card_fn),
             host_fn: None,
             faults: None,
+            integrity: None,
         }
     }
 
@@ -292,6 +297,15 @@ impl<T, R> CardSetup<T, R> {
     /// Attach a fault schedule.
     pub fn with_faults(mut self, faults: Arc<dyn FaultSource>) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Attach result-integrity hooks (see
+    /// [`IntegrityHooks`]). With a verify
+    /// hook present this card's flushes walk the verified-release ladder:
+    /// check → re-run → lane quarantine → breaker escalation → host.
+    pub fn with_integrity(mut self, integrity: IntegrityHooks<T, R>) -> Self {
+        self.integrity = Some(integrity);
         self
     }
 }
@@ -567,10 +581,13 @@ fn fleet_worker<T, R>(
         card_fn,
         host_fn,
         faults,
+        integrity,
     } = setup;
-    // Breaker and virtual clock are worker-local, exactly as in
-    // `resilient_worker`: flushes run outside the state lock.
+    // Breaker, lane quarantine and virtual clock are worker-local,
+    // exactly as in `resilient_worker`: flushes run outside the state
+    // lock.
     let mut breaker = CircuitBreaker::new(config.breaker);
+    let mut quarantine = LaneQuarantine::new(config.service.width, config.quarantine);
     let mut vnow: f64 = 0.0;
     let mut state = lock(&shared.state);
     loop {
@@ -616,7 +633,9 @@ fn fleet_worker<T, R>(
                 &card_fn,
                 host_fn.as_deref(),
                 faults.as_deref(),
+                integrity.as_ref(),
                 &mut breaker,
+                &mut quarantine,
                 &mut vnow,
                 batch.entries,
                 draining,
@@ -649,6 +668,14 @@ fn fleet_worker<T, R>(
             if stats.degraded {
                 slot.report.degraded_flushes += 1;
             }
+            slot.report.verified_ops += stats.verified;
+            slot.report.verify_failures += stats.verify_failures;
+            slot.report.verify_reruns += stats.verify_reruns;
+            slot.report.verify_modeled_seconds += stats.verify_modeled_s;
+            slot.report.lane_quarantines = quarantine.quarantines();
+            slot.report.lane_readmissions = quarantine.readmissions();
+            slot.report.integrity_escalations = quarantine.escalations();
+            slot.report.quarantined_lanes = quarantine.quarantined() as u64;
             slot.report.breaker_trips = breaker.trips();
             slot.report.breaker_recoveries = breaker.recoveries();
             slot.report.breaker_state = breaker.state(vnow);

@@ -24,6 +24,7 @@ pub mod pool;
 pub mod resilient;
 pub mod service;
 pub mod stats;
+pub mod verify;
 
 pub use fleet::{
     key_fingerprint, CardSetup, FleetConfig, FleetReport, FleetRouter, FleetScheduler,
@@ -37,3 +38,4 @@ pub use service::{
     BATCH_WIDTH,
 };
 pub use stats::{FlushRecord, ResilienceReport, ServiceReport, Summary};
+pub use verify::{IntegrityHooks, LaneQuarantine, QuarantineConfig};

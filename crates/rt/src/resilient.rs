@@ -27,14 +27,27 @@
 //! 5. **Exactly-once resolution** — every admitted request resolves
 //!    exactly once: on the card, on the host fallback, or with a typed
 //!    [`OffloadError`]. No hangs, no lost tickets, no double answers.
+//! 6. **Verified release** — with [`IntegrityHooks`] attached
+//!    ([`ResilientService::with_integrity`]), no card result reaches a
+//!    caller before the host's release check passes. A failed check
+//!    walks the graded degradation ladder: re-run the lane once
+//!    on-card, quarantine the physical lane
+//!    ([`crate::verify::LaneQuarantine`]), escalate repeated
+//!    quarantines to the breaker, and finally resolve off-card (host
+//!    fallback or [`OffloadError::IntegrityFailure`]). This is the
+//!    countermeasure to *silent* faults
+//!    ([`phi_faults::FaultKind::is_silent`]), which corrupt results
+//!    while the attempt reports success — undetectable by steps 1–4.
 //!
 //! With no fault source and a closed breaker the card path is the same
 //! measured `card_fn` invocation the plain service makes; the resilience
 //! machinery costs one `Option` check per flush and never records
-//! modeled operations of its own.
+//! modeled operations of its own. Likewise, a service without a verify
+//! hook runs bit- and cycle-identically to the pre-verification stack.
 
 use crate::service::{Collector, FlushReason, Pending, ServiceConfig, SubmitError, Ticket};
 use crate::stats::{FlushRecord, ResilienceReport};
+use crate::verify::{IntegrityHooks, LaneQuarantine, QuarantineConfig};
 use phi_faults::{
     BackoffPolicy, BreakerConfig, BreakerState, CircuitBreaker, FaultKind, FaultSource,
 };
@@ -65,11 +78,14 @@ pub struct ResilienceConfig {
     pub backoff: BackoffPolicy,
     /// Card-health breaker tunables.
     pub breaker: BreakerConfig,
+    /// Lane-quarantine ladder tunables (only consulted when the service
+    /// carries a verify hook).
+    pub quarantine: QuarantineConfig,
 }
 
 impl Default for ResilienceConfig {
     /// Default collector, a 50 ms flush budget, 500 µs per faulted
-    /// attempt, two requeues, default backoff and breaker.
+    /// attempt, two requeues, default backoff, breaker and quarantine.
     fn default() -> Self {
         ResilienceConfig {
             service: ServiceConfig::default(),
@@ -78,6 +94,7 @@ impl Default for ResilienceConfig {
             max_requeues: 2,
             backoff: BackoffPolicy::default(),
             breaker: BreakerConfig::default(),
+            quarantine: QuarantineConfig::default(),
         }
     }
 }
@@ -90,6 +107,7 @@ impl ResilienceConfig {
         );
         assert!(self.fault_cost_s >= 0.0, "fault cost must be non-negative");
         self.backoff.validate();
+        self.quarantine.validate();
     }
 }
 
@@ -113,6 +131,13 @@ pub enum OffloadError {
     /// The breaker is open (card distrusted) and no host fallback is
     /// configured.
     CardOffline,
+    /// The request's card results failed host-side verification past
+    /// the on-card re-run budget and no host fallback is configured.
+    /// The unverified results were never released.
+    IntegrityFailure {
+        /// Verification rejections the request accumulated.
+        rejections: u32,
+    },
     /// The service shut down without answering this ticket.
     ServiceShutdown,
 }
@@ -127,6 +152,12 @@ impl fmt::Display for OffloadError {
                 write!(f, "offload deadline exceeded after {requeues} requeues")
             }
             OffloadError::CardOffline => write!(f, "card offline (breaker open), no fallback"),
+            OffloadError::IntegrityFailure { rejections } => {
+                write!(
+                    f,
+                    "result failed verification {rejections} times, no fallback"
+                )
+            }
             OffloadError::ServiceShutdown => write!(f, "resilient service shut down"),
         }
     }
@@ -229,6 +260,27 @@ impl<T: Send + Clone + 'static, R: Send + 'static> ResilientService<T, R> {
     where
         F: Fn(&[T]) -> Vec<R> + Send + 'static,
     {
+        Self::with_integrity(config, card_fn, host_fn, faults, None)
+    }
+
+    /// Start a resilient service with result-integrity hooks.
+    ///
+    /// `integrity` models silent corruption (its `corrupt` hook is how
+    /// [`phi_faults::FaultKind::is_silent`] faults mutate results) and,
+    /// when its `verify` hook is present, checks every card result
+    /// before release — walking the graded degradation ladder on
+    /// failure. `None` (or a corrupt-only hook set) releases card
+    /// results unchecked, exactly like [`ResilientService::new`].
+    pub fn with_integrity<F>(
+        config: ResilienceConfig,
+        card_fn: F,
+        host_fn: Option<HostFn<T, R>>,
+        faults: Option<Arc<dyn FaultSource>>,
+        integrity: Option<IntegrityHooks<T, R>>,
+    ) -> Self
+    where
+        F: Fn(&[T]) -> Vec<R> + Send + 'static,
+    {
         config.validate();
         let shared = Arc::new(RShared {
             state: Mutex::new(RState {
@@ -242,7 +294,9 @@ impl<T: Send + Clone + 'static, R: Send + 'static> ResilientService<T, R> {
         let worker_shared = Arc::clone(&shared);
         let worker = thread::Builder::new()
             .name("phi-resilient-service".into())
-            .spawn(move || resilient_worker(worker_shared, config, card_fn, host_fn, faults))
+            .spawn(move || {
+                resilient_worker(worker_shared, config, card_fn, host_fn, faults, integrity)
+            })
             .expect("spawn resilient service worker");
         ResilientService {
             shared,
@@ -321,6 +375,10 @@ pub(crate) struct FlushStats<T, R> {
     pub(crate) errored: usize,
     pub(crate) faults: u64,
     pub(crate) retries: u64,
+    pub(crate) verified: u64,
+    pub(crate) verify_failures: u64,
+    pub(crate) verify_reruns: u64,
+    pub(crate) verify_modeled_s: f64,
     pub(crate) deadline_cancelled: bool,
     pub(crate) degraded: bool,
     pub(crate) requeued: Vec<Pending<RJob<T, R>>>,
@@ -336,6 +394,10 @@ impl<T, R> FlushStats<T, R> {
             errored: 0,
             faults: 0,
             retries: 0,
+            verified: 0,
+            verify_failures: 0,
+            verify_reruns: 0,
+            verify_modeled_s: 0.0,
             deadline_cancelled: false,
             degraded: false,
             requeued: Vec::new(),
@@ -349,15 +411,18 @@ fn resilient_worker<T, R, F>(
     card_fn: F,
     host_fn: Option<HostFn<T, R>>,
     faults: Option<Arc<dyn FaultSource>>,
+    integrity: Option<IntegrityHooks<T, R>>,
 ) where
     T: Send + Clone,
     R: Send,
     F: Fn(&[T]) -> Vec<R>,
 {
     let cost = CostModel::knc();
-    // The breaker and virtual clock are worker-local: flush execution
-    // happens outside the state lock, and only this thread drives them.
+    // The breaker, lane quarantine and virtual clock are worker-local:
+    // flush execution happens outside the state lock, and only this
+    // thread drives them.
     let mut breaker = CircuitBreaker::new(config.breaker);
+    let mut quarantine = LaneQuarantine::new(config.service.width, config.quarantine);
     let mut vnow: f64 = 0.0;
     let mut state = lock(&shared.state);
     loop {
@@ -381,7 +446,9 @@ fn resilient_worker<T, R, F>(
                 &card_fn,
                 host_fn.as_deref(),
                 faults.as_deref(),
+                integrity.as_ref(),
                 &mut breaker,
+                &mut quarantine,
                 &mut vnow,
                 batch.entries,
                 draining,
@@ -407,6 +474,14 @@ fn resilient_worker<T, R, F>(
             report.host_fallback_ops += stats.host_completed as u64;
             report.host_modeled_seconds += stats.host_modeled_s;
             report.errored_ops += stats.errored as u64;
+            report.verified_ops += stats.verified;
+            report.verify_failures += stats.verify_failures;
+            report.verify_reruns += stats.verify_reruns;
+            report.verify_modeled_seconds += stats.verify_modeled_s;
+            report.lane_quarantines = quarantine.quarantines();
+            report.lane_readmissions = quarantine.readmissions();
+            report.integrity_escalations = quarantine.escalations();
+            report.quarantined_lanes = quarantine.quarantined() as u64;
             if stats.deadline_cancelled {
                 report.deadline_cancellations += 1;
             }
@@ -483,7 +558,97 @@ fn resolve_off_card<T, R>(
     }
 }
 
-/// Execute one flush through the breaker/fault/retry/deadline loop.
+/// Release one card pass's completed lanes through the (optional)
+/// verification gate, priced on the modeled cycle channel under
+/// [`phi_trace::Scope::Verify`].
+///
+/// `done` holds the completed entry indices, `phys` the physical lane
+/// each ran on (parallel to `done`; consulted only when a verify hook
+/// exists). Passing lanes resolve `Ok` and clear their lane's strikes;
+/// failing lanes take a strike (possibly quarantining the lane, possibly
+/// escalating to the breaker as a hard fault) and are returned so the
+/// caller can walk the rest of the degradation ladder. Without a verify
+/// hook every result is released unchecked at zero cost — including
+/// silently corrupted ones, which is exactly the leak the hook closes.
+#[allow(clippy::too_many_arguments)]
+fn release_lanes<T, R>(
+    entries: &mut [Option<Pending<RJob<T, R>>>],
+    done: &[usize],
+    phys: &[usize],
+    results: Vec<R>,
+    integrity: Option<&IntegrityHooks<T, R>>,
+    quarantine: &mut LaneQuarantine,
+    breaker: &mut CircuitBreaker,
+    vfails: &mut [u32],
+    cost: &CostModel,
+    vnow: &mut f64,
+    stats: &mut FlushStats<T, R>,
+) -> Vec<usize>
+where
+    T: Send + Clone,
+    R: Send,
+{
+    let Some(check) = integrity.and_then(|h| h.verify.as_ref()) else {
+        for (&i, r) in done.iter().zip(results) {
+            let job = entries[i].take().expect("completed lane live");
+            let _ = job.payload.reply.send(Ok(r));
+            stats.card_completed += 1;
+        }
+        return Vec::new();
+    };
+    debug_assert_eq!(done.len(), phys.len());
+    // One batch-shaped check for the whole pass: the hook sees every
+    // (payload, result) pair together, so an RSA checker can judge the
+    // flush in masked 16-lane vector passes instead of per-result
+    // scalar exponentiations.
+    let pairs: Vec<(&T, &R)> = done
+        .iter()
+        .zip(&results)
+        .map(|(&i, r)| {
+            let job = entries[i].as_ref().expect("completed lane live");
+            (&job.payload.payload, r)
+        })
+        .collect();
+    let (verdicts, ops) = count::measure(|| {
+        let _span = phi_trace::span(phi_trace::Scope::Verify);
+        check(&pairs)
+    });
+    drop(pairs);
+    debug_assert_eq!(verdicts.len(), done.len(), "one verdict per released lane");
+    let modeled = cost.single_thread_seconds(&ops);
+    *vnow += modeled;
+    stats.verify_modeled_s += modeled;
+    stats.verified += done.len() as u64;
+    let mut failed: Vec<usize> = Vec::new();
+    for (p, (r, ok)) in results.into_iter().zip(verdicts).enumerate() {
+        let i = done[p];
+        if ok {
+            let job = entries[i].take().expect("completed lane live");
+            let _ = job.payload.reply.send(Ok(r));
+            stats.card_completed += 1;
+            quarantine.record_pass(phys[p]);
+        } else {
+            // The unverified result is dropped, never released.
+            vfails[i] += 1;
+            stats.verify_failures += 1;
+            if quarantine.record_failure(phys[p]).escalate {
+                breaker.record_hard_fault(*vnow);
+            }
+            failed.push(i);
+        }
+    }
+    if phi_trace::is_enabled() {
+        let reg = phi_trace::registry();
+        reg.counter_add("verify.checked", done.len() as u64);
+        if !failed.is_empty() {
+            reg.counter_add("verify.failed", failed.len() as u64);
+        }
+    }
+    failed
+}
+
+/// Execute one flush through the breaker/fault/retry/deadline loop
+/// (plus, with integrity hooks, the verify-on-release ladder).
 /// Consumes `entries`; every entry is either resolved through its reply
 /// channel or returned in `FlushStats::requeued`.
 ///
@@ -497,7 +662,9 @@ pub(crate) fn run_flush<T, R, F>(
     card_fn: &F,
     host_fn: Option<&(dyn Fn(&T) -> R + Send)>,
     faults: Option<&dyn FaultSource>,
+    integrity: Option<&IntegrityHooks<T, R>>,
     breaker: &mut CircuitBreaker,
+    quarantine: &mut LaneQuarantine,
     vnow: &mut f64,
     entries: Vec<Pending<RJob<T, R>>>,
     draining: bool,
@@ -510,6 +677,8 @@ where
     let mut stats = FlushStats::new();
     let mut entries: Vec<Option<Pending<RJob<T, R>>>> = entries.into_iter().map(Some).collect();
     let mut pending: Vec<usize> = (0..entries.len()).collect();
+    let verifying = integrity.is_some_and(IntegrityHooks::is_verified);
+    let mut vfails: Vec<u32> = vec![0; entries.len()];
 
     // Breaker gate: an open breaker sends the whole flush to the host.
     if !breaker.allow(*vnow) {
@@ -529,14 +698,62 @@ where
         return stats;
     }
 
+    if verifying {
+        // Advance the quarantine clock and mask quarantined lanes out:
+        // a batch wider than the card's usable lanes requeues its
+        // newest overflow entries (tickets and stamps intact).
+        quarantine.begin_flush();
+        let usable = quarantine.usable_lanes().len();
+        if pending.len() > usable {
+            let overflow = pending.split_off(usable);
+            for i in overflow {
+                let entry = entries[i].take().expect("pending lane live");
+                stats.requeued.push(entry);
+            }
+            if phi_trace::is_enabled() {
+                phi_trace::registry()
+                    .counter_add("quarantine.masked_out", stats.requeued.len() as u64);
+            }
+        }
+    }
+
     let vstart = *vnow;
     let mut attempts: u32 = 0;
     loop {
         attempts += 1;
+        // Physical lanes carrying this attempt, parallel to `pending`
+        // (quarantine attribution; only maintained when verifying).
+        let phys: Vec<usize> = if verifying {
+            let usable = quarantine.usable_lanes();
+            if pending.len() > usable.len() {
+                // Mid-flush quarantines narrowed the card below the
+                // re-run set: the bottom of the ladder takes the rest.
+                let overflow = pending.split_off(usable.len());
+                let rejections = quarantine.config().max_reruns + 1;
+                resolve_off_card(
+                    &mut entries,
+                    &overflow,
+                    host_fn,
+                    OffloadError::IntegrityFailure { rejections },
+                    cost,
+                    vnow,
+                    &mut stats,
+                );
+            }
+            usable.into_iter().take(pending.len()).collect()
+        } else {
+            Vec::new()
+        };
         let fault = faults.and_then(|f| f.next_fault(pending.len()));
-        match fault {
+        // Silent faults ride the clean-attempt shape: the card reports
+        // success, pays no fault penalty and never touches the breaker —
+        // only the corrupted results betray them, and only to a verify
+        // hook.
+        let silent = fault.filter(|k| k.is_silent());
+        match fault.filter(|k| !k.is_silent()) {
             None => {
-                // Clean card attempt over the still-pending lanes.
+                // Clean-shaped card attempt over the still-pending lanes
+                // (possibly silently corrupted).
                 let payloads: Vec<T> = pending
                     .iter()
                     .map(|&i| {
@@ -553,7 +770,7 @@ where
                 } else {
                     phi_trace::Scope::FlushRetry
                 };
-                let (results, ops) = count::measure(|| {
+                let (mut results, ops) = count::measure(|| {
                     let _span = phi_trace::span(scope);
                     card_fn(&payloads)
                 });
@@ -565,13 +782,74 @@ where
                 let modeled = cost.single_thread_seconds(&ops);
                 *vnow += modeled;
                 stats.card_modeled_s += modeled;
-                for (i, r) in pending.drain(..).zip(results) {
-                    let job = entries[i].take().expect("pending lane live");
-                    let _ = job.payload.reply.send(Ok(r));
-                    stats.card_completed += 1;
+                if let (Some(kind), Some(hooks)) = (silent, integrity) {
+                    for p in kind.affected_lanes(results.len()) {
+                        results[p] = (hooks.corrupt)(&payloads[p], &results[p]);
+                    }
                 }
-                breaker.record_success(*vnow);
-                return stats;
+                let done = std::mem::take(&mut pending);
+                let failed = release_lanes(
+                    &mut entries,
+                    &done,
+                    &phys,
+                    results,
+                    integrity,
+                    quarantine,
+                    breaker,
+                    &mut vfails,
+                    cost,
+                    vnow,
+                    &mut stats,
+                );
+                if failed.is_empty() {
+                    breaker.record_success(*vnow);
+                    return stats;
+                }
+                // Graded ladder: failed lanes inside their re-run budget
+                // go around for one more card pass; the rest resolve
+                // off-card (host fallback, inside the trust boundary).
+                let max_reruns = quarantine.config().max_reruns;
+                let (rerun, offcard): (Vec<usize>, Vec<usize>) =
+                    failed.into_iter().partition(|&i| vfails[i] <= max_reruns);
+                if !offcard.is_empty() {
+                    resolve_off_card(
+                        &mut entries,
+                        &offcard,
+                        host_fn,
+                        OffloadError::IntegrityFailure {
+                            rejections: max_reruns + 1,
+                        },
+                        cost,
+                        vnow,
+                        &mut stats,
+                    );
+                }
+                if rerun.is_empty() {
+                    return stats;
+                }
+                stats.verify_reruns += rerun.len() as u64;
+                if phi_trace::is_enabled() {
+                    phi_trace::registry().counter_add("verify.rerun", rerun.len() as u64);
+                }
+                pending = rerun;
+                // A quarantine escalation may have tripped the breaker:
+                // degrade the re-run set instead of re-trusting the card.
+                if breaker.state(*vnow) == BreakerState::Open {
+                    stats.degraded = true;
+                    if phi_trace::is_enabled() {
+                        phi_trace::registry().counter_add("resilient.flush.degraded", 1);
+                    }
+                    resolve_off_card(
+                        &mut entries,
+                        &pending,
+                        host_fn,
+                        OffloadError::CardOffline,
+                        cost,
+                        vnow,
+                        &mut stats,
+                    );
+                    return stats;
+                }
             }
             Some(kind) => {
                 stats.faults += 1;
@@ -589,10 +867,11 @@ where
                     // complete on this very attempt; only the poisoned
                     // lanes go around again.
                     let affected = kind.affected_lanes(pending.len());
-                    let survivors: Vec<usize> = (0..pending.len())
+                    let positions: Vec<usize> = (0..pending.len())
                         .filter(|p| !affected.contains(p))
-                        .map(|p| pending[p])
                         .collect();
+                    let survivors: Vec<usize> = positions.iter().map(|&p| pending[p]).collect();
+                    let mut next: Vec<usize> = affected.into_iter().map(|p| pending[p]).collect();
                     if !survivors.is_empty() {
                         let payloads: Vec<T> = survivors
                             .iter()
@@ -613,13 +892,55 @@ where
                         let modeled = cost.single_thread_seconds(&ops);
                         *vnow += modeled;
                         stats.card_modeled_s += modeled;
-                        for (&i, r) in survivors.iter().zip(results) {
-                            let job = entries[i].take().expect("survivor live");
-                            let _ = job.payload.reply.send(Ok(r));
-                            stats.card_completed += 1;
+                        let sphys: Vec<usize> = if verifying {
+                            positions.iter().map(|&p| phys[p]).collect()
+                        } else {
+                            Vec::new()
+                        };
+                        let failed = release_lanes(
+                            &mut entries,
+                            &survivors,
+                            &sphys,
+                            results,
+                            integrity,
+                            quarantine,
+                            breaker,
+                            &mut vfails,
+                            cost,
+                            vnow,
+                            &mut stats,
+                        );
+                        if !failed.is_empty() {
+                            let max_reruns = quarantine.config().max_reruns;
+                            let (rerun, offcard): (Vec<usize>, Vec<usize>) =
+                                failed.into_iter().partition(|&i| vfails[i] <= max_reruns);
+                            if !offcard.is_empty() {
+                                resolve_off_card(
+                                    &mut entries,
+                                    &offcard,
+                                    host_fn,
+                                    OffloadError::IntegrityFailure {
+                                        rejections: max_reruns + 1,
+                                    },
+                                    cost,
+                                    vnow,
+                                    &mut stats,
+                                );
+                            }
+                            if !rerun.is_empty() {
+                                stats.verify_reruns += rerun.len() as u64;
+                                if phi_trace::is_enabled() {
+                                    phi_trace::registry()
+                                        .counter_add("verify.rerun", rerun.len() as u64);
+                                }
+                                // Failed survivors go around with the
+                                // poisoned lanes, in lane order.
+                                next.extend(rerun);
+                                next.sort_unstable();
+                            }
                         }
                     }
-                    pending = affected.into_iter().map(|p| pending[p]).collect();
+                    pending = next;
                 }
                 if pending.is_empty() {
                     return stats;
@@ -923,5 +1244,194 @@ mod tests {
         assert!(report.deadline_cancellations >= 1);
         assert_eq!(report.requeues, 2, "requeued to the cap, then forced");
         assert_eq!(report.host_fallback_ops, 1);
+    }
+
+    // ---- verified offload -------------------------------------------
+
+    /// Doubler-typed hooks: corruption adds one (so the result is off by
+    /// one), verification checks the doubling contract.
+    fn doubler_hooks() -> IntegrityHooks<u64, u64> {
+        IntegrityHooks::verified(|_, r| r + 1, |x, r| *r == x * 2)
+    }
+
+    fn verified_service(
+        cfg: ResilienceConfig,
+        faults: Option<Arc<dyn FaultSource>>,
+    ) -> ResilientService<u64, u64> {
+        ResilientService::with_integrity(cfg, doubler, host(), faults, Some(doubler_hooks()))
+    }
+
+    #[test]
+    fn verified_clean_path_checks_everything_and_rejects_nothing() {
+        let service = verified_service(config(4, 10.0, 64), None);
+        let handles: Vec<_> = (0..8).map(|i| service.submit(i).unwrap()).collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.wait(), Ok(i as u64 * 2));
+        }
+        let report = service.shutdown();
+        assert_eq!(report.verified_ops, 8, "every released result was checked");
+        assert_eq!(report.verify_failures, 0, "honest results never rejected");
+        assert_eq!(report.verify_reruns, 0);
+        assert_eq!(report.lane_quarantines, 0);
+        // A u64 check records no counted big-number ops, so its modeled
+        // price is zero here; the RSA layer's tests pin the real (~17
+        // Montgomery multiplications) verification cost.
+        assert_eq!(report.verify_modeled_seconds, 0.0);
+    }
+
+    #[test]
+    fn silent_lane_flip_is_caught_and_rerun_on_card() {
+        // One silent flip on lane 2, then a clean card: the corrupted
+        // result is rejected, the lane re-runs once, and the caller gets
+        // the correct value. Nothing touches the detected-fault ledger.
+        let script: Arc<dyn FaultSource> =
+            Arc::new(FaultScript::new(vec![Some(FaultKind::SilentLaneFlip {
+                lane: 2,
+            })]));
+        let service = verified_service(config(4, 10.0, 64), Some(script));
+        let handles: Vec<_> = (0..4).map(|i| service.submit(i).unwrap()).collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.wait(), Ok(i as u64 * 2), "no corrupted result escapes");
+        }
+        let report = service.shutdown();
+        assert_eq!(report.faults_seen, 0, "silent faults are unobservable");
+        assert_eq!(report.retries, 0, "verify re-runs are not backoff retries");
+        assert_eq!(report.verify_failures, 1);
+        assert_eq!(report.verify_reruns, 1);
+        assert_eq!(report.host_fallback_ops, 0, "re-run resolved it on-card");
+        assert_eq!(report.service.ops(), 4);
+    }
+
+    #[test]
+    fn silent_batch_corruption_reruns_every_lane() {
+        let script: Arc<dyn FaultSource> = Arc::new(FaultScript::new(vec![Some(
+            FaultKind::SilentBatchCorruption,
+        )]));
+        let service = verified_service(config(4, 10.0, 64), Some(script));
+        let handles: Vec<_> = (0..4).map(|i| service.submit(i).unwrap()).collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.wait(), Ok(i as u64 * 2));
+        }
+        let report = service.shutdown();
+        assert_eq!(report.verify_failures, 4);
+        assert_eq!(report.verify_reruns, 4);
+        assert_eq!(report.host_fallback_ops, 0);
+    }
+
+    #[test]
+    fn unverified_service_releases_silently_corrupted_results() {
+        // The leak the verify hook closes: corrupt-only hooks model the
+        // silent fault but no check runs, so the wrong value reaches the
+        // caller — the Bellcore scenario.
+        let script: Arc<dyn FaultSource> =
+            Arc::new(FaultScript::new(vec![Some(FaultKind::SilentLaneFlip {
+                lane: 1,
+            })]));
+        let service = ResilientService::with_integrity(
+            config(4, 10.0, 64),
+            doubler,
+            host(),
+            Some(script),
+            Some(IntegrityHooks::corrupt_only(|_, r| r + 1)),
+        );
+        let handles: Vec<_> = (0..4).map(|i| service.submit(i).unwrap()).collect();
+        let results: Vec<u64> = handles.into_iter().map(|h| h.wait().unwrap()).collect();
+        assert_eq!(results, vec![0, 3, 4, 6], "lane 1 leaked 2*1 + 1");
+        let report = service.shutdown();
+        assert_eq!(report.verified_ops, 0, "nothing was checked");
+        assert_eq!(report.verify_failures, 0);
+    }
+
+    #[test]
+    fn persistent_corruption_quarantines_the_lane_and_falls_back() {
+        // Silent flips on lane 1 on every attempt: the re-run budget
+        // (1) is spent, the request resolves on the host, and repeat
+        // offenses quarantine the physical lane out of future batches.
+        let script: Arc<dyn FaultSource> = Arc::new(FaultScript::repeat(
+            FaultKind::SilentLaneFlip { lane: 1 },
+            64,
+        ));
+        let service = verified_service(config(4, 1e-3, 64), Some(script));
+        let mut quarantined = false;
+        for round in 0..4u64 {
+            let handles: Vec<_> = (0..4)
+                .map(|i| service.submit(round * 4 + i).unwrap())
+                .collect();
+            for (i, h) in handles.into_iter().enumerate() {
+                assert_eq!(
+                    h.wait(),
+                    Ok((round * 4 + i as u64) * 2),
+                    "every result correct, wherever it resolved"
+                );
+            }
+            if service.report().quarantined_lanes > 0 {
+                quarantined = true;
+                break;
+            }
+        }
+        assert!(quarantined, "repeat verify failures must quarantine a lane");
+        let report = service.shutdown();
+        assert!(report.verify_failures >= 2);
+        assert!(report.host_fallback_ops >= 1, "re-run budget exhausted");
+        assert!(report.lane_quarantines >= 1);
+        assert_eq!(report.faults_seen, 0, "still invisible to fault ledger");
+    }
+
+    #[test]
+    fn verify_failure_without_host_is_a_typed_error() {
+        let script: Arc<dyn FaultSource> =
+            Arc::new(FaultScript::repeat(FaultKind::SilentBatchCorruption, 64));
+        let service = ResilientService::with_integrity(
+            config(2, 1e-3, 64),
+            doubler,
+            None,
+            Some(script),
+            Some(doubler_hooks()),
+        );
+        let h = service.submit(5).unwrap();
+        let err = h.wait().unwrap_err();
+        assert_eq!(err, OffloadError::IntegrityFailure { rejections: 2 });
+        let report = service.shutdown();
+        assert_eq!(report.errored_ops, 1);
+        assert_eq!(report.verify_failures, 2, "initial attempt + one re-run");
+    }
+
+    #[test]
+    fn detected_fault_survivors_still_get_verified() {
+        // An ECC fault on lane 0 plus a silent flip on the same attempt
+        // cannot happen in one draw, so stage them: ECC first (survivors
+        // verify clean), then a silent flip on the retry.
+        let script: Arc<dyn FaultSource> = Arc::new(FaultScript::new(vec![
+            Some(FaultKind::EccLaneFault { lane: 0 }),
+            Some(FaultKind::SilentLaneFlip { lane: 0 }),
+        ]));
+        let service = verified_service(config(4, 10.0, 64), Some(script));
+        let handles: Vec<_> = (0..4).map(|i| service.submit(i).unwrap()).collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.wait(), Ok(i as u64 * 2));
+        }
+        let report = service.shutdown();
+        assert_eq!(report.faults_seen, 1, "the ECC fault");
+        assert_eq!(report.verify_failures, 1, "the silent flip on the retry");
+        // 3 survivors + the retried lane twice (flip, then clean re-run).
+        assert_eq!(report.verified_ops, 5);
+        assert_eq!(report.service.ops(), 4);
+    }
+
+    #[test]
+    fn verified_mode_is_cycle_identical_when_absent() {
+        // A service without hooks and one with `None` hooks must produce
+        // identical virtual clocks — verification must cost nothing when
+        // off (the existing cards=1 fleet identity tests depend on it).
+        let run = |hooks: Option<IntegrityHooks<u64, u64>>| {
+            let service =
+                ResilientService::with_integrity(config(4, 10.0, 64), doubler, host(), None, hooks);
+            let handles: Vec<_> = (0..8).map(|i| service.submit(i).unwrap()).collect();
+            handles.into_iter().for_each(|h| {
+                h.wait().unwrap();
+            });
+            service.shutdown().modeled_virtual_seconds
+        };
+        assert_eq!(run(None), run(None));
     }
 }

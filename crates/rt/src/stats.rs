@@ -140,6 +140,25 @@ pub struct ResilienceReport {
     /// The service's modeled virtual clock after the most recent flush
     /// (card attempts + fault penalties + backoff + host fallback time).
     pub modeled_virtual_seconds: f64,
+    /// Card results checked by the verify-on-release hook before resolving.
+    pub verified_ops: u64,
+    /// Card results the verify hook rejected (dropped, never released).
+    pub verify_failures: u64,
+    /// Lanes re-run on the card after a verification rejection.
+    pub verify_reruns: u64,
+    /// Modeled single-thread seconds spent inside the verify hook — the
+    /// integrity tax the E20 overhead gate bounds.
+    pub verify_modeled_seconds: f64,
+    /// Times a physical lane was quarantined (masked out of batches).
+    pub lane_quarantines: u64,
+    /// Times a quarantined lane passed probation and was readmitted.
+    pub lane_readmissions: u64,
+    /// Times the quarantined-lane count crossed the escalation threshold
+    /// and was reported to the circuit breaker as a hard fault.
+    pub integrity_escalations: u64,
+    /// Physical lanes quarantined as of the most recent flush (summed
+    /// across cards when merged).
+    pub quarantined_lanes: u64,
 }
 
 impl Default for ResilienceReport {
@@ -158,6 +177,14 @@ impl Default for ResilienceReport {
             breaker_recoveries: 0,
             breaker_state: phi_faults::BreakerState::Closed,
             modeled_virtual_seconds: 0.0,
+            verified_ops: 0,
+            verify_failures: 0,
+            verify_reruns: 0,
+            verify_modeled_seconds: 0.0,
+            lane_quarantines: 0,
+            lane_readmissions: 0,
+            integrity_escalations: 0,
+            quarantined_lanes: 0,
         }
     }
 }
@@ -224,6 +251,14 @@ impl ResilienceReport {
         self.errored_ops += other.errored_ops;
         self.breaker_trips += other.breaker_trips;
         self.breaker_recoveries += other.breaker_recoveries;
+        self.verified_ops += other.verified_ops;
+        self.verify_failures += other.verify_failures;
+        self.verify_reruns += other.verify_reruns;
+        self.verify_modeled_seconds += other.verify_modeled_seconds;
+        self.lane_quarantines += other.lane_quarantines;
+        self.lane_readmissions += other.lane_readmissions;
+        self.integrity_escalations += other.integrity_escalations;
+        self.quarantined_lanes += other.quarantined_lanes;
         if severity(other.breaker_state) > severity(self.breaker_state) {
             self.breaker_state = other.breaker_state;
         }
@@ -296,6 +331,41 @@ mod tests {
         assert!((r.total_modeled_seconds() - 5e-3).abs() < 1e-15);
         assert!((r.effective_throughput() - 16.0 / 8e-3).abs() < 1e-9);
         assert!((r.degradation_fraction() - 3.0 / 17.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_integrity_counters() {
+        let mut a = ResilienceReport {
+            verified_ops: 10,
+            verify_failures: 2,
+            verify_reruns: 1,
+            verify_modeled_seconds: 1e-4,
+            lane_quarantines: 1,
+            lane_readmissions: 1,
+            integrity_escalations: 0,
+            quarantined_lanes: 0,
+            ..ResilienceReport::default()
+        };
+        let b = ResilienceReport {
+            verified_ops: 5,
+            verify_failures: 1,
+            verify_reruns: 1,
+            verify_modeled_seconds: 2e-4,
+            lane_quarantines: 2,
+            lane_readmissions: 0,
+            integrity_escalations: 1,
+            quarantined_lanes: 2,
+            ..ResilienceReport::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.verified_ops, 15);
+        assert_eq!(a.verify_failures, 3);
+        assert_eq!(a.verify_reruns, 2);
+        assert!((a.verify_modeled_seconds - 3e-4).abs() < 1e-15);
+        assert_eq!(a.lane_quarantines, 3);
+        assert_eq!(a.lane_readmissions, 1);
+        assert_eq!(a.integrity_escalations, 1);
+        assert_eq!(a.quarantined_lanes, 2);
     }
 
     #[test]

@@ -207,6 +207,42 @@ where
 }
 
 /// Run `count` concurrent handshakes like [`drive_concurrent_resilient`],
+/// but through the *verified* service: every card plaintext passes the
+/// cheap public-exponent check (`m^e ≡ c (mod n)`) before its handshake
+/// sees it, so silently corrupted card results — the Bellcore
+/// key-extraction scenario — are caught, re-run, quarantined at the lane
+/// level, and ultimately degraded to the host instead of released. The
+/// returned report's `verified_ops` / `verify_failures` /
+/// `lane_quarantines` counters expose the ladder.
+pub fn drive_concurrent_verified<F>(
+    key: &RsaPrivateKey,
+    make_ops: F,
+    count: usize,
+    threads: u32,
+    policy: AffinityPolicy,
+    config: ResilienceConfig,
+    faults: Option<Arc<dyn FaultSource>>,
+) -> Result<(usize, BatchReport, ResilienceReport), SslError>
+where
+    F: Fn() -> RsaOps + Sync,
+{
+    let service = Arc::new(RsaBatchService::new_verified(key, config, faults)?);
+    let pool = PhiPool::new(threads, policy);
+    let (oks, report) = pool.run_batch(count, |i| {
+        let mut rng = StdRng::seed_from_u64(0xFA17 + i as u64);
+        let server_ops = make_ops().with_service(Arc::clone(&service));
+        let mut server = Server::new(&mut rng, key.clone(), server_ops);
+        let mut client = Client::new(&mut rng, make_ops());
+        drive_handshake(&mut rng, &mut server, &mut client).is_ok()
+    });
+    let successes = oks.iter().filter(|&&ok| ok).count();
+    let resilience_report = Arc::try_unwrap(service)
+        .unwrap_or_else(|_| unreachable!("pool tasks joined, no other holders"))
+        .shutdown_resilient();
+    Ok((successes, report, resilience_report))
+}
+
+/// Run `count` concurrent handshakes like [`drive_concurrent_resilient`],
 /// but behind the N-card fleet from `phi.fleet`: server private
 /// operations are keyed by the key's modulus fingerprint and routed to
 /// the card holding its warm Montgomery sessions, with work stealing and
@@ -389,6 +425,40 @@ mod tests {
         assert_eq!(report.faults_seen, 0);
         assert_eq!(report.host_fallback_ops, 0);
         assert_eq!(report.errored_ops, 0);
+    }
+
+    #[test]
+    fn verified_driver_completes_handshakes_under_silent_faults() {
+        use phi_faults::{FaultInjector, FaultRates, FaultSource};
+        let k = key();
+        let config = ResilienceConfig {
+            service: ServiceConfig {
+                width: 4,
+                max_wait: 500e-6,
+                queue_cap: 16,
+            },
+            ..ResilienceConfig::default()
+        };
+        let faults: Arc<dyn FaultSource> =
+            Arc::new(FaultInjector::new(0x51137, FaultRates::silent(0.4)));
+        let (ok, _pool_report, report) = drive_concurrent_verified(
+            &k,
+            || RsaOps::new(Box::new(MpssBaseline)),
+            8,
+            4,
+            AffinityPolicy::Compact,
+            config,
+            Some(faults),
+        )
+        .unwrap();
+        // Every handshake succeeds: a corrupted premaster secret would
+        // break key derivation, so success here means nothing corrupted
+        // was released.
+        assert_eq!(ok, 8);
+        assert_eq!(report.errored_ops, 0);
+        assert_eq!(report.faults_seen, 0, "silent faults are undetectable");
+        assert!(report.verified_ops > 0);
+        assert!(report.verify_failures > 0, "a 40% schedule must corrupt");
     }
 
     #[test]

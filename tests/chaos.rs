@@ -397,6 +397,179 @@ fn single_card_fleet_is_bit_and_cycle_identical_to_resilient() {
     );
 }
 
+/// The silent-corruption drill (the CI chaos-smoke shape): a seeded
+/// sweep over silent-fault rates from zero up through well past the
+/// 10⁻² design point. At every rate the verified service must release
+/// *zero* corrupted plaintexts and conserve every request — silent
+/// faults are invisible to the detected-fault machinery, so only the
+/// verify-on-release check stands between the corruption and the
+/// caller.
+#[test]
+fn silent_fault_sweep_releases_zero_corrupted_results() {
+    let seed = chaos_seed(0x51_1E27);
+    let key = test_key();
+    for (r, rate) in [0.0, 1e-3, 1e-2, 0.25].into_iter().enumerate() {
+        let faults: Option<Arc<dyn FaultSource>> = if rate > 0.0 {
+            Some(Arc::new(FaultInjector::new(
+                seed ^ (r as u64),
+                FaultRates::silent(rate),
+            )))
+        } else {
+            None
+        };
+        let service =
+            Arc::new(RsaBatchService::new_verified(&key, quick_config(), faults).unwrap());
+        const THREADS: u64 = 4;
+        const PER_THREAD: u64 = 8;
+        let workers: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let service = Arc::clone(&service);
+                let key = key.clone();
+                std::thread::spawn(move || {
+                    let plain = RsaOps::new(Box::new(MpssBaseline));
+                    for i in 0..PER_THREAD {
+                        let m = phiopenssl_suite::bigint::BigUint::from(t * 2_718_281 + i + 1);
+                        let c = plain.public_op(key.public(), &m).unwrap();
+                        match service.call(c) {
+                            Ok(got) => {
+                                assert_eq!(got, m, "seed {seed} rate {rate}: corrupted release")
+                            }
+                            Err(e) => panic!("seed {seed} rate {rate}: request errored: {e}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("worker panicked");
+        }
+        let report = Arc::try_unwrap(service)
+            .unwrap_or_else(|_| panic!("service still shared"))
+            .shutdown_resilient();
+        assert_eq!(
+            report.resolved_ops(),
+            THREADS * PER_THREAD,
+            "seed {seed} rate {rate}: conservation violated"
+        );
+        assert_eq!(report.errored_ops, 0, "seed {seed} rate {rate}");
+        assert_eq!(
+            report.faults_seen, 0,
+            "seed {seed} rate {rate}: silent faults must stay invisible"
+        );
+        assert_eq!(
+            report.verified_ops as usize + report.host_fallback_ops as usize,
+            report.resolved_ops() as usize,
+            "seed {seed} rate {rate}: every non-host release was checked"
+        );
+    }
+}
+
+/// Mixed chaos — detected faults (retries, breaker, host fallback) and
+/// silent corruption (verify-on-release ladder) interleaved under one
+/// seeded schedule. Both reaction paths share the flush loop; neither
+/// may lose, duplicate, or corrupt a request.
+#[test]
+fn mixed_detected_and_silent_chaos_conserves_every_request() {
+    let seed = chaos_seed(0x3_1415);
+    let key = test_key();
+    let mut rates = FaultRates::uniform(0.2);
+    rates.silent_lane = 0.15;
+    rates.silent_batch = 0.05;
+    let faults: Arc<dyn FaultSource> = Arc::new(FaultInjector::new(seed, rates));
+    let service =
+        Arc::new(RsaBatchService::new_verified(&key, quick_config(), Some(faults)).unwrap());
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 10;
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            let key = key.clone();
+            std::thread::spawn(move || {
+                let plain = RsaOps::new(Box::new(MpssBaseline));
+                for i in 0..PER_THREAD {
+                    let m = phiopenssl_suite::bigint::BigUint::from(t * 1_299_709 + i + 1);
+                    let c = plain.public_op(key.public(), &m).unwrap();
+                    match service.call(c) {
+                        Ok(got) => assert_eq!(got, m, "seed {seed}: wrong plaintext"),
+                        Err(e) => panic!("seed {seed}: request errored: {e}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker panicked");
+    }
+    let report = Arc::try_unwrap(service)
+        .unwrap_or_else(|_| panic!("service still shared"))
+        .shutdown_resilient();
+    assert_eq!(
+        report.resolved_ops(),
+        THREADS * PER_THREAD,
+        "seed {seed}: conservation violated"
+    );
+    assert_eq!(report.errored_ops, 0, "seed {seed}");
+    assert!(report.faults_seen > 0, "seed {seed}: detected faults fired");
+}
+
+/// Seed-replayability of the silent-fault drill: two verified services
+/// fed the identical deterministic batch stream under the same seeded
+/// injector must agree on every integrity counter — the property that
+/// makes a CI chaos failure reproducible from its printed seed.
+#[test]
+fn silent_fault_chaos_replays_bit_for_bit() {
+    let seed = chaos_seed(0x2E7_A11);
+    let key = test_key();
+    // Full-width batches with a huge collection window make the flush
+    // composition deterministic (same shape as the fleet identity test).
+    let config = ResilienceConfig {
+        service: ServiceConfig {
+            width: 4,
+            max_wait: 10.0,
+            queue_cap: 64,
+        },
+        ..ResilienceConfig::default()
+    };
+    let run = || {
+        let faults: Arc<dyn FaultSource> =
+            Arc::new(FaultInjector::new(seed, FaultRates::silent(0.5)));
+        let service = RsaBatchService::new_verified(&key, config, Some(faults)).unwrap();
+        let ops = RsaOps::new(Box::new(MpssBaseline));
+        for round in 0..4u64 {
+            let batch: Vec<_> = (0..4u64)
+                .map(|lane| {
+                    let m = phiopenssl_suite::bigint::BigUint::from(round * 1_000_003 + lane + 1);
+                    let c = ops.public_op(key.public(), &m).unwrap();
+                    (m, c)
+                })
+                .collect();
+            let tickets: Vec<_> = batch
+                .iter()
+                .map(|(_, c)| service.submit(c.clone()).unwrap())
+                .collect();
+            for ((m, _), t) in batch.iter().zip(tickets) {
+                assert_eq!(&t.wait().unwrap(), m, "seed {seed}: round {round}");
+            }
+        }
+        service.shutdown_resilient()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.verified_ops, b.verified_ops, "seed {seed}");
+    assert_eq!(a.verify_failures, b.verify_failures, "seed {seed}");
+    assert_eq!(a.verify_reruns, b.verify_reruns, "seed {seed}");
+    assert_eq!(a.lane_quarantines, b.lane_quarantines, "seed {seed}");
+    assert_eq!(a.host_fallback_ops, b.host_fallback_ops, "seed {seed}");
+    assert_eq!(
+        a.modeled_virtual_seconds, b.modeled_virtual_seconds,
+        "seed {seed}: replay must be cycle-identical, not just bit-identical"
+    );
+    assert!(
+        a.verify_failures > 0,
+        "seed {seed}: a 50% schedule corrupts"
+    );
+}
+
 /// Without a host fallback the service must not hang or lose tickets:
 /// a card that faults on every attempt yields a typed error per request,
 /// promptly.

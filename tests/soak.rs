@@ -12,6 +12,16 @@ use phiopenssl::PhiLibrary;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Rounds per soak run: a PR-scale 60 by default, cranked up by the
+/// nightly CI job via `SOAK_ROUNDS` (the generator is seeded, so any
+/// round count replays bit-for-bit).
+fn soak_rounds() -> usize {
+    std::env::var("SOAK_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60)
+}
+
 fn make_ops(which: usize) -> RsaOps {
     match which % 3 {
         0 => RsaOps::new(Box::new(PhiLibrary::default())),
@@ -29,7 +39,7 @@ fn mixed_workload_soak() {
     let cache = SessionCache::new(8);
     let mut sessions: Vec<(usize, phi_ssl::Session)> = Vec::new();
 
-    for round in 0..60 {
+    for round in 0..soak_rounds() {
         let ki = rng.gen_range(0..keys.len());
         let key = &keys[ki];
         let ops = make_ops(rng.gen_range(0..3));
