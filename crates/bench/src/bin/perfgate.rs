@@ -16,6 +16,12 @@
 //! # modeled cycles by at least the given fraction at every key size
 //! perfgate --min-improvement 0.10
 //!
+//! # tuned-kernel gate: run the deterministic static-vs-tuned batch CRT
+//! # comparison in-process and fail unless the committed tuning table
+//! # cuts modeled cycles by at least the given fraction at every gated
+//! # key size
+//! perfgate --tuned-improvement 0.05
+//!
 //! # fleet-scaling gate: run E19's saturated keyless workload on one
 //! # card and on two, and fail unless the two-card fleet's modeled
 //! # throughput is at least RATIO times the single card's
@@ -42,6 +48,7 @@ fn usage(code: i32) -> ! {
          \u{20}      perfgate --baseline BASELINE.json REPORT.json\n\
          \u{20}      perfgate --check REPORT.json --baseline BASELINE.json\n\
          \u{20}      perfgate --min-improvement FRACTION\n\
+         \u{20}      perfgate --tuned-improvement FRACTION\n\
          \u{20}      perfgate --fleet-speedup RATIO\n\
          \u{20}      perfgate --verify-overhead FRACTION"
     );
@@ -151,6 +158,46 @@ fn run_min_improvement(arg: &str) -> i32 {
     }
 }
 
+fn run_tuned_improvement(arg: &str) -> i32 {
+    let min: f64 = arg.parse().unwrap_or_else(|_| {
+        eprintln!("perfgate: --tuned-improvement wants a fraction (e.g. 0.05), got '{arg}'");
+        std::process::exit(2);
+    });
+    if !(0.0..1.0).contains(&min) {
+        eprintln!("perfgate: --tuned-improvement fraction must be in [0, 1), got {min}");
+        std::process::exit(2);
+    }
+    let lines = gate::measure_tuned_improvement(&gate::TUNED_GATE_SIZES);
+    let mut failed = false;
+    println!(
+        "perfgate: table-tuned vs static batch CRT private op, modeled cycles \
+         (required cut >= {:.0}%)",
+        min * 100.0
+    );
+    for l in &lines {
+        let ok = l.improvement >= min;
+        println!(
+            "  {:>5} bits  static {:>14.0}  tuned {:>14.0}  cut {:>6.2}%  {}",
+            l.bits,
+            l.static_cycles,
+            l.tuned_cycles,
+            l.improvement * 100.0,
+            if ok { "ok" } else { "TOO SMALL" }
+        );
+        failed |= !ok;
+    }
+    if failed {
+        eprintln!(
+            "perfgate: the committed tuning table no longer cuts modeled cycles by \
+             {:.0}% at every gated key size — regenerate it with `phi-tune --emit`",
+            min * 100.0
+        );
+        1
+    } else {
+        0
+    }
+}
+
 fn run_fleet_speedup(arg: &str) -> i32 {
     let min: f64 = arg.parse().unwrap_or_else(|_| {
         eprintln!("perfgate: --fleet-speedup wants a ratio (e.g. 1.6), got '{arg}'");
@@ -227,6 +274,7 @@ fn main() {
     let code = match args.first().map(String::as_str) {
         Some("--check") if args.len() == 2 => run_check(&args[1]),
         Some("--min-improvement") if args.len() == 2 => run_min_improvement(&args[1]),
+        Some("--tuned-improvement") if args.len() == 2 => run_tuned_improvement(&args[1]),
         Some("--fleet-speedup") if args.len() == 2 => run_fleet_speedup(&args[1]),
         Some("--verify-overhead") if args.len() == 2 => run_verify_overhead(&args[1]),
         Some("--check") if args.len() == 4 && args[2] == "--baseline" => {

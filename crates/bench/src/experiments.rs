@@ -1481,6 +1481,101 @@ pub fn e20_verified_offload(key_bits: u32, rates: &[f64], ops: usize) -> Table {
     t
 }
 
+/// E21 — Table: static vs table-tuned batch CRT private op (DESIGN.md
+/// §3.15), per key size.
+///
+/// Both columns run the same full-width `private_op_16` over the same
+/// deterministic ciphertexts. The tuned engine dispatches to the
+/// generated Montgomery kernel the committed `bench/tuning.json` winner
+/// selected for the key size (radix / window / variant / unroll); the
+/// static engine keeps the hand-written kernels. The results must stay
+/// bit-identical — tuning only ever moves the modeled cycle count — and
+/// `agree` additionally checks lane 0 against the scalar private-op
+/// oracle. When the host has AVX2 the same comparison is repeated on the
+/// native backend (parity asserted, wall clock reported in the notes).
+pub fn e21_tuned(key_sizes: &[u32]) -> Table {
+    use phiopenssl::{ResolvedBackend, Tuning, TuningTable};
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    let mut t = Table::new(
+        "E21: static vs table-tuned batch CRT private op, modeled KNC latency",
+        &[
+            "key bits",
+            "static µs",
+            "tuned µs",
+            "speedup",
+            "tuned kernel",
+            "agree",
+        ],
+    );
+    t.note("tuned = committed bench/tuning.json winner (generated radix/window kernel)");
+    t.note("bit-identical by construction; `agree` also checks lane 0 vs the scalar oracle");
+    let native = phiopenssl::CpuFeatures::detect().avx2;
+    if !native {
+        t.note("host has no AVX2 — native wall-clock pass skipped");
+    }
+    for &bits in key_sizes {
+        let key = workload::rsa_key(bits);
+        let cts: Vec<phi_bigint::BigUint> = (0..BATCH_WIDTH as u64)
+            .map(|j| &workload::operand(bits, 2100 + j) % key.public().n())
+            .collect();
+        let build = |backend| {
+            BatchCrtEngine::from_parts_with_backend(
+                key.public().n().clone(),
+                key.dp().clone(),
+                key.dq().clone(),
+                key.qinv().clone(),
+                key.p().clone(),
+                key.q().clone(),
+                backend,
+            )
+            .expect("odd CRT halves")
+        };
+        let engine = build(ResolvedBackend::ModeledKnc);
+        let tuned = build(ResolvedBackend::ModeledKnc).with_tuning(Tuning::Table);
+        assert!(
+            tuned.tuned_kernel_active(),
+            "committed table must cover {bits}-bit keys"
+        );
+        let (r_s, ms) = modeled(|| engine.private_op_16(&cts));
+        let (r_t, mt) = modeled(|| tuned.private_op_16(&cts));
+        let agree = r_s == r_t && r_s[0] == cts[0].mod_exp(key.d(), key.public().n());
+        let entry = TuningTable::committed()
+            .entry_for_modulus(key.public().n().bit_length(), "modeled-knc")
+            .expect("committed table covers every supported size");
+        if native {
+            let eng_n = build(ResolvedBackend::NativeX86);
+            let tun_n = build(ResolvedBackend::NativeX86).with_tuning(Tuning::Table);
+            let started = Instant::now();
+            let r_n = black_box(eng_n.private_op_16(black_box(&cts)));
+            let wall_s = started.elapsed().as_secs_f64();
+            let started = Instant::now();
+            let r_tn = black_box(tun_n.private_op_16(black_box(&cts)));
+            let wall_t = started.elapsed().as_secs_f64();
+            assert_eq!(r_n, r_s, "native static diverged at {bits} bits");
+            assert_eq!(r_tn, r_s, "native tuned diverged at {bits} bits");
+            t.note(format!(
+                "{bits}-bit native wall clock: static {:.0} µs, tuned {:.0} µs",
+                wall_s * 1e6,
+                wall_t * 1e6
+            ));
+        }
+        t.row(vec![
+            bits.to_string(),
+            fmt_us(ms.us()),
+            fmt_us(mt.us()),
+            fmt_x(mt.speedup_over(&ms)),
+            format!(
+                "r{} w{} u{}",
+                entry.params.radix_bits, entry.params.window, entry.params.unroll
+            ),
+            if agree { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    t
+}
+
 /// Format a silent-fault probability compactly across the sweep's six
 /// orders of magnitude (`0`, `1e-4`, … up to whole percents).
 fn fmt_fault_rate(rate: f64) -> String {
@@ -1730,6 +1825,24 @@ mod tests {
             "corruption must cost modeled time: {:?}",
             t.rows[1]
         );
+    }
+
+    #[test]
+    fn e21_smoke_tuned_kernel_wins_and_agrees() {
+        let t = e21_tuned(&[512]);
+        assert_eq!(t.rows.len(), 1);
+        let row = &t.rows[0];
+        assert_eq!(
+            row[5], "yes",
+            "tuned engine must stay bit-identical: {row:?}"
+        );
+        let x: f64 = row[3].trim_end_matches('x').parse().unwrap();
+        assert!(
+            x > 1.05,
+            "committed table must cut >5% modeled cycles at 512 bits: {row:?}"
+        );
+        // The committed 512-bit winner: the radix-29 window-4 kernel.
+        assert_eq!(row[4], "r29 w4 u8", "{row:?}");
     }
 
     #[test]

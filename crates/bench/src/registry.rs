@@ -32,7 +32,7 @@ impl Profile {
 
 /// One registered experiment.
 pub struct Experiment {
-    /// Stable id (`"e1"`..`"e20"`), the key the perf gate compares by.
+    /// Stable id (`"e1"`..`"e21"`), the key the perf gate compares by.
     pub id: &'static str,
     /// Short human title for reports.
     pub title: &'static str,
@@ -53,7 +53,7 @@ macro_rules! profile_run {
 }
 
 /// Every experiment of the evaluation, in id order.
-pub static EXPERIMENTS: [Experiment; 19] = [
+pub static EXPERIMENTS: [Experiment; 20] = [
     Experiment {
         id: "e1",
         title: "big-integer multiplication latency",
@@ -179,6 +179,14 @@ pub static EXPERIMENTS: [Experiment; 19] = [
             ex::e20_verified_offload(512, &[0.0, 1e-2, 0.25], 48)
         ),
     },
+    Experiment {
+        id: "e21",
+        title: "table-tuned Montgomery kernels",
+        run: profile_run!(
+            ex::e21_tuned(&[512, 1024, 2048, 4096]),
+            ex::e21_tuned(&[512])
+        ),
+    },
 ];
 
 /// Look an experiment up by id.
@@ -206,6 +214,7 @@ mod tests {
         expected.push("e18".into());
         expected.push("e19".into());
         expected.push("e20".into());
+        expected.push("e21".into());
         let got = ids();
         assert_eq!(got.len(), expected.len(), "registry size drifted");
         for id in &expected {

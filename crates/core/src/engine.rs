@@ -9,7 +9,9 @@
 
 use crate::batch::{BatchMont, BATCH_WIDTH};
 use crate::crt::CrtKey;
+use crate::genmont::GenMontCtx;
 use crate::library::{MontVariant, PhiConfig};
+use crate::tuning::{Tuning, TuningTable};
 use crate::vexp::DEFAULT_WINDOW;
 use crate::vmont::VMontCtx;
 use crate::vmul::big_mul_with_backend;
@@ -28,6 +30,11 @@ pub struct BatchCrtEngine {
     n: BigUint,
     window: u32,
     variant: MontVariant,
+    tuning: Tuning,
+    /// Generated half-size contexts, present only when the tuning policy
+    /// selected a committed `generated` winner applicable to both halves.
+    gen_p: Option<GenMontCtx>,
+    gen_q: Option<GenMontCtx>,
 }
 
 impl BatchCrtEngine {
@@ -46,7 +53,8 @@ impl BatchCrtEngine {
         )?;
         Ok(engine
             .with_window(config.window)
-            .with_variant(config.mont_variant))
+            .with_variant(config.mont_variant)
+            .with_tuning(config.tuning))
     }
 
     /// Build from CRT key material on the process-default backend.
@@ -114,6 +122,9 @@ impl BatchCrtEngine {
             n,
             window: DEFAULT_WINDOW,
             variant: MontVariant::Auto,
+            tuning: Tuning::Static,
+            gen_p: None,
+            gen_q: None,
         })
     }
 
@@ -136,6 +147,50 @@ impl BatchCrtEngine {
         self.variant
     }
 
+    /// Select the tuning policy (default [`Tuning::Static`], which keeps
+    /// the hand-written kernels and is bit- and cycle-identical to the
+    /// pre-tuning engine). Under [`Tuning::Table`]/[`Tuning::Auto`], a
+    /// committed `generated` winner for this key size builds the
+    /// generated half-size contexts the batch ladders then dispatch to;
+    /// entries inapplicable to the concrete halves fall back silently.
+    pub fn with_tuning(mut self, tuning: Tuning) -> Self {
+        self.tuning = tuning;
+        self.gen_p = None;
+        self.gen_q = None;
+        if tuning == Tuning::Static {
+            return self;
+        }
+        let backend = self.backend();
+        let params = TuningTable::committed().params_for_modulus(
+            tuning,
+            self.n.bit_length(),
+            backend.name(),
+        );
+        if let Some(params) = params {
+            // Both halves must admit the point to keep the two CRT
+            // ladders on the same kernel.
+            if let (Ok(gp), Ok(gq)) = (
+                GenMontCtx::new(&self.p, params, backend),
+                GenMontCtx::new(&self.q, params, backend),
+            ) {
+                self.gen_p = Some(gp);
+                self.gen_q = Some(gq);
+            }
+        }
+        self
+    }
+
+    /// The active tuning policy.
+    pub fn tuning(&self) -> Tuning {
+        self.tuning
+    }
+
+    /// Whether the batch ladders currently dispatch to a generated
+    /// (table-selected) kernel rather than the static ones.
+    pub fn tuned_kernel_active(&self) -> bool {
+        self.gen_p.is_some()
+    }
+
     /// The backend this engine's kernels run on.
     pub fn backend(&self) -> ResolvedBackend {
         self.ctx_p.backend()
@@ -149,11 +204,19 @@ impl BatchCrtEngine {
     /// Execute `c^d mod n` for exactly [`BATCH_WIDTH`] ciphertexts.
     pub fn private_op_16(&self, cts: &[BigUint]) -> Vec<BigUint> {
         assert_eq!(cts.len(), BATCH_WIDTH, "need exactly {BATCH_WIDTH} inputs");
-        let bp = BatchMont::with_variant(&self.ctx_p, self.variant);
-        let bq = BatchMont::with_variant(&self.ctx_q, self.variant);
-        // Two shared-exponent batched ladders…
-        let m1 = bp.mod_exp_16(cts, &self.dp, self.window);
-        let m2 = bq.mod_exp_16(cts, &self.dq, self.window);
+        // Two shared-exponent batched ladders, through the generated
+        // kernel when the tuning table selected one (bit-identical —
+        // only the modeled cycle count moves)…
+        let (m1, m2) = if let (Some(gp), Some(gq)) = (&self.gen_p, &self.gen_q) {
+            (gp.mod_exp_16(cts, &self.dp), gq.mod_exp_16(cts, &self.dq))
+        } else {
+            let bp = BatchMont::with_variant(&self.ctx_p, self.variant);
+            let bq = BatchMont::with_variant(&self.ctx_q, self.variant);
+            (
+                bp.mod_exp_16(cts, &self.dp, self.window),
+                bq.mod_exp_16(cts, &self.dq, self.window),
+            )
+        };
         // …then per-lane Garner recombination.
         let _span = phi_trace::span(phi_trace::Scope::CrtRecombine);
         let qinv_mont = self.ctx_p.to_mont_vec(&self.qinv);
@@ -385,6 +448,37 @@ mod tests {
         assert_eq!(cfg_engine.backend(), ResolvedBackend::ModeledKnc);
         let (msgs, cts) = ciphertexts(engine.modulus(), &e, BATCH_WIDTH);
         assert_eq!(cfg_engine.private_op_16(&cts), msgs);
+    }
+
+    #[test]
+    fn tuned_table_dispatch_stays_bit_identical() {
+        let (engine, key, e, _) = demo();
+        let (msgs, cts) = ciphertexts(engine.modulus(), &e, BATCH_WIDTH);
+        let want = engine.private_op_16(&cts);
+        assert_eq!(want, msgs);
+        // The demo key rounds up to the 512-bit table cell, whose
+        // generated winner admits the tiny halves — the tuned engine
+        // must dispatch it and stay bit-identical.
+        let tuned = BatchCrtEngine::new(&key)
+            .unwrap()
+            .with_tuning(Tuning::Table);
+        assert_eq!(tuned.tuning(), Tuning::Table);
+        assert!(tuned.tuned_kernel_active());
+        assert_eq!(tuned.private_op_16(&cts), want);
+        assert_eq!(tuned.private_op_masked(&cts[..5]), msgs[..5]);
+        // Static never consults the table.
+        let s = BatchCrtEngine::new(&key)
+            .unwrap()
+            .with_tuning(Tuning::Static);
+        assert!(!s.tuned_kernel_active());
+        assert_eq!(s.private_op_16(&cts), want);
+        // And the config path threads the policy through.
+        let config = crate::library::PhiConfig::builder()
+            .tuning(Tuning::Auto)
+            .build();
+        let cfg = BatchCrtEngine::with_config(&key, &config).unwrap();
+        assert_eq!(cfg.tuning(), Tuning::Auto);
+        assert_eq!(cfg.private_op_16(&cts), want);
     }
 
     #[test]

@@ -26,6 +26,16 @@
 //!   exact correction; bit-identical, fewer modeled cycles), selected via
 //!   [`PhiConfig`]'s [`MontVariant`].
 //! * [`crt`] — CRT decomposition/recombination for private-key operations.
+//! * [`params`] — [`KernelParams`]: the kernel design space (radix,
+//!   window, reduction variant, unroll, occupancy) with overflow-derived
+//!   admissibility rules.
+//! * [`genmont`] — [`GenMontCtx`]: generated batch Montgomery kernels
+//!   executing any admissible parameter point, bit-identical to the
+//!   static kernels across the whole space.
+//! * [`tuning`] — [`TuningTable`]: the committed autotuner result
+//!   (`bench/tuning.json`, searched by the `phi-tune` crate on the
+//!   deterministic modeled channel), dispatched via [`PhiConfig`]'s
+//!   [`Tuning`] policy.
 //! * [`library`] — [`PhiLibrary`], packaging everything behind the same
 //!   [`Libcrypto`](phi_mont::Libcrypto) facade as the two baselines.
 //!
@@ -64,9 +74,12 @@ pub mod batch;
 pub mod batch_multi;
 pub mod crt;
 pub mod engine;
+pub mod genmont;
 pub mod library;
+pub mod params;
 pub mod radix;
 pub mod truncated;
+pub mod tuning;
 pub mod vexp;
 pub mod vmont;
 pub mod vmul;
@@ -76,12 +89,15 @@ pub use batch::BatchMont;
 pub use batch_multi::MultiBatchMont;
 pub use crt::CrtKey;
 pub use engine::BatchCrtEngine;
+pub use genmont::{GenMontCtx, GenMontError};
 pub use library::{ConfigError, MontVariant, PhiConfig, PhiConfigBuilder, PhiLibrary};
+pub use params::{KernelParams, ParamError};
 pub use phi_backend::{
     Backend, BackendUnavailable, CpuFeatures, ModeledKnc, NativeX86, ResolvedBackend, VectorBackend,
 };
 pub use phi_rt::{FleetConfig, RoutingPolicy};
 pub use radix::{VecNum, DIGIT_BITS, DIGIT_MASK};
 pub use truncated::{mod_exp_soa, mont_mul_soa, SoaMontEngine};
+pub use tuning::{TunedEntry, Tuning, TuningTable};
 pub use vexp::TableLookup;
 pub use vmont::VMontCtx;

@@ -3,6 +3,7 @@
 //! uniformly.
 
 use crate::truncated::{mod_exp_soa, SoaMontEngine};
+use crate::tuning::Tuning;
 use crate::vexp::{mod_exp_vec, TableLookup, DEFAULT_WINDOW};
 use crate::vmont::VMontCtx;
 use crate::vmul::big_mul_with_backend;
@@ -126,6 +127,11 @@ pub struct PhiConfig {
     /// Bellcore key-leak channel at a small modeled cost. Off by
     /// default; see DESIGN.md §3.14.
     pub verified: bool,
+    /// How kernel parameters are chosen per modulus size: the static
+    /// hand-picked defaults (bit- and cycle-identical to the pre-tuning
+    /// stack, the default), the committed `bench/tuning.json` table, or
+    /// the permissive auto policy. See DESIGN.md §3.15.
+    pub tuning: Tuning,
 }
 
 impl Default for PhiConfig {
@@ -140,6 +146,7 @@ impl Default for PhiConfig {
             mont_variant: MontVariant::Auto,
             fleet: FleetConfig::default(),
             verified: false,
+            tuning: Tuning::Static,
         }
     }
 }
@@ -247,6 +254,16 @@ impl PhiConfigBuilder {
     /// lane quarantine → breaker escalation → host fallback.
     pub fn verified(mut self) -> Self {
         self.config.verified = true;
+        self
+    }
+
+    /// Select how kernel parameters are picked per modulus size (default
+    /// [`Tuning::Static`] — the pre-tuning behavior, bit- and
+    /// cycle-identical). [`Tuning::Table`] applies the committed
+    /// `bench/tuning.json` winners; every table entry is bit-identical
+    /// to the static kernels (the `tuned` conformance family proves it).
+    pub fn tuning(mut self, tuning: Tuning) -> Self {
+        self.config.tuning = tuning;
         self
     }
 

@@ -1,0 +1,262 @@
+//! Kernel parameterization: the tunable axes of the generated Montgomery
+//! variants (`phi-tune` searches this space, [`crate::genmont`] executes a
+//! point of it).
+//!
+//! The hand-written kernels hard-code the choices the paper made: radix
+//! 2^27, window 5, full 16-lane occupancy, fully unrolled column loops.
+//! [`KernelParams`] lifts each of those into data so the autotuner can
+//! sweep them per key size and backend on the deterministic modeled
+//! channel. Every admissible parameter point is **bit-identical** to the
+//! classic kernel (the `tuned` conformance family proves it continuously);
+//! the parameters only move modeled cycles.
+
+use crate::library::MontVariant;
+use std::fmt;
+
+/// Unroll factors the generator can emit. The cap is register budget: one
+/// unrolled block keeps the two u64x8 column accumulators plus one operand
+/// register per unrolled iteration live, and 8 is the largest power of two
+/// that fits the 32-register file alongside the modulus splats.
+pub const UNROLL_FACTORS: [u32; 4] = [1, 2, 4, 8];
+
+/// Radix widths the generator considers (bits per reduced-radix digit).
+/// Below 26 the digit count only grows; above 30 no key size admits the
+/// column-sum bound (see [`KernelParams::radix_admissible`]).
+pub const RADIX_CANDIDATES: [u32; 5] = [26, 27, 28, 29, 30];
+
+/// An invalid [`KernelParams`] point, rejected before any kernel runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamError {
+    /// Window width outside the supported `1..=7` range.
+    Window(u32),
+    /// Unroll factor not in [`UNROLL_FACTORS`].
+    Unroll(u32),
+    /// Occupancy outside `1..=16`.
+    Occupancy(u32),
+    /// The radix violates the no-overflow column-sum bound for this
+    /// modulus size (or is outside the generator's `2..=31` range).
+    RadixInadmissible {
+        /// The rejected digit width.
+        radix_bits: u32,
+        /// The modulus size the point was validated against.
+        mod_bits: u32,
+    },
+    /// Generated kernels need at least two digits (the truncation
+    /// boundary column `s_{k-2}` must exist).
+    ModulusTooSmall(u32),
+    /// `MontVariant::Auto` names a dispatch policy, not a concrete
+    /// kernel; a generated variant must be Classic or Truncated.
+    AutoVariant,
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::Window(w) => write!(f, "window {w} outside supported range 1..=7"),
+            ParamError::Unroll(u) => write!(f, "unroll factor {u} not one of {UNROLL_FACTORS:?}"),
+            ParamError::Occupancy(o) => write!(f, "occupancy {o} outside 1..=16"),
+            ParamError::RadixInadmissible {
+                radix_bits,
+                mod_bits,
+            } => write!(
+                f,
+                "radix 2^{radix_bits} inadmissible for a {mod_bits}-bit modulus: \
+                 column sums would overflow the 64-bit lane accumulator"
+            ),
+            ParamError::ModulusTooSmall(bits) => write!(
+                f,
+                "modulus of {bits} bits too small for a generated kernel (needs k >= 2 digits)"
+            ),
+            ParamError::AutoVariant => {
+                write!(f, "generated kernels need a concrete variant, not Auto")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// One point of the kernel parameter space.
+///
+/// `occupancy` does not change the emitted kernel (the 16-lane ladder
+/// always runs all lanes); it is the *workload* axis the tuner sweeps to
+/// pick the cost-per-op-optimal batch fill, and the conformance family
+/// sweeps to prove masking correctness at every fill level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelParams {
+    /// Bits per reduced-radix digit (the hand-written kernels use 27).
+    pub radix_bits: u32,
+    /// Fixed-window width for the exponentiation ladder.
+    pub window: u32,
+    /// Which reduction the generated kernel performs: `Classic` is the
+    /// separated full-product reduction, `Truncated` elides the low
+    /// `m·n` columns and recovers them with the exact correction.
+    pub variant: MontVariant,
+    /// Column-loop unroll factor; loop control is charged as one scalar
+    /// op per unrolled block (the hand-written kernels model fully
+    /// unrolled straight-line code and charge none).
+    pub unroll: u32,
+    /// Live lanes per 16-lane batch pass (workload axis, see above).
+    pub occupancy: u32,
+}
+
+impl KernelParams {
+    /// The hand-picked defaults of the static kernels: radix 2^27,
+    /// window 5, truncated reduction, fully occupied batches.
+    pub fn static_defaults() -> Self {
+        KernelParams {
+            radix_bits: crate::radix::DIGIT_BITS,
+            window: crate::vexp::DEFAULT_WINDOW,
+            variant: MontVariant::Truncated,
+            unroll: 8,
+            occupancy: 16,
+        }
+    }
+
+    /// Whether a radix of `radix_bits` can run a `mod_bits`-bit modulus
+    /// without overflowing the 64-bit lane accumulators.
+    ///
+    /// The binding bound is the classic separated reduction, whose raw
+    /// `T + m·n` columns sum at most `2k` products of `(2^r - 1)^2` plus
+    /// a normalization carry: admissible iff `(k + 2) · 2^(2r) < 2^63`
+    /// with `k = ceil(mod_bits / r)`. (The truncated variant's columns
+    /// are strictly smaller; the squaring's doubled digits additionally
+    /// need `r + 1 <= 32` for the 32-bit FMA operand domain, satisfied
+    /// by the `r <= 31` range cap.)
+    pub fn radix_admissible(radix_bits: u32, mod_bits: u32) -> bool {
+        if !(2..=31).contains(&radix_bits) {
+            return false;
+        }
+        let k = mod_bits.div_ceil(radix_bits) as u128;
+        (k + 2) << (2 * radix_bits) < 1u128 << 63
+    }
+
+    /// Validate this point against a concrete modulus size. Generated
+    /// kernels reject what they cannot run rather than overflowing later.
+    pub fn validate(&self, mod_bits: u32) -> Result<(), ParamError> {
+        if self.window == 0 || self.window > 7 {
+            return Err(ParamError::Window(self.window));
+        }
+        if !UNROLL_FACTORS.contains(&self.unroll) {
+            return Err(ParamError::Unroll(self.unroll));
+        }
+        if self.occupancy == 0 || self.occupancy > 16 {
+            return Err(ParamError::Occupancy(self.occupancy));
+        }
+        if self.variant == MontVariant::Auto {
+            return Err(ParamError::AutoVariant);
+        }
+        if !Self::radix_admissible(self.radix_bits, mod_bits) {
+            return Err(ParamError::RadixInadmissible {
+                radix_bits: self.radix_bits,
+                mod_bits,
+            });
+        }
+        if mod_bits.div_ceil(self.radix_bits) < 2 {
+            return Err(ParamError::ModulusTooSmall(mod_bits));
+        }
+        Ok(())
+    }
+
+    /// The admissible radices for a `mod_bits`-bit modulus, in search
+    /// order (what `phi-tune` sweeps).
+    pub fn admissible_radices(mod_bits: u32) -> Vec<u32> {
+        RADIX_CANDIDATES
+            .iter()
+            .copied()
+            .filter(|&r| Self::radix_admissible(r, mod_bits) && mod_bits.div_ceil(r) >= 2)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_defaults_validate_for_every_paper_half_size() {
+        for half in [256u32, 512, 1024, 2048] {
+            KernelParams::static_defaults().validate(half).unwrap();
+        }
+    }
+
+    #[test]
+    fn radix_admissibility_matches_the_exact_bound() {
+        // r = 29 admits k <= 29: 256-bit (k=9) and 512-bit (k=18) halves
+        // pass, a 1024-bit half (k=36) overflows.
+        assert!(KernelParams::radix_admissible(29, 256));
+        assert!(KernelParams::radix_admissible(29, 512));
+        assert!(!KernelParams::radix_admissible(29, 1024));
+        // r = 28 admits k <= 125: every paper half size up to 2048 bits.
+        for half in [256u32, 512, 1024, 2048] {
+            assert!(KernelParams::radix_admissible(28, half));
+        }
+        // r = 30 admits only k <= 5 — inadmissible for every paper size.
+        assert!(!KernelParams::radix_admissible(30, 256));
+        // Range caps.
+        assert!(!KernelParams::radix_admissible(1, 64));
+        assert!(!KernelParams::radix_admissible(32, 64));
+    }
+
+    #[test]
+    fn admissible_radices_shrink_with_size() {
+        assert_eq!(KernelParams::admissible_radices(256), vec![26, 27, 28, 29]);
+        assert_eq!(KernelParams::admissible_radices(1024), vec![26, 27, 28]);
+        assert_eq!(KernelParams::admissible_radices(2048), vec![26, 27, 28]);
+    }
+
+    #[test]
+    fn validate_rejects_each_bad_axis() {
+        let ok = KernelParams::static_defaults();
+        assert_eq!(
+            KernelParams { window: 0, ..ok }.validate(256),
+            Err(ParamError::Window(0))
+        );
+        assert_eq!(
+            KernelParams { window: 8, ..ok }.validate(256),
+            Err(ParamError::Window(8))
+        );
+        assert_eq!(
+            KernelParams { unroll: 3, ..ok }.validate(256),
+            Err(ParamError::Unroll(3))
+        );
+        assert_eq!(
+            KernelParams { occupancy: 0, ..ok }.validate(256),
+            Err(ParamError::Occupancy(0))
+        );
+        assert_eq!(
+            KernelParams {
+                occupancy: 17,
+                ..ok
+            }
+            .validate(256),
+            Err(ParamError::Occupancy(17))
+        );
+        assert_eq!(
+            KernelParams {
+                variant: MontVariant::Auto,
+                ..ok
+            }
+            .validate(256),
+            Err(ParamError::AutoVariant)
+        );
+        assert_eq!(
+            KernelParams {
+                radix_bits: 30,
+                ..ok
+            }
+            .validate(256),
+            Err(ParamError::RadixInadmissible {
+                radix_bits: 30,
+                mod_bits: 256
+            })
+        );
+        assert_eq!(
+            ok.validate(27),
+            Err(ParamError::ModulusTooSmall(27)),
+            "single-digit moduli have no boundary column"
+        );
+        // Error messages carry the rejected value.
+        assert!(ParamError::Unroll(3).to_string().contains('3'));
+    }
+}

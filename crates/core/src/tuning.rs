@@ -1,0 +1,436 @@
+//! The committed tuning table and the [`Tuning`] dispatch policy.
+//!
+//! `phi-tune --emit` searches the [`crate::params::KernelParams`] space
+//! per key size and backend on the deterministic modeled channel and
+//! writes `bench/tuning.json`; this module embeds that table at compile
+//! time and answers "which kernel should a modulus of this size run?".
+//! Because the search channel is noise-free, the committed table is a
+//! reproducible fact about the cost model, not a machine-local
+//! measurement — `phi-tune --check` re-derives it in CI and fails on
+//! staleness.
+//!
+//! The dispatch policy is deliberately conservative: [`Tuning::Static`]
+//! (the default) never consults the table and is bit- and cycle-identical
+//! to the pre-tuning stack; [`Tuning::Table`] applies committed winners
+//! exactly; [`Tuning::Auto`] does the same but tolerates missing or
+//! inapplicable entries by falling back to the static kernels.
+
+use crate::library::MontVariant;
+use crate::params::KernelParams;
+use phi_trace::json::Value;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Schema tag the embedded table must carry.
+pub const TUNING_SCHEMA: &str = "phi-tuning/v1";
+
+/// The committed table, embedded at compile time.
+const COMMITTED_TABLE: &str = include_str!("../../../bench/tuning.json");
+
+/// How the library picks kernel parameters per modulus size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Tuning {
+    /// Never consult the table: always the hand-written kernels with
+    /// their hand-picked parameters. Bit- and cycle-identical to the
+    /// pre-tuning stack (the perfgate baseline is pinned to this).
+    #[default]
+    Static,
+    /// Apply the committed table exactly: a modulus whose size maps to a
+    /// `generated` winner runs that generated variant. Supported key
+    /// sizes are expected to have entries (debug-asserted).
+    Table,
+    /// Like `Table`, but permissive: missing entries, unknown backends
+    /// and inapplicable parameter points silently fall back to the
+    /// static kernels instead of asserting.
+    Auto,
+}
+
+impl fmt::Display for Tuning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Tuning::Static => "static",
+            Tuning::Table => "table",
+            Tuning::Auto => "auto",
+        })
+    }
+}
+
+/// A malformed tuning table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TuningError {
+    /// The document was not valid JSON.
+    Json(String),
+    /// The schema tag was missing or unexpected.
+    Schema(String),
+    /// An entry was missing a field or carried an invalid value.
+    Entry(String),
+}
+
+impl fmt::Display for TuningError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TuningError::Json(e) => write!(f, "tuning table is not valid JSON: {e}"),
+            TuningError::Schema(s) => write!(
+                f,
+                "unsupported tuning schema {s:?} (want {TUNING_SCHEMA:?})"
+            ),
+            TuningError::Entry(e) => write!(f, "malformed tuning entry: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TuningError {}
+
+/// Which kernel won the search for one (key size, backend) cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Winner {
+    /// A generated [`KernelParams`] point beat the static kernels.
+    Generated,
+    /// The hand-written kernels won; `params` records the searched
+    /// best-generated point for the staleness check, but dispatch stays
+    /// on the static path.
+    Static,
+}
+
+/// One searched cell of the tuning table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunedEntry {
+    /// RSA key size this cell was searched for (the modulus size; the
+    /// CRT engine runs its kernels on the `key_bits / 2` halves).
+    pub key_bits: u32,
+    /// Backend name (`modeled-knc` / `native-x86`).
+    pub backend: String,
+    /// Which kernel dispatches for this cell.
+    pub winner: Winner,
+    /// The best generated parameter point found by the search.
+    pub params: KernelParams,
+    /// Modeled cycles of one full-occupancy batch ladder pass on the
+    /// static kernels (per CRT half).
+    pub cycles_static: f64,
+    /// Modeled cycles of the same pass on the winning generated point.
+    pub cycles_tuned: f64,
+}
+
+impl TunedEntry {
+    /// The generated parameter point to run, or `None` when the static
+    /// kernels won this cell.
+    pub fn generated_params(&self) -> Option<KernelParams> {
+        match self.winner {
+            Winner::Generated => Some(self.params),
+            Winner::Static => None,
+        }
+    }
+}
+
+/// A parsed tuning table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuningTable {
+    /// Schema tag (`phi-tuning/v1`).
+    pub schema: String,
+    /// Search seed recorded for reproducibility.
+    pub seed: u64,
+    /// One entry per searched (key size, backend) cell.
+    pub entries: Vec<TunedEntry>,
+}
+
+impl TuningTable {
+    /// The table committed at `bench/tuning.json`, parsed once.
+    ///
+    /// Panics if the committed file is malformed — that is a build
+    /// defect (the file is embedded at compile time and CI regenerates
+    /// it), not a runtime condition.
+    pub fn committed() -> &'static TuningTable {
+        static TABLE: OnceLock<TuningTable> = OnceLock::new();
+        TABLE.get_or_init(|| {
+            TuningTable::parse(COMMITTED_TABLE).expect("committed bench/tuning.json must parse")
+        })
+    }
+
+    /// Parse a table document, validating schema and every entry.
+    pub fn parse(text: &str) -> Result<TuningTable, TuningError> {
+        let doc = Value::parse(text).map_err(|e| TuningError::Json(format!("{e:?}")))?;
+        let schema = doc
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or_else(|| TuningError::Schema("<missing>".into()))?;
+        if schema != TUNING_SCHEMA {
+            return Err(TuningError::Schema(schema.into()));
+        }
+        let seed = doc.get("seed").and_then(Value::as_u64).unwrap_or(0);
+        let raw_entries = doc
+            .get("entries")
+            .and_then(Value::as_array)
+            .ok_or_else(|| TuningError::Entry("missing entries array".into()))?;
+        let mut entries = Vec::with_capacity(raw_entries.len());
+        for (i, e) in raw_entries.iter().enumerate() {
+            entries.push(
+                parse_entry(e).map_err(|msg| TuningError::Entry(format!("entry {i}: {msg}")))?,
+            );
+        }
+        Ok(TuningTable {
+            schema: schema.into(),
+            seed,
+            entries,
+        })
+    }
+
+    /// Serialize back to the committed JSON shape (pretty, stable order).
+    pub fn to_json(&self) -> String {
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| {
+                Value::Object(vec![
+                    ("key_bits".into(), Value::Num(e.key_bits as f64)),
+                    ("backend".into(), Value::Str(e.backend.clone())),
+                    (
+                        "winner".into(),
+                        Value::Str(
+                            match e.winner {
+                                Winner::Generated => "generated",
+                                Winner::Static => "static",
+                            }
+                            .into(),
+                        ),
+                    ),
+                    (
+                        "params".into(),
+                        Value::Object(vec![
+                            ("radix_bits".into(), Value::Num(e.params.radix_bits as f64)),
+                            ("window".into(), Value::Num(e.params.window as f64)),
+                            (
+                                "variant".into(),
+                                Value::Str(variant_name(e.params.variant).into()),
+                            ),
+                            ("unroll".into(), Value::Num(e.params.unroll as f64)),
+                            ("occupancy".into(), Value::Num(e.params.occupancy as f64)),
+                        ]),
+                    ),
+                    ("cycles_static".into(), Value::Num(e.cycles_static)),
+                    ("cycles_tuned".into(), Value::Num(e.cycles_tuned)),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("schema".into(), Value::Str(self.schema.clone())),
+            ("generator".into(), Value::Str("phi-tune --emit".into())),
+            ("seed".into(), Value::Num(self.seed as f64)),
+            ("entries".into(), Value::Array(entries)),
+        ])
+        .to_string_pretty()
+    }
+
+    /// The entry for an exact (key size, backend) cell.
+    pub fn lookup(&self, key_bits: u32, backend: &str) -> Option<&TunedEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.key_bits == key_bits && e.backend == backend)
+    }
+
+    /// The entry governing a modulus of `mod_bits` bits on `backend`:
+    /// the smallest searched key size that accommodates it (an RSA
+    /// modulus of a `k`-bit key has `k` or `k - 1` significant bits, so
+    /// exact matching alone would miss half of real keys).
+    pub fn entry_for_modulus(&self, mod_bits: u32, backend: &str) -> Option<&TunedEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.backend == backend && e.key_bits >= mod_bits)
+            .min_by_key(|e| e.key_bits)
+    }
+
+    /// The generated parameter point a modulus should run under the
+    /// given policy, already re-validated against the *actual* modulus
+    /// size — `None` means "stay on the static kernels".
+    pub fn params_for_modulus(
+        &self,
+        tuning: Tuning,
+        mod_bits: u32,
+        backend: &str,
+    ) -> Option<KernelParams> {
+        if tuning == Tuning::Static {
+            return None;
+        }
+        let entry = self.entry_for_modulus(mod_bits, backend);
+        if tuning == Tuning::Table {
+            debug_assert!(
+                entry.is_some() || mod_bits > 4096,
+                "Tuning::Table expects a committed entry for {mod_bits}-bit moduli on {backend}"
+            );
+        }
+        let params = entry?.generated_params()?;
+        // The cell is keyed by the nominal RSA key size but its kernel
+        // runs on the CRT halves (the search validated at `key_bits/2`),
+        // so the point is re-validated at the concrete half width here —
+        // and once more against each actual half when the kernel is
+        // built, which catches oddly split keys.
+        params.validate(mod_bits.div_ceil(2)).ok().map(|()| params)
+    }
+}
+
+fn variant_name(v: MontVariant) -> &'static str {
+    match v {
+        MontVariant::Classic => "classic",
+        MontVariant::Truncated => "truncated",
+        MontVariant::Auto => "auto",
+    }
+}
+
+fn parse_entry(e: &Value) -> Result<TunedEntry, String> {
+    let field_u32 = |v: &Value, key: &str| -> Result<u32, String> {
+        v.get(key)
+            .and_then(Value::as_u64)
+            .and_then(|x| u32::try_from(x).ok())
+            .ok_or_else(|| format!("missing or invalid {key}"))
+    };
+    let key_bits = field_u32(e, "key_bits")?;
+    let backend = e
+        .get("backend")
+        .and_then(Value::as_str)
+        .ok_or("missing backend")?
+        .to_string();
+    let winner = match e.get("winner").and_then(Value::as_str) {
+        Some("generated") => Winner::Generated,
+        Some("static") => Winner::Static,
+        other => return Err(format!("invalid winner {other:?}")),
+    };
+    let p = e.get("params").ok_or("missing params")?;
+    let variant = match p.get("variant").and_then(Value::as_str) {
+        Some("classic") => MontVariant::Classic,
+        Some("truncated") => MontVariant::Truncated,
+        other => return Err(format!("invalid variant {other:?}")),
+    };
+    let params = KernelParams {
+        radix_bits: field_u32(p, "radix_bits")?,
+        window: field_u32(p, "window")?,
+        variant,
+        unroll: field_u32(p, "unroll")?,
+        occupancy: field_u32(p, "occupancy")?,
+    };
+    let cycles_static = e
+        .get("cycles_static")
+        .and_then(Value::as_f64)
+        .ok_or("missing cycles_static")?;
+    let cycles_tuned = e
+        .get("cycles_tuned")
+        .and_then(Value::as_f64)
+        .ok_or("missing cycles_tuned")?;
+    if winner == Winner::Generated {
+        // A generated winner must be runnable at its nominal size (the
+        // CRT engine runs the half size, which is strictly easier).
+        params
+            .validate(key_bits / 2)
+            .map_err(|err| format!("generated winner invalid at {key_bits}/2 bits: {err}"))?;
+    }
+    Ok(TunedEntry {
+        key_bits,
+        backend,
+        winner,
+        params,
+        cycles_static,
+        cycles_tuned,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn committed_table_parses_and_is_total() {
+        let t = TuningTable::committed();
+        assert_eq!(t.schema, TUNING_SCHEMA);
+        for key_bits in [512u32, 1024, 2048, 4096] {
+            for backend in ["modeled-knc", "native-x86"] {
+                let e = t
+                    .lookup(key_bits, backend)
+                    .unwrap_or_else(|| panic!("missing entry {key_bits}/{backend}"));
+                e.params.validate(key_bits / 2).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let t = TuningTable::committed();
+        let again = TuningTable::parse(&t.to_json()).unwrap();
+        assert_eq!(&again, t);
+    }
+
+    #[test]
+    fn static_policy_never_returns_params() {
+        let t = TuningTable::committed();
+        for bits in [256u32, 512, 1024, 2048, 4096] {
+            assert_eq!(
+                t.params_for_modulus(Tuning::Static, bits, "modeled-knc"),
+                None
+            );
+        }
+    }
+
+    #[test]
+    fn modulus_lookup_rounds_up_to_the_nominal_key_size() {
+        let t = TuningTable::committed();
+        // A 2047-bit modulus (2048-bit key with a short top limb) maps
+        // to the 2048 cell.
+        let e = t.entry_for_modulus(2047, "modeled-knc").unwrap();
+        assert_eq!(e.key_bits, 2048);
+        // Beyond the largest searched size there is no entry.
+        assert!(t.entry_for_modulus(5000, "modeled-knc").is_none());
+        assert_eq!(
+            t.params_for_modulus(Tuning::Auto, 5000, "modeled-knc"),
+            None
+        );
+    }
+
+    #[test]
+    fn table_params_revalidate_at_the_half_width() {
+        let t = TuningTable::committed();
+        // Every supported key size must hand out params admissible at
+        // the CRT half its kernels actually run on — in particular the
+        // 1024 cell's radix-29 point is inadmissible at 1024 bits but
+        // valid at its 512-bit halves.
+        for bits in [512u32, 1024, 2048, 4096] {
+            let p = t
+                .params_for_modulus(Tuning::Table, bits, "modeled-knc")
+                .expect("committed winners apply at their own key size");
+            p.validate(bits / 2).unwrap();
+        }
+        // A key_bits - 1-bit modulus (short top limb) still resolves.
+        assert!(t
+            .params_for_modulus(Tuning::Table, 1023, "modeled-knc")
+            .is_some());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(matches!(
+            TuningTable::parse("not json"),
+            Err(TuningError::Json(_))
+        ));
+        assert!(matches!(
+            TuningTable::parse(r#"{"schema": "phi-tuning/v0", "entries": []}"#),
+            Err(TuningError::Schema(_))
+        ));
+        let bad_entry = r#"{"schema": "phi-tuning/v1", "entries": [{"key_bits": 512}]}"#;
+        assert!(matches!(
+            TuningTable::parse(bad_entry),
+            Err(TuningError::Entry(_))
+        ));
+        // A generated winner with an inadmissible radix is rejected.
+        let bad_params = r#"{"schema": "phi-tuning/v1", "entries": [{
+            "key_bits": 4096, "backend": "modeled-knc", "winner": "generated",
+            "params": {"radix_bits": 30, "window": 5, "variant": "truncated",
+                       "unroll": 8, "occupancy": 16},
+            "cycles_static": 1.0, "cycles_tuned": 1.0}]}"#;
+        let err = TuningTable::parse(bad_params).unwrap_err();
+        assert!(err.to_string().contains("inadmissible"));
+    }
+
+    #[test]
+    fn tuning_display_names() {
+        assert_eq!(Tuning::Static.to_string(), "static");
+        assert_eq!(Tuning::Table.to_string(), "table");
+        assert_eq!(Tuning::Auto.to_string(), "auto");
+        assert_eq!(Tuning::default(), Tuning::Static);
+    }
+}

@@ -1415,6 +1415,139 @@ fn check_verified(cfg: &DiffConfig, out: &mut Vec<Divergence>) -> u64 {
     cases
 }
 
+/// Every committed tuning-table entry's generated kernel vs the scalar
+/// oracle and the classic 16-lane batch ladder, on adversarial moduli at
+/// the entry's CRT-half size across occupancies 1–16 (dead lanes padded
+/// with 1, the engine's masking value). Runs at the entries' true sizes
+/// regardless of the profile's bit ladder — the table governs real key
+/// sizes, so that is where it must be proven — with the exponent length
+/// scaled by the profile budget.
+fn check_tuned(cfg: &DiffConfig, out: &mut Vec<Divergence>) -> u64 {
+    const NAME: &str = "tuned";
+    use phiopenssl::{GenMontCtx, KernelParams, MontVariant, TuningTable};
+    // One distinct cell per key size: the backend columns share the
+    // searched parameter point.
+    let table = TuningTable::committed();
+    let mut entries = Vec::new();
+    let mut seen = Vec::new();
+    for e in &table.entries {
+        if !seen.contains(&e.key_bits) {
+            seen.push(e.key_bits);
+            entries.push(e);
+        }
+    }
+    let cases = ((cfg.cases / 2).max(entries.len())) as u64;
+    let inj = cfg.injected_case(NAME, cases);
+    let mut g = cfg.gen_for(NAME);
+    for case in 0..cases {
+        let entry = entries[case as usize % entries.len()];
+        let bits = entry.key_bits / 2;
+        // Every third case pins the modulus to the dense-top corner
+        // 2^bits - d (every high digit saturated — the worst case for
+        // the generated carry/correction paths at any radix).
+        let n = if case % 3 == 0 {
+            let d = 2 * g.below(1 << 20) + 1;
+            &(&BigUint::one() << bits) - &BigUint::from(d)
+        } else {
+            g.odd_modulus(bits)
+        };
+        let params = entry.params;
+        let gctx = match GenMontCtx::new(&n, params, ResolvedBackend::ModeledKnc) {
+            Ok(c) => c,
+            Err(e) => {
+                out.push(Divergence {
+                    kernel: NAME,
+                    seed: cfg.seed,
+                    case,
+                    detail: format!(
+                        "committed entry for {} bits rejected its own half size: {e}",
+                        entry.key_bits
+                    ),
+                });
+                continue;
+            }
+        };
+        // Occupancy sweep: `occ` live lanes (correction-boundary values
+        // first, then random residues), the rest padded with 1 exactly
+        // like `private_op_masked`.
+        let occ = 1 + (case as usize % 16);
+        let mut bases: Vec<BigUint> = vec![&n - &BigUint::one(), BigUint::zero(), BigUint::one()];
+        bases.truncate(occ);
+        while bases.len() < occ {
+            bases.push(g.residue(&n));
+        }
+        bases.resize(16, BigUint::one());
+        // Exponent length scales down with the half size so that a run's
+        // total ladder work stays within the profile budget; the window
+        // table (the 2^w - 1 multiplies) runs in full either way.
+        let exp_bits = (bits.min(cfg.max_bits) / (bits / 256).max(1)).max(48);
+        let exp = g.exponent(exp_bits);
+        let ctx = VMontCtx::new(&n).expect("odd modulus");
+        let classic = BatchMont::with_variant(&ctx, MontVariant::Classic).mod_exp_16(
+            &bases,
+            &exp,
+            params.window,
+        );
+        let mut got = gctx.mod_exp_16(&bases, &exp);
+        if let Some(i) = inj.filter(|&i| i == case) {
+            let lane = (i % 16) as usize;
+            got[lane] = &got[lane] + &BigUint::one();
+        }
+        let mut bad = false;
+        for lane in 0..16usize {
+            let want = bases[lane].mod_exp(&exp, &n);
+            if got[lane] != want || classic[lane] != want {
+                bad = true;
+                out.push(Divergence {
+                    kernel: NAME,
+                    seed: cfg.seed,
+                    case,
+                    detail: format!(
+                        "entry {}b occ={occ} lane={lane} radix={} window={} unroll={}: {}",
+                        entry.key_bits,
+                        params.radix_bits,
+                        params.window,
+                        params.unroll,
+                        dump(&[
+                            ("n", &n),
+                            ("base", &bases[lane]),
+                            ("exp", &exp),
+                            ("generated", &got[lane]),
+                            ("classic", &classic[lane]),
+                            ("want", &want)
+                        ])
+                    ),
+                });
+            }
+        }
+        if bad {
+            continue;
+        }
+        // The generated *classic* reduction at the same radix must agree
+        // with the generated truncated one (both variants of the
+        // generator share everything but the reduction).
+        let cl_params = KernelParams {
+            variant: MontVariant::Classic,
+            ..params
+        };
+        if let Ok(cl) = GenMontCtx::new(&n, cl_params, ResolvedBackend::ModeledKnc) {
+            if cl.mod_exp_16(&bases, &exp) != classic {
+                out.push(Divergence {
+                    kernel: NAME,
+                    seed: cfg.seed,
+                    case,
+                    detail: format!(
+                        "generated classic reduction diverges at radix {}: {}",
+                        params.radix_bits,
+                        dump(&[("n", &n), ("exp", &exp)])
+                    ),
+                });
+            }
+        }
+    }
+    cases
+}
+
 /// The family names [`DiffConfig::inject`] accepts.
 pub const FAMILIES: &[&str] = &[
     "vmul",
@@ -1433,6 +1566,7 @@ pub const FAMILIES: &[&str] = &[
     "mont-truncated",
     "backend-parity",
     "verified",
+    "tuned",
 ];
 
 /// Run every differential family under the given configuration.
@@ -1455,6 +1589,7 @@ pub fn run_all(cfg: &DiffConfig) -> DiffOutcome {
         check_mont_truncated,
         check_backend_parity,
         check_verified,
+        check_tuned,
     ];
     debug_assert_eq!(checks.len(), FAMILIES.len());
     let mut cases = 0;

@@ -97,7 +97,9 @@ pub struct RsaBatchService {
 }
 
 /// The 16-lane card executor for `key`, shared by both backends. The
-/// engine's vector backend and window width come from `phi`.
+/// engine's vector backend, window width, reduction variant and tuning
+/// policy all come from `phi` — under `Tuning::Table` the engine
+/// dispatches the committed generated kernel for this key size.
 fn card_engine(
     key: &RsaPrivateKey,
     phi: &phiopenssl::PhiConfig,
@@ -111,7 +113,9 @@ fn card_engine(
         key.q().clone(),
         phi.backend.resolve(),
     )?
-    .with_window(phi.window))
+    .with_window(phi.window)
+    .with_variant(phi.mont_variant)
+    .with_tuning(phi.tuning))
 }
 
 /// Host-scalar CRT over the host library's Montgomery sessions — the

@@ -1,6 +1,7 @@
 //! The service-layer surface in one sitting: validated configuration,
 //! cached Montgomery sessions, the deadline-driven batch RSA service
-//! shared by a burst of concurrent decryptors, and the N-card fleet.
+//! shared by a burst of concurrent decryptors, the N-card fleet, and
+//! table-tuned kernel dispatch.
 //!
 //! ```text
 //! cargo run --release --example batch_service
@@ -136,6 +137,38 @@ fn main() {
         report.affinity_hits,
         report.steals,
         report.migrations,
+    );
+
+    // --- table-tuned kernel dispatch ---------------------------------
+    // `Tuning::Table` consults the committed autotuner result
+    // (`bench/tuning.json`); the generated kernel it picks is
+    // bit-identical to the static default, just cheaper on the modeled
+    // channel. `Tuning::Static` (the default) never reads the table.
+    let crt = phiopenssl::CrtKey::new(key.p(), key.q(), key.d()).expect("CRT key");
+    let static_engine = phiopenssl::BatchCrtEngine::new(&crt).expect("engine");
+    let tuned_engine = phiopenssl::BatchCrtEngine::with_config(
+        &crt,
+        &PhiConfig::builder()
+            .tuning(phiopenssl::Tuning::Table)
+            .build(),
+    )
+    .expect("engine");
+    assert!(
+        tuned_engine.tuned_kernel_active(),
+        "1024-bit keys are in the table"
+    );
+    let cts: Vec<_> = (0..16).map(|i| BigUint::from(0x1234u64 + i)).collect();
+    assert_eq!(
+        static_engine.private_op_16(&cts),
+        tuned_engine.private_op_16(&cts),
+        "tuned dispatch must stay bit-identical"
+    );
+    let entry = phiopenssl::TuningTable::committed()
+        .entry_for_modulus(n.bit_length(), "modeled-knc")
+        .expect("committed cell");
+    println!(
+        "tuned dispatch: 1024-bit key runs the generated r{} w{} kernel, bit-identical to static",
+        entry.params.radix_bits, entry.params.window,
     );
 
     // --- one error type at the workspace rim -------------------------
